@@ -1,0 +1,781 @@
+(* Benchmark and experiment-reproduction harness.
+
+   The paper's evaluation is a prototype feasibility demonstration with
+   worked micro-examples and no numbered tables or figures (see DESIGN.md
+   §2 and EXPERIMENTS.md). This harness therefore regenerates:
+
+   - E1..E12: every worked example in the paper, end to end, at
+     controllable scale, each printing the rows recorded in
+     EXPERIMENTS.md (ground-truth agreement, scaling series, shape
+     checks);
+   - engine-*: Bechamel micro-benchmarks of the inference substrate — the
+     performance dimension the paper mentions ("Prolog's computational
+     inefficiency") but never quantifies.
+
+   Usage:
+     dune exec bench/main.exe             # reports + micro-benchmarks
+     dune exec bench/main.exe -- report   # experiment reports only
+     dune exec bench/main.exe -- micro    # micro-benchmarks only
+     dune exec bench/main.exe -- e7       # a single experiment *)
+
+open Gdp_core
+module T = Gdp_logic.Term
+module W = Gdp_workload
+
+let a = T.atom
+let v = T.var
+
+let section title = Printf.printf "\n==== %s ====\n" title
+let row fmt = Printf.printf fmt
+
+(* wall-clock of a thunk, in milliseconds (coarse; the micro benches use
+   bechamel below) *)
+let time_ms f =
+  let t0 = Sys.time () in
+  let result = f () in
+  ((Sys.time () -. t0) *. 1000.0, result)
+
+(* ---------------------------------------------------------------- E1 *)
+
+let e1 () =
+  section "E1 — bridges/roads virtual facts (§II-B, §III-A)";
+  row "  %8s %8s %10s %10s %12s  %s\n" "roads" "bridges" "open_roads" "truth"
+    "query_ms" "agree";
+  List.iter
+    (fun n_roads ->
+      let rng = W.Rng.create 1L in
+      let net = W.Roads.generate rng ~n_roads ~bridges_per_road:4 ~open_probability:0.8 () in
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      W.Roads.add_to_spec net spec ();
+      W.Roads.add_status_rules spec ();
+      let q = Query.create spec in
+      let ms, open_roads =
+        time_ms (fun () ->
+            List.length (Query.solutions q (Gfact.make "open_road" ~objects:[ v "R" ])))
+      in
+      let truth =
+        net.W.Roads.roads
+        |> List.filter (fun (r : W.Roads.road) ->
+               net.W.Roads.bridges
+               |> List.filter (fun (b : W.Roads.bridge) ->
+                      b.W.Roads.on_road = r.W.Roads.road_id)
+               |> List.for_all (fun (b : W.Roads.bridge) -> b.W.Roads.is_open))
+        |> List.length
+      in
+      row "  %8d %8d %10d %10d %12.2f  %b\n" n_roads (n_roads * 4) open_roads truth
+        ms (open_roads = truth))
+    [ 10; 40; 160; 640 ]
+
+(* ---------------------------------------------------------------- E2 *)
+
+let e2 () =
+  section "E2 — many-sorted + general-law constraints (§III-C/D/E)";
+  row "  %8s %14s %14s %10s  %s\n" "states" "seeded_bugs" "violations" "check_ms"
+    "agree";
+  List.iter
+    (fun n_states ->
+      let rng = W.Rng.create 2L in
+      let census =
+        W.Census.generate rng ~n_states ~cities_per_state:4
+          ~capital_bug_probability:0.5 ()
+      in
+      let seeded =
+        census.W.Census.states
+        |> List.filter (fun s ->
+               List.length
+                 (List.filter
+                    (fun (c : W.Census.city) ->
+                      c.W.Census.in_state = s && c.W.Census.is_capital)
+                    census.W.Census.cities)
+               > 1)
+        |> List.length
+      in
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      W.Census.add_to_spec census spec ();
+      W.Census.add_constraints spec ();
+      let q = Query.create spec in
+      let ms, viols = time_ms (fun () -> Query.violations q) in
+      let two_caps =
+        List.length (List.filter (fun x -> x.Query.v_tag = "two_capitals") viols)
+      in
+      row "  %8d %14d %14d %10.2f  %b\n" n_states seeded two_caps ms
+        (two_caps = seeded))
+    [ 5; 20; 80 ]
+
+(* ---------------------------------------------------------------- E3 *)
+
+let e3 () =
+  section "E3 — closed world assumption meta-model (§IV-A)";
+  row "  %8s %8s %12s %12s  %s\n" "objects" "known" "cwa_false" "expected" "agree";
+  List.iter
+    (fun n ->
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      Spec.declare_predicate spec "surveyed" ~object_arity:1;
+      for i = 0 to n - 1 do
+        Spec.declare_object spec (Printf.sprintf "parcel_%d" i)
+      done;
+      (* every third parcel is known surveyed *)
+      let known = ref 0 in
+      for i = 0 to n - 1 do
+        if i mod 3 = 0 then begin
+          incr known;
+          Spec.add_fact spec
+            (Gfact.make "surveyed" ~objects:[ a (Printf.sprintf "parcel_%d" i) ])
+        end
+      done;
+      let q = Query.create spec ~meta_view:[ "cwa" ] in
+      let falses =
+        List.length
+          (Query.solutions q
+             (Gfact.make "surveyed" ~values:[ a "false" ] ~objects:[ v "X" ]))
+      in
+      row "  %8d %8d %12d %12d  %b\n" n !known falses (n - !known)
+        (falses = n - !known))
+    [ 30; 120; 480 ]
+
+(* ---------------------------------------------------------------- E4 *)
+
+let e4 () =
+  section "E4 — contradiction meta-constraint (§IV-B)";
+  row "  %8s %14s %14s  %s\n" "facts" "seeded" "found" "agree";
+  List.iter
+    (fun n ->
+      let rng = W.Rng.create 4L in
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      let seeded = ref 0 in
+      for i = 0 to n - 1 do
+        let o = Printf.sprintf "b%d" i in
+        Spec.declare_object spec o;
+        let tv = if W.Rng.bool rng then "true" else "false" in
+        Spec.add_fact spec (Gfact.make "open" ~values:[ a tv ] ~objects:[ a o ]);
+        if W.Rng.float rng 1.0 < 0.2 then begin
+          incr seeded;
+          let other = if tv = "true" then "false" else "true" in
+          Spec.add_fact spec (Gfact.make "open" ~values:[ a other ] ~objects:[ a o ])
+        end
+      done;
+      let q = Query.create spec ~meta_view:[ "contradiction" ] in
+      let found =
+        List.length
+          (List.filter (fun x -> x.Query.v_tag = "contradiction") (Query.violations q))
+      in
+      row "  %8d %14d %14d  %b\n" n !seeded found (found = !seeded))
+    [ 50; 200; 800 ]
+
+(* ---------------------------------------------------------------- E5 *)
+
+let e5 () =
+  section "E5 — spatial operators and refinement inheritance (§V-C)";
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r4" 4.0);
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r2" 2.0);
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r1" 1.0);
+  Spec.declare_object spec "land";
+  Spec.add_fact spec
+    (Gfact.make "zone" ~values:[ a "wetland" ] ~objects:[ a "land" ]
+       ~space:(Gfact.S_uniform (a "r4", Gfact.pos_term (Gdp_space.Point.make 2.0 2.0))));
+  let q = Query.create spec ~meta_view:[ "spatial_uniform"; "spatial_sampled" ] in
+  row "  one @u[r4] fact over a 4x4 patch; derived realisations:\n";
+  List.iter
+    (fun (res, expected) ->
+      let ms, cells =
+        time_ms (fun () ->
+            List.length
+              (Query.solutions q
+                 (Gfact.make "zone" ~values:[ a "wetland" ] ~objects:[ a "land" ]
+                    ~space:(Gfact.S_uniform (a res, v "P")))))
+      in
+      row "  @u[%s] cells: %4d (expected %4d, %s) %8.2f ms\n" res cells expected
+        (if cells = expected then "agree" else "DISAGREE")
+        ms)
+    [ ("r2", 4); ("r1", 16) ];
+  let probe =
+    Gfact.make "zone" ~values:[ a "wetland" ] ~objects:[ a "land" ]
+      ~space:(Gfact.S_at (Gfact.pos_term (Gdp_space.Point.make 3.7 0.2)))
+  in
+  row "  @p inside patch provable:  %b (expected true)\n" (Query.holds q probe);
+  let outside =
+    Gfact.make "zone" ~values:[ a "wetland" ] ~objects:[ a "land" ]
+      ~space:(Gfact.S_at (Gfact.pos_term (Gdp_space.Point.make 4.2 0.2)))
+  in
+  row "  @p outside patch provable: %b (expected false)\n" (Query.holds q outside)
+
+(* ---------------------------------------------------------------- E6 *)
+
+let e6 () =
+  section "E6 — elevation peaks on fractal terrain (§V-C example)";
+  row "  %8s %8s %10s %10s  %s\n" "grid" "facts" "peaks" "truth" "agree";
+  List.iter
+    (fun size_exp ->
+      let rng = W.Rng.create 6L in
+      let terrain = W.Terrain.generate rng ~size_exp ~cell:1.0 () in
+      let n = terrain.W.Terrain.size - 1 in
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"fine" 1.0);
+      Spec.declare_region spec "map"
+        (Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:(float_of_int n)
+           ~max_y:(float_of_int n));
+      Spec.declare_object spec "land";
+      let facts =
+        W.Terrain.add_elevation_facts terrain spec ~resolution:"fine"
+          ~object_name:"land" ~scale:1.0 ()
+      in
+      let p0 = v "P0" and z0 = v "Z0" and p1 = v "P1" and z1 = v "Z1" and d = v "D" in
+      Spec.add_rule spec ~name:"peak"
+        ~head:
+          (Gfact.make "peak" ~values:[ z0 ] ~objects:[ a "land" ]
+             ~space:(Gfact.S_at p0))
+        Formula.(
+          conj
+            [
+              Test (T.app "region_reps" [ a "fine"; a "map"; p0 ]);
+              Atom
+                (Gfact.make "elevation" ~values:[ z0 ] ~objects:[ a "land" ]
+                   ~space:(Gfact.S_uniform (a "fine", p0)));
+              Forall
+                ( conj
+                    [
+                      Test (T.app "region_reps" [ a "fine"; a "map"; p1 ]);
+                      Test (T.app "pt_dist" [ p0; p1; d ]);
+                      Test (T.app ">" [ d; T.float 0.0 ]);
+                      Test (T.app "<" [ d; T.float 1.5 ]);
+                      Atom
+                        (Gfact.make "elevation" ~values:[ z1 ] ~objects:[ a "land" ]
+                           ~space:(Gfact.S_uniform (a "fine", p1)));
+                    ],
+                  Test (T.app ">" [ z0; z1 ]) );
+            ]);
+      let q = Query.create spec in
+      let peaks =
+        List.length
+          (Query.solutions q
+             (Gfact.make "peak" ~values:[ v "Z" ] ~objects:[ a "land" ]
+                ~space:(Gfact.S_at (v "P"))))
+      in
+      (* brute-force ground truth on the raw heights: strictly higher than
+         the 8-neighbourhood (every cell centre within distance 1.5) *)
+      let truth = ref 0 in
+      for j = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          let h = W.Terrain.height terrain i j in
+          let higher_than di dj =
+            let x = i + di and y = j + dj in
+            x < 0 || x >= n || y < 0 || y >= n || h > W.Terrain.height terrain x y
+          in
+          let ok = ref true in
+          for di = -1 to 1 do
+            for dj = -1 to 1 do
+              if (di <> 0 || dj <> 0) && not (higher_than di dj) then ok := false
+            done
+          done;
+          if !ok then incr truth
+        done
+      done;
+      row "  %5dx%-3d %7d %10d %10d  %b\n" n n facts peaks !truth (peaks = !truth))
+    [ 3; 4 ]
+
+(* ---------------------------------------------------------------- E7 *)
+
+let e7 () =
+  section "E7 — island thresholding sweep (§V-D)";
+  let rng = W.Rng.create 7L in
+  let terrain = W.Terrain.generate rng ~size_exp:4 ~cell:1.0 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"fine" 1.0);
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"coarse" 4.0);
+  Spec.declare_object spec "land";
+  let island_cells =
+    W.Terrain.add_mask_facts terrain spec ~resolution:"fine" ~pred:"island"
+      ~object_name:"land"
+      ~keep:(fun h -> h > 0.75)
+      ~qualifier:`Sampled ()
+  in
+  row "  island feature covers %d fine cells; survival at the coarse map:\n"
+    island_cells;
+  row "  %10s %16s\n" "min_cells" "coarse_cells";
+  let last = ref max_int in
+  let monotone = ref true in
+  List.iter
+    (fun delta ->
+      Spec.add_meta_model spec
+        (Meta.thresholding
+           ~name:(Printf.sprintf "thr_%d" delta)
+           ~pred:"island" ~fine:"fine" ~coarse:"coarse" ~min_cells:delta ());
+      let q = Query.create spec ~meta_view:[ Printf.sprintf "thr_%d" delta ] in
+      let cells =
+        List.length
+          (Query.solutions q
+             (Gfact.make "island" ~objects:[ a "land" ]
+                ~space:(Gfact.S_sampled (a "coarse", v "P"))))
+      in
+      if cells > !last then monotone := false;
+      last := cells;
+      row "  %10d %16d\n" delta cells)
+    [ 0; 2; 4; 8; 16; 32 ];
+  row "  shape: survival decreases monotonically with the threshold: %b\n"
+    !monotone
+
+(* ---------------------------------------------------------------- E8 *)
+
+let e8 () =
+  section "E8 — temporal reasoning over observation streams (§VI)";
+  row "  %8s %10s %12s %12s  %s\n" "events" "queries" "persist_ms" "agree" "";
+  List.iter
+    (fun n_events ->
+      let rng = W.Rng.create 8L in
+      let spec = Spec.create ~now:1000.0 () in
+      Meta.install_standard spec;
+      Spec.declare_object spec "b";
+      (* a stream of alternating status observations at random times *)
+      let times =
+        List.init n_events (fun _ -> W.Rng.float rng 1000.0) |> List.sort compare
+      in
+      let events =
+        List.mapi (fun i t -> (t, if i mod 2 = 0 then "open" else "closed")) times
+      in
+      List.iter
+        (fun (t, s) ->
+          Spec.add_fact spec
+            (Gfact.make "status" ~values:[ a s ] ~objects:[ a "b" ]
+               ~time:(Gfact.T_at (T.float t))))
+        events;
+      let q = Query.create spec ~meta_view:[ "temporal_persistence" ] in
+      (* ground truth: replay the event list *)
+      let truth_at t =
+        List.fold_left (fun acc (et, s) -> if et <= t then Some s else acc) None events
+      in
+      let probes = List.init 20 (fun i -> float_of_int i *. 50.0) in
+      let ms, agree =
+        time_ms (fun () ->
+            List.for_all
+              (fun t ->
+                let derived =
+                  List.filter
+                    (fun s ->
+                      Query.holds q
+                        (Gfact.make "status" ~values:[ a s ] ~objects:[ a "b" ]
+                           ~time:(Gfact.T_at (T.float t))))
+                    [ "open"; "closed" ]
+                in
+                match truth_at t with
+                | None -> derived = []
+                | Some s -> derived = [ s ])
+              probes)
+      in
+      row "  %8d %10d %12.2f %12b\n" n_events (List.length probes) ms agree)
+    [ 10; 40; 160 ]
+
+(* ---------------------------------------------------------------- E9 *)
+
+let e9 () =
+  section "E9 — depth-interpolation accuracy (§VII-B extrapolation)";
+  let rng = W.Rng.create 9L in
+  let survey = W.Hydro.generate rng ~n_samples:25 ~extent:100.0 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"chart" 10.0);
+  Spec.declare_region spec "basin"
+    (Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:100.0 ~max_y:100.0);
+  W.Hydro.add_to_spec survey spec ();
+  W.Hydro.add_interpolation_rule survey spec ~region:"basin" ~resolution:"chart" ();
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max" ] in
+  let estimates =
+    Query.accuracies q
+      (Gfact.make "depth" ~values:[ v "D" ] ~objects:[ a "ocean" ]
+         ~space:(Gfact.S_at (v "P")))
+  in
+  (* bucket by distance to nearest sample; accuracy and error must both be
+     monotone in the distance *)
+  let nearest p =
+    survey.W.Hydro.samples
+    |> List.map (fun (sp, _) -> Gdp_space.Point.euclidean p sp)
+    |> List.fold_left Float.min Float.infinity
+  in
+  let buckets = [ (0.0, 5.0); (5.0, 10.0); (10.0, 20.0); (20.0, 1000.0) ] in
+  row "  %14s %8s %12s %12s\n" "dist_bucket" "cells" "mean_acc" "mean_err_m";
+  let stats =
+    List.map
+      (fun (lo, hi) ->
+        let in_bucket =
+          List.filter_map
+            (fun (f, acc) ->
+              match (f.Gfact.space, f.Gfact.values) with
+              | Gfact.S_at pt, [ T.Float d ] -> (
+                  match Gfact.pos_of_term pt with
+                  | Some p when nearest p >= lo && nearest p < hi ->
+                      Some (acc, Float.abs (d -. W.Hydro.true_depth survey p))
+                  | _ -> None)
+              | _ -> None)
+            estimates
+        in
+        let n = List.length in_bucket in
+        let mean f = List.fold_left (fun s x -> s +. f x) 0.0 in_bucket /. float_of_int (max 1 n) in
+        let macc = mean fst and merr = mean snd in
+        row "  %6.0f-%-6.0f %8d %12.3f %12.1f\n" lo hi n macc merr;
+        (macc, merr, n))
+      buckets
+  in
+  let rec acc_monotone = function
+    | (a1, _, n1) :: ((a2, _, n2) :: _ as rest) ->
+        (n1 = 0 || n2 = 0 || a1 >= a2) && acc_monotone rest
+    | _ -> true
+  in
+  row "  shape: accuracy decays with distance from the nearest sample: %b\n"
+    (acc_monotone stats)
+
+(* --------------------------------------------------------------- E10 *)
+
+let e10 () =
+  section "E10 — picture clarity via the card primitive (§VII-B)";
+  row "  %8s %12s %12s %12s  %s\n" "size" "cover" "clarity" "expected" "agree";
+  List.iter
+    (fun (size, cover) ->
+      let rng = W.Rng.create 10L in
+      let clouds = W.Clouds.generate rng ~size ~cover () in
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      W.Clouds.add_to_spec clouds spec ~resolution:"r" ~image:"img" ();
+      W.Clouds.add_clarity_rule spec ~image:"img" ();
+      let q = Query.create spec ~meta_view:[ "fuzzy_unified_max" ] in
+      match Query.accuracy q (Gfact.make "clarity" ~objects:[ a "img" ]) with
+      | Some acc ->
+          let expected = 1.0 -. W.Clouds.cloud_fraction clouds in
+          row "  %8d %12.2f %12.4f %12.4f  %b\n" size cover acc expected
+            (Float.abs (acc -. expected) < 1e-9)
+      | None -> row "  %8d %12.2f %12s\n" size cover "FAILED")
+    [ (8, 0.1); (16, 0.3); (16, 0.7); (24, 0.5) ]
+
+(* --------------------------------------------------------------- E11 *)
+
+let e11 () =
+  section "E11 — AC uncertainty propagation through rule chains (§VII-F)";
+  row "  %8s %14s %14s %10s  %s\n" "depth" "min_input" "derived" "ms" "agree";
+  List.iter
+    (fun depth ->
+      let rng = W.Rng.create 11L in
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      Spec.declare_object spec "x";
+      (* a chain p0 <- p1 <- ... <- p_depth with accuracy statements on the
+         leaves of each level *)
+      let accs =
+        List.init depth (fun _ -> 0.5 +. W.Rng.float rng 0.5)
+      in
+      List.iteri
+        (fun i acc ->
+          let base = Printf.sprintf "base_%d" i in
+          Spec.add_fact spec (Gfact.make base ~objects:[ a "x" ]);
+          Spec.add_acc_statement spec (Gfact.make base ~objects:[ a "x" ]) acc)
+        accs;
+      (* level i: level_{i}(X) <- base_i(X), level_{i+1}(X) *)
+      let xv = v "X" in
+      for i = depth - 1 downto 0 do
+        let body =
+          if i = depth - 1 then
+            Formula.Atom (Gfact.make (Printf.sprintf "base_%d" i) ~objects:[ xv ])
+          else
+            Formula.And
+              ( Formula.Atom (Gfact.make (Printf.sprintf "base_%d" i) ~objects:[ xv ]),
+                Formula.Atom (Gfact.make (Printf.sprintf "level_%d" (i + 1)) ~objects:[ xv ]) )
+        in
+        Spec.add_rule spec
+          ~name:(Printf.sprintf "level_%d" i)
+          ~head:(Gfact.make (Printf.sprintf "level_%d" i) ~objects:[ xv ])
+          body
+      done;
+      let q = Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_propagation" ] in
+      let expected = List.fold_left Float.min 1.0 accs in
+      let ms, derived =
+        time_ms (fun () -> Query.accuracy q (Gfact.make "level_0" ~objects:[ a "x" ]))
+      in
+      match derived with
+      | Some d ->
+          row "  %8d %14.4f %14.4f %10.2f  %b\n" depth expected d ms
+            (Float.abs (d -. expected) < 1e-9)
+      | None -> row "  %8d %14.4f %14s\n" depth expected "FAILED")
+    [ 2; 4; 8; 16 ]
+
+(* --------------------------------------------------------------- E12 *)
+
+let e12 () =
+  section "E12 — rendering logical information (§I prototype path)";
+  let rng = W.Rng.create 12L in
+  let terrain = W.Terrain.generate rng ~size_exp:5 ~cell:1.0 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"fine" 1.0);
+  Spec.declare_object spec "land";
+  let _ =
+    W.Terrain.add_elevation_facts terrain spec ~resolution:"fine"
+      ~object_name:"land" ~scale:1.0 ()
+  in
+  let q = Query.create spec in
+  row "  %10s %10s %12s %14s\n" "raster" "cells" "render_ms" "painted_pixels";
+  List.iter
+    (fun side ->
+      let region =
+        Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:(float_of_int side)
+          ~max_y:(float_of_int side)
+      in
+      let layer =
+        Gdp_render.Map_render.value ~name:"elevation" ~lo:0.0 ~hi:1.0 (fun p ->
+            let z = v "Z" in
+            {
+              Gdp_render.Map_render.pattern =
+                Gfact.make "elevation" ~values:[ z ] ~objects:[ a "land" ]
+                  ~space:(Gfact.S_uniform (a "fine", Gfact.pos_term p));
+              value_var = z;
+            })
+      in
+      let ms, fb =
+        time_ms (fun () ->
+            Gdp_render.Map_render.render q ~resolution:"fine" ~region [ layer ])
+      in
+      let painted =
+        Gdp_render.Framebuffer.histogram fb
+        |> List.filter (fun (c, _) -> not (Gdp_render.Color.equal c Gdp_render.Color.black))
+        |> List.fold_left (fun acc (_, n) -> acc + n) 0
+      in
+      row "  %6dx%-3d %10d %12.2f %14d\n" side side (side * side) ms painted)
+    [ 8; 16; 32 ]
+
+(* ------------------------------------------------------- ablations *)
+
+(* the design choices DESIGN.md calls out, measured head to head *)
+let ablation () =
+  section "ablation 1 — clause index key (DESIGN.md §4)";
+  let make_compiled n_roads =
+    let rng = W.Rng.create 55L in
+    let net = W.Roads.generate rng ~n_roads ~bridges_per_road:4 () in
+    let spec = Spec.create () in
+    Meta.install_standard spec;
+    W.Roads.add_to_spec net spec ();
+    W.Roads.add_status_rules spec ();
+    Query.create spec
+  in
+  row "  %8s %22s %22s %8s\n" "roads" "composite_index_ms" "model_keyed_ms" "speedup";
+  List.iter
+    (fun n_roads ->
+      let q = make_compiled n_roads in
+      let run () =
+        List.length (Query.solutions q (Gfact.make "open_road" ~objects:[ v "R" ]))
+      in
+      let composite_ms, n1 = time_ms run in
+      (* degrade to the naive encoding: key on the model atom (argument 0),
+         which is identical for every fact *)
+      Gdp_logic.Database.set_index_args (Query.db q) ("holds", 6) [ 0 ];
+      let naive_ms, n2 = time_ms run in
+      row "  %8d %22.2f %22.2f %7.1fx %s\n" n_roads composite_ms naive_ms
+        (naive_ms /. Float.max 0.01 composite_ms)
+        (if n1 = n2 then "" else "(DISAGREE)"))
+    [ 40; 160 ];
+
+  section "ablation 2 — ancestor loop check overhead";
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r1" 4.0);
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r2" 1.0);
+  Spec.declare_object spec "land";
+  for i = 0 to 15 do
+    for j = 0 to 15 do
+      Spec.add_fact spec
+        (Gfact.make "wet" ~objects:[ a "land" ]
+           ~space:
+             (Gfact.S_uniform
+                ( a "r2",
+                  Gfact.pos_term
+                    (Gdp_space.Point.make
+                       (float_of_int i +. 0.5)
+                       (float_of_int j +. 0.5)) )))
+    done
+  done;
+  let probe q =
+    Query.holds q
+      (Gfact.make "wet" ~objects:[ a "land" ]
+         ~space:(Gfact.S_uniform (a "r1", Gfact.pos_term (Gdp_space.Point.make 2.0 2.0))))
+  in
+  let q_down = Query.create spec ~meta_view:[ "spatial_uniform" ] in
+  let q_updown = Query.create spec ~meta_view:[ "spatial_uniform"; "spatial_uniform_up" ] in
+  let down_ms, _ = time_ms (fun () -> for _ = 1 to 50 do ignore (probe q_down) done) in
+  let updown_ms, _ = time_ms (fun () -> for _ = 1 to 50 do ignore (probe q_updown) done) in
+  row "  %-42s %10.2f ms / 50 queries\n" "down rules only (no loop check needed)" down_ms;
+  row "  %-42s %10.2f ms / 50 queries\n" "up+down rules (ancestor check active)" updown_ms;
+
+  section "ablation 3 — fuzzy connective family (§VII-A)";
+  row "  same depth-8 rule chain under each family:\n";
+  List.iter
+    (fun family ->
+      let rng = W.Rng.create 77L in
+      let spec = Spec.create () in
+      Meta.install_standard spec;
+      spec.Spec.fuzzy_family <- family;
+      Spec.declare_object spec "x";
+      let accs = List.init 8 (fun _ -> 0.8 +. W.Rng.float rng 0.2) in
+      List.iteri
+        (fun i acc ->
+          let base = Printf.sprintf "base_%d" i in
+          Spec.add_fact spec (Gfact.make base ~objects:[ a "x" ]);
+          Spec.add_acc_statement spec (Gfact.make base ~objects:[ a "x" ]) acc)
+        accs;
+      let xv = v "X" in
+      for i = 7 downto 0 do
+        let body =
+          if i = 7 then
+            Formula.Atom (Gfact.make (Printf.sprintf "base_%d" i) ~objects:[ xv ])
+          else
+            Formula.And
+              ( Formula.Atom (Gfact.make (Printf.sprintf "base_%d" i) ~objects:[ xv ]),
+                Formula.Atom
+                  (Gfact.make (Printf.sprintf "level_%d" (i + 1)) ~objects:[ xv ]) )
+        in
+        Spec.add_rule spec
+          ~name:(Printf.sprintf "level_%d" i)
+          ~head:(Gfact.make (Printf.sprintf "level_%d" i) ~objects:[ xv ])
+          body
+      done;
+      let q =
+        Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_propagation" ]
+      in
+      match Query.accuracy q (Gfact.make "level_0" ~objects:[ a "x" ]) with
+      | Some acc ->
+          row "  %-14s derived accuracy %0.4f (min input %0.4f)\n"
+            (Format.asprintf "%a" Gdp_fuzzy.Algebra.pp_family family)
+            acc
+            (List.fold_left Float.min 1.0 accs)
+      | None -> row "  %-14s FAILED\n" (Format.asprintf "%a" Gdp_fuzzy.Algebra.pp_family family))
+    [ Gdp_fuzzy.Algebra.Min_max; Gdp_fuzzy.Algebra.Product; Gdp_fuzzy.Algebra.Lukasiewicz ]
+
+(* -------------------------------------------------- micro-benchmarks *)
+
+let micro () =
+  let open Bechamel in
+  section "engine micro-benchmarks (Bechamel, monotonic clock)";
+  (* fixtures *)
+  let db = Gdp_logic.Engine.create () in
+  Gdp_logic.Engine.consult db
+    {|
+    edge(a, b). edge(b, c). edge(c, d). edge(d, e). edge(e, f).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    |};
+  let big_db = Gdp_logic.Engine.create () in
+  for i = 0 to 999 do
+    Gdp_logic.Database.fact big_db
+      (T.app "item" [ T.atom (Printf.sprintf "k%d" i); T.int i ])
+  done;
+  let t1 = Gdp_logic.Reader.term "f(g(X, h(Y)), [1, 2, 3 | T], Z)" in
+  let t2 = Gdp_logic.Reader.term "f(g(a, h(b)), [1, 2, 3, 4], w(9))" in
+  let roads =
+    let rng = W.Rng.create 100L in
+    let net = W.Roads.generate rng ~n_roads:50 ~bridges_per_road:4 () in
+    let spec = Spec.create () in
+    Meta.install_standard spec;
+    W.Roads.add_to_spec net spec ();
+    W.Roads.add_status_rules spec ();
+    Query.create spec
+  in
+  let spatial_q =
+    let spec = Spec.create () in
+    Meta.install_standard spec;
+    Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r4" 4.0);
+    Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r1" 1.0);
+    Spec.declare_object spec "land";
+    Spec.add_fact spec
+      (Gfact.make "zone" ~objects:[ a "land" ]
+         ~space:(Gfact.S_uniform (a "r4", Gfact.pos_term (Gdp_space.Point.make 2.0 2.0))));
+    Query.create spec ~meta_view:[ "spatial_uniform" ]
+  in
+  let probe_point =
+    Gfact.make "zone" ~objects:[ a "land" ]
+      ~space:(Gfact.S_at (Gfact.pos_term (Gdp_space.Point.make 1.3 2.7)))
+  in
+  let tests =
+    [
+      Test.make ~name:"unify/deep-term" (Staged.stage (fun () ->
+          Gdp_logic.Unify.unify Gdp_logic.Subst.empty t1 t2));
+      Test.make ~name:"solve/fact-lookup-indexed" (Staged.stage (fun () ->
+          Gdp_logic.Engine.ask big_db "item(k500, V)"));
+      Test.make ~name:"solve/recursive-path" (Staged.stage (fun () ->
+          Gdp_logic.Engine.ask db "path(a, f)"));
+      Test.make ~name:"solve/naf" (Staged.stage (fun () ->
+          Gdp_logic.Engine.ask db "\\+ path(f, a)"));
+      Test.make ~name:"solve/findall-1000" (Staged.stage (fun () ->
+          Gdp_logic.Engine.ask big_db "findall(K, item(K, _), L), length(L, 1000)"));
+      Test.make ~name:"gdp/open-road-forall" (Staged.stage (fun () ->
+          Query.solutions roads (Gfact.make "open_road" ~objects:[ v "R" ])));
+      Test.make ~name:"gdp/spatial-uniform-derive" (Staged.stage (fun () ->
+          Query.holds spatial_q probe_point));
+      Test.make ~name:"reader/parse-clause" (Staged.stage (fun () ->
+          Gdp_logic.Reader.clause "p(X, f(Y)) :- q(X), r(Y, [1, 2, 3])."));
+    ]
+  in
+  let test = Test.make_grouped ~name:"gdprs" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  row "  %-32s %16s\n" "benchmark" "ns/run";
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> row "  %-32s %16.0f\n" name est
+          | Some ests when ests <> [] ->
+              row "  %-32s %16.0f\n" name (List.hd ests)
+          | _ -> row "  %-32s %16s\n" name "-")
+        rows)
+    results
+
+(* ---------------------------------------------------------------- main *)
+
+let reports =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      List.iter (fun (_, f) -> f ()) reports;
+      ablation ();
+      micro ()
+  | [ "report" ] -> List.iter (fun (_, f) -> f ()) reports
+  | [ "micro" ] -> micro ()
+  | [ "ablation" ] -> ablation ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name reports with
+          | Some f -> f ()
+          | None when name = "micro" -> micro ()
+          | None when name = "ablation" -> ablation ()
+          | None ->
+              Printf.eprintf
+                "unknown experiment %s (e1..e12, report, ablation, micro)\n" name;
+              exit 2)
+        names

@@ -1,0 +1,285 @@
+(* gdprs — command-line front end for GDP requirements specifications.
+
+   Subcommands:
+     check  FILE            parse, elaborate, report consistency
+     query  FILE PATTERN    run a fact-pattern query
+     ask    FILE GOAL       run a raw engine goal
+     render FILE ...        rasterize a predicate layer to PPM/ASCII
+     info   FILE            inventory of the specification *)
+
+open Cmdliner
+open Gdp_core
+
+let load path = Gdp_lang.Elaborate.load_file path
+
+let build_query result view models metas =
+  let models = match models with [] -> None | l -> Some l in
+  let metas = match metas with [] -> None | l -> Some l in
+  Gdp_lang.Elaborate.query result ?view ?models ?metas ()
+
+(* common options *)
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Specification file (.gdp).")
+
+let view_arg =
+  Arg.(value & opt (some string) None & info [ "view" ] ~docv:"NAME" ~doc:"Use a named view from the file.")
+
+let models_arg =
+  Arg.(value & opt_all string [] & info [ "model"; "m" ] ~docv:"MODEL" ~doc:"World-view model (repeatable).")
+
+let metas_arg =
+  Arg.(value & opt_all string [] & info [ "meta" ] ~docv:"META" ~doc:"Meta-view meta-model (repeatable).")
+
+let handle_errors f =
+  try f () with
+  | Gdp_lang.Elaborate.Error msg | Gdp_lang.Parser.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Gdp_logic.Solve.Depth_exhausted ->
+      Printf.eprintf "error: inference depth exhausted (try simpler queries or fewer meta-models)\n";
+      exit 3
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run file view models metas =
+    handle_errors (fun () ->
+        let result = load file in
+        let q = build_query result view models metas in
+        Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
+        Printf.printf "meta view:  {%s}\n" (String.concat ", " (Query.meta_view q));
+        match Query.violations q with
+        | [] ->
+            print_endline "consistent: no constraint violations";
+            0
+        | viols ->
+            Printf.printf "INCONSISTENT: %d violation(s)\n" (List.length viols);
+            List.iter (fun v -> Format.printf "  %a@." Query.pp_violation v) viols;
+            1)
+  in
+  let doc = "Check a specification's consistency under a world view (§III-E)." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg)
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let pattern_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PATTERN" ~doc:"Fact pattern, e.g. 'open_road(X)' or '@(1, 2) wet(land)'.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Maximum answers.")
+  in
+  let run file view models metas pattern limit =
+    handle_errors (fun () ->
+        let result = load file in
+        let q = build_query result view models metas in
+        let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
+        match Query.solutions ~limit q pat with
+        | [] ->
+            print_endline "not provable (open world: undefined)";
+            1
+        | sols ->
+            List.iter (fun f -> Format.printf "%a@." Gfact.pp f) sols;
+            0)
+  in
+  let doc = "Enumerate the provable instantiations of a fact pattern." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg $ limit_arg)
+
+(* ---- ask ---- *)
+
+let ask_cmd =
+  let goal_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"GOAL" ~doc:"Raw engine goal over the reified vocabulary (holds/6, acc/7, builtins).")
+  in
+  let run file view models metas goal =
+    handle_errors (fun () ->
+        let result = load file in
+        let q = build_query result view models metas in
+        match Query.ask_all ~limit:20 q goal with
+        | [] ->
+            print_endline "no";
+            1
+        | [ [] ] ->
+            print_endline "yes";
+            0
+        | answers ->
+            List.iter
+              (fun bindings ->
+                bindings
+                |> List.map (fun (n, t) ->
+                       Printf.sprintf "%s = %s" n (Gdp_logic.Term.to_string t))
+                |> String.concat ", " |> print_endline)
+              answers;
+            0)
+  in
+  let doc = "Run a raw engine goal against the compiled database." in
+  Cmd.v (Cmd.info "ask" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg)
+
+(* ---- render ---- *)
+
+let render_cmd =
+  let pred_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PREDICATE" ~doc:"Predicate to paint where provable at each cell centre.")
+  in
+  let resolution_arg =
+    Arg.(required & opt (some string) None
+         & info [ "resolution"; "r" ] ~docv:"SPACE" ~doc:"Declared logical space to rasterize at.")
+  in
+  let region_arg =
+    Arg.(required & opt (some string) None
+         & info [ "region" ] ~docv:"REGION" ~doc:"Declared region to cover.")
+  in
+  let object_arg =
+    Arg.(value & opt (some string) None
+         & info [ "object"; "o" ] ~docv:"OBJ" ~doc:"Object designator the predicate applies to.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.ppm" ~doc:"Write a PPM image.")
+  in
+  let ascii_arg =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering to stdout.")
+  in
+  let run file view models metas pred resolution region obj out ascii =
+    handle_errors (fun () ->
+        let result = load file in
+        let q = build_query result view models metas in
+        let spec = Query.spec q in
+        let region =
+          match Spec.find_region spec region with
+          | Some r -> r
+          | None -> invalid_arg (Printf.sprintf "unknown region %s" region)
+        in
+        let objects =
+          match obj with Some o -> [ Gdp_logic.Term.atom o ] | None -> []
+        in
+        let layer =
+          Gdp_render.Map_render.presence ~name:pred ~color:Gdp_render.Color.red
+            (fun p ->
+              Gfact.make pred ~objects ~space:(Gfact.S_at (Gfact.pos_term p)))
+        in
+        let fb = Gdp_render.Map_render.render q ~resolution ~region [ layer ] in
+        (match out with
+        | Some path ->
+            Gdp_render.Framebuffer.write_ppm fb path;
+            Printf.printf "wrote %s (%dx%d)\n" path
+              (Gdp_render.Framebuffer.width fb)
+              (Gdp_render.Framebuffer.height fb)
+        | None -> ());
+        if ascii || out = None then print_string (Gdp_render.Framebuffer.to_ascii fb);
+        0)
+  in
+  let doc = "Rasterize where a predicate is realised over a logical space (§I)." in
+  Cmd.v (Cmd.info "render" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pred_arg
+          $ resolution_arg $ region_arg $ object_arg $ out_arg $ ascii_arg)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let result = load file in
+        let findings = Lint.lint result.Gdp_lang.Elaborate.spec in
+        match findings with
+        | [] ->
+            print_endline "clean: no findings";
+            0
+        | fs ->
+            List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) fs;
+            if Lint.has_errors fs then 1 else 0)
+  in
+  let doc = "Statically validate a specification (unused/undeclared names, dead rules)." in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file_arg)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let pattern_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PATTERN" ~doc:"Ground-ish fact pattern to derive.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the derivation as GraphViz DOT.")
+  in
+  let run file view models metas pattern dot =
+    handle_errors (fun () ->
+        let result = load file in
+        let q = build_query result view models metas in
+        let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
+        if dot then
+          match Query.explain_proof q pat with
+          | Some proof ->
+              print_string
+                (Gdp_logic.Explain.to_dot ~pp_goal:Query.pp_reified_term proof);
+              0
+          | None ->
+              print_endline "not provable (open world: undefined)";
+              1
+        else
+          match Query.explain q pat with
+          | Some derivation ->
+              print_string derivation;
+              0
+          | None ->
+              print_endline "not provable (open world: undefined)";
+              1)
+  in
+  let doc = "Show the derivation tree of a provable fact (requirements evidence)." in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg $ dot_arg)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let result = load file in
+        let spec = result.Gdp_lang.Elaborate.spec in
+        Printf.printf "objects:     %d\n" (List.length spec.Spec.objects);
+        Printf.printf "predicates:  %d declared\n" (List.length spec.Spec.signatures);
+        Printf.printf "models:      %s\n" (String.concat ", " (Spec.model_names spec));
+        List.iter
+          (fun (m : Spec.model_def) ->
+            Printf.printf "  %-12s %d facts, %d accuracy statements, %d rules, %d constraints\n"
+              m.Spec.model_name (List.length m.Spec.facts)
+              (List.length m.Spec.acc_statements)
+              (List.length m.Spec.rules)
+              (List.length m.Spec.constraints))
+          spec.Spec.models;
+        Printf.printf "spaces:      %s\n"
+          (String.concat ", "
+             (List.map (fun (r : Gdp_space.Resolution.t) -> r.Gdp_space.Resolution.name)
+                spec.Spec.spaces));
+        Printf.printf "regions:     %s\n"
+          (String.concat ", " (List.map fst spec.Spec.regions));
+        Printf.printf "meta-models: %s\n"
+          (String.concat ", "
+             (List.map (fun (m : Spec.meta_model) -> m.Spec.meta_name) spec.Spec.meta_models));
+        List.iter
+          (fun v ->
+            Printf.printf "view %s = models {%s} meta {%s}\n"
+              v.Gdp_lang.Elaborate.view_name
+              (String.concat ", " v.Gdp_lang.Elaborate.view_models)
+              (String.concat ", " v.Gdp_lang.Elaborate.view_metas))
+          result.Gdp_lang.Elaborate.views;
+        0)
+  in
+  let doc = "Print a specification inventory." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ file_arg)
+
+let main =
+  let doc = "formal specification of geographic data processing requirements" in
+  let info = Cmd.info "gdprs" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ check_cmd; query_cmd; ask_cmd; render_cmd; lint_cmd; explain_cmd; info_cmd ]
+
+let () = exit (Cmd.eval' main)

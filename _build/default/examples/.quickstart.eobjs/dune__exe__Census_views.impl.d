@@ -1,0 +1,1 @@
+examples/census_views.ml: Format Formula Gdp_core Gdp_logic Gdp_workload Gfact List Meta Printf Query Spec

@@ -1,0 +1,1 @@
+examples/hydrographic_survey.ml: Float Format Formula Gdp_core Gdp_logic Gdp_render Gdp_space Gdp_workload Gfact List Meta Option Printf Query Spec

@@ -1,0 +1,1 @@
+examples/hydrographic_survey.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gdp_core Gdp_lang Gfact List Printf Query Spec

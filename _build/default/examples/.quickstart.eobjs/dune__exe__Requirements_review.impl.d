@@ -1,0 +1,1 @@
+examples/requirements_review.ml: Format Gdp_core Gdp_lang Gdp_logic Lint List Printf Query String

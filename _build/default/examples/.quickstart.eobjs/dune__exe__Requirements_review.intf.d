@@ -1,0 +1,1 @@
+examples/requirements_review.mli:

@@ -1,0 +1,1 @@
+examples/temporal_bridges.ml: Format Gdp_core Gdp_logic Gdp_temporal Gfact List Meta Printf Query Spec String

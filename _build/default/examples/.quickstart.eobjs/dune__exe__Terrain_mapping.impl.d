@@ -1,0 +1,1 @@
+examples/terrain_mapping.ml: Format Formula Gdp_core Gdp_logic Gdp_render Gdp_space Gdp_workload Gfact List Meta Printf Query Spec

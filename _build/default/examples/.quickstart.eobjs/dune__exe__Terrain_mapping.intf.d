@@ -1,0 +1,1 @@
+examples/terrain_mapping.mli:

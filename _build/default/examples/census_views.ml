@@ -1,0 +1,114 @@
+(* Census views: models, world views, constraints and meta-constraints
+   (§III-C/D/E, §IV).
+
+   Census-like attribute data (the DIME-style workload of the paper's
+   introduction) is interpreted under different viewpoints:
+   - general-law constraints ("each state has only one capital city");
+   - many-sorted logic via the sorts meta-model (bad temperature values);
+   - consistency relative to a world view: the same data are consistent in
+     one view and inconsistent in another;
+   - the contradiction meta-constraint over truth-valued facts (§IV-B).
+
+   Run with: dune exec examples/census_views.exe *)
+
+open Gdp_core
+module T = Gdp_logic.Term
+
+let a = T.atom
+let v = T.var
+
+let () =
+  let rng = Gdp_workload.Rng.create 404L in
+  (* force the seeded second-capital bug so the general law has something
+     to catch *)
+  let census =
+    Gdp_workload.Census.generate rng ~n_states:5 ~cities_per_state:4
+      ~capital_bug_probability:0.6 ()
+  in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Gdp_workload.Census.add_to_spec census spec ();
+  Gdp_workload.Census.add_constraints spec ();
+  Gdp_workload.Census.add_large_city_rule spec ~threshold:1_000_000 ();
+
+  let q = Query.create spec in
+  print_endline "== Large cities (§I's virtual-fact example) ==";
+  Query.solutions q (Gfact.make "large_city" ~objects:[ v "C" ])
+  |> List.iteri (fun i f -> if i < 6 then Format.printf "  %a@." Gfact.pp f);
+
+  print_endline "\n== General law: each state has only one capital (§III-C) ==";
+  let viols = Query.violations q in
+  Printf.printf "  %d violation(s)\n" (List.length viols);
+  List.iter (fun viol -> Format.printf "  %a@." Query.pp_violation viol) viols;
+
+  (* a revision model fixes the data by reinterpreting it: the planners'
+     view keeps only one capital per state *)
+  print_endline "\n== Multiple views of the same data (§III-D/E) ==";
+  Spec.declare_model spec "revised";
+  (* the revision asserts an explicit demotion fact per extra capital *)
+  let demoted =
+    census.Gdp_workload.Census.cities
+    |> List.filter (fun (c : Gdp_workload.Census.city) -> c.Gdp_workload.Census.is_capital)
+    |> List.fold_left
+         (fun seen (c : Gdp_workload.Census.city) ->
+           if List.mem c.Gdp_workload.Census.in_state seen then begin
+             Spec.add_fact spec ~model:"revised"
+               (Gfact.make "demoted" ~objects:[ a c.Gdp_workload.Census.city_id ]);
+             seen
+           end
+           else c.Gdp_workload.Census.in_state :: seen)
+         []
+  in
+  ignore demoted;
+  (* the revised view's own one-capital law ignores demoted cities *)
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Spec.add_constraint spec ~model:"revised" ~name:"revised_two_capitals"
+    ~error:"revised_two_capitals" ~args:[ z ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "capital_of" ~model:"w" ~objects:[ x; z ]);
+          Atom (Gfact.make "capital_of" ~model:"w" ~objects:[ y; z ]);
+          Test (T.app "\\==" [ x; y ]);
+          Not (Atom (Gfact.make "demoted" ~objects:[ x ]));
+          Not (Atom (Gfact.make "demoted" ~objects:[ y ]));
+        ]);
+  let q_w = Query.create spec ~world_view:[ "w" ] in
+  let q_revised = Query.create spec ~world_view:[ "w"; "revised" ] in
+  Printf.printf "  world view {w}:          consistent = %b (two-capitals law fires)\n"
+    (Query.consistent q_w);
+  let revised_viols =
+    List.filter
+      (fun viol -> viol.Query.v_tag = "revised_two_capitals")
+      (Query.violations q_revised)
+  in
+  Printf.printf
+    "  world view {w, revised}: revised law violations = %d (demotions fix it)\n"
+    (List.length revised_viols);
+
+  print_endline "\n== Many-sorted logic via the sorts meta-model (§III-C) ==";
+  Spec.add_fact spec
+    (Gfact.make "average_temperature" ~values:[ a "green" ]
+       ~objects:[ a "state_0_city_0" ]);
+  let q_sorts = Query.create spec ~world_view:[ "w" ] ~meta_view:[ "sorts" ] in
+  Query.violations q_sorts
+  |> List.filter (fun viol -> viol.Query.v_tag = "bad_sort")
+  |> List.iter (fun viol -> Format.printf "  %a@." Query.pp_violation viol);
+
+  print_endline "\n== Contradiction meta-constraint (§IV-B) ==";
+  Spec.add_fact spec
+    (Gfact.make "growing" ~values:[ a "true" ] ~objects:[ a "state_0_city_0" ]);
+  Spec.add_fact spec
+    (Gfact.make "growing" ~values:[ a "false" ] ~objects:[ a "state_0_city_0" ]);
+  let q_contra = Query.create spec ~world_view:[ "w" ] ~meta_view:[ "contradiction" ] in
+  Query.violations q_contra
+  |> List.filter (fun viol -> viol.Query.v_tag = "contradiction")
+  |> List.iter (fun viol -> Format.printf "  %a@." Query.pp_violation viol);
+
+  print_endline "\n== Summary ==";
+  Printf.printf "  %d states, %d cities, %d capitals\n"
+    (List.length census.Gdp_workload.Census.states)
+    (List.length census.Gdp_workload.Census.cities)
+    (census.Gdp_workload.Census.cities
+    |> List.filter (fun (c : Gdp_workload.Census.city) -> c.Gdp_workload.Census.is_capital)
+    |> List.length)

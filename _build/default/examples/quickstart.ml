@@ -1,0 +1,84 @@
+(* Quickstart: the paper's §II/§III running example, written in the GDP
+   requirements language and queried through the public API.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Gdp_core
+
+let specification =
+  {|
+  // Geographic entities (object designators, §II-A).
+  objects s1, s2, b1, b2, b3, saint_louis.
+
+  // Predicate signatures: many-sorted logic (§III-C).
+  domain temperature = real(-100, 200).
+  predicate road(1).
+  predicate bridge(2).
+  predicate open(1).
+  predicate closed(1).
+  predicate average_temperature{temperature}(1).
+
+  // Basic facts (§II-B).
+  fact road(s1).
+  fact road(s2).
+  fact bridge(b1, s1).
+  fact bridge(b2, s1).
+  fact bridge(b3, s2).
+  fact open(b1).
+  fact open(b2).
+  fact average_temperature(45)(saint_louis).
+
+  // Virtual facts (§III-A) — the paper's three examples verbatim:
+  // "A road is open if all bridges on that road are open."
+  rule open_road(X) <- road(X), forall(bridge(Y, X) => open(Y)).
+  // "A bridge that is not open is assumed to be closed."
+  rule closed(X) <- bridge(X, _), not open(X).
+  // "A bridge that is open or closed has a known status."
+  rule known_status(X) <- bridge(X, _), (open(X) ; closed(X)).
+
+  // Semantic consistency (§III-C): a bridge may not be both.
+  constraint open_and_closed(X) <- open(X), closed(X).
+  |}
+
+let pat s = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact s)
+
+let () =
+  let result = Gdp_lang.Elaborate.load_string specification in
+  let q = Gdp_lang.Elaborate.query result () in
+
+  print_endline "== Queries (open world: false means NOT PROVABLE) ==";
+  List.iter
+    (fun query ->
+      Printf.printf "  %-28s %b\n" query (Query.holds q (pat query)))
+    [
+      "open_road(s1)";
+      "open_road(s2)";
+      "closed(b3)";
+      "known_status(b1)";
+      "known_status(b3)";
+      "average_temperature(45)(saint_louis)";
+    ];
+
+  print_endline "\n== All bridges with known status ==";
+  Query.solutions q (pat "known_status(B)")
+  |> List.iter (fun f -> Format.printf "  %a@." Gfact.pp f);
+
+  Printf.printf "\n== Consistency: %s ==\n"
+    (if Query.consistent q then "the world view is consistent" else "INCONSISTENT");
+
+  (* Now assert a contradictory observation and re-check: the constraint
+     fires and the violation names the culprit. *)
+  print_endline "\n== After asserting closed(b1) (b1 is also open)... ==";
+  Spec.add_fact result.Gdp_lang.Elaborate.spec (pat "closed(b1)");
+  let q2 = Gdp_lang.Elaborate.query result () in
+  Query.violations q2
+  |> List.iter (fun v -> Format.printf "  violation: %a@." Query.pp_violation v);
+
+  (* The same data under the closed world assumption (§IV-A): activate the
+     cwa meta-model and unknown unary facts become explicitly false. *)
+  print_endline "\n== With the cwa meta-model (truth-valued facts) ==";
+  let q3 = Gdp_lang.Elaborate.query result ~metas:[ "cwa" ] () in
+  List.iter
+    (fun query ->
+      Printf.printf "  %-28s %b\n" query (Query.holds q3 (pat query)))
+    [ "open(true)(b1)"; "open(false)(b3)"; "open(false)(b1)" ]

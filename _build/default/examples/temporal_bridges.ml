@@ -1,0 +1,105 @@
+(* Temporal bridges: temporal qualification of facts (§VI).
+
+   Bridge status observations arrive as instant facts; the example shows
+   how the choice of temporal meta-models changes what the same data mean:
+   - interval-uniform operators and the four bracket variants (§VI-B);
+   - the comprehension principle vs the continuity assumption (§VI-B);
+   - persistence from the last observation (§I's introductory meta-fact);
+   - the now place holder with a moving clock (§VI-B).
+
+   Run with: dune exec examples/temporal_bridges.exe *)
+
+open Gdp_core
+module T = Gdp_logic.Term
+module Iv = Gdp_temporal.Interval
+
+let a = T.atom
+let at t = Gfact.T_at (T.float t)
+
+let status t value =
+  Gfact.make "status" ~values:[ a value ] ~objects:[ a "eads_bridge" ] ~time:(at t)
+
+let () =
+  let spec = Spec.create ~now:1990.0 () in
+  Meta.install_standard spec;
+  Spec.declare_object spec "eads_bridge";
+
+  (* observation log: the bridge's condition over two decades *)
+  List.iter (Spec.add_fact spec)
+    [
+      status 1971.0 "open";
+      status 1978.0 "under_repair";
+      status 1982.0 "open";
+    ];
+  (* and one interval-uniform closure on record *)
+  Spec.add_fact spec
+    (Gfact.make "status" ~values:[ a "closed" ] ~objects:[ a "eads_bridge" ]
+       ~time:(Gfact.T_uniform (Gfact.interval_term (Iv.right_open 1980.0 1982.0))));
+
+  let ask q year value =
+    Query.holds q (status year value)
+  in
+  let report q years =
+    List.iter
+      (fun y ->
+        let statuses =
+          List.filter (fun s -> ask q y s) [ "open"; "under_repair"; "closed" ]
+        in
+        Printf.printf "  %.0f: %s\n" y
+          (match statuses with [] -> "(unknown)" | l -> String.concat ", " l))
+      years
+  in
+
+  print_endline "== Raw observations only (no temporal reasoning) ==";
+  let q0 = Query.create spec ~meta_view:[] in
+  report q0 [ 1971.0; 1975.0; 1981.0; 1985.0 ];
+
+  print_endline "\n== temporal_uniform: interval facts expand to instants ==";
+  let q1 = Query.create spec ~meta_view:[ "temporal_uniform" ] in
+  report q1 [ 1980.0; 1981.0; 1982.0 ];
+
+  print_endline
+    "\n== temporal_persistence: the last observation persists until\n\
+    \   contradicted, bounded by the present (§I) ==";
+  let q2 = Query.create spec ~meta_view:[ "temporal_persistence" ] in
+  report q2 [ 1975.0; 1979.0; 1985.0; 1990.0; 1995.0 ];
+
+  print_endline "\n== temporal_continuity: uniform truth between observations ==";
+  let q3 = Query.create spec ~meta_view:[ "temporal_continuity" ] in
+  let over_iv lo hi value =
+    Query.holds q3
+      (Gfact.make "status" ~values:[ a value ] ~objects:[ a "eads_bridge" ]
+         ~time:(Gfact.T_uniform (Gfact.interval_term (Iv.right_open lo hi))))
+  in
+  Printf.printf "  open uniformly over [1971, 1978): %b\n" (over_iv 1971.0 1978.0 "open");
+  Printf.printf "  open uniformly over [1971, 1982): %b (interrupted in 1978)\n"
+    (over_iv 1971.0 1982.0 "open");
+
+  print_endline "\n== temporal_comprehension: \"often expedient to assume\" ==";
+  let q4 = Query.create spec ~meta_view:[ "temporal_comprehension" ] in
+  Printf.printf "  open over the whole 1971-1990 span (one 1971 observation): %b\n"
+    (Query.holds q4
+       (Gfact.make "status" ~values:[ a "open" ] ~objects:[ a "eads_bridge" ]
+          ~time:(Gfact.T_uniform (Gfact.interval_term (Iv.closed 1971.0 1990.0)))));
+
+  print_endline "\n== The moving present (§VI-B now) ==";
+  Spec.add_fact spec
+    (Gfact.make "inspected" ~objects:[ a "eads_bridge" ] ~time:(Gfact.T_at (a "now")));
+  let q5 = Query.create spec ~meta_view:[ "temporal_now" ] in
+  let inspected y =
+    Query.holds q5 (Gfact.make "inspected" ~objects:[ a "eads_bridge" ] ~time:(at y))
+  in
+  Printf.printf "  clock at 1990: inspected(1990) = %b, inspected(1970) = %b\n"
+    (inspected 1990.0) (inspected 1970.0);
+  Gdp_temporal.Clock.set spec.Spec.clock 2000.0;
+  Printf.printf "  clock at 2000: inspected(2000) = %b, inspected(1990) = %b\n"
+    (inspected 2000.0) (inspected 1990.0);
+
+  print_endline "\n== Allen relations between recorded episodes ==";
+  let repair = Iv.closed 1978.0 1980.0 and closure = Iv.closed 1980.0 1982.0 in
+  (match Iv.allen repair closure with
+  | Some rel -> Format.printf "  repair %a closure@." Iv.pp_allen rel
+  | None -> ());
+  match Iv.allen closure repair with
+  | Some rel -> Format.printf "  closure %a repair@." Iv.pp_allen rel
+  | None -> ()

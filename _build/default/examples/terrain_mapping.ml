@@ -1,0 +1,167 @@
+(* Terrain mapping: spatial qualification of facts (§V) end to end.
+
+   A fractal terrain is asserted as area-uniform elevation facts at a fine
+   logical space. The example then exercises:
+   - the area-average operator @a (coarse elevation from fine cells, §V-C);
+   - an elevation-peak rule (the paper's §V-C virtual-fact example);
+   - island thresholding and shore-line composition (§V-D);
+   - rendering of logical information to PPM and ASCII (§I prototype).
+
+   Run with: dune exec examples/terrain_mapping.exe *)
+
+open Gdp_core
+module T = Gdp_logic.Term
+module P = Gdp_space.Point
+
+let a = T.atom
+let v = T.var
+let grid_cells = 16 (* fine grid side: 2^4 *)
+let sea_level = 0.35
+
+let build_spec () =
+  let rng = Gdp_workload.Rng.create 2024L in
+  let terrain = Gdp_workload.Terrain.generate rng ~size_exp:4 ~cell:1.0 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"fine" 1.0);
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"coarse" 4.0);
+  Spec.declare_region spec "map"
+    (Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:(float_of_int grid_cells)
+       ~max_y:(float_of_int grid_cells));
+  Spec.declare_object spec "land";
+  let n =
+    Gdp_workload.Terrain.add_elevation_facts terrain spec ~resolution:"fine"
+      ~object_name:"land" ~scale:1000.0 ()
+  in
+  let lakes =
+    Gdp_workload.Terrain.add_mask_facts terrain spec ~resolution:"fine" ~pred:"lake"
+      ~object_name:"land"
+      ~keep:(fun h -> h < sea_level)
+      ()
+  in
+  let shores =
+    Gdp_workload.Terrain.add_mask_facts terrain spec ~resolution:"fine" ~pred:"shore"
+      ~object_name:"land"
+      ~keep:(fun h -> h >= sea_level && h < sea_level +. 0.08)
+      ()
+  in
+  let islands =
+    Gdp_workload.Terrain.add_mask_facts terrain spec ~resolution:"fine" ~pred:"island"
+      ~object_name:"land"
+      ~keep:(fun h -> h > 0.8)
+      ~qualifier:`Sampled ()
+  in
+  Printf.printf "asserted %d elevation, %d lake, %d shore, %d island facts\n" n
+    lakes shores islands;
+
+  (* §V-C elevation peak: a point whose elevation dominates every point
+     within distance 1.5 (its grid neighbours) *)
+  let p0 = v "P0" and z0 = v "Z0" and p1 = v "P1" and z1 = v "Z1" and d = v "D" in
+  Spec.add_rule spec ~name:"elevation_peak"
+    ~head:
+      (Gfact.make "elevation_peak" ~values:[ z0 ] ~objects:[ a "land" ]
+         ~space:(Gfact.S_at p0))
+    Formula.(
+      conj
+        [
+          Test (T.app "region_reps" [ a "fine"; a "map"; p0 ]);
+          Atom
+            (Gfact.make "elevation" ~values:[ z0 ] ~objects:[ a "land" ]
+               ~space:(Gfact.S_uniform (a "fine", p0)));
+          Forall
+            ( conj
+                [
+                  Test (T.app "region_reps" [ a "fine"; a "map"; p1 ]);
+                  Test (T.app "pt_dist" [ p0; p1; d ]);
+                  Test (T.app ">" [ d; T.float 0.0 ]);
+                  Test (T.app "<" [ d; T.float 1.5 ]);
+                  Atom
+                    (Gfact.make "elevation" ~values:[ z1 ] ~objects:[ a "land" ]
+                       ~space:(Gfact.S_uniform (a "fine", p1)));
+                ],
+              Test (T.app ">" [ z0; z1 ]) );
+        ]);
+
+  (* §V-D abstraction rules *)
+  Spec.add_meta_model spec
+    (Meta.thresholding ~pred:"island" ~fine:"fine" ~coarse:"coarse" ~min_cells:3 ());
+  Spec.add_meta_model spec
+    (Meta.composition ~a:"lake" ~b:"shore" ~result:"shore_line" ~fine:"fine"
+       ~coarse:"coarse" ());
+  (spec, terrain)
+
+let () =
+  let spec, terrain = build_spec () in
+  let q =
+    Query.create spec
+      ~meta_view:[ "spatial_averaged"; "threshold_island"; "compose_shore_line" ]
+  in
+
+  print_endline "\n== Area-average operator (§V-C): coarse elevation ==";
+  List.iter
+    (fun (x, y) ->
+      let pat =
+        Gfact.make "elevation" ~values:[ v "Z" ] ~objects:[ a "land" ]
+          ~space:(Gfact.S_averaged (a "coarse", Gfact.pos_term (P.make x y)))
+      in
+      match Query.solutions q pat with
+      | [ sol ] -> Format.printf "  @@a[coarse](%g, %g) -> %a@." x y Gfact.pp sol
+      | _ -> Format.printf "  @@a[coarse](%g, %g) -> (no full cover)@." x y)
+    [ (2.0, 2.0); (6.0, 6.0); (10.0, 10.0); (14.0, 14.0) ];
+
+  print_endline "\n== Elevation peaks (§V-C rule) ==";
+  let peaks =
+    Query.solutions q
+      (Gfact.make "elevation_peak" ~values:[ v "Z" ] ~objects:[ a "land" ]
+         ~space:(Gfact.S_at (v "P")))
+  in
+  Printf.printf "  %d peaks found\n" (List.length peaks);
+  List.iteri (fun i f -> if i < 5 then Format.printf "  %a@." Gfact.pp f) peaks;
+
+  print_endline "\n== Shore lines composed at the coarse resolution (§V-D) ==";
+  let shore_cells =
+    Query.solutions q
+      (Gfact.make "shore_line" ~objects:[ a "land" ] ~space:(Gfact.S_at (v "P")))
+  in
+  Printf.printf "  %d coarse shore-line cells\n" (List.length shore_cells);
+
+  print_endline "\n== Islands surviving thresholding at the coarse map (§V-D) ==";
+  let island_cells =
+    Query.solutions q
+      (Gfact.make "island" ~objects:[ a "land" ]
+         ~space:(Gfact.S_sampled (a "coarse", v "P")))
+  in
+  Printf.printf "  %d coarse island cells\n" (List.length island_cells);
+
+  (* render: elevation underlay with lakes painted over *)
+  let map_region =
+    Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:(float_of_int grid_cells)
+      ~max_y:(float_of_int grid_cells)
+  in
+  let elevation_layer =
+    Gdp_render.Map_render.value ~name:"elevation (terrain colormap)" ~lo:0.0
+      ~hi:1000.0 (fun p ->
+        let z = v "Z" in
+        {
+          Gdp_render.Map_render.pattern =
+            Gfact.make "elevation" ~values:[ z ] ~objects:[ a "land" ]
+              ~space:(Gfact.S_uniform (a "fine", Gfact.pos_term p));
+          value_var = z;
+        })
+  in
+  let lake_layer =
+    Gdp_render.Map_render.presence ~name:"lake" ~color:Gdp_render.Color.blue
+      (fun p ->
+        Gfact.make "lake" ~objects:[ a "land" ] ~space:(Gfact.S_at (Gfact.pos_term p)))
+  in
+  let fb =
+    Gdp_render.Map_render.render q ~resolution:"fine" ~region:map_region ~cell_px:1
+      [ elevation_layer; lake_layer ]
+  in
+  Gdp_render.Framebuffer.write_ppm fb "terrain_map.ppm";
+  print_endline "\n== Rendered map (ASCII; PPM written to terrain_map.ppm) ==";
+  print_string (Gdp_render.Framebuffer.to_ascii fb);
+  Printf.printf "\n(terrain min %.2f max %.2f, sea level %.2f)\n"
+    (Gdp_workload.Terrain.min_height terrain)
+    (Gdp_workload.Terrain.max_height terrain)
+    sea_level

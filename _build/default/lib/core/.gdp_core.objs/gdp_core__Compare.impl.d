@@ -1,0 +1,1 @@
+lib/core/compare.ml: Format Gdp_logic Gfact List Names Query Term

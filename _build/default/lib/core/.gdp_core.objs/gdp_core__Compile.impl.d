@@ -1,0 +1,1 @@
+lib/core/compile.ml: Database Engine Formula Gdp_builtins Gdp_logic Gdp_space Gdp_temporal Gfact List Meta Names Printf Spec String Term

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Database Gdp_logic Spec

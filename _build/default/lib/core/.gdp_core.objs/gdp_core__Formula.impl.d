@@ -1,0 +1,1 @@
+lib/core/formula.ml: Builtins Format Gdp_logic Gfact Hashtbl Int List Set Term

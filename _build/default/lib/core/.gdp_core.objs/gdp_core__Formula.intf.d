@@ -1,0 +1,1 @@
+lib/core/formula.mli: Format Gdp_logic Gfact Term

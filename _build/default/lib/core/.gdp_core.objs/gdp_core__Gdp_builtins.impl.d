@@ -1,0 +1,1 @@
+lib/core/gdp_builtins.ml: Database Float Formula Gdp_domain Gdp_fuzzy Gdp_logic Gdp_space Gdp_temporal Gfact List Names Seq Spec String Subst Term Unify

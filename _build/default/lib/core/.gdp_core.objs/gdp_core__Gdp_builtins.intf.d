@@ -1,0 +1,1 @@
+lib/core/gdp_builtins.mli: Database Formula Gdp_logic Spec Term

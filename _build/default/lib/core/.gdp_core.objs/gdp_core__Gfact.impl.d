@@ -1,0 +1,1 @@
+lib/core/gfact.ml: Format Gdp_logic Gdp_space Gdp_temporal List Names Option String Term

@@ -1,0 +1,1 @@
+lib/core/gfact.mli: Format Gdp_logic Gdp_space Gdp_temporal Term

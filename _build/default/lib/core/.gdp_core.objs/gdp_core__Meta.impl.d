@@ -1,0 +1,1 @@
+lib/core/meta.ml: Gdp_logic List Option Printf Reader Spec String

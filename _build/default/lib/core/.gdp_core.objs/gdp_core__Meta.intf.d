@@ -1,0 +1,1 @@
+lib/core/meta.mli: Database Gdp_logic Spec

@@ -1,0 +1,1 @@
+lib/core/query.ml: Compile Explain Format Gdp_logic Gfact Hashtbl List Names Option Reader Solve String Subst Term

@@ -1,0 +1,1 @@
+lib/core/query.mli: Compile Database Format Gdp_logic Gfact Spec Term

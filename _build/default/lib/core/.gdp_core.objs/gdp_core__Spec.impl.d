@@ -1,0 +1,1 @@
+lib/core/spec.ml: Database Float Formula Gdp_domain Gdp_fuzzy Gdp_logic Gdp_space Gdp_temporal Gfact List Names Printf String Term

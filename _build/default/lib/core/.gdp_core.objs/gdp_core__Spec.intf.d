@@ -1,0 +1,1 @@
+lib/core/spec.mli: Database Formula Gdp_domain Gdp_fuzzy Gdp_logic Gdp_space Gdp_temporal Gfact Term

@@ -1,0 +1,46 @@
+(** Comparing alternate views of the same specification.
+
+    §IV-D motivates the meta-view as the means "to compare alternate
+    formalizations of the semantic domains"; §III-E makes consistency
+    relative to the world view. This module mechanises both comparisons:
+    evaluate a set of probe patterns under two view selections and report
+    what is realised in one but not the other. *)
+
+type selection = {
+  sel_name : string;  (** label used in reports *)
+  sel_models : string list option;  (** [None] = all declared models *)
+  sel_metas : string list;
+}
+
+type difference = {
+  probe : Gfact.t;  (** the probe pattern the answers instantiate *)
+  only_left : Gfact.t list;  (** realised under the left view only *)
+  only_right : Gfact.t list;
+  both : int;  (** number of shared answers *)
+}
+
+type report = {
+  left : selection;
+  right : selection;
+  differences : difference list;  (** one per probe, probe order *)
+  left_violations : Query.violation list;
+  right_violations : Query.violation list;
+}
+
+val views :
+  ?max_depth:int ->
+  ?limit:int ->
+  Spec.t ->
+  left:selection ->
+  right:selection ->
+  probes:Gfact.t list ->
+  report
+(** Compile the specification once per selection and evaluate every probe
+    under both. [limit] (default 1000) bounds answers per probe per side. *)
+
+val agreement : report -> bool
+(** No probe differs and the views' violation sets coincide. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary: per-probe differences, then the two views'
+    violations. *)

@@ -1,0 +1,155 @@
+open Gdp_logic
+
+type t = {
+  spec : Spec.t;
+  db : Database.t;
+  world_view : string list;
+  meta_view : string list;
+  needs_loop_check : bool;
+}
+
+let rule_clause ~model (r : Spec.rule) =
+  let body = Formula.to_goals ~default_model:model r.Spec.rule_body in
+  let head =
+    match r.Spec.rule_accuracy with
+    | None ->
+        Gfact.to_holds ~default_model:model
+          { r.Spec.rule_head with Gfact.model = Some (Term.atom model) }
+    | Some a ->
+        Gfact.to_acc ~default_model:model
+          { r.Spec.rule_head with Gfact.model = Some (Term.atom model) }
+          a
+  in
+  { Database.head; body }
+
+let propagation_clause ~model (r : Spec.rule) =
+  match r.Spec.rule_accuracy with
+  | Some _ -> None
+  | None ->
+      let body = Formula.to_goals ~default_model:model r.Spec.rule_body in
+      let a = Term.var "ACC" in
+      let head =
+        Gfact.to_acc ~default_model:model
+          { r.Spec.rule_head with Gfact.model = Some (Term.atom model) }
+          a
+      in
+      let reified = Gdp_builtins.reify_formula ~default_model:model r.Spec.rule_body in
+      Some { Database.head; body = body @ [ Term.app "ac_eval" [ reified; a ] ] }
+
+(* A clause must not share variables with the source rule if asserted
+   twice; every assert below renames, which Database.rename_clause at
+   resolution time also guarantees. *)
+let assert_clause db c = Database.assertz db (Database.rename_clause c)
+
+let emit_generators spec db world_view =
+  List.iter
+    (fun m -> Database.fact db (Term.app Names.model_gen [ Term.atom m ]))
+    world_view;
+  List.iter
+    (fun (s : Spec.signature) ->
+      Database.fact db
+        (Term.app Names.pred_gen
+           [
+             Term.atom s.Spec.pred_name;
+             Term.int (List.length s.Spec.value_domains);
+             Term.int s.Spec.object_arity;
+           ]))
+    spec.Spec.signatures;
+  List.iter
+    (fun o -> Database.fact db (Term.app Names.obj_gen [ Term.atom o ]))
+    spec.Spec.objects;
+  List.iter
+    (fun (r : Gdp_space.Resolution.t) ->
+      Database.fact db
+        (Term.app Names.space_gen [ Term.atom r.Gdp_space.Resolution.name ]))
+    spec.Spec.spaces;
+  List.iter
+    (fun (r : Gdp_temporal.Resolution1d.t) ->
+      Database.fact db
+        (Term.app "tspace" [ Term.atom r.Gdp_temporal.Resolution1d.name ]))
+    spec.Spec.tspaces;
+  List.iter
+    (fun (name, _) -> Database.fact db (Term.app Names.region_gen [ Term.atom name ]))
+    spec.Spec.regions
+
+let emit_model spec db ~propagate (md : Spec.model_def) =
+  ignore spec;
+  let model = md.Spec.model_name in
+  List.iter
+    (fun f ->
+      Database.fact db
+        (Gfact.to_holds ~default_model:model
+           { f with Gfact.model = Some (Term.atom model) }))
+    (List.rev md.Spec.facts);
+  List.iter
+    (fun (f, a) ->
+      Database.fact db
+        (Gfact.to_acc ~default_model:model
+           { f with Gfact.model = Some (Term.atom model) }
+           (Term.float a)))
+    (List.rev md.Spec.acc_statements);
+  List.iter
+    (fun r ->
+      assert_clause db (rule_clause ~model r);
+      if propagate then
+        match propagation_clause ~model r with
+        | Some c -> assert_clause db c
+        | None -> ())
+    md.Spec.rules;
+  List.iter (fun r -> assert_clause db (rule_clause ~model r)) md.Spec.constraints
+
+let compile ?world_view ?(meta_view = []) spec =
+  let world_view =
+    match world_view with Some wv -> wv | None -> Spec.default_world_view spec
+  in
+  let models =
+    List.map
+      (fun name ->
+        match
+          List.find_opt
+            (fun (m : Spec.model_def) -> String.equal m.Spec.model_name name)
+            spec.Spec.models
+        with
+        | Some m -> m
+        | None -> invalid_arg (Printf.sprintf "Compile: undeclared model %s" name))
+      world_view
+  in
+  let metas =
+    List.map
+      (fun name ->
+        match Spec.find_meta_model spec name with
+        (* the sorts meta-model is regenerated from the signatures as they
+           stand now, so predicates declared after Meta.install_standard
+           are still covered *)
+        | Some m when String.equal m.Spec.meta_name "sorts" -> Meta.sorts spec
+        | Some m -> m
+        | None ->
+            invalid_arg (Printf.sprintf "Compile: undeclared meta-model %s" name))
+      meta_view
+  in
+  let db = Engine.create () in
+  (* every GDP fact shares the model atom in argument 0; the predicate
+     name (argument 1) and the first object designator (argument 3) are
+     what discriminate, so key the clause index there *)
+  Database.set_index_args db (Names.holds, 6) [ 1; 3 ];
+  Database.set_index_args db (Names.acc, 7) [ 1; 3 ];
+  Gdp_builtins.install spec db;
+  List.iter
+    (fun ((name, arity), fn) -> Database.register_builtin db (name, arity) fn)
+    spec.Spec.extra_builtins;
+  emit_generators spec db world_view;
+  let propagate =
+    List.exists
+      (fun (m : Spec.meta_model) ->
+        String.equal m.Spec.meta_name Meta.fuzzy_propagation_name)
+      metas
+  in
+  List.iter (emit_model spec db ~propagate) models;
+  List.iter
+    (fun (m : Spec.meta_model) ->
+      List.iter (fun c -> assert_clause db c) m.Spec.meta_clauses)
+    metas;
+  let needs_loop_check =
+    List.exists (fun (m : Spec.meta_model) -> m.Spec.needs_loop_check) metas
+  in
+  { spec; db; world_view; meta_view; needs_loop_check }

@@ -1,0 +1,38 @@
+(** Compilation of a specification, under a chosen world view (§III-E) and
+    meta-view (§IV-D), into an engine database.
+
+    The world view decides which models' facts, rules and constraints are
+    loaded: "any fact that is true only with respect to models not present
+    in WV ... is assumed to be not provable". The meta-view decides which
+    packaged rule sets (meta-models) are loaded. Compilation is cheap and
+    deterministic; comparing alternate views means compiling twice. *)
+
+open Gdp_logic
+
+type t = private {
+  spec : Spec.t;
+  db : Database.t;
+  world_view : string list;
+  meta_view : string list;
+  needs_loop_check : bool;
+      (** true when an active meta-model requires the ancestor loop check *)
+}
+
+val compile : ?world_view:string list -> ?meta_view:string list -> Spec.t -> t
+(** Defaults: all declared models, empty meta-view. Raises
+    [Invalid_argument] on names that are not declared. The database
+    contains, in order: generator facts ([model/1], [pred/3], [obj/1],
+    [space/1], [tspace/1], [region/1]), each model's basic facts
+    ([holds/6]), accuracy statements ([acc/7]), compiled virtual-fact
+    definitions and constraints, per-rule accuracy-propagation clauses
+    (only when the [fuzzy_propagation] meta-model is active), and the
+    meta-view's clauses. *)
+
+val rule_clause : model:string -> Spec.rule -> Database.clause
+(** The engine clause of one virtual-fact definition (exposed for tests
+    and for the documentation generator). *)
+
+val propagation_clause : model:string -> Spec.rule -> Database.clause option
+(** The §VII-F mechanical companion clause
+    [acc(...) :- body, ac_eval(reified_body, A)] — [None] for rules that
+    are themselves accuracy definitions. *)

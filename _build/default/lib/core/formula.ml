@@ -1,0 +1,156 @@
+open Gdp_logic
+
+type t =
+  | Atom of Gfact.t
+  | Acc of Gfact.t * Term.t
+  | Test of Term.t
+  | And of t * t
+  | Or of t * t
+  | Forall of t * t
+  | Not of t
+
+let conj = function
+  | [] -> invalid_arg "Formula.conj: empty conjunction"
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let atom p = Atom p
+let test t = Test t
+
+type safety_error = { message : string; offending : Term.var list }
+
+module Vset = Set.Make (Int)
+
+let vars_of_term t = Term.vars t
+let vset_of_term t = List.fold_left (fun s (v : Term.var) -> Vset.add v.Term.id s) Vset.empty (vars_of_term t)
+
+let pattern_vars p =
+  Gfact.vars p
+
+let vset_of_pattern p =
+  List.fold_left (fun s (v : Term.var) -> Vset.add v.Term.id s) Vset.empty (pattern_vars p)
+
+let free_vars f =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let add (v : Term.var) =
+    if not (Hashtbl.mem seen v.Term.id) then begin
+      Hashtbl.add seen v.Term.id ();
+      acc := v :: !acc
+    end
+  in
+  let rec go = function
+    | Atom p -> List.iter add (pattern_vars p)
+    | Acc (p, a) ->
+        List.iter add (pattern_vars p);
+        List.iter add (vars_of_term a)
+    | Test t -> List.iter add (vars_of_term t)
+    | And (a, b) | Or (a, b) | Forall (a, b) ->
+        go a;
+        go b
+    | Not a -> go a
+  in
+  go f;
+  List.rev !acc
+
+(* Left-to-right boundness analysis. [bound] is the set of variables known
+   to be instantiated when evaluation reaches a subformula; positive atoms
+   bind all their variables, [Or] binds only the intersection of its
+   branches, [Not] and [Forall] bind nothing outward. Returns the new
+   bound set or the first error. *)
+let rec analyse bound = function
+  | Atom p -> Ok (Vset.union bound (vset_of_pattern p))
+  | Acc (p, a) ->
+      (* The accuracy position is an output: it binds its variable. Pattern
+         variables should be bound for the aggregate to be well-defined,
+         but enumeration over acc facts makes unbound ones acceptable. *)
+      Ok (Vset.union (Vset.union bound (vset_of_pattern p)) (vset_of_term a))
+  | Test t ->
+      (* Arithmetic comparisons evaluate rather than enumerate, so they
+         need every variable bound. Other tests (builtins and
+         semantic-domain operations) have output positions we cannot know
+         without mode declarations; following Prolog practice they are
+         assumed to bind all their variables, and an insufficiently
+         instantiated call fails softly at run time. *)
+      (match t with
+      | Term.App (op, ([ _; _ ] as args))
+        when List.mem op [ "<"; ">"; "=<"; ">="; "=:="; "=\\="; "\\=="; "\\=" ] ->
+          let missing =
+            List.filter
+              (fun (v : Term.var) -> not (Vset.mem v.Term.id bound))
+              (List.concat_map vars_of_term args)
+          in
+          if missing = [] then Ok bound
+          else
+            Error
+              {
+                message =
+                  "comparison uses variables not bound by a preceding positive \
+                   atom";
+                offending = missing;
+              }
+      | _ -> Ok (Vset.union bound (vset_of_term t)))
+  | And (a, b) -> (
+      match analyse bound a with Ok bound' -> analyse bound' b | Error e -> Error e)
+  | Or (a, b) -> (
+      match (analyse bound a, analyse bound b) with
+      | Ok ba, Ok bb -> Ok (Vset.inter ba bb)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | Forall (guard, concl) -> (
+      match analyse bound guard with
+      | Error e -> Error e
+      | Ok bound_in -> (
+          match analyse bound_in concl with
+          | Error e -> Error e
+          | Ok _ -> Ok bound (* no bindings escape the quantifier *)))
+  | Not a -> (
+      match analyse bound a with
+      | Error e -> Error e
+      | Ok _ -> Ok bound (* no bindings escape NAF *))
+
+let check_safety ~head_vars f =
+  match analyse Vset.empty f with
+  | Error e -> Error e
+  | Ok bound ->
+      let missing =
+        List.filter (fun (v : Term.var) -> not (Vset.mem v.Term.id bound)) head_vars
+      in
+      if missing = [] then Ok ()
+      else
+        Error
+          {
+            message =
+              "head variables not bound by a positive atom on every path of the body";
+            offending = missing;
+          }
+
+let rec to_goals ~default_model = function
+  | Atom p -> [ Gfact.to_holds ~default_model p ]
+  | Acc (p, a) -> [ Gfact.to_acc_max ~default_model p a ]
+  | Test t -> [ t ]
+  | And (a, b) -> to_goals ~default_model a @ to_goals ~default_model b
+  | Or (a, b) ->
+      [
+        Term.app ";"
+          [
+            Builtins.goals_to_body (to_goals ~default_model a);
+            Builtins.goals_to_body (to_goals ~default_model b);
+          ];
+      ]
+  | Forall (guard, concl) ->
+      [
+        Term.app "forall"
+          [
+            Builtins.goals_to_body (to_goals ~default_model guard);
+            Builtins.goals_to_body (to_goals ~default_model concl);
+          ];
+      ]
+  | Not a -> [ Term.app "\\+" [ Builtins.goals_to_body (to_goals ~default_model a) ] ]
+
+let rec pp ppf = function
+  | Atom p -> Gfact.pp ppf p
+  | Acc (p, a) -> Format.fprintf ppf "%%[%a] %a" Term.pp a Gfact.pp p
+  | Test t -> Format.fprintf ppf "test(%a)" Term.pp t
+  | And (a, b) -> Format.fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a ∨ %a)" pp a pp b
+  | Forall (g, c) -> Format.fprintf ppf "∀(%a → %a)" pp g pp c
+  | Not a -> Format.fprintf ppf "not(%a)" pp a

@@ -1,0 +1,70 @@
+(** The restricted formula grammar [F] (§III-A) and its compilation to
+    engine goals.
+
+    The grammar, after the paper (with [q1] a constant predicate):
+    {v
+    F ::= q1(Xi)
+        | F1 ∧ F2
+        | F1 ∨ F2
+        | F1 ∧ (∀Xj)(F2 → F3)      — Xj not free in the enclosing rule
+        | F1 ∧ not(F2)              — "not" = not provable (NAF)
+    v}
+
+    plus two executable extensions the paper introduces in later sections:
+    semantic-domain operations used as tests (§III-B, "false is interpreted
+    as not provable") and accuracy atoms [%[A]q(x)] (§VII-D).
+
+    Compilation targets the SLDNF engine: [∀(F2 → F3)] becomes
+    [forall(G2, G3)], i.e. "no solution of G2 fails G3" via double
+    negation as failure — the standard Prolog rendering; [not] becomes
+    negation as failure. The {!check_safety}
+    analysis enforces the range-restriction discipline that makes these
+    sound: every variable consumed by a test, negation or universal guard
+    must be bound by a preceding positive atom, and every variable exported
+    to the rule head must be bound by a positive atom on every disjunct. *)
+
+open Gdp_logic
+
+type t =
+  | Atom of Gfact.t  (** a fact pattern *)
+  | Acc of Gfact.t * Term.t
+      (** the unified fuzzy operator: pattern realised with maximal
+          accuracy bound to the second argument *)
+  | Test of Term.t
+      (** builtin/semantic-domain test, e.g. [X > 5], [dist(P1, P2, D)] *)
+  | And of t * t
+  | Or of t * t
+  | Forall of t * t  (** [∀(guard → conclusion)] *)
+  | Not of t
+
+val conj : t list -> t
+(** Right-nested conjunction; raises [Invalid_argument] on []. *)
+
+val atom : Gfact.t -> t
+val test : Term.t -> t
+
+(** {1 Static checks} *)
+
+type safety_error = {
+  message : string;
+  offending : Term.var list;
+}
+
+val check_safety : head_vars:Term.var list -> t -> (unit, safety_error) result
+(** Left-to-right boundness analysis. Rejected:
+    - a head variable not bound on every positive path of the body;
+    - an arithmetic comparison consuming variables never bound earlier.
+    Positive atoms, [Acc] atoms and non-comparison tests bind all their
+    variables (tests have unknown output positions, so this follows
+    Prolog practice — an insufficiently instantiated builtin call fails
+    softly at run time); [Not] and [Forall] export no bindings. *)
+
+val free_vars : t -> Term.var list
+(** In first-occurrence order. *)
+
+(** {1 Compilation} *)
+
+val to_goals : default_model:string -> t -> Term.t list
+(** Engine goals, in formula order. *)
+
+val pp : Format.formatter -> t -> unit

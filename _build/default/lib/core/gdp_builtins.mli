@@ -1,0 +1,60 @@
+(** Built-in predicates specific to the GDP formalism, registered by the
+    compiler into every compiled database. They close over the
+    specification, so a resolution/region/domain name appearing in a goal
+    is resolved against the spec's declarations.
+
+    Spatial (positions are [pos/2-3] terms, resolutions named atoms):
+    - [pt_dist(P1, P2, D)] — distance in the spec's coordinate system;
+    - [pt_direction(P1, P2, A)] — direction in radians;
+    - [res_apply(R, P, P0)] — P0 = R(P); P must be ground;
+    - [res_same_cell(R, P1, P2)] — R(P1) = R(P2); both points ground;
+    - [res_refines(R2, R1)] — the strict refinement R2 >> R1, R2 ≠ R1;
+      unbound arguments enumerate the spec's declared spaces;
+    - [res_subcells(R2, R1, P, Ps)] — representative points of the R2
+      cells inside the R1 cell of P;
+    - [res_canon(R, P, P1)] — same cell as [P] when [P1] is ground,
+      binds [P1 = R(P)] when unbound;
+    - [res_subcell_member(R2, R1, P1, P2)] — enumerates the R2-subcell
+      representatives of P1's R1-cell, or checks co-location;
+    - [region_mem(Name, P)] — P ground: membership test;
+    - [region_reps(R, Name, P)] — enumerates (backtracking) the
+      representative points of R inside the named region.
+
+    The paper's [size] function (§V-D, the island example) needs no
+    dedicated builtin: [count_distinct(P, <goal over P>, N)] counts the
+    distinct cells a feature covers at a resolution.
+
+    Temporal (instants are numbers; [now] and [now ± d] resolved by the
+    spec's clock):
+    - [iv_mem(T, Iv)];
+    - [iv_subset(Iv1, Iv2)];
+    - [iv_before(Iv1, Iv2)];
+    - [iv_make(L, U, Iv)] — builds an interval term from bound terms,
+      failing when empty;
+    - [cyc_mem(T, Period, Iv)] — the phase [T mod Period] lies in the
+      phase interval (cyclic phenomena, the §VI-B extension);
+    - [tres_apply(R, T, T0)], [tres_cell(R, T, Iv)], [tres_refines(R2, R1)]
+      — logical time;
+    - [time_now(T)], [time_past(T)], [time_present(T)], [time_future(T)].
+
+    Domains and fuzziness:
+    - [domain_contains(D, V)] — characteristic function; enumerates finite
+      domains when V is unbound;
+    - [domain_op(D, Op, Args, Result)] — apply a named domain operation;
+    - [fz_and(A, B, C)], [fz_or(A, B, C)], [fz_not(A, B)] — the spec's
+      connective family;
+    - [ac_eval(ReifiedFormula, A)] — §VII-F uncertainty propagation over a
+      reified body formula (see {!Compile.reify_formula}).
+
+    All builtins fail softly (no exception) on insufficiently instantiated
+    or ill-typed arguments, matching the open-world reading: what cannot be
+    established is simply not provable. *)
+
+open Gdp_logic
+
+val install : Spec.t -> Database.t -> unit
+
+val reify_formula : default_model:string -> Formula.t -> Term.t
+(** The runtime representation consumed by [ac_eval]:
+    [fatom(H)], [ftest(G)], [fand/2], [for/2], [fall(G, C)], [fnot(G)]. An
+    [Acc] formula node reifies as [ftest] of its [acc_max] goal (crisp). *)

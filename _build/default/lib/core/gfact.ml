@@ -1,0 +1,243 @@
+open Gdp_logic
+
+type spatial =
+  | S_everywhere
+  | S_at of Term.t
+  | S_uniform of Term.t * Term.t
+  | S_sampled of Term.t * Term.t
+  | S_averaged of Term.t * Term.t
+  | S_var of Term.t
+
+type temporal =
+  | T_always
+  | T_at of Term.t
+  | T_uniform of Term.t
+  | T_sampled of Term.t
+  | T_averaged of Term.t
+  | T_var of Term.t
+
+type t = {
+  model : Term.t option;
+  pred : Term.t;
+  values : Term.t list;
+  objects : Term.t list;
+  space : spatial;
+  time : temporal;
+}
+
+let make ?model ?(values = []) ?(objects = []) ?(space = S_everywhere)
+    ?(time = T_always) pred =
+  {
+    model = Option.map Term.atom model;
+    pred = Term.atom pred;
+    values;
+    objects;
+    space;
+    time;
+  }
+
+let pos_term (p : Gdp_space.Point.t) =
+  if p.Gdp_space.Point.z = 0.0 then
+    Term.app Names.pos [ Term.float p.Gdp_space.Point.x; Term.float p.Gdp_space.Point.y ]
+  else
+    Term.app Names.pos
+      [
+        Term.float p.Gdp_space.Point.x;
+        Term.float p.Gdp_space.Point.y;
+        Term.float p.Gdp_space.Point.z;
+      ]
+
+let number_of = function
+  | Term.Int n -> Some (float_of_int n)
+  | Term.Float f -> Some f
+  | _ -> None
+
+let pos_of_term = function
+  | Term.App (f, [ x; y ]) when String.equal f Names.pos -> (
+      match (number_of x, number_of y) with
+      | Some x, Some y -> Some (Gdp_space.Point.make x y)
+      | _ -> None)
+  | Term.App (f, [ x; y; z ]) when String.equal f Names.pos -> (
+      match (number_of x, number_of y, number_of z) with
+      | Some x, Some y, Some z -> Some (Gdp_space.Point.make ~z x y)
+      | _ -> None)
+  | _ -> None
+
+let bound_term = function
+  | Gdp_temporal.Interval.Unbounded -> Term.atom Names.inf
+  | Gdp_temporal.Interval.Inclusive t -> Term.app Names.incl [ Term.float t ]
+  | Gdp_temporal.Interval.Exclusive t -> Term.app Names.excl [ Term.float t ]
+
+let interval_term (iv : Gdp_temporal.Interval.t) =
+  Term.app Names.interval
+    [ bound_term iv.Gdp_temporal.Interval.lower; bound_term iv.Gdp_temporal.Interval.upper ]
+
+let instant_of_term ?clock t =
+  match t with
+  | Term.Int n -> Some (float_of_int n)
+  | Term.Float f -> Some f
+  | Term.Atom a when String.equal a Names.now ->
+      Option.map Gdp_temporal.Clock.now clock
+  | Term.App ("+", [ Term.Atom a; d ]) when String.equal a Names.now -> (
+      match (clock, number_of d) with
+      | Some c, Some d -> Some (Gdp_temporal.Clock.now c +. d)
+      | _ -> None)
+  | Term.App ("-", [ Term.Atom a; d ]) when String.equal a Names.now -> (
+      match (clock, number_of d) with
+      | Some c, Some d -> Some (Gdp_temporal.Clock.now c -. d)
+      | _ -> None)
+  | _ -> None
+
+let bound_of_term ?clock t =
+  match t with
+  | Term.Atom a when String.equal a Names.inf -> Some Gdp_temporal.Interval.Unbounded
+  | Term.App (f, [ x ]) when String.equal f Names.incl ->
+      Option.map (fun v -> Gdp_temporal.Interval.Inclusive v) (instant_of_term ?clock x)
+  | Term.App (f, [ x ]) when String.equal f Names.excl ->
+      Option.map (fun v -> Gdp_temporal.Interval.Exclusive v) (instant_of_term ?clock x)
+  | _ -> None
+
+let interval_of_term ?clock = function
+  | Term.App (f, [ lo; hi ]) when String.equal f Names.interval -> (
+      match (bound_of_term ?clock lo, bound_of_term ?clock hi) with
+      | Some l, Some u -> Gdp_temporal.Interval.make l u
+      | _ -> None)
+  | _ -> None
+
+let spatial_term = function
+  | S_everywhere -> Term.atom Names.no_space
+  | S_at p -> Term.app Names.at [ p ]
+  | S_uniform (r, p) -> Term.app Names.uniform [ r; p ]
+  | S_sampled (r, p) -> Term.app Names.sampled [ r; p ]
+  | S_averaged (r, p) -> Term.app Names.averaged [ r; p ]
+  | S_var v -> v
+
+let temporal_term = function
+  | T_always -> Term.atom Names.no_time
+  | T_at t -> Term.app Names.time_at [ t ]
+  | T_uniform iv -> Term.app Names.time_uniform [ iv ]
+  | T_sampled iv -> Term.app Names.time_sampled [ iv ]
+  | T_averaged iv -> Term.app Names.time_averaged [ iv ]
+  | T_var v -> v
+
+let spatial_of_term t =
+  match t with
+  | Term.Atom a when String.equal a Names.no_space -> S_everywhere
+  | Term.App (f, [ p ]) when String.equal f Names.at -> S_at p
+  | Term.App (f, [ r; p ]) when String.equal f Names.uniform -> S_uniform (r, p)
+  | Term.App (f, [ r; p ]) when String.equal f Names.sampled -> S_sampled (r, p)
+  | Term.App (f, [ r; p ]) when String.equal f Names.averaged -> S_averaged (r, p)
+  | other -> S_var other
+
+let temporal_of_term t =
+  match t with
+  | Term.Atom a when String.equal a Names.no_time -> T_always
+  | Term.App (f, [ x ]) when String.equal f Names.time_at -> T_at x
+  | Term.App (f, [ iv ]) when String.equal f Names.time_uniform -> T_uniform iv
+  | Term.App (f, [ iv ]) when String.equal f Names.time_sampled -> T_sampled iv
+  | Term.App (f, [ iv ]) when String.equal f Names.time_averaged -> T_averaged iv
+  | other -> T_var other
+
+let is_ground p =
+  (match p.model with Some m -> Term.is_ground m | None -> true)
+  && Term.is_ground p.pred
+  && List.for_all Term.is_ground p.values
+  && List.for_all Term.is_ground p.objects
+  && Term.is_ground (spatial_term p.space)
+  && Term.is_ground (temporal_term p.time)
+
+let model_term ~default_model p =
+  match p.model with Some m -> m | None -> Term.atom default_model
+
+let to_holds ~default_model p =
+  Term.app Names.holds
+    [
+      model_term ~default_model p;
+      p.pred;
+      Term.list p.values;
+      Term.list p.objects;
+      spatial_term p.space;
+      temporal_term p.time;
+    ]
+
+let to_acc ~default_model p a =
+  Term.app Names.acc
+    [
+      model_term ~default_model p;
+      p.pred;
+      Term.list p.values;
+      Term.list p.objects;
+      spatial_term p.space;
+      temporal_term p.time;
+      a;
+    ]
+
+let to_acc_max ~default_model p a =
+  Term.app Names.acc_max
+    [
+      model_term ~default_model p;
+      p.pred;
+      Term.list p.values;
+      Term.list p.objects;
+      spatial_term p.space;
+      temporal_term p.time;
+      a;
+    ]
+
+let of_holds = function
+  | Term.App (f, [ m; pred; vals; objs; s; t ]) when String.equal f Names.holds -> (
+      match (Term.as_list vals, Term.as_list objs) with
+      | Some values, Some objects ->
+          Some
+            {
+              model = Some m;
+              pred;
+              values;
+              objects;
+              space = spatial_of_term s;
+              time = temporal_of_term t;
+            }
+      | _ -> None)
+  | _ -> None
+
+let vars p =
+  Term.vars (to_holds ~default_model:Names.default_model p)
+
+let pp ppf p =
+  let pp_model ppf = function
+    | Some (Term.Atom m) when String.equal m Names.default_model -> ()
+    | Some m -> Format.fprintf ppf "%a'" Term.pp m
+    | None -> ()
+  in
+  let pp_values ppf = function
+    | [] -> ()
+    | vs ->
+        Format.fprintf ppf "{%a}"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             Term.pp)
+          vs
+  in
+  let pp_objects ppf os =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Term.pp)
+      os
+  in
+  let pp_space ppf = function
+    | S_everywhere -> ()
+    | S_at p -> Format.fprintf ppf " @@%a" Term.pp p
+    | S_uniform (r, p) -> Format.fprintf ppf " @@u[%a]%a" Term.pp r Term.pp p
+    | S_sampled (r, p) -> Format.fprintf ppf " @@s[%a]%a" Term.pp r Term.pp p
+    | S_averaged (r, p) -> Format.fprintf ppf " @@a[%a]%a" Term.pp r Term.pp p
+    | S_var v -> Format.fprintf ppf " @@?%a" Term.pp v
+  in
+  let pp_time ppf = function
+    | T_always -> ()
+    | T_at t -> Format.fprintf ppf " &%a" Term.pp t
+    | T_uniform iv -> Format.fprintf ppf " &u%a" Term.pp iv
+    | T_sampled iv -> Format.fprintf ppf " &s%a" Term.pp iv
+    | T_averaged iv -> Format.fprintf ppf " &a%a" Term.pp iv
+    | T_var v -> Format.fprintf ppf " &?%a" Term.pp v
+  in
+  Format.fprintf ppf "%a%a%a%a%a%a" pp_model p.model Term.pp p.pred pp_values
+    p.values pp_objects p.objects pp_space p.space pp_time p.time

@@ -1,0 +1,88 @@
+(** GDP facts and fact patterns.
+
+    A fact asserts that predicate [pred], applied to semantic-domain
+    [values] and object designators [objects], is realised in model
+    [model], possibly qualified by position (§V) and time (§VI):
+
+    {v m'q(v1, ..., vk)(o1, ..., on)  [@ spatial] [& temporal] v}
+
+    A {e pattern} is the same shape with engine variables allowed in any
+    position — the form used in rule bodies, rule heads and queries. A
+    ground pattern is a fact. *)
+
+open Gdp_logic
+
+(** Spatial qualification (§V-C): where the fact is realised. *)
+type spatial =
+  | S_everywhere  (** space-independent: true at every point (paper §V-C) *)
+  | S_at of Term.t  (** [@p] — at a position *)
+  | S_uniform of Term.t * Term.t  (** [@u[R]p] — everywhere in the patch *)
+  | S_sampled of Term.t * Term.t  (** [@s[R]p] — somewhere in the patch *)
+  | S_averaged of Term.t * Term.t  (** [@a[R]p] — on average over the patch *)
+  | S_var of Term.t  (** a variable over whole spatial qualifiers *)
+
+(** Temporal qualification (§VI): when the fact is realised. *)
+type temporal =
+  | T_always  (** time-independent *)
+  | T_at of Term.t  (** [&t] *)
+  | T_uniform of Term.t  (** [&u[interval]] *)
+  | T_sampled of Term.t  (** [&s[interval]] *)
+  | T_averaged of Term.t  (** [&a[interval]] *)
+  | T_var of Term.t  (** a variable over whole temporal qualifiers *)
+
+type t = {
+  model : Term.t option;
+      (** [None]: the enclosing model (or the default model [w]); explicit
+          qualification [m'q] sets [Some (Atom m)]; meta-rules use
+          [Some (Var _)]. *)
+  pred : Term.t;  (** atom, or variable in meta-rules *)
+  values : Term.t list;
+  objects : Term.t list;
+  space : spatial;
+  time : temporal;
+}
+
+val make :
+  ?model:string ->
+  ?values:Term.t list ->
+  ?objects:Term.t list ->
+  ?space:spatial ->
+  ?time:temporal ->
+  string ->
+  t
+(** [make q] — an unqualified, space/time-independent pattern. *)
+
+val is_ground : t -> bool
+
+(** {1 Position and interval embeddings} *)
+
+val pos_term : Gdp_space.Point.t -> Term.t
+val pos_of_term : Term.t -> Gdp_space.Point.t option
+val interval_term : Gdp_temporal.Interval.t -> Term.t
+
+val interval_of_term : ?clock:Gdp_temporal.Clock.t -> Term.t -> Gdp_temporal.Interval.t option
+(** Decodes [iv(L, U)] bounds [incl(T)], [excl(T)], [inf]. Bound instants
+    may be the atom [now] or [now + D]/[now - D] expressions when a clock
+    is supplied. *)
+
+(** {1 Reification} *)
+
+val spatial_term : spatial -> Term.t
+val temporal_term : temporal -> Term.t
+val spatial_of_term : Term.t -> spatial
+val temporal_of_term : Term.t -> temporal
+
+val to_holds : default_model:string -> t -> Term.t
+(** The reified [holds/6] term for this pattern. *)
+
+val to_acc : default_model:string -> t -> Term.t -> Term.t
+(** [to_acc ~default_model p a] — the [acc/7] term with accuracy [a]. *)
+
+val to_acc_max : default_model:string -> t -> Term.t -> Term.t
+(** The [acc_max/7] term: the unified fuzzy operator [%[A]]. *)
+
+val of_holds : Term.t -> t option
+(** Inverse of {!to_holds} on well-shaped [holds/6] terms. *)
+
+val vars : t -> Term.var list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(** Functor-name conventions of the reified representation.
+
+    Every GDP statement is compiled into first-order terms over these
+    functors; meta-rules quantify over the model and predicate argument
+    positions, which is how the paper's restricted second-order logic is
+    realised on a Prolog-style engine (see DESIGN.md §4). *)
+
+val holds : string
+(** [holds(Model, Pred, Values, Objects, Space, Time)] — a fact is
+    realised in model [Model]. *)
+
+val acc : string
+(** [acc(Model, Pred, Values, Objects, Space, Time, A)] — the fact carries
+    accuracy [A] ∈ [0,1] (§VII's [%a q(x)]). *)
+
+val acc_max : string
+(** [acc_max(...same..., A)] — the unified fuzzy operator [%[A]]
+    (§VII-D): [A] is the highest accuracy assigned to the fact. *)
+
+val error_pred : string
+(** Predicate name of constraint violations: [ERROR(tag, args...)] is
+    encoded as [holds(M, 'ERROR', [tag | args], [], ...)]. *)
+
+val default_model : string
+(** The paper's default model [w]. *)
+
+(** {1 Spatial qualifier constructors} *)
+
+val no_space : string
+val at : string  (** [at(pos)] *)
+
+val uniform : string  (** [u(R, pos)] *)
+
+val sampled : string  (** [s(R, pos)] *)
+
+val averaged : string  (** [a(R, pos)] *)
+
+val pos : string  (** [pos(X, Y)] or [pos(X, Y, Z)] *)
+
+(** {1 Temporal qualifier constructors} *)
+
+val no_time : string
+val time_at : string  (** [t(T)] *)
+
+val time_uniform : string  (** [tu(iv)] *)
+
+val time_sampled : string  (** [ts(iv)] *)
+
+val time_averaged : string  (** [ta(iv)] *)
+
+val interval : string  (** [iv(Lower, Upper)] *)
+
+val incl : string
+val excl : string
+val inf : string
+val now : string
+
+(** {1 Generator predicates emitted by the compiler} *)
+
+val model_gen : string  (** [model(M)] for every model of the world view *)
+
+val pred_gen : string  (** [pred(Q, ValueArity, ObjectArity)] *)
+
+val obj_gen : string  (** [obj(O)] for every declared object *)
+
+val space_gen : string  (** [space(R)] for every registered resolution *)
+
+val region_gen : string  (** [region(Name)] *)

@@ -1,0 +1,178 @@
+open Gdp_logic
+
+type t = { compiled : Compile.t; options : Solve.options }
+
+let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) (compiled : Compile.t) =
+  {
+    compiled;
+    options =
+      {
+        Solve.default_options with
+        max_depth;
+        on_depth;
+        loop_check = compiled.Compile.needs_loop_check;
+      };
+  }
+
+let create ?world_view ?meta_view ?max_depth ?on_depth spec =
+  of_compiled ?max_depth ?on_depth (Compile.compile ?world_view ?meta_view spec)
+
+let spec q = q.compiled.Compile.spec
+let db q = q.compiled.Compile.db
+let world_view q = q.compiled.Compile.world_view
+let meta_view q = q.compiled.Compile.meta_view
+
+let holds q pattern =
+  let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
+  Solve.succeeds ~options:q.options (db q) [ goal ]
+
+(* distinct answers in first-derivation order *)
+let dedupe_by key l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    l
+
+let solutions ?limit q pattern =
+  let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
+  Solve.all ~options:q.options ?limit (db q) [ goal ]
+  |> List.filter_map (fun s -> Gfact.of_holds (Subst.apply s goal))
+  |> dedupe_by (fun f -> Term.to_string (Gfact.to_holds ~default_model:Names.default_model f))
+
+let accuracy q pattern =
+  let a = Term.var "A" in
+  let goal = Gfact.to_acc_max ~default_model:Names.default_model pattern a in
+  match Solve.first ~options:q.options (db q) [ goal ] with
+  | None -> None
+  | Some s -> (
+      match Subst.apply s a with
+      | Term.Float f -> Some f
+      | Term.Int n -> Some (float_of_int n)
+      | _ -> None)
+
+let accuracies ?limit q pattern =
+  let a = Term.var "A" in
+  let hgoal = Gfact.to_holds ~default_model:Names.default_model pattern in
+  let goal = Gfact.to_acc_max ~default_model:Names.default_model pattern a in
+  Solve.all ~options:q.options ?limit (db q) [ goal ]
+  |> List.filter_map (fun s ->
+         match (Gfact.of_holds (Subst.apply s hgoal), Subst.apply s a) with
+         | Some fact, Term.Float f -> Some (fact, f)
+         | Some fact, Term.Int n -> Some (fact, float_of_int n)
+         | _ -> None)
+  |> dedupe_by (fun (f, _) ->
+         Term.to_string (Gfact.to_holds ~default_model:Names.default_model f))
+
+type violation = {
+  v_model : string;
+  v_tag : string;
+  v_args : Term.t list;
+  v_objects : Term.t list;
+}
+
+let violations ?limit q =
+  let m = Term.var "M"
+  and vs = Term.var "Vs"
+  and os = Term.var "Os"
+  and s = Term.var "S"
+  and tm = Term.var "T" in
+  let goal =
+    Term.app Names.holds
+      [ m; Term.atom Names.error_pred; vs; os; s; tm ]
+  in
+  Solve.all ~options:q.options ?limit (db q) [ goal ]
+  |> List.filter_map (fun subst ->
+         let model =
+           match Subst.apply subst m with Term.Atom name -> Some name | _ -> None
+         in
+         let values = Term.as_list (Subst.apply subst vs) in
+         let objects = Term.as_list (Subst.apply subst os) in
+         match (model, values, objects) with
+         | Some v_model, Some (Term.Atom v_tag :: v_args), Some v_objects ->
+             Some { v_model; v_tag; v_args; v_objects }
+         | _ -> None)
+  |> List.sort_uniq compare
+
+let consistent q = violations ~limit:1 q = []
+
+let rec pp_reified ppf (t : Term.t) =
+  match Gfact.of_holds t with
+  | Some f -> Gfact.pp ppf f
+  | None -> (
+      match t with
+      | Term.App (f, [ m; pred; vs; os; s; tm; a ])
+        when String.equal f Names.acc || String.equal f Names.acc_max -> (
+          match Gfact.of_holds (Term.app Names.holds [ m; pred; vs; os; s; tm ]) with
+          | Some fact -> Format.fprintf ppf "%%%a %a" Term.pp a Gfact.pp fact
+          | None -> Term.pp ppf t)
+      (* recurse through the control structure so goals inside forall,
+         conjunctions and negations also render in fact notation *)
+      | Term.App ("forall", [ g; c ]) ->
+          Format.fprintf ppf "forall(%a => %a)" pp_reified g pp_reified c
+      | Term.App (",", [ x; y ]) ->
+          Format.fprintf ppf "%a, %a" pp_reified x pp_reified y
+      | Term.App (";", [ x; y ]) ->
+          Format.fprintf ppf "(%a ; %a)" pp_reified x pp_reified y
+      | Term.App (("\\+" | "not"), [ g ]) ->
+          Format.fprintf ppf "not (%a)" pp_reified g
+      | _ -> Term.pp ppf t)
+
+let pp_reified_term = pp_reified
+
+let explain_proof q pattern =
+  let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
+  match Explain.first ~options:q.options (db q) [ goal ] with
+  | Some (_, [ proof ]) -> Some proof
+  | Some (_, _) | None -> None
+
+let explain q pattern =
+  explain_proof q pattern
+  |> Option.map (fun proof ->
+         Format.asprintf "%a" (Explain.pp ~pp_goal:pp_reified) proof)
+
+let ask q src = Solve.succeeds ~options:q.options (db q) (Reader.goals src)
+
+let named_vars goals =
+  List.concat_map Term.vars goals
+  |> List.fold_left
+       (fun acc (v : Term.var) ->
+         if
+           String.length v.Term.name > 0
+           && v.Term.name.[0] <> '_'
+           && not (List.exists (fun (w : Term.var) -> w.Term.id = v.Term.id) acc)
+         then v :: acc
+         else acc)
+       []
+  |> List.rev
+
+let ask_all ?limit q src =
+  let goals = Reader.goals src in
+  Solve.all ~options:q.options ?limit (db q) goals
+  |> List.map (fun s -> Subst.restrict (named_vars goals) s)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: ERROR(%s%a)%a" v.v_model v.v_tag
+    (fun ppf -> function
+      | [] -> ()
+      | args ->
+          Format.fprintf ppf ", %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               Term.pp)
+            args)
+    v.v_args
+    (fun ppf -> function
+      | [] -> ()
+      | objs ->
+          Format.fprintf ppf " on (%a)"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               Term.pp)
+            objs)
+    v.v_objects

@@ -1,0 +1,90 @@
+(** Querying a compiled specification: provability, answer enumeration,
+    accuracy retrieval and consistency checking.
+
+    Answers follow the open world assumption (§III-A): {!holds} returning
+    [false] means {e not provable} ("undefined"), never "false" — falsity
+    is expressible only through complementary predicates or an explicit
+    CWA meta-model. *)
+
+open Gdp_logic
+
+type t
+
+val create :
+  ?world_view:string list ->
+  ?meta_view:string list ->
+  ?max_depth:int ->
+  ?on_depth:[ `Fail | `Raise ] ->
+  Spec.t ->
+  t
+(** Compile and wrap. The engine's ancestor loop check is enabled
+    automatically when an active meta-model requires it. Defaults:
+    [max_depth = 100_000], [on_depth = `Raise] (a blown budget surfaces as
+    {!Gdp_logic.Solve.Depth_exhausted} rather than silent failure). *)
+
+val of_compiled :
+  ?max_depth:int -> ?on_depth:[ `Fail | `Raise ] -> Compile.t -> t
+
+val spec : t -> Spec.t
+val db : t -> Database.t
+val world_view : t -> string list
+val meta_view : t -> string list
+
+val holds : t -> Gfact.t -> bool
+(** Is the (possibly non-ground) pattern provable? Unqualified patterns
+    refer to the default model [w]. *)
+
+val solutions : ?limit:int -> t -> Gfact.t -> Gfact.t list
+(** All provable instantiations of the pattern, deduplicated, in
+    first-derivation order. Answers that are not fully ground (e.g.
+    through unbound qualifier slots) are returned as patterns with
+    variables. [limit] bounds the underlying derivations, so with many
+    duplicate derivations fewer distinct answers may come back. *)
+
+val accuracy : t -> Gfact.t -> float option
+(** The unified accuracy [%[A]] of the pattern (§VII-D) under whichever
+    unified-operator meta-model is active; [None] when no accuracy is
+    derivable. When several instantiations match, the first one's
+    accuracy is returned. *)
+
+val accuracies : ?limit:int -> t -> Gfact.t -> (Gfact.t * float) list
+(** Instantiations together with their unified accuracies. *)
+
+type violation = {
+  v_model : string;
+  v_tag : string;  (** the ERROR type-of-violation *)
+  v_args : Term.t list;
+  v_objects : Term.t list;
+}
+
+val violations : ?limit:int -> t -> violation list
+(** All provable [ERROR] facts across the world view (§III-C): the
+    world view "is called consistent" iff this is empty. Violations are
+    deduplicated. *)
+
+val consistent : t -> bool
+
+val explain : t -> Gfact.t -> string option
+(** A human-readable derivation of the first proof of the pattern (the
+    requirements-review evidence): an indented tree of the rules, facts,
+    builtins and negation-as-failure steps used, with reified [holds]
+    terms rendered back in the paper's fact notation. [None] when the
+    pattern is not provable. *)
+
+val explain_proof : t -> Gfact.t -> Gdp_logic.Explain.proof option
+(** The raw proof tree, for programmatic inspection. *)
+
+val pp_reified_term : Format.formatter -> Term.t -> unit
+(** Render a reified [holds/6] / [acc/7] term back in fact notation
+    (other terms print as themselves) — pass as [pp_goal] to
+    {!Gdp_logic.Explain.pp} or {!Gdp_logic.Explain.to_dot}. *)
+
+val ask : t -> string -> bool
+(** Escape hatch: run a raw engine goal (Reader syntax) against the
+    compiled database — the vocabulary of DESIGN.md §4 ([holds/6],
+    [acc/7], builtins) is available. *)
+
+val ask_all :
+  ?limit:int -> t -> string -> (string * Term.t) list list
+
+val pp_violation : Format.formatter -> violation -> unit

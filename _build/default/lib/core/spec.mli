@@ -1,0 +1,141 @@
+(** A GDP requirements specification: the paper's full modelling
+    vocabulary assembled into one value.
+
+    A specification declares the universe (objects, predicates, semantic
+    domains, logical spaces, regions, the coordinate system, the clock),
+    groups facts / virtual-fact definitions / constraints into {e models}
+    (§III-D), and packages rules of reasoning into {e meta-models} (§IV-C).
+    Selecting a {e world view} (a set of models, §III-E) and a
+    {e meta-view} (a set of meta-models, §IV-D) is done at compilation
+    time; see {!Compile}. Specifications are mutable builders — the
+    functions below add declarations in place and raise
+    [Invalid_argument] on duplicates or references to undeclared names. *)
+
+open Gdp_logic
+
+type signature = {
+  pred_name : string;
+  value_domains : string list;
+      (** semantic domain of each value position, in order *)
+  object_arity : int;
+}
+
+type rule = {
+  rule_head : Gfact.t;
+  rule_accuracy : Term.t option;
+      (** [Some a] makes this an accuracy definition [%a head ⇐ body]
+          (§VII-B); the term is typically a variable bound by the body or
+          a float constant *)
+  rule_body : Formula.t;
+  rule_name : string;  (** diagnostic label *)
+}
+
+type model_def = {
+  model_name : string;
+  mutable facts : Gfact.t list;
+      (** ground basic facts, newest first (the compiler restores
+          assertion order) *)
+  mutable acc_statements : (Gfact.t * float) list;
+      (** accuracy statements [%a q(x)], newest first — separate from
+          basic facts, as §VII-B requires *)
+  mutable rules : rule list;  (** virtual fact definitions *)
+  mutable constraints : rule list;  (** heads use the ERROR predicate *)
+}
+
+type meta_model = {
+  meta_name : string;
+  meta_doc : string;
+  meta_clauses : Database.clause list;
+  needs_loop_check : bool;
+      (** true when the rule set can recurse through itself (e.g. the
+          area-uniform up+down inheritance pair) and queries must run with
+          the ancestor loop check on *)
+}
+
+type t = {
+  mutable objects : string list;
+  mutable signatures : signature list;
+  domains : Gdp_domain.Semantic_domain.Registry.t;
+  mutable spaces : Gdp_space.Resolution.t list;
+  mutable tspaces : Gdp_temporal.Resolution1d.t list;
+      (** named logical-time resolutions (§VI-A) *)
+  mutable regions : (string * Gdp_space.Region.t) list;
+  mutable coord : Gdp_space.Coord.t;
+  clock : Gdp_temporal.Clock.t;
+  mutable fuzzy_family : Gdp_fuzzy.Algebra.family;
+  mutable models : model_def list;
+  mutable meta_models : meta_model list;
+  mutable extra_builtins : ((string * int) * Database.builtin) list;
+      (** application-specific computed predicates (e.g. the paper's depth
+          interpolation function f, §VII-B), registered into every
+          compiled database *)
+}
+
+val create : ?coord:Gdp_space.Coord.t -> ?now:float -> unit -> t
+(** Fresh specification with builtin domains, the default model [w]
+    declared, Cartesian coordinates and the clock at [now] (default 0). *)
+
+(** {1 Universe declarations} *)
+
+val declare_object : t -> string -> unit
+val declare_objects : t -> string list -> unit
+
+val declare_predicate : t -> ?value_domains:string list -> ?object_arity:int -> string -> unit
+(** Raises on duplicate name or unknown domain name. *)
+
+val declare_domain : t -> Gdp_domain.Semantic_domain.t -> unit
+val declare_space : t -> Gdp_space.Resolution.t -> unit
+(** The resolution's name must be non-empty and unique. *)
+
+val declare_tspace : t -> Gdp_temporal.Resolution1d.t -> unit
+(** Named temporal resolution; name must be non-empty and unique. *)
+
+val find_tspace : t -> string -> Gdp_temporal.Resolution1d.t option
+val declare_region : t -> string -> Gdp_space.Region.t -> unit
+
+(** {1 Models} *)
+
+val declare_model : t -> string -> unit
+val model : t -> string -> model_def
+(** Raises [Not_found] for undeclared models. *)
+
+val add_fact : t -> ?model:string -> Gfact.t -> unit
+(** Asserts a basic fact (default model [w]). Raises [Invalid_argument] if
+    the fact is not ground, carries an explicit conflicting model
+    qualifier, or uses an undeclared predicate (when signatures are
+    declared). *)
+
+val add_acc_statement : t -> ?model:string -> Gfact.t -> float -> unit
+(** Accuracy statement; the pattern must be ground. *)
+
+val add_rule :
+  t ->
+  ?model:string ->
+  ?name:string ->
+  ?accuracy:Term.t ->
+  head:Gfact.t ->
+  Formula.t ->
+  unit
+(** Adds a virtual-fact definition after safety-checking it
+    ({!Formula.check_safety}); raises [Invalid_argument] with the safety
+    message on rejection. With [?accuracy] the rule defines an uncertainty
+    level (§VII-B) rather than the fact itself. *)
+
+val add_constraint :
+  t -> ?model:string -> ?name:string -> error:string -> args:Term.t list -> Formula.t -> unit
+(** Adds [(∀Xi) F ⇒ ERROR(error, args)] (§III-C). *)
+
+val declare_builtin : t -> string -> arity:int -> Database.builtin -> unit
+(** Raises [Invalid_argument] on duplicates. *)
+
+(** {1 Meta-models} *)
+
+val add_meta_model : t -> meta_model -> unit
+val find_meta_model : t -> string -> meta_model option
+val signature_of : t -> string -> signature option
+val find_space : t -> string -> Gdp_space.Resolution.t option
+val find_region : t -> string -> Gdp_space.Region.t option
+val model_names : t -> string list
+
+val default_world_view : t -> string list
+(** All declared models — the maximal world view. *)

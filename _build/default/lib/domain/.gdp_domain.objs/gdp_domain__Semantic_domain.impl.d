@@ -1,0 +1,1 @@
+lib/domain/semantic_domain.ml: Format Gdp_logic Hashtbl List Printf String Term

@@ -1,0 +1,1 @@
+lib/domain/semantic_domain.mli: Format Gdp_logic Term

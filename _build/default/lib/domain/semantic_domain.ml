@@ -1,0 +1,123 @@
+open Gdp_logic
+
+type operation = Term.t list -> Term.t option
+
+type shape =
+  | Enum of string list
+  | Int_range of int * int
+  | Real_range of float * float
+  | Number_shape
+  | Text_shape
+  | Any_shape
+
+type t = {
+  name : string;
+  contains : Term.t -> bool;
+  enumerate : Term.t list option;
+  operations : (string * operation) list;
+  shape : shape option;
+}
+
+let make ?enumerate ?(operations = []) ~name ~contains () =
+  { name; contains; enumerate; operations; shape = None }
+
+let enumeration ~name values =
+  let terms = List.map Term.atom values in
+  {
+    name;
+    contains = (fun t -> List.exists (Term.equal t) terms);
+    enumerate = Some terms;
+    operations = [];
+    shape = Some (Enum values);
+  }
+
+let int_range ~name ~lo ~hi =
+  {
+    name;
+    contains = (function Term.Int n -> n >= lo && n <= hi | _ -> false);
+    enumerate = Some (List.init (hi - lo + 1) (fun i -> Term.Int (lo + i)));
+    operations = [];
+    shape = Some (Int_range (lo, hi));
+  }
+
+let real_range ~name ~lo ~hi =
+  let in_range f = f >= lo && f <= hi in
+  {
+    name;
+    contains =
+      (function
+      | Term.Int n -> in_range (float_of_int n)
+      | Term.Float f -> in_range f
+      | _ -> false);
+    enumerate = None;
+    operations = [];
+    shape = Some (Real_range (lo, hi));
+  }
+
+let number ~name =
+  {
+    name;
+    contains = (function Term.Int _ | Term.Float _ -> true | _ -> false);
+    enumerate = None;
+    operations = [];
+    shape = Some Number_shape;
+  }
+
+let text ~name =
+  {
+    name;
+    contains = (function Term.Str _ -> true | _ -> false);
+    enumerate = None;
+    operations = [];
+    shape = Some Text_shape;
+  }
+
+let any ~name =
+  {
+    name;
+    contains = Term.is_ground;
+    enumerate = None;
+    operations = [];
+    shape = Some Any_shape;
+  }
+
+let contains d t = d.contains t
+let find_operation d name = List.assoc_opt name d.operations
+
+let apply_operation d name args =
+  match find_operation d name with None -> None | Some op -> op args
+
+let with_operation d name op = { d with operations = (name, op) :: d.operations }
+
+let pp ppf d =
+  match d.enumerate with
+  | Some vs ->
+      Format.fprintf ppf "%s = {@[%a@]}" d.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           Term.pp)
+        vs
+  | None -> Format.fprintf ppf "%s = <intensional>" d.name
+
+module Registry = struct
+  type domain = t
+  type nonrec t = (string, domain) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let add reg d =
+    if Hashtbl.mem reg d.name then
+      invalid_arg (Printf.sprintf "Domain registry: duplicate domain %s" d.name)
+    else Hashtbl.add reg d.name d
+
+  let find reg name = Hashtbl.find_opt reg name
+  let names reg = Hashtbl.fold (fun k _ acc -> k :: acc) reg [] |> List.sort String.compare
+
+  let builtin () =
+    let reg = create () in
+    add reg (number ~name:"number");
+    add reg (text ~name:"text");
+    add reg (enumeration ~name:"boolean" [ "true"; "false" ]);
+    add reg (any ~name:"any");
+    reg
+end

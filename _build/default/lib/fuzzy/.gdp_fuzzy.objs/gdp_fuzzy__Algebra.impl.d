@@ -1,0 +1,1 @@
+lib/fuzzy/algebra.ml: Float Format List Truth

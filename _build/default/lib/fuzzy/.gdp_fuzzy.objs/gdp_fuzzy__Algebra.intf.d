@@ -1,0 +1,1 @@
+lib/fuzzy/algebra.mli: Format Truth

@@ -1,0 +1,1 @@
+lib/fuzzy/fuzzy_set.ml: Algebra List Truth

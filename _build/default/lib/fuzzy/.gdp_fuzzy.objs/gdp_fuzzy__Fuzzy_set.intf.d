@@ -1,0 +1,1 @@
+lib/fuzzy/fuzzy_set.mli: Algebra Truth

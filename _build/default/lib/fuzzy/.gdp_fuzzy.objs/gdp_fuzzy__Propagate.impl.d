@@ -1,0 +1,1 @@
+lib/fuzzy/propagate.ml: Algebra List Truth

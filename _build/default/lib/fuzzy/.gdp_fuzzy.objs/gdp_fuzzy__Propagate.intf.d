@@ -1,0 +1,1 @@
+lib/fuzzy/propagate.mli: Algebra Truth

@@ -1,0 +1,1 @@
+lib/fuzzy/truth.ml: Float Format Printf

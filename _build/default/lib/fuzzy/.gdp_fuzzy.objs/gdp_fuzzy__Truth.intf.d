@@ -1,0 +1,1 @@
+lib/fuzzy/truth.mli: Format

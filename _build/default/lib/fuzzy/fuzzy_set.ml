@@ -1,0 +1,66 @@
+type t = float -> Truth.t
+
+let membership s x = s x
+
+let check_order name xs =
+  let rec ok = function
+    | a :: (b :: _ as rest) -> a <= b && ok rest
+    | _ -> true
+  in
+  if not (ok xs) then invalid_arg (name ^ ": breakpoints must be non-decreasing")
+
+let triangular ~a ~b ~c =
+  check_order "Fuzzy_set.triangular" [ a; b; c ];
+  fun x ->
+    Truth.clamp
+      (if x <= a || x >= c then 0.0
+       else if x = b then 1.0
+       else if x < b then (x -. a) /. (b -. a)
+       else (c -. x) /. (c -. b))
+
+let trapezoidal ~a ~b ~c ~d =
+  check_order "Fuzzy_set.trapezoidal" [ a; b; c; d ];
+  fun x ->
+    Truth.clamp
+      (if x <= a || x >= d then 0.0
+       else if x >= b && x <= c then 1.0
+       else if x < b then (x -. a) /. (b -. a)
+       else (d -. x) /. (d -. c))
+
+let gaussian ~mean ~sigma =
+  if sigma <= 0.0 then invalid_arg "Fuzzy_set.gaussian: sigma must be positive";
+  fun x ->
+    let d = (x -. mean) /. sigma in
+    Truth.clamp (exp (-0.5 *. d *. d))
+
+let sigmoid ~midpoint ~slope =
+ fun x -> Truth.clamp (1.0 /. (1.0 +. exp (-.slope *. (x -. midpoint))))
+
+let crisp pred x = Truth.of_bool (pred x)
+let complement s x = Algebra.neg (s x)
+let union ?(family = Algebra.Min_max) s1 s2 x = Algebra.disj family (s1 x) (s2 x)
+
+let intersection ?(family = Algebra.Min_max) s1 s2 x =
+  Algebra.conj family (s1 x) (s2 x)
+
+let very s x =
+  let m = Truth.to_float (s x) in
+  Truth.v (m *. m)
+
+let somewhat s x = Truth.v (sqrt (Truth.to_float (s x)))
+let alpha_cut s ~alpha x = Truth.to_float (s x) >= alpha
+let support s ~samples = List.filter (fun x -> Truth.to_float (s x) > 0.0) samples
+
+let defuzzify_centroid s ~lo ~hi ~steps =
+  if steps <= 0 || hi <= lo then None
+  else begin
+    let dx = (hi -. lo) /. float_of_int steps in
+    let num = ref 0.0 and den = ref 0.0 in
+    for i = 0 to steps - 1 do
+      let x = lo +. ((float_of_int i +. 0.5) *. dx) in
+      let m = Truth.to_float (s x) in
+      num := !num +. (x *. m);
+      den := !den +. m
+    done;
+    if !den = 0.0 then None else Some (!num /. !den)
+  end

@@ -1,0 +1,45 @@
+(** Fuzzy sets over the real line — membership functions in the sense of
+    Zadeh (the paper's [10]). Not used by the core propagation machinery;
+    provided for formalizations that want graded semantic-domain predicates
+    such as "large city" or "deep water" (§I's large-city example is
+    naturally fuzzy). *)
+
+type t
+
+val membership : t -> float -> Truth.t
+
+val triangular : a:float -> b:float -> c:float -> t
+(** 0 at [a], rising to 1 at [b], back to 0 at [c]; requires a ≤ b ≤ c. *)
+
+val trapezoidal : a:float -> b:float -> c:float -> d:float -> t
+(** 0 at [a], 1 on [b, c], 0 at [d]; requires a ≤ b ≤ c ≤ d. *)
+
+val gaussian : mean:float -> sigma:float -> t
+(** exp(−(x−μ)²/2σ²); requires σ > 0. *)
+
+val sigmoid : midpoint:float -> slope:float -> t
+(** 1 / (1 + exp(−slope·(x−midpoint))). A rising edge for "at least
+    roughly m" predicates (e.g. population of a large city). *)
+
+val crisp : (float -> bool) -> t
+(** Characteristic function of an ordinary set. *)
+
+val complement : t -> t
+val union : ?family:Algebra.family -> t -> t -> t
+val intersection : ?family:Algebra.family -> t -> t -> t
+
+val very : t -> t
+(** Concentration hedge: membership squared. *)
+
+val somewhat : t -> t
+(** Dilation hedge: square root of membership. *)
+
+val alpha_cut : t -> alpha:float -> float -> bool
+(** [alpha_cut s ~alpha x] — is membership of [x] ≥ alpha? *)
+
+val support : t -> samples:float list -> float list
+(** Sample points with non-zero membership. *)
+
+val defuzzify_centroid : t -> lo:float -> hi:float -> steps:int -> float option
+(** Centre-of-gravity over [lo, hi] by midpoint sampling; [None] when the
+    sampled mass is zero. *)

@@ -1,0 +1,70 @@
+type 'atom formula =
+  | Atom of 'atom
+  | And of 'atom formula * 'atom formula
+  | Or of 'atom formula * 'atom formula
+  | Forall of 'atom formula * ('atom formula * 'atom formula) list
+  | Not_provable of 'atom formula * bool
+
+type 'atom oracle = 'atom -> Truth.t option
+
+(* Inside a quantifier instance the open-world reading applies: an
+   unprovable guard makes the implication vacuously true, an unprovable
+   conclusion under a provable guard counts as accuracy 0 — the
+   conservative completion of the paper's table. *)
+let rec ac ?(family = Algebra.Min_max) oracle f =
+  match f with
+  | Atom a -> oracle a
+  | And (f1, f2) -> (
+      match (ac ~family oracle f1, ac ~family oracle f2) with
+      | Some a, Some b -> Some (Algebra.conj family a b)
+      | _ -> None)
+  | Or (f1, f2) -> (
+      match (ac ~family oracle f1, ac ~family oracle f2) with
+      | Some a, Some b -> Some (Algebra.disj family a b)
+      | Some a, None | None, Some a -> Some a
+      | None, None -> None)
+  | Forall (f1, instances) -> (
+      match ac ~family oracle f1 with
+      | None -> None
+      | Some a1 ->
+          let instance_truth (guard, concl) =
+            match ac ~family oracle guard with
+            | None -> Truth.absolutely_true
+            | Some g -> (
+                match ac ~family oracle concl with
+                | None -> Algebra.neg g
+                | Some c -> Algebra.implies family g c)
+          in
+          let body = Algebra.forall family (List.map instance_truth instances) in
+          Some (Algebra.conj family a1 body))
+  | Not_provable (f1, provable) ->
+      if provable then None
+      else
+        (* min(AC F1, 1) = AC F1 *)
+        ac ~family oracle f1
+
+let rec map g = function
+  | Atom a -> Atom (g a)
+  | And (a, b) -> And (map g a, map g b)
+  | Or (a, b) -> Or (map g a, map g b)
+  | Forall (a, instances) ->
+      Forall (map g a, List.map (fun (x, y) -> (map g x, map g y)) instances)
+  | Not_provable (a, p) -> Not_provable (map g a, p)
+
+let atoms f =
+  let rec go acc = function
+    | Atom a -> a :: acc
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Forall (a, instances) ->
+        List.fold_left (fun acc (x, y) -> go (go acc x) y) (go acc a) instances
+    | Not_provable (a, _) -> go acc a
+  in
+  List.rev (go [] f)
+
+let rec size = function
+  | Atom _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Forall (a, instances) ->
+      1 + size a
+      + List.fold_left (fun acc (x, y) -> acc + size x + size y) 0 instances
+  | Not_provable (a, _) -> 1 + size a

@@ -1,0 +1,44 @@
+(** Uncertainty-level propagation: the paper's [AC] function (§VII-F),
+    defined structurally over instantiated formulas of the restricted
+    grammar [F].
+
+    The formula shape mirrors §III-A after instantiation: by the time
+    accuracy is propagated, the inference engine has already enumerated the
+    instances of every bounded universal quantification, so [Forall] holds
+    the finite list of (guard, conclusion) instance pairs, and [Not_provable]
+    records whether the negated subformula turned out provable. *)
+
+type 'atom formula =
+  | Atom of 'atom
+  | And of 'atom formula * 'atom formula
+  | Or of 'atom formula * 'atom formula
+  | Forall of 'atom formula * ('atom formula * 'atom formula) list
+      (** [F1 ∧ (∀Xj)(F2 → F3)]: the positive part and the instance pairs *)
+  | Not_provable of 'atom formula * bool
+      (** [F1 ∧ not F2]: the positive part and whether F2 was provable *)
+
+type 'atom oracle = 'atom -> Truth.t option
+(** Accuracy of an atomic fact; [None] means the fact (with any accuracy)
+    is not provable, which makes the whole computation fail. *)
+
+val ac : ?family:Algebra.family -> 'atom oracle -> 'atom formula -> Truth.t option
+(** The paper's default rules (for [Min_max]; other families substitute
+    their connectives uniformly):
+    - atom: the oracle's accuracy, failure if not provable;
+    - [F1 ∧ F2]: min;  [F1 ∨ F2]: max;
+    - [F1 ∧ ∀(F2→F3)]: [min(AC F1, inf over instances of
+      max(1 − AC F2, AC F3))];
+    - [F1 ∧ not F2]: [min(AC F1, 1)] when F2 is not provable, failure when
+      it is.
+
+    Guarantees (tested): if every atom is classical (accuracy 0 or 1) the
+    result agrees with two-valued logic; the result never exceeds the
+    accuracy that full dependency analysis would give (conservativeness:
+    the min–max result is a lower bound on any consistent assignment). *)
+
+val map : ('a -> 'b) -> 'a formula -> 'b formula
+val atoms : 'a formula -> 'a list
+(** All atoms, left-to-right, including those inside quantifier instances. *)
+
+val size : 'a formula -> int
+(** Number of constructors — used by property tests and benches. *)

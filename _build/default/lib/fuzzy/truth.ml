@@ -1,0 +1,21 @@
+type t = float
+
+let v f =
+  if Float.is_nan f then invalid_arg "Truth.v: NaN"
+  else if f < 0.0 || f > 1.0 then
+    invalid_arg (Printf.sprintf "Truth.v: %g outside [0, 1]" f)
+  else f
+
+let clamp f =
+  if Float.is_nan f then invalid_arg "Truth.clamp: NaN"
+  else Float.min 1.0 (Float.max 0.0 f)
+
+let to_float f = f
+let absolutely_true = 1.0
+let absolutely_false = 0.0
+let is_absolute f = f = 0.0 || f = 1.0
+let of_bool b = if b then 1.0 else 0.0
+let equal = Float.equal
+let compare = Float.compare
+let exceeds f ~threshold = f > threshold
+let pp ppf f = Format.fprintf ppf "%.3f" f

@@ -1,0 +1,29 @@
+(** Fuzzy truth values: the closed interval [0, 1] (§VII-A).
+
+    Zero is interpreted as absolutely false, one as absolutely true, and
+    values in between as degrees of truth. *)
+
+type t = private float
+
+val v : float -> t
+(** Raises [Invalid_argument] on NaN or values outside [0, 1]. *)
+
+val clamp : float -> t
+(** Clamp into [0, 1]; NaN still raises. *)
+
+val to_float : t -> float
+val absolutely_true : t
+val absolutely_false : t
+
+val is_absolute : t -> bool
+(** [true] iff the value is exactly 0 or 1, i.e. classical. *)
+
+val of_bool : bool -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val exceeds : t -> threshold:float -> bool
+(** Strictly greater than the threshold — the test used by threshold
+    meta-models (§VII-C). *)
+
+val pp : Format.formatter -> t -> unit

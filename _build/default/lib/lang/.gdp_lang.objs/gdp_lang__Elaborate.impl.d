@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Ast Filename Float Format Formula Fun Gdp_core Gdp_domain Gdp_fuzzy Gdp_logic Gdp_space Gdp_temporal Gfact Hashtbl Lexer List Meta Names Option Parser Printf Query Spec String

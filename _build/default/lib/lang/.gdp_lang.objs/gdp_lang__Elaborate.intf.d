@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Ast Gdp_core

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Float Format Lexer List Printf String

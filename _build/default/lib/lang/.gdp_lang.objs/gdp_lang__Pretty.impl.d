@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Float Format Formula Gdp_core Gdp_domain Gdp_fuzzy Gdp_logic Gdp_space Gdp_temporal Gfact Hashtbl List Meta Names Printf Spec String

@@ -1,0 +1,251 @@
+type token =
+  | Ident of string
+  | Var of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Punct of string
+  | Raw of string
+  | Eof
+
+type t = { token : token; line : int; col : int }
+
+exception Error of string
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let error st fmt =
+  Format.kasprintf
+    (fun msg -> raise (Error (Printf.sprintf "%d:%d: %s" st.line st.col msg)))
+    fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec go depth =
+        match (peek st, peek2 st) with
+        | None, _ -> error st "unterminated comment"
+        | Some '*', Some '/' ->
+            advance st;
+            advance st;
+            if depth > 1 then go (depth - 1)
+        | Some '/', Some '*' ->
+            advance st;
+            advance st;
+            go (depth + 1)
+        | Some _, _ ->
+            advance st;
+            go depth
+      in
+      go 1;
+      skip_ws st
+  | _ -> ()
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_lower c || is_upper c || is_digit c
+
+let take_while st pred =
+  let start = st.pos in
+  while (match peek st with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_exponent st =
+  (* called with the cursor on 'e'/'E'; only consumes when a digit (with
+     optional sign) follows, so "2e" stays Int 2 + Ident e *)
+  match peek st with
+  | Some ('e' | 'E') -> (
+      let after_sign =
+        match peek2 st with
+        | Some ('+' | '-') ->
+            if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2]
+            else None
+        | other -> other
+      in
+      match after_sign with
+      | Some c when is_digit c ->
+          advance st;
+          let sign =
+            match peek st with
+            | Some (('+' | '-') as c) ->
+                advance st;
+                String.make 1 c
+            | _ -> ""
+          in
+          Some ("e" ^ sign ^ take_while st is_digit)
+      | _ -> None)
+  | _ -> None
+
+let lex_number st =
+  let intpart = take_while st is_digit in
+  let has_frac =
+    peek st = Some '.'
+    && match peek2 st with Some c -> is_digit c | None -> false
+  in
+  if has_frac then begin
+    advance st;
+    let frac = take_while st is_digit in
+    let expo = Option.value (lex_exponent st) ~default:"" in
+    Float (float_of_string (intpart ^ "." ^ frac ^ expo))
+  end
+  else
+    match lex_exponent st with
+    | Some expo -> Float (float_of_string (intpart ^ ".0" ^ expo))
+    | None -> Int (int_of_string intpart)
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some c -> Buffer.add_char buf c
+        | None -> error st "unterminated escape");
+        advance st;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Str (Buffer.contents buf)
+
+(* multi-character operators, longest first *)
+let operators =
+  [ "\\=="; "=:="; "=\\="; "=>"; "<-"; ">="; "=<"; "=="; "\\="; ">"; "<"; "=" ]
+
+let try_operator st =
+  let rest = String.length st.src - st.pos in
+  let matches op =
+    let n = String.length op in
+    n <= rest && String.equal (String.sub st.src st.pos n) op
+  in
+  match List.find_opt matches operators with
+  | Some op ->
+      String.iter (fun _ -> advance st) op;
+      Some (Punct op)
+  | None -> None
+
+let next_token st =
+  skip_ws st;
+  let line = st.line and col = st.col in
+  let token =
+    match peek st with
+    | None -> Eof
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_lower c -> Ident (take_while st is_ident)
+    | Some c when is_upper c -> Var (take_while st is_ident)
+    | Some '"' -> lex_string st
+    | Some ('(' | ')' | '[' | ']' | '{' | '}' | ',' | '.' | ';' | ':' | '\'' | '@'
+          | '&' | '%' | '+' | '-' | '*' | '/' | '|') as some_c ->
+        (match try_operator st with
+        | Some tok -> tok
+        | None ->
+            let c = Option.get some_c in
+            advance st;
+            Punct (String.make 1 c))
+    | Some _ -> (
+        match try_operator st with
+        | Some tok -> tok
+        | None -> error st "unexpected character %C" (Option.get (peek st)))
+  in
+  { token; line; col }
+
+let capture_raw st =
+  (* st is positioned just after the opening '{' *)
+  let buf = Buffer.create 128 in
+  let rec go depth =
+    match peek st with
+    | None -> error st "unterminated raw block"
+    | Some '{' ->
+        Buffer.add_char buf '{';
+        advance st;
+        go (depth + 1)
+    | Some '}' ->
+        advance st;
+        if depth > 1 then begin
+          Buffer.add_char buf '}';
+          go (depth - 1)
+        end
+    | Some '\'' ->
+        (* quoted atom: copy verbatim so braces inside quotes are safe *)
+        Buffer.add_char buf '\'';
+        advance st;
+        let rec copy_quoted () =
+          match peek st with
+          | None -> error st "unterminated quoted atom in raw block"
+          | Some '\'' ->
+              Buffer.add_char buf '\'';
+              advance st
+          | Some c ->
+              Buffer.add_char buf c;
+              advance st;
+              copy_quoted ()
+        in
+        copy_quoted ();
+        go depth
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go depth
+  in
+  go 1;
+  Buffer.contents buf
+
+let tokenize ?(raw_after = []) src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc pending_raw =
+    let tok = next_token st in
+    match tok.token with
+    | Eof -> List.rev (tok :: acc)
+    | Punct "{" when pending_raw ->
+        let line = st.line and col = st.col in
+        let raw = capture_raw st in
+        go ({ token = Raw raw; line; col } :: acc) false
+    | Ident k when List.mem k raw_after -> go (tok :: acc) true
+    | Punct "." -> go (tok :: acc) false
+    | _ -> go (tok :: acc) pending_raw
+  in
+  go [] false
+
+let tokens src = tokenize src
+let tokenize_with_raw_after src ~keywords = tokenize ~raw_after:keywords src

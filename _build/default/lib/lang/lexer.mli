@@ -1,0 +1,31 @@
+(** Lexer for the GDP requirements language. [%] does {e not} start a
+    comment here (it is the accuracy operator); comments are [//] to end
+    of line and [/* ... */] (nesting). *)
+
+type token =
+  | Ident of string  (** lowercase-initial identifier *)
+  | Var of string  (** uppercase/underscore-initial identifier *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Punct of string
+      (** one of ( ) [ ] { } , . ; : ' @ & | and the operators
+          => <- >= =< == \== \= =:= =\= > < = + - * / % *)
+  | Raw of string  (** brace-delimited raw block, braces stripped *)
+  | Eof
+
+type t = { token : token; line : int; col : int }
+
+exception Error of string
+(** Message includes line:col. *)
+
+val tokens : string -> t list
+(** Tokenize fully. Raw blocks are {e not} produced here — see
+    {!raw_block}. *)
+
+val tokenize_with_raw_after : string -> keywords:string list -> t list
+(** Like {!tokens}, but whenever the token sequence
+    [Ident k; ...; Punct "{"] with [k] in [keywords] is seen, the braces'
+    content is captured verbatim as a single [Raw] token (respecting
+    nested braces, quotes and comments). Used for [metamodel name { ... }]
+    blocks whose interior is engine-clause syntax. *)

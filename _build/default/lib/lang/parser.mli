@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the GDP requirements language.
+    See [grammar.md] at the repository root for the grammar. *)
+
+exception Error of string
+(** Message includes line:col and what was expected. *)
+
+val program : string -> Ast.program
+val body : string -> Ast.body
+(** Parse a rule body alone (used by tests and the CLI's query mode). *)
+
+val fact : string -> Ast.fact_atom
+(** Parse a single fact atom (no trailing dot required). *)

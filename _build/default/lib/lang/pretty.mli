@@ -1,0 +1,27 @@
+(** Pretty-printing a specification back to the requirements language.
+
+    [Pretty.spec] emits a program that {!Elaborate.load_string} accepts
+    and that elaborates to an observably equivalent specification
+    (round-trip property-tested in [test/suite_pretty.ml]). Limitations,
+    reported by {!spec} raising [Failure]:
+    - intensional semantic domains built in OCaml (custom [contains]
+      functions) cannot be serialised — only the shapes the language can
+      express (enumerations, ranges, number/text/any) survive;
+    - spec builtins ({!Gdp_core.Spec.declare_builtin}) are OCaml closures
+      and are emitted as a warning comment;
+    - user meta-models round-trip through the engine-clause syntax. *)
+
+val fact : Format.formatter -> Gdp_core.Gfact.t -> unit
+(** One fact pattern in surface syntax (no trailing dot). *)
+
+val formula : Format.formatter -> Gdp_core.Formula.t -> unit
+(** A rule body in surface syntax. *)
+
+val rule : Format.formatter -> Gdp_core.Spec.rule -> unit
+(** A whole [rule ... <- ... .] or [constraint ...] statement. *)
+
+val spec : Format.formatter -> Gdp_core.Spec.t -> unit
+(** The full program: declarations, models ([in m { ... }] blocks for
+    non-default models), meta-models. *)
+
+val spec_to_string : Gdp_core.Spec.t -> string

@@ -1,0 +1,1 @@
+lib/logic/arith.ml: Float Format Int List Subst Term

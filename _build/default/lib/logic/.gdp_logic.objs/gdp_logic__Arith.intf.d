@@ -1,0 +1,1 @@
+lib/logic/arith.mli: Subst Term

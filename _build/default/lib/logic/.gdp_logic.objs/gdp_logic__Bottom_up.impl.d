@@ -1,0 +1,1 @@
+lib/logic/bottom_up.ml: Database List Printf Set Subst Term Unify

@@ -1,0 +1,1 @@
+lib/logic/bottom_up.mli: Database Term

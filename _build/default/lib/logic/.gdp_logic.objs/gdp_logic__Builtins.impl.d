@@ -1,0 +1,1 @@
+lib/logic/builtins.ml: Arith Database Float List Printf Seq Subst Term Unify

@@ -1,0 +1,1 @@
+lib/logic/builtins.mli: Database Term

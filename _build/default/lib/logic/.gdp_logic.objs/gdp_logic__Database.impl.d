@@ -1,0 +1,1 @@
+lib/logic/database.ml: Format Hashtbl Int List Map Printf Seq String Subst Term

@@ -1,0 +1,1 @@
+lib/logic/database.mli: Format Seq Subst Term

@@ -1,0 +1,1 @@
+lib/logic/engine.ml: Builtins Database List Prelude Reader Solve String Subst Term

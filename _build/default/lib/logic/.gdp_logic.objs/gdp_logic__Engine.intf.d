@@ -1,0 +1,1 @@
+lib/logic/engine.mli: Database Solve Term

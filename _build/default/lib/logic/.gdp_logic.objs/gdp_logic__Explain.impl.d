@@ -1,0 +1,1 @@
+lib/logic/explain.ml: Buffer Database Format List Printf Seq Solve String Subst Term Unify

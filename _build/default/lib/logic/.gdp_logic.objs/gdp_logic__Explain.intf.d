@@ -1,0 +1,1 @@
+lib/logic/explain.mli: Database Format Seq Solve Subst Term

@@ -1,0 +1,1 @@
+lib/logic/prelude.ml: Reader

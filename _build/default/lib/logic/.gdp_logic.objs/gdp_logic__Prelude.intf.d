@@ -1,0 +1,1 @@
+lib/logic/prelude.mli: Database

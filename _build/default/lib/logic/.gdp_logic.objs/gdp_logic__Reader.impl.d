@@ -1,0 +1,1 @@
+lib/logic/reader.ml: Buffer Builtins Database Format Hashtbl List Option Printf String Term

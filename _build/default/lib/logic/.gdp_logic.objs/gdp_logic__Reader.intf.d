@@ -1,0 +1,1 @@
+lib/logic/reader.mli: Database Term

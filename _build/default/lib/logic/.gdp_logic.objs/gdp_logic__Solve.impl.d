@@ -1,0 +1,1 @@
+lib/logic/solve.ml: Database List Printf Seq Subst Term Unify

@@ -1,0 +1,1 @@
+lib/logic/solve.mli: Database Seq Subst Term

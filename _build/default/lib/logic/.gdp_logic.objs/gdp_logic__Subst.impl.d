@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Format Int List Map Printf Term

@@ -1,0 +1,1 @@
+lib/logic/term.ml: Float Format Hashtbl Int List String

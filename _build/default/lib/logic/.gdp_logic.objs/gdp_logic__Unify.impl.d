@@ -1,0 +1,1 @@
+lib/logic/unify.ml: List String Subst Term

@@ -1,0 +1,97 @@
+type number = I of int | F of float
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let as_float = function I n -> float_of_int n | F f -> f
+
+let as_int = function
+  | I n -> n
+  | F f ->
+      if Float.is_integer f then int_of_float f
+      else err "integer expected, got %g" f
+
+let to_term = function I n -> Term.Int n | F f -> Term.Float f
+
+let compare_num a b =
+  match (a, b) with
+  | I x, I y -> Int.compare x y
+  | _ -> Float.compare (as_float a) (as_float b)
+
+let promote2 f g a b =
+  match (a, b) with I x, I y -> f x y | _ -> g (as_float a) (as_float b)
+
+let add = promote2 (fun x y -> I (x + y)) (fun x y -> F (x +. y))
+let sub = promote2 (fun x y -> I (x - y)) (fun x y -> F (x -. y))
+let mul = promote2 (fun x y -> I (x * y)) (fun x y -> F (x *. y))
+
+let div a b =
+  match (a, b) with
+  | _, I 0 -> err "division by zero"
+  | I x, I y -> if x mod y = 0 then I (x / y) else F (float_of_int x /. float_of_int y)
+  | _ ->
+      let d = as_float b in
+      if d = 0.0 then err "division by zero" else F (as_float a /. d)
+
+let idiv a b =
+  match (as_int a, as_int b) with
+  | _, 0 -> err "division by zero"
+  | x, y -> I (x / y)
+
+let imod a b =
+  match (as_int a, as_int b) with
+  | _, 0 -> err "division by zero"
+  | x, y -> I (x mod y)
+
+let float1 f a = F (f (as_float a))
+
+let rec eval s (t : Term.t) =
+  match Subst.walk s t with
+  | Term.Int n -> I n
+  | Term.Float f -> F f
+  | Term.Atom "pi" -> F Float.pi
+  | Term.Atom a -> err "unknown arithmetic constant: %s" a
+  | Term.Var v -> err "unbound variable %s in arithmetic expression" v.Term.name
+  | Term.Str _ -> err "string in arithmetic expression"
+  | Term.App (f, args) -> eval_app s f args
+
+and eval_app s f args =
+  let unary g = match args with [ a ] -> g (eval s a) | _ -> arity_err f 1 args
+  and binary g =
+    match args with [ a; b ] -> g (eval s a) (eval s b) | _ -> arity_err f 2 args
+  in
+  match f with
+  | "+" -> binary add
+  | "-" -> (
+      match args with
+      | [ a ] -> ( match eval s a with I n -> I (-n) | F x -> F (-.x))
+      | [ a; b ] -> sub (eval s a) (eval s b)
+      | _ -> arity_err f 2 args)
+  | "*" -> binary mul
+  | "/" -> binary div
+  | "//" -> binary idiv
+  | "mod" -> binary imod
+  | "min" -> binary (fun a b -> if compare_num a b <= 0 then a else b)
+  | "max" -> binary (fun a b -> if compare_num a b >= 0 then a else b)
+  | "abs" -> unary (function I n -> I (abs n) | F x -> F (Float.abs x))
+  | "sign" ->
+      unary (function
+        | I n -> I (compare n 0)
+        | F x -> F (if x > 0. then 1. else if x < 0. then -1. else 0.))
+  | "sqrt" -> unary (float1 sqrt)
+  | "sin" -> unary (float1 sin)
+  | "cos" -> unary (float1 cos)
+  | "tan" -> unary (float1 tan)
+  | "exp" -> unary (float1 exp)
+  | "log" -> unary (float1 log)
+  | "atan2" -> binary (fun a b -> F (Float.atan2 (as_float a) (as_float b)))
+  | "**" -> binary (fun a b -> F (Float.pow (as_float a) (as_float b)))
+  | "float" -> unary (fun a -> F (as_float a))
+  | "truncate" -> unary (fun a -> I (int_of_float (as_float a)))
+  | "round" -> unary (fun a -> I (int_of_float (Float.round (as_float a))))
+  | "ceiling" -> unary (fun a -> I (int_of_float (Float.ceil (as_float a))))
+  | "floor" -> unary (fun a -> I (int_of_float (Float.floor (as_float a))))
+  | _ -> err "unknown arithmetic function: %s/%d" f (List.length args)
+
+and arity_err f n args =
+  err "arithmetic function %s expects %d argument(s), got %d" f n (List.length args)

@@ -1,0 +1,94 @@
+module Term_set = Set.Make (struct
+  type t = Term.t
+
+  let compare = Term.compare
+end)
+
+type fixpoint = { derived : Term_set.t; passes : int }
+
+exception Unsupported of string
+
+let control_functors =
+  [ ","; ";"; "->"; "not"; "\\+"; "call"; "="; "\\="; "=="; "\\==" ]
+
+let check_goal_supported db g =
+  match Term.functor_of g with
+  | None -> raise (Unsupported "non-atom goal")
+  | Some (name, arity) ->
+      if List.mem name control_functors then
+        raise (Unsupported (Printf.sprintf "control construct %s" name));
+      if Database.find_builtin db (name, arity) <> None then
+        raise (Unsupported (Printf.sprintf "builtin %s/%d" name arity))
+
+let check_clause_supported db (c : Database.clause) =
+  List.iter (check_goal_supported db) c.Database.body;
+  (match c.Database.body with
+  | [] ->
+      if not (Term.is_ground c.Database.head) then
+        raise (Unsupported "non-ground fact")
+  | _ -> ());
+  (* range restriction: every head variable occurs in the body *)
+  let body_vars =
+    List.concat_map Term.vars c.Database.body
+    |> List.map (fun (v : Term.var) -> v.Term.id)
+  in
+  List.iter
+    (fun (v : Term.var) ->
+      if not (List.mem v.Term.id body_vars) && c.Database.body <> [] then
+        raise (Unsupported "head variable not bound by the body"))
+    (Term.vars c.Database.head)
+
+let all_clauses db =
+  List.concat_map (fun fa -> Database.all_clauses db fa) (Database.predicates db)
+
+let supported db =
+  match List.iter (check_clause_supported db) (all_clauses db) with
+  | () -> true
+  | exception Unsupported _ -> false
+
+let run ?(max_iterations = 10_000) ?(max_facts = 1_000_000) db =
+  let clauses = all_clauses db in
+  List.iter (check_clause_supported db) clauses;
+  let facts, rules =
+    List.partition (fun (c : Database.clause) -> c.Database.body = []) clauses
+  in
+  let derived =
+    ref
+      (Term_set.of_list (List.map (fun (c : Database.clause) -> c.Database.head) facts))
+  in
+  let passes = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr passes;
+    if !passes > max_iterations then failwith "Bottom_up.run: iteration bound hit";
+    changed := false;
+    List.iter
+      (fun (c : Database.clause) ->
+        let { Database.head; body } = Database.rename_clause c in
+        (* join the body left to right against the derived set *)
+        let rec join subst = function
+          | [] ->
+              let fact = Subst.apply subst head in
+              if not (Term_set.mem fact !derived) then begin
+                derived := Term_set.add fact !derived;
+                if Term_set.cardinal !derived > max_facts then
+                  failwith "Bottom_up.run: fact bound hit";
+                changed := true
+              end
+          | g :: rest ->
+              Term_set.iter
+                (fun fact ->
+                  match Unify.unify subst g fact with
+                  | Some subst' -> join subst' rest
+                  | None -> ())
+                !derived
+        in
+        join Subst.empty body)
+      rules
+  done;
+  { derived = !derived; passes = !passes }
+
+let facts fp = Term_set.elements fp.derived
+let holds fp t = Term_set.mem t fp.derived
+let count fp = Term_set.cardinal fp.derived
+let iterations fp = fp.passes

@@ -1,0 +1,36 @@
+(** Naive bottom-up (fixpoint) evaluation of the positive Datalog
+    fragment: facts plus conjunctive rules without negation, builtins,
+    control constructs or compound-term construction in heads beyond what
+    the facts supply.
+
+    Two uses: materialising the consequences of a requirements base (all
+    realised facts at once, independent of query order), and differential
+    testing of the top-down {!Solve} engine — on the shared fragment both
+    must derive exactly the same ground atoms
+    ([test/suite_engine_props.ml]). *)
+
+type fixpoint
+
+exception Unsupported of string
+(** Raised when the database leaves the fragment: a clause body that uses
+    negation, disjunction, if-then-else, arithmetic or any built-in; a
+    non-range-restricted rule (a head variable absent from the body); or a
+    non-ground fact. *)
+
+val run : ?max_iterations:int -> ?max_facts:int -> Database.t -> fixpoint
+(** Iterate to fixpoint (default bounds: 10_000 iterations, 1_000_000
+    facts — exceeding either raises [Failure], which only unsafe
+    function-symbol recursion can trigger). *)
+
+val facts : fixpoint -> Term.t list
+(** All derived ground atoms, sorted in the standard order of terms. *)
+
+val holds : fixpoint -> Term.t -> bool
+(** Membership of a ground atom. *)
+
+val count : fixpoint -> int
+val iterations : fixpoint -> int
+(** Number of passes until the least fixpoint was reached. *)
+
+val supported : Database.t -> bool
+(** Does the whole database lie in the evaluable fragment? *)

@@ -1,0 +1,365 @@
+let ret subst = Seq.return subst
+let arity_error name n = invalid_arg (Printf.sprintf "%s: expected %d arguments" name n)
+
+let body_to_goals body =
+  let rec go acc = function
+    | Term.App (",", [ a; b ]) -> go (go acc a) b
+    | Term.Atom "true" -> acc
+    | g -> g :: acc
+  in
+  List.rev (go [] body)
+
+let goals_to_body = function
+  | [] -> Term.Atom "true"
+  | g :: gs -> List.fold_left (fun acc g' -> Term.App (",", [ acc; g' ])) g gs
+
+let clause_of_term t =
+  match t with
+  | Term.App (":-", [ head; body ]) -> { Database.head; body = body_to_goals body }
+  | head -> { Database.head; body = [] }
+
+(* -- unification and identity -- *)
+
+let bi_unify (_ : Database.ctx) subst = function
+  | [ a; b ] -> (
+      match Unify.unify subst a b with Some s -> ret s | None -> Seq.empty)
+  | _ -> arity_error "=/2" 2
+
+let bi_not_unify (_ : Database.ctx) subst = function
+  | [ a; b ] -> (
+      match Unify.unify subst a b with Some _ -> Seq.empty | None -> ret subst)
+  | _ -> arity_error "\\=/2" 2
+
+let bi_struct_eq (_ : Database.ctx) subst = function
+  | [ a; b ] ->
+      if Term.equal (Subst.apply subst a) (Subst.apply subst b) then ret subst
+      else Seq.empty
+  | _ -> arity_error "==/2" 2
+
+let bi_struct_neq (_ : Database.ctx) subst = function
+  | [ a; b ] ->
+      if Term.equal (Subst.apply subst a) (Subst.apply subst b) then Seq.empty
+      else ret subst
+  | _ -> arity_error "\\==/2" 2
+
+let bi_compare (_ : Database.ctx) subst = function
+  | [ order; a; b ] -> (
+      let c = Term.compare (Subst.apply subst a) (Subst.apply subst b) in
+      let sym = Term.Atom (if c < 0 then "<" else if c > 0 then ">" else "=") in
+      match Unify.unify subst order sym with Some s -> ret s | None -> Seq.empty)
+  | _ -> arity_error "compare/3" 3
+
+(* -- arithmetic -- *)
+
+let bi_is (_ : Database.ctx) subst = function
+  | [ result; expr ] -> (
+      match Arith.eval subst expr with
+      | exception Arith.Error _ -> Seq.empty
+      | n -> (
+          match Unify.unify subst result (Arith.to_term n) with
+          | Some s -> ret s
+          | None -> Seq.empty))
+  | _ -> arity_error "is/2" 2
+
+let arith_cmp name test (_ : Database.ctx) subst = function
+  | [ a; b ] -> (
+      match (Arith.eval subst a, Arith.eval subst b) with
+      | exception Arith.Error _ -> Seq.empty
+      | x, y -> if test (Arith.compare_num x y) then ret subst else Seq.empty)
+  | _ -> arity_error name 2
+
+let bi_between (_ : Database.ctx) subst = function
+  | [ lo; hi; x ] -> (
+      match (Subst.walk subst lo, Subst.walk subst hi) with
+      | Term.Int l, Term.Int h ->
+          let rec gen i () =
+            if i > h then Seq.Nil
+            else
+              match Unify.unify subst x (Term.Int i) with
+              | Some s -> Seq.Cons (s, gen (i + 1))
+              | None -> gen (i + 1) ()
+          in
+          gen l
+      | _ -> Seq.empty)
+  | _ -> arity_error "between/3" 3
+
+(* -- type tests -- *)
+
+let type_test name test (_ : Database.ctx) subst = function
+  | [ a ] -> if test (Subst.walk subst a) then ret subst else Seq.empty
+  | _ -> arity_error name 1
+
+(* -- term construction -- *)
+
+let bi_functor (ctx : Database.ctx) subst = function
+  | [ t; name; arity ] -> (
+      ignore ctx;
+      match Subst.walk subst t with
+      | Term.Var _ -> (
+          match (Subst.walk subst name, Subst.walk subst arity) with
+          | Term.Atom f, Term.Int 0 -> (
+              match Unify.unify subst t (Term.Atom f) with
+              | Some s -> ret s
+              | None -> Seq.empty)
+          | Term.Atom f, Term.Int n when n > 0 ->
+              let args = List.init n (fun _ -> Term.var "_A") in
+              let built = Term.App (f, args) in
+              (match Unify.unify subst t built with
+              | Some s -> ret s
+              | None -> Seq.empty)
+          | (Term.Int _ | Term.Float _ | Term.Str _), Term.Int 0 -> (
+              match Unify.unify subst t (Subst.walk subst name) with
+              | Some s -> ret s
+              | None -> Seq.empty)
+          | _ -> Seq.empty)
+      | walked ->
+          let f, n =
+            match walked with
+            | Term.App (f, args) -> (Term.Atom f, List.length args)
+            | Term.Atom f -> (Term.Atom f, 0)
+            | (Term.Int _ | Term.Float _ | Term.Str _) as c -> (c, 0)
+            | Term.Var _ -> assert false
+          in
+          (match Unify.unify subst name f with
+          | None -> Seq.empty
+          | Some s -> (
+              match Unify.unify s arity (Term.Int n) with
+              | Some s' -> ret s'
+              | None -> Seq.empty)))
+  | _ -> arity_error "functor/3" 3
+
+let bi_arg (_ : Database.ctx) subst = function
+  | [ idx; t; a ] -> (
+      match (Subst.walk subst idx, Subst.walk subst t) with
+      | Term.Int i, Term.App (_, args) when i >= 1 && i <= List.length args -> (
+          match Unify.unify subst a (List.nth args (i - 1)) with
+          | Some s -> ret s
+          | None -> Seq.empty)
+      | _ -> Seq.empty)
+  | _ -> arity_error "arg/3" 3
+
+let bi_univ (_ : Database.ctx) subst = function
+  | [ t; l ] -> (
+      match Subst.walk subst t with
+      | Term.App (f, args) -> (
+          match Unify.unify subst l (Term.list (Term.Atom f :: args)) with
+          | Some s -> ret s
+          | None -> Seq.empty)
+      | Term.Atom f -> (
+          match Unify.unify subst l (Term.list [ Term.Atom f ]) with
+          | Some s -> ret s
+          | None -> Seq.empty)
+      | (Term.Int _ | Term.Float _ | Term.Str _) as c -> (
+          match Unify.unify subst l (Term.list [ c ]) with
+          | Some s -> ret s
+          | None -> Seq.empty)
+      | Term.Var _ -> (
+          match Term.as_list (Subst.apply subst l) with
+          | Some (Term.Atom f :: args) -> (
+              match Unify.unify subst t (Term.app f args) with
+              | Some s -> ret s
+              | None -> Seq.empty)
+          | Some [ (Term.Int _ | Term.Float _ | Term.Str _) as c ] -> (
+              match Unify.unify subst t c with Some s -> ret s | None -> Seq.empty)
+          | _ -> Seq.empty))
+  | _ -> arity_error "=../2" 2
+
+let bi_copy_term (_ : Database.ctx) subst = function
+  | [ a; b ] -> (
+      let applied = Subst.apply subst a in
+      let { Database.head = copy; _ } =
+        Database.rename_clause { Database.head = applied; body = [] }
+      in
+      match Unify.unify subst b copy with Some s -> ret s | None -> Seq.empty)
+  | _ -> arity_error "copy_term/2" 2
+
+(* -- atoms -- *)
+
+let bi_atom_concat (_ : Database.ctx) subst = function
+  | [ a; b; c ] -> (
+      match (Subst.walk subst a, Subst.walk subst b) with
+      | Term.Atom x, Term.Atom y -> (
+          match Unify.unify subst c (Term.Atom (x ^ y)) with
+          | Some s -> ret s
+          | None -> Seq.empty)
+      | _ -> Seq.empty)
+  | _ -> arity_error "atom_concat/3" 3
+
+let bi_atom_number (_ : Database.ctx) subst = function
+  | [ a; n ] -> (
+      match Subst.walk subst a with
+      | Term.Atom s -> (
+          let parsed =
+            match int_of_string_opt s with
+            | Some i -> Some (Term.Int i)
+            | None -> (
+                match float_of_string_opt s with
+                | Some f -> Some (Term.Float f)
+                | None -> None)
+          in
+          match parsed with
+          | None -> Seq.empty
+          | Some num -> (
+              match Unify.unify subst n num with Some s -> ret s | None -> Seq.empty))
+      | Term.Var _ -> (
+          match Subst.walk subst n with
+          | Term.Int i -> (
+              match Unify.unify subst a (Term.Atom (string_of_int i)) with
+              | Some s -> ret s
+              | None -> Seq.empty)
+          | Term.Float f -> (
+              match Unify.unify subst a (Term.Atom (Printf.sprintf "%g" f)) with
+              | Some s -> ret s
+              | None -> Seq.empty)
+          | _ -> Seq.empty)
+      | _ -> Seq.empty)
+  | _ -> arity_error "atom_number/2" 2
+
+(* -- all-solutions -- *)
+
+let bi_findall (ctx : Database.ctx) subst = function
+  | [ template; goal; result ] -> (
+      let goal = Subst.walk subst goal in
+      let solutions =
+        ctx.Database.prove subst goal
+        |> Seq.map (fun s ->
+               (* Each captured instance gets fresh variables so the results
+                  list carries no bindings out of the inner search. *)
+               let applied = Subst.apply s template in
+               (Database.rename_clause { Database.head = applied; body = [] })
+                 .Database.head)
+        |> List.of_seq
+      in
+      match Unify.unify subst result (Term.list solutions) with
+      | Some s -> ret s
+      | None -> Seq.empty)
+  | _ -> arity_error "findall/3" 3
+
+let numeric_solutions ctx subst template goal =
+  ctx.Database.prove subst goal
+  |> Seq.filter_map (fun s ->
+         match Subst.apply s template with
+         | Term.Int n -> Some (float_of_int n)
+         | Term.Float f -> Some f
+         | _ -> None)
+  |> List.of_seq
+
+let bi_distinct (ctx : Database.ctx) subst = function
+  | [ template; goal; result ] -> (
+      let goal = Subst.walk subst goal in
+      let solutions =
+        ctx.Database.prove subst goal
+        |> Seq.map (fun s -> Subst.apply s template)
+        |> List.of_seq
+        |> List.sort_uniq Term.compare
+      in
+      match Unify.unify subst result (Term.list solutions) with
+      | Some s -> ret s
+      | None -> Seq.empty)
+  | _ -> arity_error "distinct/3" 3
+
+let bi_count_distinct (ctx : Database.ctx) subst = function
+  | [ template; goal; n ] -> (
+      let goal = Subst.walk subst goal in
+      let count =
+        ctx.Database.prove subst goal
+        |> Seq.map (fun s -> Subst.apply s template)
+        |> List.of_seq
+        |> List.sort_uniq Term.compare
+        |> List.length
+      in
+      match Unify.unify subst n (Term.Int count) with
+      | Some s -> ret s
+      | None -> Seq.empty)
+  | _ -> arity_error "count_distinct/3" 3
+
+let bi_aggregate_count (ctx : Database.ctx) subst = function
+  | [ goal; n ] -> (
+      let goal = Subst.walk subst goal in
+      let count = Seq.fold_left (fun acc _ -> acc + 1) 0 (ctx.Database.prove subst goal) in
+      match Unify.unify subst n (Term.Int count) with
+      | Some s -> ret s
+      | None -> Seq.empty)
+  | _ -> arity_error "aggregate_count/2" 2
+
+let numeric_aggregate name combine (ctx : Database.ctx) subst = function
+  | [ template; goal; out ] -> (
+      let goal = Subst.walk subst goal in
+      match combine (numeric_solutions ctx subst template goal) with
+      | None -> Seq.empty
+      | Some v -> (
+          match Unify.unify subst out (Term.Float v) with
+          | Some s -> ret s
+          | None -> Seq.empty))
+  | _ -> arity_error name 3
+
+let sum_list = List.fold_left ( +. ) 0.0
+
+let agg_sum xs = Some (sum_list xs)
+let agg_avg = function [] -> None | xs -> Some (sum_list xs /. float_of_int (List.length xs))
+let agg_max = function [] -> None | x :: xs -> Some (List.fold_left Float.max x xs)
+let agg_min = function [] -> None | x :: xs -> Some (List.fold_left Float.min x xs)
+
+(* -- database update -- *)
+
+let bi_assertz (ctx : Database.ctx) subst = function
+  | [ t ] ->
+      Database.assertz ctx.Database.db (clause_of_term (Subst.apply subst t));
+      ret subst
+  | _ -> arity_error "assertz/1" 1
+
+let bi_asserta (ctx : Database.ctx) subst = function
+  | [ t ] ->
+      Database.asserta ctx.Database.db (clause_of_term (Subst.apply subst t));
+      ret subst
+  | _ -> arity_error "asserta/1" 1
+
+let bi_retract (ctx : Database.ctx) subst = function
+  | [ t ] ->
+      if Database.retract ctx.Database.db (clause_of_term (Subst.apply subst t)) then
+        ret subst
+      else Seq.empty
+  | _ -> arity_error "retract/1" 1
+
+let install db =
+  let reg name arity fn = Database.register_builtin db (name, arity) fn in
+  reg "=" 2 bi_unify;
+  reg "\\=" 2 bi_not_unify;
+  reg "==" 2 bi_struct_eq;
+  reg "\\==" 2 bi_struct_neq;
+  reg "compare" 3 bi_compare;
+  reg "is" 2 bi_is;
+  reg "<" 2 (arith_cmp "</2" (fun c -> c < 0));
+  reg ">" 2 (arith_cmp ">/2" (fun c -> c > 0));
+  reg "=<" 2 (arith_cmp "=</2" (fun c -> c <= 0));
+  reg ">=" 2 (arith_cmp ">=/2" (fun c -> c >= 0));
+  reg "=:=" 2 (arith_cmp "=:=/2" (fun c -> c = 0));
+  reg "=\\=" 2 (arith_cmp "=\\=/2" (fun c -> c <> 0));
+  reg "between" 3 bi_between;
+  reg "var" 1 (type_test "var/1" (function Term.Var _ -> true | _ -> false));
+  reg "nonvar" 1 (type_test "nonvar/1" (function Term.Var _ -> false | _ -> true));
+  reg "atom" 1 (type_test "atom/1" (function Term.Atom _ -> true | _ -> false));
+  reg "number" 1
+    (type_test "number/1" (function Term.Int _ | Term.Float _ -> true | _ -> false));
+  reg "integer" 1 (type_test "integer/1" (function Term.Int _ -> true | _ -> false));
+  reg "float" 1 (type_test "float/1" (function Term.Float _ -> true | _ -> false));
+  reg "string" 1 (type_test "string/1" (function Term.Str _ -> true | _ -> false));
+  reg "compound" 1 (type_test "compound/1" (function Term.App _ -> true | _ -> false));
+  reg "ground" 1 (type_test "ground/1" Term.is_ground);
+  reg "functor" 3 bi_functor;
+  reg "arg" 3 bi_arg;
+  reg "=.." 2 bi_univ;
+  reg "copy_term" 2 bi_copy_term;
+  reg "atom_concat" 3 bi_atom_concat;
+  reg "atom_number" 2 bi_atom_number;
+  reg "findall" 3 bi_findall;
+  reg "distinct" 3 bi_distinct;
+  reg "count_distinct" 3 bi_count_distinct;
+  reg "aggregate_count" 2 bi_aggregate_count;
+  reg "aggregate_sum" 3 (numeric_aggregate "aggregate_sum/3" agg_sum);
+  reg "aggregate_avg" 3 (numeric_aggregate "aggregate_avg/3" agg_avg);
+  reg "aggregate_max" 3 (numeric_aggregate "aggregate_max/3" agg_max);
+  reg "aggregate_min" 3 (numeric_aggregate "aggregate_min/3" agg_min);
+  reg "assertz" 1 bi_assertz;
+  reg "asserta" 1 bi_asserta;
+  reg "retract" 1 bi_retract

@@ -1,0 +1,33 @@
+(** Standard built-in predicates, registered into a {!Database.t}.
+
+    Installed by {!install}:
+    - unification: [=/2], [\=/2]; structural identity: [==/2], [\==/2],
+      [compare/3] (standard order of terms);
+    - arithmetic: [is/2], [</2], [>/2], [=</2], [>=/2], [=:=/2], [=\=/2],
+      [between/3];
+    - type tests: [var/1], [nonvar/1], [atom/1], [number/1], [integer/1],
+      [float/1], [string/1], [compound/1], [ground/1];
+    - term construction: [functor/3], [arg/3], ['=..'/2] (univ, using the
+      engine list encoding), [copy_term/2];
+    - atoms: [atom_concat/3] (forward mode), [atom_number/2];
+    - all-solutions: [findall/3], [distinct/3] (findall, deduplicated and
+      sorted in the standard order), [count_distinct/3],
+      [aggregate_count/2], [aggregate_sum/3],
+      [aggregate_avg/3], [aggregate_max/3], [aggregate_min/3] — the last
+      four take a numeric template and a goal; they are the engine-level
+      support for the paper's [card] and [avg] primitives, which "go
+      outside pure logic" (§VII-B);
+    - database update: [assertz/1], [asserta/1], [retract/1] (argument is a
+      clause term [head], or [':-'(head, body)] with body a [','/2] chain).
+*)
+
+val install : Database.t -> unit
+(** Register all built-ins. Raises [Invalid_argument] if one of the names
+    already has clauses. *)
+
+val body_to_goals : Term.t -> Term.t list
+(** Flatten a [','/2] chain into a goal list (used by [assertz] and the
+    compiler). A sole [true] flattens to the empty list. *)
+
+val goals_to_body : Term.t list -> Term.t
+(** Inverse of {!body_to_goals}; the empty list becomes [true]. *)

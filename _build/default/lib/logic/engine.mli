@@ -1,0 +1,24 @@
+(** Convenience facade over the engine: a ready-to-use database with
+    built-ins and the prelude installed, plus string-level helpers that
+    combine {!Reader} and {!Solve}. *)
+
+val create : unit -> Database.t
+(** Fresh database with {!Builtins.install} and {!Prelude.install} done. *)
+
+val consult : Database.t -> string -> unit
+(** Assert the clauses of a program given in concrete syntax. *)
+
+val ask : ?options:Solve.options -> Database.t -> string -> bool
+(** [ask db "p(X), q(X)"] — is the query provable? *)
+
+val ask_first :
+  ?options:Solve.options -> Database.t -> string -> (string * Term.t) list option
+(** First answer as bindings of the query's named variables. *)
+
+val ask_all :
+  ?options:Solve.options ->
+  ?limit:int ->
+  Database.t ->
+  string ->
+  (string * Term.t) list list
+(** All answers (at most [limit]). *)

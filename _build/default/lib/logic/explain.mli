@@ -1,0 +1,44 @@
+(** Proof-tree extraction: like {!Solve} but each answer carries the
+    derivation that produced it — the evidence a requirements analyst
+    reviews when validating a specification ("why is this fact
+    realised?").
+
+    The prover mirrors {!Solve}'s search exactly (same clause order, same
+    builtins, same options), so a goal is provable here iff it is provable
+    there; only the bookkeeping differs. Negative subproofs record the
+    failed goal, not a refutation tree (negation as failure has none). *)
+
+type proof =
+  | Fact of Term.t  (** matched a unit clause *)
+  | Rule of { goal : Term.t; premises : proof list }
+      (** matched a clause with a body *)
+  | Builtin of Term.t  (** satisfied by a built-in predicate *)
+  | Naf of Term.t  (** [\+ G] succeeded because [G] has no proof *)
+  | Branch of { goal : Term.t; taken : proof }
+      (** a disjunction or if-then-else, with the successful branch *)
+
+val prove :
+  ?options:Solve.options ->
+  Database.t ->
+  Term.t list ->
+  (Subst.t * proof list) Seq.t
+(** One proof list (one proof per conjunct) per answer, lazily. *)
+
+val first :
+  ?options:Solve.options -> Database.t -> Term.t list -> (Subst.t * proof list) option
+
+val goal_of : proof -> Term.t
+val size : proof -> int
+(** Number of nodes. *)
+
+val depth : proof -> int
+
+val pp : ?pp_goal:(Format.formatter -> Term.t -> unit) -> Format.formatter -> proof -> unit
+(** Indented tree; [pp_goal] customises how goals render (the GDP layer
+    passes a printer that restores the paper's fact notation). *)
+
+val to_dot :
+  ?pp_goal:(Format.formatter -> Term.t -> unit) -> proof -> string
+(** GraphViz rendering of the derivation: one node per proof step, edges
+    from conclusions to premises; facts are boxes, builtins are diamonds,
+    negation leaves are dashed. *)

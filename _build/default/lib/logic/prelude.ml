@@ -1,0 +1,52 @@
+let source =
+  {|
+member(X, [X | _]).
+member(X, [_ | T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L) -> true ; fail.
+
+append([], L, L).
+append([H | T], L, [H | R]) :- append(T, L, R).
+
+reverse(L, R) :- reverse_acc(L, [], R).
+reverse_acc([], Acc, Acc).
+reverse_acc([H | T], Acc, R) :- reverse_acc(T, [H | Acc], R).
+
+length([], 0).
+length([_ | T], N) :- length(T, M), N is M + 1.
+
+nth0(0, [X | _], X).
+nth0(N, [_ | T], X) :- N > 0, M is N - 1, nth0(M, T, X).
+
+nth1(N, L, X) :- N > 0, M is N - 1, nth0(M, L, X).
+
+last([X], X).
+last([_ | T], X) :- last(T, X).
+
+select(X, [X | T], T).
+select(X, [H | T], [H | R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [H | T]) :- select(H, L, R), permutation(R, T).
+
+sum_list([], 0).
+sum_list([H | T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X).
+max_list([H | T], M) :- max_list(T, M1), M is max(H, M1).
+
+min_list([X], X).
+min_list([H | T], M) :- min_list(T, M1), M is min(H, M1).
+
+maplist(_, []).
+maplist(G, [H | T]) :- call(G, H), maplist(G, T).
+
+maplist(_, [], []).
+maplist(G, [H | T], [H2 | T2]) :- call(G, H, H2), maplist(G, T, T2).
+
+forall(Cond, Action) :- \+ (Cond, \+ Action).
+
+exclude_all(G, L) :- forall(member(X, L), \+ call(G, X)).
+|}
+
+let install db = Reader.consult db source

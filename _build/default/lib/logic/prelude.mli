@@ -1,0 +1,11 @@
+(** Library predicates defined as ordinary clauses (not built-ins):
+    [member/2], [memberchk/2], [append/3], [reverse/2], [length/2],
+    [nth0/3], [nth1/3], [last/2], [select/3], [permutation/2], [msort/2]
+    (via built-in support), [sum_list/2], [max_list/2], [min_list/2],
+    [maplist/2], [maplist/3], [forall/2], [exclude_all/2].
+
+    [forall(Cond, Action)] is [\+ (Cond, \+ Action)] — the standard Prolog
+    rendering of the paper's bounded universal quantification
+    [∀X (F2 → F3)] (§III-A). *)
+
+val install : Database.t -> unit

@@ -1,0 +1,44 @@
+(** A reader for terms, clauses and programs in Prolog-like concrete
+    syntax. This is the engine-level notation used by tests, the REPL and
+    the prelude; the GDP requirements language (a richer surface syntax)
+    lives in [Gdp_lang] and elaborates into terms via this same term
+    representation.
+
+    Supported syntax: atoms ([foo], ['quoted atom'], symbolic [:-]),
+    variables ([X], [_], [_Foo]; equal names within one read share the
+    variable, [_] is always fresh), integers, floats, double-quoted
+    strings, compounds [f(a, B)], lists [[1, 2 | T]], parenthesised terms,
+    and the standard operator table:
+
+    {v
+    1200  xfx  :-
+    1100  xfy  ;
+    1050  xfy  ->
+    1000  xfy  ,
+     900  fy   \+  not
+     700  xfx  =  \=  ==  \==  is  <  >  =<  >=  =:=  =\=  =..  @<  @>
+     500  yfx  +  -
+     400  yfx  *  /  //  mod
+     200  xfx  **
+     200  fy   -  (unary minus; folded into numeric literals)
+    v} *)
+
+exception Parse_error of string
+(** Message includes line and column. *)
+
+val term : string -> Term.t
+(** Read a single term; the whole input must be consumed (a final [.] is
+    permitted). *)
+
+val clause : string -> Database.clause
+(** Read one clause ([head.] or [head :- body.]). *)
+
+val goals : string -> Term.t list
+(** Read a query: a [,]-separated conjunction (final [.] optional). *)
+
+val program : string -> Database.clause list
+(** Read a sequence of clauses, each ended by [.]; [%] starts a comment to
+    end of line, [/* */] comments nest. *)
+
+val consult : Database.t -> string -> unit
+(** Parse a program and assert every clause, in order. *)

@@ -1,0 +1,184 @@
+type event = Call of int * Term.t | Exit of int * Term.t | Fail of int * Term.t
+
+type options = {
+  max_depth : int;
+  occurs_check : bool;
+  loop_check : bool;
+  on_depth : [ `Fail | `Raise ];
+  trace : (event -> unit) option;
+}
+
+exception Depth_exhausted
+
+let default_options =
+  {
+    max_depth = 100_000;
+    occurs_check = false;
+    loop_check = false;
+    on_depth = `Raise;
+    trace = None;
+  }
+
+type state = { opts : options; db : Database.t; ancestors : Term.t list }
+
+let emit st ev = match st.opts.trace with None -> () | Some f -> f ev
+
+(* The solver threads a depth budget through a depth-first search. Seq
+   laziness gives backtracking for free: each Cons carries the rest of the
+   answer stream as an unevaluated closure. *)
+let rec solve_goal st depth subst (goal : Term.t) : Subst.t Seq.t =
+  let goal = Subst.walk subst goal in
+  match goal with
+  | Term.Var _ -> invalid_arg "Solve: unbound variable used as a goal"
+  | Term.Int _ | Term.Float _ | Term.Str _ ->
+      invalid_arg (Printf.sprintf "Solve: non-callable goal %s" (Term.to_string goal))
+  | Term.Atom "true" -> Seq.return subst
+  | Term.Atom ("fail" | "false") -> Seq.empty
+  | Term.App (",", [ a; b ]) ->
+      Seq.concat_map (fun s -> solve_goal st depth s b) (solve_goal st depth subst a)
+  | Term.App (";", [ Term.App ("->", [ c; t ]); e ]) -> (
+      match Seq.uncons (solve_goal st depth subst c) with
+      | Some (s, _) -> solve_goal st depth s t
+      | None -> solve_goal st depth subst e)
+  | Term.App (";", [ a; b ]) ->
+      Seq.append
+        (fun () -> solve_goal st depth subst a ())
+        (fun () -> solve_goal st depth subst b ())
+  | Term.App ("->", [ c; t ]) -> (
+      match Seq.uncons (solve_goal st depth subst c) with
+      | Some (s, _) -> solve_goal st depth s t
+      | None -> Seq.empty)
+  | Term.App (("not" | "\\+"), [ g ]) -> (
+      match Seq.uncons (solve_goal st depth subst g) with
+      | Some _ -> Seq.empty
+      | None -> Seq.return subst)
+  | Term.App ("call", g :: extra) ->
+      let g = Subst.walk subst g in
+      let called =
+        match (g, extra) with
+        | _, [] -> g
+        | Term.Atom f, _ -> Term.App (f, extra)
+        | Term.App (f, args), _ -> Term.App (f, args @ extra)
+        | _ -> invalid_arg "Solve: call/N on a non-callable term"
+      in
+      solve_goal st depth subst called
+  | Term.Atom _ | Term.App _ -> solve_user st depth subst goal
+
+and solve_user st depth subst goal =
+  let fa =
+    match Term.functor_of goal with Some fa -> fa | None -> assert false
+  in
+  match Database.find_builtin st.db (fst fa, snd fa) with
+  | Some builtin ->
+      let ctx =
+        { Database.db = st.db; prove = (fun s g -> solve_goal st depth s g); depth }
+      in
+      let args = match goal with Term.App (_, args) -> args | _ -> [] in
+      builtin ctx subst args
+  | None ->
+      emit st (Call (depth, Subst.apply subst goal));
+      if depth <= 0 then
+        match st.opts.on_depth with `Raise -> raise Depth_exhausted | `Fail -> Seq.empty
+      else if
+        st.opts.loop_check
+        &&
+        (* up to renaming: recursive expansions freshen variable ids, so
+           exact equality would never prune a non-ground loop *)
+        let g = Subst.apply subst goal in
+        List.exists (Term.variant g) st.ancestors
+      then Seq.empty
+      else begin
+        let st' =
+          if st.opts.loop_check then
+            { st with ancestors = Subst.apply subst goal :: st.ancestors }
+          else st
+        in
+        (* resolve bindings before consulting the clause index, so a body
+           goal whose variables were instantiated by the head unification
+           still benefits from keyed lookup *)
+        let candidates = Database.clauses st.db (Subst.apply subst goal) in
+        let try_clause clause =
+          let { Database.head; body } = Database.rename_clause clause in
+          match Unify.unify ~occurs_check:st.opts.occurs_check subst goal head with
+          | None -> Seq.empty
+          | Some subst' ->
+              let rec conj s = function
+                | [] -> Seq.return s
+                | g :: rest ->
+                    Seq.concat_map
+                      (fun s' -> conj s' rest)
+                      (solve_goal st' (depth - 1) s g)
+              in
+              conj subst' body
+        in
+        let results = Seq.concat_map try_clause (List.to_seq candidates) in
+        let traced =
+          match st.opts.trace with
+          | None -> results
+          | Some _ ->
+              let exhausted = ref false in
+              Seq.append
+                (Seq.map
+                   (fun s ->
+                     emit st (Exit (depth, Subst.apply s goal));
+                     s)
+                   results)
+                (fun () ->
+                  if not !exhausted then begin
+                    exhausted := true;
+                    emit st (Fail (depth, Subst.apply subst goal))
+                  end;
+                  Seq.Nil)
+        in
+        traced
+      end
+
+let solve ?(options = default_options) db goals =
+  let st = { opts = options; db; ancestors = [] } in
+  let rec conj s = function
+    | [] -> Seq.return s
+    | g :: rest ->
+        Seq.concat_map (fun s' -> conj s' rest) (solve_goal st options.max_depth s g)
+  in
+  conj Subst.empty goals
+
+let query ?options db goals =
+  let vs = List.concat_map Term.vars goals in
+  let vs =
+    List.fold_left
+      (fun acc (v : Term.var) ->
+        if List.exists (fun (w : Term.var) -> w.Term.id = v.Term.id) acc then acc
+        else v :: acc)
+      [] vs
+    |> List.rev
+  in
+  Seq.map (fun s -> Subst.restrict vs s) (solve ?options db goals)
+
+let succeeds ?options db goals =
+  match Seq.uncons (solve ?options db goals) with Some _ -> true | None -> false
+
+let first ?options db goals =
+  match Seq.uncons (solve ?options db goals) with
+  | Some (s, _) -> Some s
+  | None -> None
+
+let count ?options ?limit db goals =
+  let seq = solve ?options db goals in
+  let rec go n seq =
+    match limit with
+    | Some l when n >= l -> n
+    | _ -> ( match Seq.uncons seq with None -> n | Some (_, rest) -> go (n + 1) rest)
+  in
+  go 0 seq
+
+let all ?options ?limit db goals =
+  let seq = solve ?options db goals in
+  let rec go acc n seq =
+    match limit with
+    | Some l when n >= l -> List.rev acc
+    | _ -> (
+        match Seq.uncons seq with
+        | None -> List.rev acc
+        | Some (s, rest) -> go (s :: acc) (n + 1) rest)
+  in
+  go [] 0 seq

@@ -1,0 +1,58 @@
+(** SLDNF resolution: depth-first proof search over a {!Database.t} with
+    negation as failure, in the style of the Prolog inference mechanism the
+    paper targets.
+
+    Control constructs are interpreted by the solver itself:
+    [true], [fail]/[false], [','/2] conjunction, [';'/2] disjunction,
+    ['->'/2] inside [';'/2] (if-then-else, committed choice on the
+    condition), [not/1] and ['\\+'/1] (negation as failure), [call/1].
+    Everything else is looked up first among built-ins (see {!Builtins})
+    and then among database clauses. *)
+
+type event =
+  | Call of int * Term.t  (** depth, goal — entering a goal *)
+  | Exit of int * Term.t  (** a solution was produced for the goal *)
+  | Fail of int * Term.t  (** the goal's solution stream is exhausted *)
+
+type options = {
+  max_depth : int;
+      (** resolution-step budget; each user-clause expansion costs 1 *)
+  occurs_check : bool;
+  loop_check : bool;
+      (** fail a goal that is identical up to variable renaming (under the
+          current substitution) to one of its ancestors — a pragmatic guard
+          against left-recursive meta-rule loops. Sound for failure
+          detection on ground goals, but INCOMPLETE in general: a
+          left-recursive predicate queried with free variables may lose
+          answers that need deeper recursion, because the recursive subgoal
+          is a variant of its ancestor. The GDP meta-models only need it on
+          ground(ish) spatial goals, where the pruned branch is exactly the
+          non-productive infinite one. *)
+  on_depth : [ `Fail | `Raise ];
+      (** what to do when the budget runs out: treat the branch as failed
+          (Prolog-like incompleteness, silent) or raise {!Depth_exhausted}
+          so the caller can distinguish "unprovable" from "gave up" *)
+  trace : (event -> unit) option;
+}
+
+exception Depth_exhausted
+
+val default_options : options
+(** [max_depth = 100_000], no occurs check, loop check off, [`Raise]. *)
+
+val solve : ?options:options -> Database.t -> Term.t list -> Subst.t Seq.t
+(** Lazy stream of answer substitutions for the conjunction of goals. *)
+
+val query :
+  ?options:options -> Database.t -> Term.t list -> (string * Term.t) list Seq.t
+(** Like {!solve} but each answer is projected onto the variables that
+    occur in the goals, fully applied — ready for display. *)
+
+val succeeds : ?options:options -> Database.t -> Term.t list -> bool
+val first : ?options:options -> Database.t -> Term.t list -> Subst.t option
+
+val count : ?options:options -> ?limit:int -> Database.t -> Term.t list -> int
+(** Number of solutions, stopping at [limit] if given. *)
+
+val all :
+  ?options:options -> ?limit:int -> Database.t -> Term.t list -> Subst.t list

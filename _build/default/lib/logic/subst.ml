@@ -1,0 +1,37 @@
+module Int_map = Map.Make (Int)
+
+type t = Term.t Int_map.t
+
+let empty = Int_map.empty
+let is_empty = Int_map.is_empty
+let cardinal = Int_map.cardinal
+
+let bind (v : Term.var) t s =
+  if Int_map.mem v.Term.id s then
+    invalid_arg (Printf.sprintf "Subst.bind: variable %s_%d already bound" v.name v.id)
+  else Int_map.add v.Term.id t s
+
+let lookup (v : Term.var) s = Int_map.find_opt v.Term.id s
+
+let rec walk s (t : Term.t) =
+  match t with
+  | Term.Var v -> (
+      match Int_map.find_opt v.Term.id s with Some t' -> walk s t' | None -> t)
+  | _ -> t
+
+let rec apply s t =
+  match walk s t with
+  | Term.App (f, args) -> Term.App (f, List.map (apply s) args)
+  | other -> other
+
+let restrict vs s =
+  List.map (fun (v : Term.var) -> (v.Term.name, apply s (Term.Var v))) vs
+
+let fold = Int_map.fold
+
+let pp ppf s =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (id, t) -> Format.fprintf ppf "_%d := %a" id Term.pp t))
+    (Int_map.bindings s)

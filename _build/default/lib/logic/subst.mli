@@ -1,0 +1,31 @@
+(** Idempotent-by-walking substitutions: finite maps from variable ids to
+    terms, resolved lazily through chains of variable bindings. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val bind : Term.var -> Term.t -> t -> t
+(** [bind v t s] adds the binding [v := t]. Raises [Invalid_argument] if
+    [v] is already bound (bindings are never overwritten during search;
+    backtracking restores earlier substitutions by value semantics). *)
+
+val lookup : Term.var -> t -> Term.t option
+
+val walk : t -> Term.t -> Term.t
+(** [walk s t] dereferences [t] while it is a bound variable; the result is
+    either a non-variable term or an unbound variable. Shallow: arguments
+    of a compound result are not walked. *)
+
+val apply : t -> Term.t -> Term.t
+(** [apply s t] substitutes fully and deeply: no variable bound in [s]
+    occurs in the result. *)
+
+val restrict : Term.var list -> t -> (string * Term.t) list
+(** [restrict vs s] projects [s] onto the given variables, fully applied —
+    the user-facing answer bindings of a query, in the order of [vs]. *)
+
+val fold : (int -> Term.t -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+let rec occurs s (v : Term.var) t =
+  match Subst.walk s t with
+  | Term.Var w -> w.Term.id = v.Term.id
+  | Term.App (_, args) -> List.exists (occurs s v) args
+  | Term.Atom _ | Term.Int _ | Term.Float _ | Term.Str _ -> false
+
+let unify ?(occurs_check = false) s a b =
+  let exception Fail in
+  let rec go s a b =
+    let a = Subst.walk s a and b = Subst.walk s b in
+    match (a, b) with
+    | Term.Var v, Term.Var w when v.Term.id = w.Term.id -> s
+    | Term.Var v, t | t, Term.Var v ->
+        if occurs_check && occurs s v t then raise Fail else Subst.bind v t s
+    | Term.Atom x, Term.Atom y -> if String.equal x y then s else raise Fail
+    | Term.Int x, Term.Int y -> if x = y then s else raise Fail
+    | Term.Float x, Term.Float y -> if x = y then s else raise Fail
+    | Term.Str x, Term.Str y -> if String.equal x y then s else raise Fail
+    | Term.App (f, xs), Term.App (g, ys) ->
+        if String.equal f g && List.length xs = List.length ys then
+          List.fold_left2 go s xs ys
+        else raise Fail
+    | (Term.Atom _ | Term.Int _ | Term.Float _ | Term.Str _ | Term.App _), _ ->
+        raise Fail
+  in
+  match go s a b with exception Fail -> None | s' -> Some s'
+
+let matches s ~pattern subject =
+  let exception Fail in
+  let rec go s pat sub =
+    let pat = Subst.walk s pat in
+    match (pat, sub) with
+    | Term.Var v, t -> Subst.bind v t s
+    | Term.Atom x, Term.Atom y when String.equal x y -> s
+    | Term.Int x, Term.Int y when x = y -> s
+    | Term.Float x, Term.Float y when x = y -> s
+    | Term.Str x, Term.Str y when String.equal x y -> s
+    | Term.App (f, xs), Term.App (g, ys)
+      when String.equal f g && List.length xs = List.length ys ->
+        List.fold_left2 go s xs ys
+    | _ -> raise Fail
+  in
+  match go s pattern subject with exception Fail -> None | s' -> Some s'

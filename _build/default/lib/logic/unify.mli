@@ -1,0 +1,18 @@
+(** Syntactic unification of terms under a substitution. *)
+
+val unify : ?occurs_check:bool -> Subst.t -> Term.t -> Term.t -> Subst.t option
+(** [unify s a b] extends [s] to a most general unifier of [a] and [b], or
+    [None] if they do not unify. [occurs_check] (default [false], matching
+    Prolog practice) rejects bindings [X := t] where [X] occurs in [t];
+    without it such a unification succeeds and builds a cyclic binding,
+    which the engine never constructs from the restricted GDP formula
+    grammar but which user-supplied goals could. *)
+
+val matches : Subst.t -> pattern:Term.t -> Term.t -> Subst.t option
+(** One-way matching: only variables of [pattern] may be bound. The subject
+    term must be ground under the given substitution. Used for clause
+    indexing sanity checks and tests. *)
+
+val occurs : Subst.t -> Term.var -> Term.t -> bool
+(** [occurs s v t] is [true] iff [v] occurs in [t] after walking through
+    the bindings of [s]. *)

@@ -1,0 +1,1 @@
+lib/render/color.ml: Array Float Format List

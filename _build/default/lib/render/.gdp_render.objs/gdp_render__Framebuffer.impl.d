@@ -1,0 +1,1 @@
+lib/render/framebuffer.ml: Array Buffer Char Color Fun Gdp_space Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/render/framebuffer.mli: Color

@@ -1,0 +1,1 @@
+lib/render/map_render.ml: Color Float Framebuffer Gdp_core Gdp_logic Gdp_space Gfact List Printf Query Spec String

@@ -1,0 +1,1 @@
+lib/render/map_render.mli: Color Framebuffer Gdp_core Gdp_logic Gdp_space Gfact Query

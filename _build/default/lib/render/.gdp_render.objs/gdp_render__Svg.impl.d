@@ -1,0 +1,1 @@
+lib/render/svg.ml: Buffer Color Framebuffer Fun List Printf String

@@ -1,0 +1,68 @@
+type t = { r : int; g : int; b : int }
+
+let clamp c = max 0 (min 255 c)
+let v r g b = { r = clamp r; g = clamp g; b = clamp b }
+let black = v 0 0 0
+let white = v 255 255 255
+let red = v 220 50 47
+let green = v 60 160 60
+let blue = v 38 89 196
+let yellow = v 230 200 40
+let cyan = v 42 161 152
+let magenta = v 211 54 130
+let gray l = v l l l
+
+let clamp01 u = Float.max 0.0 (Float.min 1.0 u)
+
+let lerp a b u =
+  let u = clamp01 u in
+  let mix x y = int_of_float (Float.round (float_of_int x +. (u *. float_of_int (y - x)))) in
+  v (mix a.r b.r) (mix a.g b.g) (mix a.b b.b)
+
+let ramp stops u =
+  match stops with
+  | [] -> invalid_arg "Color.ramp: empty stop list"
+  | [ c ] -> c
+  | _ ->
+      let u = clamp01 u in
+      let n = List.length stops - 1 in
+      let scaled = u *. float_of_int n in
+      let i = min (n - 1) (int_of_float scaled) in
+      let frac = scaled -. float_of_int i in
+      lerp (List.nth stops i) (List.nth stops (i + 1)) frac
+
+let grayscale u = ramp [ black; white ] u
+
+let terrain u =
+  ramp
+    [
+      v 8 48 107;    (* deep water *)
+      v 66 146 198;  (* shallow water *)
+      v 65 171 93;   (* lowland *)
+      v 161 130 73;  (* upland *)
+      v 120 92 60;   (* mountain *)
+      white;         (* peak *)
+    ]
+    u
+
+let heat u = ramp [ black; v 180 30 20; v 230 180 40; white ] u
+
+let palette =
+  [|
+    v 31 119 180;
+    v 255 127 14;
+    v 44 160 44;
+    v 214 39 40;
+    v 148 103 189;
+    v 140 86 75;
+    v 227 119 194;
+    v 127 127 127;
+    v 188 189 34;
+    v 23 190 207;
+    v 174 199 232;
+    v 255 187 120;
+  |]
+
+let categorical i = palette.(abs i mod Array.length palette)
+let equal a b = a.r = b.r && a.g = b.g && a.b = b.b
+let pp ppf c = Format.fprintf ppf "#%02x%02x%02x" c.r c.g c.b

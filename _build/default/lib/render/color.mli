@@ -1,0 +1,37 @@
+(** RGB colors, ramps and palettes for map rendering. *)
+
+type t = { r : int; g : int; b : int }
+(** Channels in 0–255. *)
+
+val v : int -> int -> int -> t
+(** Clamps channels into range. *)
+
+val black : t
+val white : t
+val red : t
+val green : t
+val blue : t
+val yellow : t
+val cyan : t
+val magenta : t
+val gray : int -> t
+
+val lerp : t -> t -> float -> t
+(** [lerp a b u], u clamped to [0, 1]. *)
+
+val ramp : t list -> float -> t
+(** Piecewise-linear ramp through the given stops over [0, 1]; raises
+    [Invalid_argument] on an empty stop list. *)
+
+val grayscale : float -> t
+val terrain : float -> t
+(** Deep blue → shallow cyan → green lowland → brown upland → white peak. *)
+
+val heat : float -> t
+(** Black → red → yellow → white. *)
+
+val categorical : int -> t
+(** A 12-color qualitative palette, cycling. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type t = { width : int; height : int; pixels : Color.t array }
+
+let create ?(background = Color.black) ~width ~height () =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Framebuffer.create: non-positive dimensions";
+  { width; height; pixels = Array.make (width * height) background }
+
+let width fb = fb.width
+let height fb = fb.height
+let in_bounds fb x y = x >= 0 && x < fb.width && y >= 0 && y < fb.height
+
+let set fb x y c = if in_bounds fb x y then fb.pixels.((y * fb.width) + x) <- c
+
+let get fb x y =
+  if in_bounds fb x y then fb.pixels.((y * fb.width) + x)
+  else invalid_arg "Framebuffer.get: out of bounds"
+
+let fill fb c = Array.fill fb.pixels 0 (Array.length fb.pixels) c
+
+let fill_rect fb ~x ~y ~w ~h c =
+  for j = y to y + h - 1 do
+    for i = x to x + w - 1 do
+      set fb i j c
+    done
+  done
+
+let draw_line fb (x0, y0) (x1, y1) c =
+  List.iter (fun (x, y) -> set fb x y c) (Gdp_space.Geometry.grid_line (x0, y0) (x1, y1))
+
+let draw_circle fb ~cx ~cy ~r c =
+  if r >= 0 then begin
+    let x = ref r and y = ref 0 and err = ref (1 - r) in
+    while !x >= !y do
+      List.iter
+        (fun (dx, dy) -> set fb (cx + dx) (cy + dy) c)
+        [
+          (!x, !y); (!y, !x); (- !x, !y); (- !y, !x);
+          (!x, - !y); (!y, - !x); (- !x, - !y); (- !y, - !x);
+        ];
+      incr y;
+      if !err < 0 then err := !err + (2 * !y) + 1
+      else begin
+        decr x;
+        err := !err + (2 * (!y - !x)) + 1
+      end
+    done
+  end
+
+let blend fb x y c ~alpha =
+  if in_bounds fb x y then begin
+    let base = fb.pixels.((y * fb.width) + x) in
+    set fb x y (Color.lerp base c alpha)
+  end
+
+let to_ppm fb =
+  let buf = Buffer.create ((fb.width * fb.height * 3) + 32) in
+  Buffer.add_string buf (Printf.sprintf "P6\n%d %d\n255\n" fb.width fb.height);
+  Array.iter
+    (fun (c : Color.t) ->
+      Buffer.add_char buf (Char.chr c.Color.r);
+      Buffer.add_char buf (Char.chr c.Color.g);
+      Buffer.add_char buf (Char.chr c.Color.b))
+    fb.pixels;
+  Buffer.contents buf
+
+let write_ppm fb path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_ppm fb))
+
+let luminance (c : Color.t) =
+  ((0.2126 *. float_of_int c.Color.r)
+  +. (0.7152 *. float_of_int c.Color.g)
+  +. (0.0722 *. float_of_int c.Color.b))
+  /. 255.0
+
+let to_ascii ?(chars = " .:-=+*#%@") fb =
+  let n = String.length chars in
+  let buf = Buffer.create ((fb.width + 1) * fb.height) in
+  for y = 0 to fb.height - 1 do
+    for x = 0 to fb.width - 1 do
+      let l = luminance fb.pixels.((y * fb.width) + x) in
+      let i = min (n - 1) (int_of_float (l *. float_of_int n)) in
+      Buffer.add_char buf chars.[i]
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let histogram fb =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Color.t) ->
+      let key = (c.Color.r, c.Color.g, c.Color.b) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    fb.pixels;
+  Hashtbl.fold (fun (r, g, b) n acc -> (Color.v r g b, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,39 @@
+(** A software raster framebuffer — the reproduction's stand-in for the
+    prototype's Gould DeAnza IP8500 display (DESIGN.md §2). Pixel (0, 0)
+    is the top-left corner. *)
+
+type t
+
+val create : ?background:Color.t -> width:int -> height:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive dimensions. *)
+
+val width : t -> int
+val height : t -> int
+
+val set : t -> int -> int -> Color.t -> unit
+(** Out-of-bounds writes are silently clipped. *)
+
+val get : t -> int -> int -> Color.t
+(** Raises [Invalid_argument] out of bounds. *)
+
+val fill : t -> Color.t -> unit
+val fill_rect : t -> x:int -> y:int -> w:int -> h:int -> Color.t -> unit
+val draw_line : t -> (int * int) -> (int * int) -> Color.t -> unit
+val draw_circle : t -> cx:int -> cy:int -> r:int -> Color.t -> unit
+(** Outline midpoint circle. *)
+
+val blend : t -> int -> int -> Color.t -> alpha:float -> unit
+(** Alpha-blend a color over the existing pixel. *)
+
+val to_ppm : t -> string
+(** Binary PPM (P6). *)
+
+val write_ppm : t -> string -> unit
+(** Write to a file path. *)
+
+val to_ascii : ?chars:string -> t -> string
+(** Luminance-mapped character art, one row per line — the quick-look
+    rendering used in examples and the CLI. *)
+
+val histogram : t -> (Color.t * int) list
+(** Distinct colors with pixel counts, most frequent first. *)

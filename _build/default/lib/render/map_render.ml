@@ -1,0 +1,123 @@
+open Gdp_core
+
+type value_pattern = { pattern : Gfact.t; value_var : Gdp_logic.Term.t }
+
+type layer = {
+  layer_name : string;
+  paint : Query.t -> Gdp_space.Point.t -> Color.t option;
+}
+
+let layer ~name paint = { layer_name = name; paint }
+let layer_name l = l.layer_name
+
+let presence ~name ?(color = Color.red) build =
+  {
+    layer_name = name;
+    paint = (fun q p -> if Query.holds q (build p) then Some color else None);
+  }
+
+let number_of = function
+  | Gdp_logic.Term.Int n -> Some (float_of_int n)
+  | Gdp_logic.Term.Float f -> Some f
+  | _ -> None
+
+let value ~name ?(colormap = Color.terrain) ~lo ~hi build =
+  let span = hi -. lo in
+  {
+    layer_name = name;
+    paint =
+      (fun q p ->
+        let { pattern; value_var } = build p in
+        match Query.solutions ~limit:1 q pattern with
+        | [] -> None
+        | sol :: _ -> (
+            (* recover the value binding by matching the original pattern
+               against the instantiated solution *)
+            let subst =
+              Gdp_logic.Unify.unify Gdp_logic.Subst.empty
+                (Gfact.to_holds ~default_model:"w" pattern)
+                (Gfact.to_holds ~default_model:"w" sol)
+            in
+            match subst with
+            | None -> None
+            | Some s -> (
+                match number_of (Gdp_logic.Subst.apply s value_var) with
+                | None -> None
+                | Some v ->
+                    let u = if span = 0.0 then 0.5 else (v -. lo) /. span in
+                    Some (colormap u))));
+  }
+
+let accuracy_layer ~name ?(colormap = Color.heat) build =
+  {
+    layer_name = name;
+    paint =
+      (fun q p ->
+        match Query.accuracy q (build p) with
+        | Some a -> Some (colormap a)
+        | None -> None);
+  }
+
+let render q ~resolution ~region ?(background = Color.black) ?(cell_px = 1) layers =
+  if cell_px <= 0 then invalid_arg "Map_render.render: cell_px must be positive";
+  let spec = Query.spec q in
+  let res =
+    match Spec.find_space spec resolution with
+    | Some r -> r
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Map_render.render: unknown resolution %s" resolution)
+  in
+  match Gdp_space.Region.bounding_box region with
+  | None -> invalid_arg "Map_render.render: region has no bounding box"
+  | Some (min_x, min_y, max_x, max_y) ->
+      let module R = Gdp_space.Resolution in
+      let i0, j0 = R.cell_index res (Gdp_space.Point.make min_x min_y) in
+      (* a bbox corner exactly on a cell boundary belongs to the previous
+         cell for the purpose of counting covered cells *)
+      let upper_index v origin step lo =
+        let scaled = (v -. origin) /. step in
+        let idx = int_of_float (Float.floor scaled) in
+        if Float.is_integer scaled && idx > lo then idx - 1 else idx
+      in
+      let i1 =
+        upper_index max_x res.R.origin.Gdp_space.Point.x res.R.dx i0
+      and j1 =
+        upper_index max_y res.R.origin.Gdp_space.Point.y res.R.dy j0
+      in
+      let cols = i1 - i0 + 1 and rows = j1 - j0 + 1 in
+      let fb =
+        Framebuffer.create ~background ~width:(cols * cell_px)
+          ~height:(rows * cell_px) ()
+      in
+      for j = j0 to j1 do
+        for i = i0 to i1 do
+          let cx =
+            res.R.origin.Gdp_space.Point.x
+            +. ((float_of_int i +. 0.5) *. res.R.dx)
+          and cy =
+            res.R.origin.Gdp_space.Point.y
+            +. ((float_of_int j +. 0.5) *. res.R.dy)
+          in
+          let p = Gdp_space.Point.make cx cy in
+          if Gdp_space.Region.mem p region then begin
+            let color =
+              List.fold_left
+                (fun acc l -> match l.paint q p with Some c -> Some c | None -> acc)
+                None layers
+            in
+            match color with
+            | None -> ()
+            | Some c ->
+                (* north up: larger j (larger y) maps to smaller pixel row *)
+                let px = (i - i0) * cell_px and py = (j1 - j) * cell_px in
+                Framebuffer.fill_rect fb ~x:px ~y:py ~w:cell_px ~h:cell_px c
+          end
+        done
+      done;
+      fb
+
+let legend layers =
+  layers
+  |> List.map (fun l -> Printf.sprintf "- %s" l.layer_name)
+  |> String.concat "\n"

@@ -1,0 +1,62 @@
+(** Graphical rendering of logical information (§I): paint the answers of
+    GDP queries over a logical space onto a raster, one pixel (or square
+    of pixels) per resolution cell.
+
+    A layer decides the color of a cell from the compiled specification;
+    layers later in the list paint over earlier ones. Rendering never
+    mutates the specification — it is exactly the prototype's read-only
+    display path. *)
+
+open Gdp_core
+
+type value_pattern = { pattern : Gfact.t; value_var : Gdp_logic.Term.t }
+(** A fact pattern together with the variable standing for the numeric
+    value to visualise (the variable must occur in the pattern). *)
+
+type layer
+
+val layer :
+  name:string -> (Query.t -> Gdp_space.Point.t -> Color.t option) -> layer
+(** Fully general layer: return [None] to leave the cell unpainted. *)
+
+val presence :
+  name:string -> ?color:Color.t -> (Gdp_space.Point.t -> Gfact.t) -> layer
+(** Paint cells where the pattern built at the cell's representative point
+    is provable (default color {!Color.red}). *)
+
+val value :
+  name:string ->
+  ?colormap:(float -> Color.t) ->
+  lo:float ->
+  hi:float ->
+  (Gdp_space.Point.t -> value_pattern) ->
+  layer
+(** Paint cells by a numeric value: the first solution's value is
+    normalised into [lo, hi] and mapped through the colormap (default
+    {!Color.terrain}). *)
+
+val accuracy_layer :
+  name:string ->
+  ?colormap:(float -> Color.t) ->
+  (Gdp_space.Point.t -> Gfact.t) ->
+  layer
+(** Paint cells by the unified accuracy of the pattern (default colormap
+    {!Color.heat}) — §VII rendered visibly. *)
+
+val layer_name : layer -> string
+
+val render :
+  Query.t ->
+  resolution:string ->
+  region:Gdp_space.Region.t ->
+  ?background:Color.t ->
+  ?cell_px:int ->
+  layer list ->
+  Framebuffer.t
+(** Raises [Invalid_argument] when the resolution name is not declared in
+    the specification or the region has no bounding box. [cell_px]
+    (default 1) scales each cell to a square of pixels. North is up: the
+    region's maximal y maps to pixel row 0. *)
+
+val legend : layer list -> string
+(** One line per layer. *)

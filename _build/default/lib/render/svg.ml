@@ -1,0 +1,60 @@
+let color_hex (c : Color.t) =
+  Printf.sprintf "#%02x%02x%02x" c.Color.r c.Color.g c.Color.b
+
+let of_framebuffer ?(scale = 4) ?(legend = []) fb =
+  if scale <= 0 then invalid_arg "Svg.of_framebuffer: scale must be positive";
+  let w = Framebuffer.width fb and h = Framebuffer.height fb in
+  let legend_height = if legend = [] then 0 else (List.length legend * 18) + 10 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        shape-rendering=\"crispEdges\">\n"
+       (w * scale)
+       ((h * scale) + legend_height));
+  (* row-wise run-length coalescing *)
+  for y = 0 to h - 1 do
+    let x = ref 0 in
+    while !x < w do
+      let c = Framebuffer.get fb !x y in
+      let run_start = !x in
+      while !x < w && Color.equal (Framebuffer.get fb !x y) c do
+        incr x
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"/>\n"
+           (run_start * scale) (y * scale)
+           ((!x - run_start) * scale)
+           scale (color_hex c))
+    done
+  done;
+  List.iteri
+    (fun i (label, c) ->
+      let y = (h * scale) + 14 + (i * 18) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"4\" y=\"%d\" width=\"12\" height=\"12\" fill=\"%s\"/>\n"
+           (y - 10) (color_hex c));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"22\" y=\"%d\" font-family=\"monospace\" font-size=\"12\">%s</text>\n"
+           y
+           (String.concat ""
+              (List.map
+                 (fun ch ->
+                   match ch with
+                   | '<' -> "&lt;"
+                   | '>' -> "&gt;"
+                   | '&' -> "&amp;"
+                   | c -> String.make 1 c)
+                 (List.init (String.length label) (String.get label))))))
+    legend;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ?scale ?legend fb path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_framebuffer ?scale ?legend fb))

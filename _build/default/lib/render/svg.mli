@@ -1,0 +1,13 @@
+(** Vector rendering of framebuffers and map layers: standalone SVG
+    documents with an optional legend — the publication-quality
+    counterpart of the PPM raster path. *)
+
+val of_framebuffer : ?scale:int -> ?legend:(string * Color.t) list -> Framebuffer.t -> string
+(** One [<rect>] per run of equal-coloured pixels (row-wise run-length
+    coalescing keeps documents small); [scale] (default 4) is the pixel
+    edge in SVG units. The legend renders below the raster. Raises
+    [Invalid_argument] when [scale <= 0]. *)
+
+val write :
+  ?scale:int -> ?legend:(string * Color.t) list -> Framebuffer.t -> string -> unit
+(** Write to a file path. *)

@@ -1,0 +1,1 @@
+lib/space/coord.ml: Float Format Point

@@ -1,0 +1,1 @@
+lib/space/coord.mli: Format Point

@@ -1,0 +1,1 @@
+lib/space/geometry.ml: Array Float List Point

@@ -1,0 +1,1 @@
+lib/space/geometry.mli: Point

@@ -1,0 +1,1 @@
+lib/space/point.ml: Float Format

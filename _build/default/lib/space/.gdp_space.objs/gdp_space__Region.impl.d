@@ -1,0 +1,1 @@
+lib/space/region.ml: Array Float Format List Point

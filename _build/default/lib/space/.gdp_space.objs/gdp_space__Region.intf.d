@@ -1,0 +1,1 @@
+lib/space/region.mli: Format Point

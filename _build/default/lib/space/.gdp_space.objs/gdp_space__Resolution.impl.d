@@ -1,0 +1,1 @@
+lib/space/resolution.ml: Float Format Point Region String

@@ -1,0 +1,1 @@
+lib/space/resolution.mli: Format Point Region

@@ -1,0 +1,76 @@
+type t = Cartesian | Polar | Geographic | Utm of { zone : int }
+
+let earth_radius_m = 6_371_000.0
+let deg_to_rad d = d *. Float.pi /. 180.0
+
+let polar_to_cartesian (p : Point.t) =
+  (* p = (r, theta, z) *)
+  Point.make ~z:p.Point.z (p.Point.x *. cos p.Point.y) (p.Point.x *. sin p.Point.y)
+
+let geographic_to_cartesian (p : Point.t) =
+  (* locally flat: meters east/north of (0, 0), altitude preserved *)
+  let lon = deg_to_rad p.Point.x and lat = deg_to_rad p.Point.y in
+  Point.make ~z:p.Point.z
+    (earth_radius_m *. lon *. cos lat)
+    (earth_radius_m *. lat)
+
+let to_cartesian cs p =
+  match cs with
+  | Cartesian | Utm _ -> p
+  | Polar -> polar_to_cartesian p
+  | Geographic -> geographic_to_cartesian p
+
+let haversine (a : Point.t) (b : Point.t) =
+  let lon1 = deg_to_rad a.Point.x
+  and lat1 = deg_to_rad a.Point.y
+  and lon2 = deg_to_rad b.Point.x
+  and lat2 = deg_to_rad b.Point.y in
+  let dlat = lat2 -. lat1 and dlon = lon2 -. lon1 in
+  let s =
+    (sin (dlat /. 2.0) ** 2.0)
+    +. (cos lat1 *. cos lat2 *. (sin (dlon /. 2.0) ** 2.0))
+  in
+  2.0 *. earth_radius_m *. atan2 (sqrt s) (sqrt (1.0 -. s))
+
+let distance cs a b =
+  match cs with
+  | Cartesian | Utm _ -> Point.euclidean a b
+  | Polar -> Point.euclidean (polar_to_cartesian a) (polar_to_cartesian b)
+  | Geographic ->
+      let ground = haversine a b in
+      let dalt = a.Point.z -. b.Point.z in
+      sqrt ((ground *. ground) +. (dalt *. dalt))
+
+let normalize_angle a =
+  let two_pi = 2.0 *. Float.pi in
+  let a = Float.rem a two_pi in
+  if a < 0.0 then a +. two_pi else a
+
+let planar_direction (a : Point.t) (b : Point.t) =
+  normalize_angle (atan2 (b.Point.y -. a.Point.y) (b.Point.x -. a.Point.x))
+
+let direction cs a b =
+  match cs with
+  | Cartesian | Utm _ -> planar_direction a b
+  | Polar -> planar_direction (polar_to_cartesian a) (polar_to_cartesian b)
+  | Geographic ->
+      let lon1 = deg_to_rad a.Point.x
+      and lat1 = deg_to_rad a.Point.y
+      and lon2 = deg_to_rad b.Point.x
+      and lat2 = deg_to_rad b.Point.y in
+      let dlon = lon2 -. lon1 in
+      let y = sin dlon *. cos lat2 in
+      let x = (cos lat1 *. sin lat2) -. (sin lat1 *. cos lat2 *. cos dlon) in
+      normalize_angle (atan2 y x)
+
+let pp ppf = function
+  | Cartesian -> Format.pp_print_string ppf "cartesian"
+  | Polar -> Format.pp_print_string ppf "polar"
+  | Geographic -> Format.pp_print_string ppf "geographic"
+  | Utm { zone } -> Format.fprintf ppf "utm(zone %d)" zone
+
+let equal c1 c2 =
+  match (c1, c2) with
+  | Cartesian, Cartesian | Polar, Polar | Geographic, Geographic -> true
+  | Utm { zone = z1 }, Utm { zone = z2 } -> z1 = z2
+  | (Cartesian | Polar | Geographic | Utm _), _ -> false

@@ -1,0 +1,42 @@
+(** Coordinate systems for the absolute space (§V-A).
+
+    "The definition of absolute space also includes a distance function
+    and a direction function specific to the coordinate system being used,
+    i.e., polar, Cartesian, universal transverse mercator, etc." Changing
+    the coordinate system affects only this module — not the rules of
+    reasoning about spatial properties, exactly as the paper requires. *)
+
+type t =
+  | Cartesian  (** x/y/z in uniform linear units *)
+  | Polar
+      (** points are (r, θ, z) with θ in radians; distance and direction
+          are computed on the Cartesian image *)
+  | Geographic
+      (** points are (longitude°, latitude°, altitude m); great-circle
+          distance (haversine) on a spherical earth, direction = initial
+          bearing *)
+  | Utm of { zone : int }
+      (** simplified universal transverse mercator: eastings/northings in
+          meters within one zone; planar like Cartesian but carries its
+          zone so cross-zone distances are rejected *)
+
+val to_cartesian : t -> Point.t -> Point.t
+(** Image of a point in a common Cartesian frame (geographic uses a
+    locally flat earth-radius scaling around the point's latitude — used
+    only for rendering, not for distances). *)
+
+val distance : t -> Point.t -> Point.t -> float
+(** Distance between two points expressed in the same system. A [Utm]
+    value denotes a single zone, so both points are in that zone by
+    construction; mixing systems is the caller's error and must be
+    resolved by converting through {!to_cartesian} first. *)
+
+val direction : t -> Point.t -> Point.t -> float
+(** Direction from the first point to the second, in radians in
+    [0, 2π): Cartesian/Utm/Polar measure counterclockwise from the +x
+    axis; Geographic returns the initial great-circle bearing measured
+    clockwise from north. *)
+
+val earth_radius_m : float
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

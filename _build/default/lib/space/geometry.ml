@@ -1,0 +1,103 @@
+let grid_line (x0, y0) (x1, y1) =
+  let dx = abs (x1 - x0) and dy = -abs (y1 - y0) in
+  let sx = if x0 < x1 then 1 else -1 and sy = if y0 < y1 then 1 else -1 in
+  let rec go x y err acc =
+    let acc = (x, y) :: acc in
+    if x = x1 && y = y1 then List.rev acc
+    else begin
+      let e2 = 2 * err in
+      let x, err = if e2 >= dy then (x + sx, err + dy) else (x, err) in
+      let y, err = if e2 <= dx then (y + sy, err + dx) else (y, err) in
+      go x y err acc
+    end
+  in
+  go x0 y0 (dx + dy) []
+
+let cross (o : Point.t) (a : Point.t) (b : Point.t) =
+  ((a.Point.x -. o.Point.x) *. (b.Point.y -. o.Point.y))
+  -. ((a.Point.y -. o.Point.y) *. (b.Point.x -. o.Point.x))
+
+let on_segment (p : Point.t) (q : Point.t) (r : Point.t) =
+  (* r collinear with pq: is r within the bounding box of pq? *)
+  Float.min p.Point.x q.Point.x <= r.Point.x
+  && r.Point.x <= Float.max p.Point.x q.Point.x
+  && Float.min p.Point.y q.Point.y <= r.Point.y
+  && r.Point.y <= Float.max p.Point.y q.Point.y
+
+let segments_intersect (p1, p2) (p3, p4) =
+  let d1 = cross p3 p4 p1
+  and d2 = cross p3 p4 p2
+  and d3 = cross p1 p2 p3
+  and d4 = cross p1 p2 p4 in
+  if
+    ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+    && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+  then true
+  else
+    (d1 = 0.0 && on_segment p3 p4 p1)
+    || (d2 = 0.0 && on_segment p3 p4 p2)
+    || (d3 = 0.0 && on_segment p1 p2 p3)
+    || (d4 = 0.0 && on_segment p1 p2 p4)
+
+let segment_point_distance (a, b) p =
+  let ab = Point.sub b a in
+  let len2 = Point.dot ab ab in
+  if len2 = 0.0 then Point.euclidean a p
+  else begin
+    let t = Float.max 0.0 (Float.min 1.0 (Point.dot (Point.sub p a) ab /. len2)) in
+    Point.euclidean p (Point.add a (Point.scale t ab))
+  end
+
+let convex_hull points =
+  let distinct =
+    List.sort_uniq Point.compare points
+  in
+  match distinct with
+  | [] | [ _ ] | [ _; _ ] -> distinct
+  | _ ->
+      let half pts =
+        List.fold_left
+          (fun hull p ->
+            let rec pop = function
+              | a :: b :: rest when cross b a p <= 0.0 -> pop (b :: rest)
+              | hull -> hull
+            in
+            p :: pop hull)
+          [] pts
+      in
+      let lower = half distinct in
+      let upper = half (List.rev distinct) in
+      (* each half includes both endpoints; drop the duplicated ends *)
+      List.rev (List.tl lower) @ List.rev (List.tl upper)
+
+let polyline_length = function
+  | [] | [ _ ] -> 0.0
+  | pts ->
+      let rec go acc = function
+        | a :: (b :: _ as rest) -> go (acc +. Point.euclidean a b) rest
+        | _ -> acc
+      in
+      go 0.0 pts
+
+let rec douglas_peucker ~epsilon points =
+  match points with
+  | [] | [ _ ] | [ _; _ ] -> points
+  | first :: _ ->
+      let last = List.nth points (List.length points - 1) in
+      let arr = Array.of_list points in
+      let best_i = ref 0 and best_d = ref 0.0 in
+      for i = 1 to Array.length arr - 2 do
+        let d = segment_point_distance (first, last) arr.(i) in
+        if d > !best_d then begin
+          best_d := d;
+          best_i := i
+        end
+      done;
+      if !best_d <= epsilon then [ first; last ]
+      else begin
+        let left = Array.to_list (Array.sub arr 0 (!best_i + 1)) in
+        let right = Array.to_list (Array.sub arr !best_i (Array.length arr - !best_i)) in
+        let l = douglas_peucker ~epsilon left in
+        let r = douglas_peucker ~epsilon right in
+        l @ List.tl r
+      end

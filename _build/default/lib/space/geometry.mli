@@ -1,0 +1,25 @@
+(** Planar geometric algorithms shared by the workload generators, the
+    abstraction rules and the renderer. *)
+
+val grid_line : (int * int) -> (int * int) -> (int * int) list
+(** Bresenham traversal of grid cells from one cell to another, endpoints
+    included — how a zero-width feature (a road, §V-C's area-sampled
+    example) deposits samples in a finite-resolution space. *)
+
+val segments_intersect : Point.t * Point.t -> Point.t * Point.t -> bool
+(** Proper or touching intersection of two closed segments (z ignored). *)
+
+val segment_point_distance : Point.t * Point.t -> Point.t -> float
+(** Euclidean distance from a point to a closed segment (planar). *)
+
+val convex_hull : Point.t list -> Point.t list
+(** Andrew's monotone chain; returns hull vertices in counterclockwise
+    order, without the repeated first point. Fewer than three distinct
+    input points return the distinct points themselves. *)
+
+val polyline_length : Point.t list -> float
+
+val douglas_peucker : epsilon:float -> Point.t list -> Point.t list
+(** Polyline simplification — the classic cartographic generalisation
+    counterpart to the paper's abstraction rules (§V-D): reduce detail
+    when moving to a lower resolution. *)

@@ -1,0 +1,34 @@
+type t = { x : float; y : float; z : float }
+
+let make ?(z = 0.0) x y = { x; y; z }
+let origin = { x = 0.0; y = 0.0; z = 0.0 }
+let equal a b = a.x = b.x && a.y = b.y && a.z = b.z
+
+let compare a b =
+  let c = Float.compare a.x b.x in
+  if c <> 0 then c
+  else
+    let c = Float.compare a.y b.y in
+    if c <> 0 then c else Float.compare a.z b.z
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let scale k a = { x = k *. a.x; y = k *. a.y; z = k *. a.z }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+let norm a = sqrt (dot a a)
+let euclidean a b = norm (sub a b)
+
+let manhattan a b =
+  Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y) +. Float.abs (a.z -. b.z)
+
+let chebyshev a b =
+  Float.max
+    (Float.abs (a.x -. b.x))
+    (Float.max (Float.abs (a.y -. b.y)) (Float.abs (a.z -. b.z)))
+
+let midpoint a b = scale 0.5 (add a b)
+let lerp a b u = add a (scale u (sub b a))
+
+let pp ppf { x; y; z } =
+  if z = 0.0 then Format.fprintf ppf "(%g, %g)" x y
+  else Format.fprintf ppf "(%g, %g, %g)" x y z

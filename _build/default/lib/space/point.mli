@@ -1,0 +1,27 @@
+(** Points of the absolute space (§V-A): coordinate triples over the
+    reals. Planar data uses [z = 0]; all operations are exact on the
+    stored coordinates (interpretation — Cartesian, polar, geographic — is
+    supplied by {!Coord}). *)
+
+type t = { x : float; y : float; z : float }
+
+val make : ?z:float -> float -> float -> t
+val origin : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic by x, then y, then z — a total order used for
+    deterministic iteration. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm : t -> float
+val euclidean : t -> t -> float
+val manhattan : t -> t -> float
+val chebyshev : t -> t -> float
+val midpoint : t -> t -> t
+val lerp : t -> t -> float -> t
+(** [lerp a b u] with [u] in [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit

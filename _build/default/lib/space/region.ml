@@ -1,0 +1,138 @@
+type t =
+  | Rect of { min_x : float; min_y : float; max_x : float; max_y : float }
+  | Circle of { center : Point.t; radius : float }
+  | Polygon of Point.t list
+  | Union of t * t
+  | Intersection of t * t
+  | Difference of t * t
+
+let rect ~min_x ~min_y ~max_x ~max_y =
+  if max_x < min_x || max_y < min_y then
+    invalid_arg "Region.rect: max below min"
+  else Rect { min_x; min_y; max_x; max_y }
+
+let square ~center ~side =
+  let h = side /. 2.0 in
+  rect
+    ~min_x:(center.Point.x -. h)
+    ~min_y:(center.Point.y -. h)
+    ~max_x:(center.Point.x +. h)
+    ~max_y:(center.Point.y +. h)
+
+let circle ~center ~radius =
+  if radius < 0.0 then invalid_arg "Region.circle: negative radius"
+  else Circle { center; radius }
+
+let polygon vertices =
+  if List.length vertices < 3 then
+    invalid_arg "Region.polygon: at least three vertices required"
+  else Polygon vertices
+
+(* Even-odd rule; points exactly on an edge may land either way, which is
+   acceptable for the raster-style sampling the formalism performs. *)
+let point_in_polygon (p : Point.t) vertices =
+  let arr = Array.of_list vertices in
+  let n = Array.length arr in
+  let inside = ref false in
+  for i = 0 to n - 1 do
+    let a = arr.(i) and b = arr.((i + 1) mod n) in
+    let ay = a.Point.y and by = b.Point.y in
+    if ay > p.Point.y <> (by > p.Point.y) then begin
+      let t = (p.Point.y -. ay) /. (by -. ay) in
+      let cross_x = a.Point.x +. (t *. (b.Point.x -. a.Point.x)) in
+      if p.Point.x < cross_x then inside := not !inside
+    end
+  done;
+  !inside
+
+let rec mem p = function
+  | Rect { min_x; min_y; max_x; max_y } ->
+      p.Point.x >= min_x && p.Point.x <= max_x && p.Point.y >= min_y
+      && p.Point.y <= max_y
+  | Circle { center; radius } ->
+      let dx = p.Point.x -. center.Point.x and dy = p.Point.y -. center.Point.y in
+      (dx *. dx) +. (dy *. dy) <= radius *. radius
+  | Polygon vs -> point_in_polygon p vs
+  | Union (a, b) -> mem p a || mem p b
+  | Intersection (a, b) -> mem p a && mem p b
+  | Difference (a, b) -> mem p a && not (mem p b)
+
+let rec bounding_box = function
+  | Rect { min_x; min_y; max_x; max_y } -> Some (min_x, min_y, max_x, max_y)
+  | Circle { center; radius } ->
+      Some
+        ( center.Point.x -. radius,
+          center.Point.y -. radius,
+          center.Point.x +. radius,
+          center.Point.y +. radius )
+  | Polygon vs ->
+      let xs = List.map (fun (p : Point.t) -> p.Point.x) vs
+      and ys = List.map (fun (p : Point.t) -> p.Point.y) vs in
+      Some
+        ( List.fold_left Float.min Float.infinity xs,
+          List.fold_left Float.min Float.infinity ys,
+          List.fold_left Float.max Float.neg_infinity xs,
+          List.fold_left Float.max Float.neg_infinity ys )
+  | Union (a, b) -> (
+      match (bounding_box a, bounding_box b) with
+      | Some (x0, y0, x1, y1), Some (x0', y0', x1', y1') ->
+          Some (Float.min x0 x0', Float.min y0 y0', Float.max x1 x1', Float.max y1 y1')
+      | Some bb, None | None, Some bb -> Some bb
+      | None, None -> None)
+  | Intersection (a, b) -> (
+      match (bounding_box a, bounding_box b) with
+      | Some (x0, y0, x1, y1), Some (x0', y0', x1', y1') ->
+          let bx0 = Float.max x0 x0'
+          and by0 = Float.max y0 y0'
+          and bx1 = Float.min x1 x1'
+          and by1 = Float.min y1 y1' in
+          if bx0 <= bx1 && by0 <= by1 then Some (bx0, by0, bx1, by1) else None
+      | _ -> None)
+  | Difference (a, _) -> bounding_box a
+
+let shoelace vs =
+  let arr = Array.of_list vs in
+  let n = Array.length arr in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let a = arr.(i) and b = arr.((i + 1) mod n) in
+    acc := !acc +. ((a.Point.x *. b.Point.y) -. (b.Point.x *. a.Point.y))
+  done;
+  !acc /. 2.0
+
+let area = function
+  | Rect { min_x; min_y; max_x; max_y } -> Some ((max_x -. min_x) *. (max_y -. min_y))
+  | Circle { radius; _ } -> Some (Float.pi *. radius *. radius)
+  | Polygon vs -> Some (Float.abs (shoelace vs))
+  | Union _ | Intersection _ | Difference _ -> None
+
+let centroid = function
+  | Rect { min_x; min_y; max_x; max_y } ->
+      Some (Point.make ((min_x +. max_x) /. 2.0) ((min_y +. max_y) /. 2.0))
+  | Circle { center; _ } -> Some center
+  | Polygon vs ->
+      let a = shoelace vs in
+      if a = 0.0 then None
+      else begin
+        let arr = Array.of_list vs in
+        let n = Array.length arr in
+        let cx = ref 0.0 and cy = ref 0.0 in
+        for i = 0 to n - 1 do
+          let p = arr.(i) and q = arr.((i + 1) mod n) in
+          let w = (p.Point.x *. q.Point.y) -. (q.Point.x *. p.Point.y) in
+          cx := !cx +. ((p.Point.x +. q.Point.x) *. w);
+          cy := !cy +. ((p.Point.y +. q.Point.y) *. w)
+        done;
+        Some (Point.make (!cx /. (6.0 *. a)) (!cy /. (6.0 *. a)))
+      end
+  | Union _ | Intersection _ | Difference _ -> None
+
+let rec pp ppf = function
+  | Rect { min_x; min_y; max_x; max_y } ->
+      Format.fprintf ppf "rect[%g,%g - %g,%g]" min_x min_y max_x max_y
+  | Circle { center; radius } ->
+      Format.fprintf ppf "circle[%a r=%g]" Point.pp center radius
+  | Polygon vs -> Format.fprintf ppf "polygon[%d vertices]" (List.length vs)
+  | Union (a, b) -> Format.fprintf ppf "(%a ∪ %a)" pp a pp b
+  | Intersection (a, b) -> Format.fprintf ppf "(%a ∩ %a)" pp a pp b
+  | Difference (a, b) -> Format.fprintf ppf "(%a \\ %a)" pp a pp b

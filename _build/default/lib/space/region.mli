@@ -1,0 +1,36 @@
+(** Regions of the plane: the finite areas over which spatial operators
+    quantify, and the shapes used by workload generators and rendering.
+    Regions are planar (the z coordinate is ignored). *)
+
+type t =
+  | Rect of { min_x : float; min_y : float; max_x : float; max_y : float }
+  | Circle of { center : Point.t; radius : float }
+  | Polygon of Point.t list  (** simple polygon, vertices in order *)
+  | Union of t * t
+  | Intersection of t * t
+  | Difference of t * t
+
+val rect : min_x:float -> min_y:float -> max_x:float -> max_y:float -> t
+(** Raises [Invalid_argument] when max < min on either axis. *)
+
+val square : center:Point.t -> side:float -> t
+val circle : center:Point.t -> radius:float -> t
+val polygon : Point.t list -> t
+(** Raises [Invalid_argument] on fewer than three vertices. *)
+
+val mem : Point.t -> t -> bool
+(** Point-in-region; polygon membership by the even–odd (ray crossing)
+    rule, boundary points counted inside for rectangles and circles. *)
+
+val bounding_box : t -> (float * float * float * float) option
+(** [min_x, min_y, max_x, max_y]; [None] for a degenerate empty
+    difference — conservative (may over-approximate for differences). *)
+
+val area : t -> float option
+(** Exact for rectangles, circles and simple polygons (shoelace);
+    [None] for set combinations. *)
+
+val centroid : t -> Point.t option
+(** Exact for rectangles, circles, simple polygons. *)
+
+val pp : Format.formatter -> t -> unit

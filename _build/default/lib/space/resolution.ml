@@ -1,0 +1,85 @@
+type t = { name : string; origin : Point.t; dx : float; dy : float }
+
+let make ?(name = "") ?(origin = Point.origin) ~dx ~dy () =
+  if not (dx > 0.0 && dy > 0.0) then
+    invalid_arg "Resolution.make: cell steps must be positive"
+  else { name; origin; dx; dy }
+
+let uniform ?name side = make ?name ~dx:side ~dy:side ()
+
+let cell_index r (p : Point.t) =
+  ( int_of_float (Float.floor ((p.Point.x -. r.origin.Point.x) /. r.dx)),
+    int_of_float (Float.floor ((p.Point.y -. r.origin.Point.y) /. r.dy)) )
+
+let cell_origin r (i, j) =
+  Point.make
+    (r.origin.Point.x +. (float_of_int i *. r.dx))
+    (r.origin.Point.y +. (float_of_int j *. r.dy))
+
+let apply r p =
+  let i, j = cell_index r p in
+  let o = cell_origin r (i, j) in
+  Point.make ~z:p.Point.z (o.Point.x +. (r.dx /. 2.0)) (o.Point.y +. (r.dy /. 2.0))
+
+let same_cell r p1 p2 = cell_index r p1 = cell_index r p2
+
+let cell_region r p =
+  let i, j = cell_index r p in
+  let o = cell_origin r (i, j) in
+  Region.rect ~min_x:o.Point.x ~min_y:o.Point.y ~max_x:(o.Point.x +. r.dx)
+    ~max_y:(o.Point.y +. r.dy)
+
+let cell_area r = r.dx *. r.dy
+
+let almost_integer f = Float.abs (f -. Float.round f) < 1e-9
+
+let refines ~fine ~coarse =
+  let ok step_f step_c off =
+    let ratio = step_c /. step_f in
+    ratio >= 1.0 -. 1e-9 && almost_integer ratio && almost_integer (off /. step_f)
+  in
+  ok fine.dx coarse.dx (coarse.origin.Point.x -. fine.origin.Point.x)
+  && ok fine.dy coarse.dy (coarse.origin.Point.y -. fine.origin.Point.y)
+
+let representatives_gen ~keep r region =
+  match Region.bounding_box region with
+  | None -> invalid_arg "Resolution.representatives: region has no bounding box"
+  | Some (min_x, min_y, max_x, max_y) ->
+      let i0, j0 = cell_index r (Point.make min_x min_y) in
+      let i1, j1 = cell_index r (Point.make max_x max_y) in
+      let acc = ref [] in
+      (* row-major, reversed construction for an increasing final order *)
+      for j = j1 downto j0 do
+        for i = i1 downto i0 do
+          let o = cell_origin r (i, j) in
+          let center =
+            Point.make (o.Point.x +. (r.dx /. 2.0)) (o.Point.y +. (r.dy /. 2.0))
+          in
+          if keep center then acc := center :: !acc
+        done
+      done;
+      !acc
+
+let representatives r region =
+  representatives_gen ~keep:(fun c -> Region.mem c region) r region
+
+let representatives_touching r region =
+  representatives_gen ~keep:(fun _ -> true) r region
+
+let subcell_representatives ~fine ~coarse p =
+  if not (refines ~fine ~coarse) then
+    invalid_arg "Resolution.subcell_representatives: not a refinement";
+  let region = cell_region coarse p in
+  (* fine cells are wholly inside the coarse cell, so keeping centres
+     inside the (closed) rectangle is exact *)
+  representatives fine region
+
+let equal r1 r2 =
+  String.equal r1.name r2.name
+  && Point.equal r1.origin r2.origin
+  && r1.dx = r2.dx && r1.dy = r2.dy
+
+let pp ppf r =
+  Format.fprintf ppf "%s(origin=%a, dx=%g, dy=%g)"
+    (if String.equal r.name "" then "R" else r.name)
+    Point.pp r.origin r.dx r.dy

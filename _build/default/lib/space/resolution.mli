@@ -1,0 +1,61 @@
+(** Planar resolution functions: logical space and finite resolution
+    (§V-B).
+
+    A resolution function R partitions the absolute space into rectangular
+    patches and maps every point of a patch to the patch's representative
+    point, "reducing patches from the absolute space into single points in
+    the logical space". Grid cells are half-open
+    [ox + i·dx, ox + (i+1)·dx) × [oy + j·dy, oy + (j+1)·dy) and the
+    representative point is the cell centre. *)
+
+type t = private {
+  name : string;
+  origin : Point.t;
+  dx : float;
+  dy : float;
+}
+
+val make : ?name:string -> ?origin:Point.t -> dx:float -> dy:float -> unit -> t
+(** Raises [Invalid_argument] unless both steps are positive. *)
+
+val uniform : ?name:string -> float -> t
+(** Square cells anchored at the origin. *)
+
+val apply : t -> Point.t -> Point.t
+(** R(p): the representative point (cell centre; z is preserved).
+    Idempotent. *)
+
+val same_cell : t -> Point.t -> Point.t -> bool
+(** R(p1) = R(p2). *)
+
+val cell_index : t -> Point.t -> int * int
+val cell_region : t -> Point.t -> Region.t
+(** The rectangular patch whose points all map to [apply r p]. *)
+
+val cell_area : t -> float
+
+val refines : fine:t -> coarse:t -> bool
+(** The paper's refinement relation [R2 >> R1] ([fine = R2],
+    [coarse = R1]): whenever two points share a fine cell they also share
+    a coarse cell. For grids: both coarse steps are positive integer
+    multiples of the fine steps and the origins are aligned modulo the
+    fine steps. Reflexive and transitive (property-tested). *)
+
+val representatives : t -> Region.t -> Point.t list
+(** Representative points of all cells whose centre lies in the region, in
+    row-major order (deterministic). Raises [Invalid_argument] when the
+    region has no bounding box. *)
+
+val representatives_touching : t -> Region.t -> Point.t list
+(** Like {!representatives} but keeps every cell whose rectangle
+    intersects the region's bounding box — used when sampling must not
+    miss boundary cells. *)
+
+val subcell_representatives : fine:t -> coarse:t -> Point.t -> Point.t list
+(** Representative points of the fine cells that make up the coarse cell
+    containing the given point (the "high resolution subareas of a low
+    resolution area"). Raises [Invalid_argument] unless
+    [refines ~fine ~coarse]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

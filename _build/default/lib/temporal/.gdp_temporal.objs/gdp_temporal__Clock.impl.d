@@ -1,0 +1,1 @@
+lib/temporal/clock.ml: Interval Resolution1d

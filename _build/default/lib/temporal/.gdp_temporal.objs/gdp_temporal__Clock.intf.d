@@ -1,0 +1,1 @@
+lib/temporal/clock.mli: Interval Resolution1d

@@ -1,0 +1,1 @@
+lib/temporal/resolution1d.ml: Float Format Interval List String

@@ -1,0 +1,1 @@
+lib/temporal/resolution1d.mli: Format Interval

@@ -1,0 +1,32 @@
+type t = { mutable current : float; resolution : Resolution1d.t option }
+
+let create ?resolution ~now () = { current = now; resolution }
+let now c = c.current
+let set c t = c.current <- t
+
+let advance c d =
+  if d < 0.0 then invalid_arg "Clock.advance: negative step"
+  else c.current <- c.current +. d
+
+let resolution c = c.resolution
+
+let present_cell c =
+  match c.resolution with
+  | None -> Interval.at c.current
+  | Some r -> Resolution1d.cell_of r c.current
+
+let present c t = Interval.mem t (present_cell c)
+
+let past c t =
+  (not (present c t))
+  &&
+  match c.resolution with
+  | None -> t < c.current
+  | Some r -> Resolution1d.apply r t < Resolution1d.apply r c.current
+
+let future c t = (not (present c t)) && not (past c t)
+
+let resolve_now c = function
+  | Interval.Unbounded -> Interval.Unbounded
+  | Interval.Inclusive d -> Interval.Inclusive (c.current +. d)
+  | Interval.Exclusive d -> Interval.Exclusive (c.current +. d)

@@ -1,0 +1,33 @@
+(** The present moment (§VI-B).
+
+    "Statically, the present moment is a unique point in time separating
+    past from future"; the [now] place holder expresses facts whose truth
+    changes as the present moves. The clock is explicit and settable so
+    that requirements evaluation can replay the dynamics of time
+    deterministically (no wall-clock dependence).
+
+    With a resolution, "present" widens from a point to the logical-time
+    cell containing [now] — e.g. at a one-year step, [present 1990.5] holds
+    throughout 1990. *)
+
+type t
+
+val create : ?resolution:Resolution1d.t -> now:float -> unit -> t
+val now : t -> float
+val set : t -> float -> unit
+val advance : t -> float -> unit
+(** [advance c d] moves the present forward by [d]; raises
+    [Invalid_argument] when [d] is negative (time does not flow backward). *)
+
+val resolution : t -> Resolution1d.t option
+
+val past : t -> float -> bool
+(** Strictly before the present cell (or point, without a resolution). *)
+
+val present : t -> float -> bool
+val future : t -> float -> bool
+
+val resolve_now : t -> Interval.bound -> Interval.bound
+(** Substitute the current instant for symbolic bounds produced by the
+    formalism's [now ± d] expressions: the bound value is shifted by the
+    clock reading at call time. Identity on [Unbounded]. *)

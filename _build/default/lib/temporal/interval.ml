@@ -1,0 +1,194 @@
+type bound = Unbounded | Inclusive of float | Exclusive of float
+type t = { lower : bound; upper : bound }
+
+let nonempty lower upper =
+  match (lower, upper) with
+  | Unbounded, _ | _, Unbounded -> true
+  | Inclusive a, Inclusive b -> a <= b
+  | Inclusive a, Exclusive b | Exclusive a, Inclusive b | Exclusive a, Exclusive b ->
+      a < b
+
+let make lower upper = if nonempty lower upper then Some { lower; upper } else None
+
+let closed t1 t2 =
+  if t2 < t1 then invalid_arg "Interval.closed: upper bound below lower bound"
+  else { lower = Inclusive t1; upper = Inclusive t2 }
+
+let open_ t1 t2 =
+  if t2 <= t1 then invalid_arg "Interval.open_: empty interval"
+  else { lower = Exclusive t1; upper = Exclusive t2 }
+
+let left_open t1 t2 =
+  if t2 <= t1 then invalid_arg "Interval.left_open: empty interval"
+  else { lower = Exclusive t1; upper = Inclusive t2 }
+
+let right_open t1 t2 =
+  if t2 <= t1 then invalid_arg "Interval.right_open: empty interval"
+  else { lower = Inclusive t1; upper = Exclusive t2 }
+
+let at t = { lower = Inclusive t; upper = Inclusive t }
+let always = { lower = Unbounded; upper = Unbounded }
+let from t = { lower = Inclusive t; upper = Unbounded }
+let until t = { lower = Unbounded; upper = Inclusive t }
+
+let mem x { lower; upper } =
+  (match lower with
+  | Unbounded -> true
+  | Inclusive a -> x >= a
+  | Exclusive a -> x > a)
+  &&
+  match upper with Unbounded -> true | Inclusive b -> x <= b | Exclusive b -> x < b
+
+let is_instant = function
+  | { lower = Inclusive a; upper = Inclusive b } -> a = b
+  | _ -> false
+
+let duration { lower; upper } =
+  match (lower, upper) with
+  | Unbounded, _ | _, Unbounded -> None
+  | (Inclusive a | Exclusive a), (Inclusive b | Exclusive b) -> Some (b -. a)
+
+(* A lower bound is tighter when it excludes more points from below. *)
+let max_lower a b =
+  match (a, b) with
+  | Unbounded, x | x, Unbounded -> x
+  | Inclusive x, Inclusive y -> Inclusive (Float.max x y)
+  | Exclusive x, Exclusive y -> Exclusive (Float.max x y)
+  | Inclusive x, Exclusive y | Exclusive y, Inclusive x ->
+      if y >= x then Exclusive y else Inclusive x
+
+let min_upper a b =
+  match (a, b) with
+  | Unbounded, x | x, Unbounded -> x
+  | Inclusive x, Inclusive y -> Inclusive (Float.min x y)
+  | Exclusive x, Exclusive y -> Exclusive (Float.min x y)
+  | Inclusive x, Exclusive y | Exclusive y, Inclusive x ->
+      if y <= x then Exclusive y else Inclusive x
+
+let intersect i1 i2 = make (max_lower i1.lower i2.lower) (min_upper i1.upper i2.upper)
+
+(* The looser of two lower bounds (covers more points). *)
+let min_lower a b =
+  match (a, b) with
+  | Unbounded, _ | _, Unbounded -> Unbounded
+  | Inclusive x, Inclusive y -> Inclusive (Float.min x y)
+  | Exclusive x, Exclusive y -> Exclusive (Float.min x y)
+  | Inclusive x, Exclusive y | Exclusive y, Inclusive x ->
+      if x <= y then Inclusive x else Exclusive y
+
+let max_upper a b =
+  match (a, b) with
+  | Unbounded, _ | _, Unbounded -> Unbounded
+  | Inclusive x, Inclusive y -> Inclusive (Float.max x y)
+  | Exclusive x, Exclusive y -> Exclusive (Float.max x y)
+  | Inclusive x, Exclusive y | Exclusive y, Inclusive x ->
+      if x >= y then Inclusive x else Exclusive y
+
+(* Two intervals are connected when they overlap or merely touch: the gap
+   between one's upper and the other's lower bound is empty. *)
+let connected i1 i2 =
+  let no_gap upper lower =
+    match (upper, lower) with
+    | Unbounded, _ | _, Unbounded -> true
+    | Inclusive b, Inclusive a -> a <= b
+    | Inclusive b, Exclusive a | Exclusive b, Inclusive a -> a <= b
+    | Exclusive b, Exclusive a -> a < b
+  in
+  no_gap i1.upper i2.lower && no_gap i2.upper i1.lower
+
+let union_if_connected i1 i2 =
+  if connected i1 i2 then make (min_lower i1.lower i2.lower) (max_upper i1.upper i2.upper)
+  else None
+
+let lower_geq a b =
+  (* every point admitted by lower bound [a] is admitted by [b] *)
+  match (b, a) with
+  | Unbounded, _ -> true
+  | _, Unbounded -> false
+  | Inclusive y, Inclusive x | Exclusive y, Exclusive x -> x >= y
+  | Inclusive y, Exclusive x -> x >= y
+  | Exclusive y, Inclusive x -> x > y
+
+let upper_leq a b =
+  match (b, a) with
+  | Unbounded, _ -> true
+  | _, Unbounded -> false
+  | Inclusive y, Inclusive x | Exclusive y, Exclusive x -> x <= y
+  | Inclusive y, Exclusive x -> x <= y
+  | Exclusive y, Inclusive x -> x < y
+
+let subset i ~of_ = lower_geq i.lower of_.lower && upper_leq i.upper of_.upper
+
+let before i1 i2 =
+  match (i1.upper, i2.lower) with
+  | Unbounded, _ | _, Unbounded -> false
+  | Inclusive b, Inclusive a -> b < a
+  | Inclusive b, Exclusive a | Exclusive b, Inclusive a -> b <= a
+  | Exclusive b, Exclusive a -> b <= a
+
+type allen =
+  | Before
+  | After
+  | Meets
+  | Met_by
+  | Overlaps
+  | Overlapped_by
+  | Starts
+  | Started_by
+  | During
+  | Contains
+  | Finishes
+  | Finished_by
+  | Equals
+
+let allen i1 i2 =
+  match (i1, i2) with
+  | ( { lower = Inclusive a1; upper = Inclusive b1 },
+      { lower = Inclusive a2; upper = Inclusive b2 } ) ->
+      Some
+        (if b1 < a2 then Before
+         else if b2 < a1 then After
+         else if b1 = a2 && a1 < a2 && b1 < b2 then Meets
+         else if b2 = a1 && a2 < a1 && b2 < b1 then Met_by
+         else if a1 = a2 && b1 = b2 then Equals
+         else if a1 = a2 && b1 < b2 then Starts
+         else if a1 = a2 && b1 > b2 then Started_by
+         else if b1 = b2 && a1 > a2 then Finishes
+         else if b1 = b2 && a1 < a2 then Finished_by
+         else if a1 > a2 && b1 < b2 then During
+         else if a1 < a2 && b1 > b2 then Contains
+         else if a1 < a2 && b1 >= a2 && b1 < b2 then Overlaps
+         else Overlapped_by)
+  | _ -> None
+
+let pp_bound_lower ppf = function
+  | Unbounded -> Format.pp_print_string ppf "(-inf"
+  | Inclusive a -> Format.fprintf ppf "[%g" a
+  | Exclusive a -> Format.fprintf ppf "(%g" a
+
+let pp_bound_upper ppf = function
+  | Unbounded -> Format.pp_print_string ppf "+inf)"
+  | Inclusive b -> Format.fprintf ppf "%g]" b
+  | Exclusive b -> Format.fprintf ppf "%g)" b
+
+let pp ppf { lower; upper } =
+  Format.fprintf ppf "%a, %a" pp_bound_lower lower pp_bound_upper upper
+
+let pp_allen ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Before -> "before"
+    | After -> "after"
+    | Meets -> "meets"
+    | Met_by -> "met-by"
+    | Overlaps -> "overlaps"
+    | Overlapped_by -> "overlapped-by"
+    | Starts -> "starts"
+    | Started_by -> "started-by"
+    | During -> "during"
+    | Contains -> "contains"
+    | Finishes -> "finishes"
+    | Finished_by -> "finished-by"
+    | Equals -> "equals")
+
+let equal i1 i2 = i1.lower = i2.lower && i1.upper = i2.upper

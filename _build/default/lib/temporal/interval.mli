@@ -1,0 +1,79 @@
+(** Time intervals with open/closed/infinite bounds.
+
+    §VI-B extends the interval-uniform temporal operator with the four
+    bound combinations [t1,t2], (t1,t2], [t1,t2), (t1,t2); this module is
+    the underlying interval algebra, including the thirteen Allen
+    relations used to reason about relative temporal position. *)
+
+type bound = Unbounded | Inclusive of float | Exclusive of float
+
+type t = private { lower : bound; upper : bound }
+(** Invariant: the interval is non-empty (lower < upper, or lower = upper
+    with both bounds inclusive). *)
+
+val make : bound -> bound -> t option
+(** [None] when the bounds describe an empty set. *)
+
+val closed : float -> float -> t
+(** [t1, t2]; raises [Invalid_argument] if [t2 < t1]. *)
+
+val open_ : float -> float -> t
+(** (t1, t2); raises if [t2 <= t1]. *)
+
+val left_open : float -> float -> t
+(** (t1, t2]. *)
+
+val right_open : float -> float -> t
+(** [t1, t2). *)
+
+val at : float -> t
+(** The degenerate instant [t, t]. *)
+
+val always : t
+(** (−∞, +∞). *)
+
+val from : float -> t
+(** [t, +∞). *)
+
+val until : float -> t
+(** (−∞, t]. *)
+
+val mem : float -> t -> bool
+val is_instant : t -> bool
+val duration : t -> float option
+(** [None] for unbounded intervals; the degenerate instant has duration 0. *)
+
+val intersect : t -> t -> t option
+val union_if_connected : t -> t -> t option
+(** The union when the two intervals overlap or touch without a gap
+    (so the union is again an interval); [None] otherwise. *)
+
+val subset : t -> of_:t -> bool
+val before : t -> t -> bool
+(** Every point of the first is strictly less than every point of the
+    second. *)
+
+(** Allen's thirteen interval relations, restricted to bounded intervals. *)
+type allen =
+  | Before
+  | After
+  | Meets
+  | Met_by
+  | Overlaps
+  | Overlapped_by
+  | Starts
+  | Started_by
+  | During
+  | Contains
+  | Finishes
+  | Finished_by
+  | Equals
+
+val allen : t -> t -> allen option
+(** [None] when either interval is unbounded or when bounds are open in a
+    way that makes the classification ambiguous; both arguments must be
+    closed bounded intervals for a guaranteed answer. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_allen : Format.formatter -> allen -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,60 @@
+type t = { name : string; origin : float; step : float }
+
+let make ?(name = "") ~origin ~step () =
+  if not (step > 0.0) then invalid_arg "Resolution1d.make: step must be positive"
+  else { name; origin; step }
+
+let cell_index r x = int_of_float (Float.floor ((x -. r.origin) /. r.step))
+let apply r x = r.origin +. (float_of_int (cell_index r x) *. r.step)
+let cell_of r x =
+  let p = apply r x in
+  Interval.right_open p (p +. r.step)
+
+let almost_integer f =
+  let frac = Float.abs (f -. Float.round f) in
+  frac < 1e-9
+
+let refines ~fine ~coarse =
+  let ratio = coarse.step /. fine.step in
+  ratio >= 1.0 -. 1e-9
+  && almost_integer ratio
+  && almost_integer ((coarse.origin -. fine.origin) /. fine.step)
+
+let representatives r (iv : Interval.t) =
+  let lo =
+    match iv.Interval.lower with
+    | Interval.Unbounded -> invalid_arg "Resolution1d.representatives: unbounded"
+    | Interval.Inclusive a | Interval.Exclusive a -> a
+  and hi =
+    match iv.Interval.upper with
+    | Interval.Unbounded -> invalid_arg "Resolution1d.representatives: unbounded"
+    | Interval.Inclusive b | Interval.Exclusive b -> b
+  in
+  let i0 = cell_index r lo and i1 = cell_index r hi in
+  let rec collect i acc =
+    if i < i0 then acc
+    else
+      let p = r.origin +. (float_of_int i *. r.step) in
+      (* keep only cells that really intersect the interval *)
+      let cell = cell_of r p in
+      let keep =
+        match Interval.intersect cell iv with Some _ -> true | None -> false
+      in
+      collect (i - 1) (if keep then p :: acc else acc)
+  in
+  collect i1 []
+
+let subcell_representatives ~fine ~coarse x =
+  if not (refines ~fine ~coarse) then
+    invalid_arg "Resolution1d.subcell_representatives: not a refinement";
+  let start = apply coarse x in
+  let k = int_of_float (Float.round (coarse.step /. fine.step)) in
+  List.init k (fun i -> start +. (float_of_int i *. fine.step))
+
+let equal r1 r2 =
+  String.equal r1.name r2.name && r1.origin = r2.origin && r1.step = r2.step
+
+let pp ppf r =
+  Format.fprintf ppf "%s(origin=%g, step=%g)"
+    (if String.equal r.name "" then "R" else r.name)
+    r.origin r.step

@@ -1,0 +1,38 @@
+(** One-dimensional resolution functions: logical time (§VI-A).
+
+    "If time is treated as a uni-dimensional space, the absolute time is
+    reduced to the real line and logical time, in turn, is introduced with
+    the help of the same resolution function R." A resolution function
+    partitions the line into half-open cells [o + k·step, o + (k+1)·step)
+    and maps every point of a cell to the cell's representative point. *)
+
+type t = private { name : string; origin : float; step : float }
+
+val make : ?name:string -> origin:float -> step:float -> unit -> t
+(** Raises [Invalid_argument] unless [step > 0]. *)
+
+val apply : t -> float -> float
+(** The representative point (the cell's lower edge) of the cell
+    containing the given instant. Idempotent: [apply r (apply r x) =
+    apply r x]. *)
+
+val cell_index : t -> float -> int
+val cell_of : t -> float -> Interval.t
+(** The half-open cell [p, p + step) represented by [apply r x]. *)
+
+val refines : fine:t -> coarse:t -> bool
+(** The paper's [R2 >> R1]: whenever two points share a fine cell they
+    share a coarse cell. For grid resolutions this holds iff the coarse
+    step is a positive integer multiple of the fine step and the origins
+    are aligned modulo the fine step. *)
+
+val representatives : t -> Interval.t -> float list
+(** Representative points of all cells intersecting a bounded interval, in
+    increasing order. Raises [Invalid_argument] on unbounded intervals. *)
+
+val subcell_representatives : fine:t -> coarse:t -> float -> float list
+(** Representative points of the fine cells inside the coarse cell of the
+    given instant. Raises [Invalid_argument] unless [refines ~fine ~coarse]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

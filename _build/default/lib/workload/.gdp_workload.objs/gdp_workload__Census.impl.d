@@ -1,0 +1,1 @@
+lib/workload/census.ml: Formula Fun Gdp_core Gdp_domain Gdp_logic Gdp_space Gfact List Printf Rng Spec

@@ -1,0 +1,1 @@
+lib/workload/census.mli: Gdp_core Gdp_space Rng

@@ -1,0 +1,1 @@
+lib/workload/clouds.ml: Array Formula Gdp_core Gdp_logic Gdp_space Gfact Names Option Rng Spec

@@ -1,0 +1,1 @@
+lib/workload/clouds.mli: Gdp_core Rng

@@ -1,0 +1,1 @@
+lib/workload/hydro.ml: Float Formula Gdp_core Gdp_logic Gdp_space Gfact List Rng Seq Spec

@@ -1,0 +1,1 @@
+lib/workload/hydro.mli: Gdp_core Gdp_space Rng

@@ -1,0 +1,1 @@
+lib/workload/rng.ml: Float Int64 List

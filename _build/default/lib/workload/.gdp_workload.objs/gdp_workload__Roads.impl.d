@@ -1,0 +1,1 @@
+lib/workload/roads.ml: Array Formula Gdp_core Gdp_logic Gdp_space Gfact List Printf Rng Spec String

@@ -1,0 +1,1 @@
+lib/workload/roads.mli: Gdp_core Gdp_space Rng

@@ -1,0 +1,1 @@
+lib/workload/terrain.ml: Array Float Gdp_core Gdp_logic Gdp_space Gfact List Rng Spec

@@ -1,0 +1,1 @@
+lib/workload/terrain.mli: Gdp_core Gdp_space Rng

@@ -1,0 +1,120 @@
+open Gdp_core
+module T = Gdp_logic.Term
+
+type city = {
+  city_id : string;
+  in_state : string;
+  population : int;
+  avg_temperature : float;
+  location : Gdp_space.Point.t;
+  is_capital : bool;
+}
+
+type t = { states : string list; cities : city list }
+
+let generate rng ~n_states ~cities_per_state ?(extent = 1000.0)
+    ?(capital_bug_probability = 0.0) () =
+  if n_states < 0 || cities_per_state < 1 then
+    invalid_arg "Census.generate: need at least one city per state";
+  let states = List.init n_states (Printf.sprintf "state_%d") in
+  let cities =
+    List.concat_map
+      (fun si ->
+        let state = Printf.sprintf "state_%d" si in
+        let second_capital =
+          cities_per_state > 1 && Rng.float rng 1.0 < capital_bug_probability
+        in
+        List.init cities_per_state (fun ci ->
+            {
+              city_id = Printf.sprintf "%s_city_%d" state ci;
+              in_state = state;
+              population = 1000 + Rng.int rng 5_000_000;
+              avg_temperature = Rng.range rng (-20.0) 110.0;
+              location =
+                Gdp_space.Point.make (Rng.float rng extent) (Rng.float rng extent);
+              is_capital = ci = 0 || (ci = 1 && second_capital);
+            }))
+      (List.init n_states Fun.id)
+  in
+  { states; cities }
+
+let add_to_spec t spec ?model ?(spatial = false) () =
+  (if Gdp_domain.Semantic_domain.Registry.find spec.Spec.domains "temperature" = None
+   then
+     Spec.declare_domain spec
+       (Gdp_domain.Semantic_domain.real_range ~name:"temperature" ~lo:(-100.0)
+          ~hi:200.0));
+  (if Gdp_domain.Semantic_domain.Registry.find spec.Spec.domains "population" = None
+   then
+     (* a wide real range keeps the domain serialisable by the printer *)
+     Spec.declare_domain spec
+       (Gdp_domain.Semantic_domain.real_range ~name:"population" ~lo:0.0 ~hi:1e12));
+  (if Spec.signature_of spec "city" = None then begin
+     Spec.declare_predicate spec "city" ~object_arity:1;
+     Spec.declare_predicate spec "state" ~object_arity:1;
+     Spec.declare_predicate spec "capital_of" ~object_arity:2;
+     Spec.declare_predicate spec "population" ~value_domains:[ "population" ]
+       ~object_arity:1;
+     Spec.declare_predicate spec "average_temperature"
+       ~value_domains:[ "temperature" ] ~object_arity:1
+   end);
+  List.iter
+    (fun s ->
+      Spec.declare_object spec s;
+      Spec.add_fact spec ?model (Gfact.make "state" ~objects:[ T.atom s ]))
+    t.states;
+  List.iter
+    (fun c ->
+      Spec.declare_object spec c.city_id;
+      Spec.add_fact spec ?model (Gfact.make "city" ~objects:[ T.atom c.city_id ]);
+      Spec.add_fact spec ?model
+        (Gfact.make "population" ~values:[ T.int c.population ]
+           ~objects:[ T.atom c.city_id ]);
+      Spec.add_fact spec ?model
+        (Gfact.make "average_temperature"
+           ~values:[ T.float c.avg_temperature ]
+           ~objects:[ T.atom c.city_id ]);
+      if c.is_capital then
+        Spec.add_fact spec ?model
+          (Gfact.make "capital_of" ~objects:[ T.atom c.city_id; T.atom c.in_state ]);
+      if spatial then
+        Spec.add_fact spec ?model
+          (Gfact.make "located" ~objects:[ T.atom c.city_id ]
+             ~space:(Gfact.S_at (Gfact.pos_term c.location))))
+    t.cities
+
+let add_constraints spec ?model () =
+  let v = T.var in
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Spec.add_constraint spec ?model ~name:"two_capitals" ~error:"two_capitals"
+    ~args:[ z ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "capital_of" ~objects:[ x; z ]);
+          Atom (Gfact.make "capital_of" ~objects:[ y; z ]);
+          Test (T.app "\\==" [ x; y ]);
+        ]);
+  let x = v "X" and y = v "Y" in
+  Spec.add_constraint spec ?model ~name:"bad_temp" ~error:"bad_temp" ~args:[ x ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "average_temperature" ~values:[ x ] ~objects:[ y ]);
+          Not (Test (T.app "domain_contains" [ T.atom "temperature"; x ]));
+        ])
+
+let add_large_city_rule spec ?model ~threshold () =
+  let v = T.var in
+  let x = v "X" and p = v "P" in
+  if Spec.signature_of spec "large_city" = None then
+    Spec.declare_predicate spec "large_city" ~object_arity:1;
+  Spec.add_rule spec ?model ~name:"large_city"
+    ~head:(Gfact.make "large_city" ~objects:[ x ])
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "city" ~objects:[ x ]);
+          Atom (Gfact.make "population" ~values:[ p ] ~objects:[ x ]);
+          Test (T.app ">" [ p; T.int threshold ]);
+        ])

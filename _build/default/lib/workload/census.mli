@@ -1,0 +1,43 @@
+(** Census-like attribute data: states, cities, populations, capitals,
+    temperatures — the DIME-style non-image workload of the paper's
+    introduction. Drives the many-sorted and general-law constraint
+    experiments (E2) and the "large city" example of §I. *)
+
+type city = {
+  city_id : string;
+  in_state : string;
+  population : int;
+  avg_temperature : float;  (** Fahrenheit, like the paper's examples *)
+  location : Gdp_space.Point.t;
+  is_capital : bool;
+}
+
+type t = private { states : string list; cities : city list }
+
+val generate :
+  Rng.t ->
+  n_states:int ->
+  cities_per_state:int ->
+  ?extent:float ->
+  ?capital_bug_probability:float ->
+  unit ->
+  t
+(** Each state gets one capital, except that with the given probability
+    (default 0) a state gets a {e second} capital — the seeded
+    inconsistency that the "each state has only one capital city"
+    constraint (§III-C) must catch. *)
+
+val add_to_spec : t -> Gdp_core.Spec.t -> ?model:string -> ?spatial:bool -> unit -> unit
+(** Declares objects, the [temperature] and [population] domains and the
+    signatures of [city/1], [state/1], [capital_of/2],
+    [population{n}(city)], [average_temperature{t}(city)]; asserts the
+    facts. *)
+
+val add_constraints : Gdp_core.Spec.t -> ?model:string -> unit -> unit
+(** The §III-C examples: one capital per state, and
+    [average_temperature] values must lie in the [temperature] domain
+    (the latter is also available generically via the [sorts]
+    meta-model). *)
+
+val add_large_city_rule : Gdp_core.Spec.t -> ?model:string -> threshold:int -> unit -> unit
+(** §I: "any city whose population exceeds [threshold] is a large city". *)

@@ -1,0 +1,78 @@
+open Gdp_core
+module T = Gdp_logic.Term
+
+type t = { size : int; cell : float; cloudy : bool array array }
+
+let cloud_fraction t =
+  let total = t.size * t.size in
+  let clouded =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a c -> if c then a + 1 else a) acc row)
+      0 t.cloudy
+  in
+  float_of_int clouded /. float_of_int total
+
+let generate rng ~size ?(cell = 1.0) ?(cover = 0.3) () =
+  if size <= 0 then invalid_arg "Clouds.generate: size must be positive";
+  if cover < 0.0 || cover > 1.0 then
+    invalid_arg "Clouds.generate: cover outside [0, 1]";
+  let cloudy = Array.make_matrix size size false in
+  let t = { size; cell; cloudy } in
+  let blob () =
+    let cx = Rng.int rng size
+    and cy = Rng.int rng size
+    and r = 1 + Rng.int rng (max 1 (size / 4)) in
+    for j = max 0 (cy - r) to min (size - 1) (cy + r) do
+      for i = max 0 (cx - r) to min (size - 1) (cx + r) do
+        let dx = i - cx and dy = j - cy in
+        if (dx * dx) + (dy * dy) <= r * r then cloudy.(j).(i) <- true
+      done
+    done
+  in
+  let guard = ref 0 in
+  while cloud_fraction t < cover && !guard < 1000 do
+    blob ();
+    incr guard
+  done;
+  t
+
+let cell_center t i j =
+  Gdp_space.Point.make
+    ((float_of_int i +. 0.5) *. t.cell)
+    ((float_of_int j +. 0.5) *. t.cell)
+
+let add_to_spec t spec ?model ~resolution ~image () =
+  ignore resolution;
+  Spec.declare_object spec image;
+  for j = 0 to t.size - 1 do
+    for i = 0 to t.size - 1 do
+      let p = Gfact.pos_term (cell_center t i j) in
+      Spec.add_fact spec ?model
+        (Gfact.make "any_color" ~objects:[ T.atom image ] ~space:(Gfact.S_at p));
+      if t.cloudy.(j).(i) then
+        Spec.add_fact spec ?model
+          (Gfact.make "cloudy" ~objects:[ T.atom image ] ~space:(Gfact.S_at p))
+    done
+  done
+
+let add_clarity_rule spec ?model ~image () =
+  let v = T.var in
+  let n = v "N" and n0 = v "N0" and acc = v "A" in
+  let p1 = v "P1" and p2 = v "P2" in
+  let holds_at pred p =
+    Gfact.to_holds
+      ~default_model:(Option.value model ~default:Names.default_model)
+      (Gfact.make pred ~objects:[ T.atom image ] ~space:(Gfact.S_at p))
+  in
+  Spec.add_rule spec ?model ~name:"clarity" ~accuracy:acc
+    ~head:(Gfact.make "clarity" ~objects:[ T.atom image ])
+    Formula.(
+      conj
+        [
+          Test (T.app "count_distinct" [ p1; holds_at "cloudy" p1; n ]);
+          Test (T.app "count_distinct" [ p2; holds_at "any_color" p2; n0 ]);
+          Test (T.app ">" [ n0; T.int 0 ]);
+          Test
+            (T.app "is"
+               [ acc; T.app "-" [ T.int 1; T.app "/" [ T.app "float" [ n ]; T.app "float" [ n0 ] ] ] ]);
+        ])

@@ -1,0 +1,37 @@
+(** Synthetic cloud-cover rasters over an image footprint — the §VII-B
+    picture-clarity example (E10): clarity = 1 − cloud fraction, a
+    statistically defined accuracy computed with the cardinality
+    primitive. *)
+
+type t = private {
+  size : int;  (** cells per side *)
+  cell : float;
+  cloudy : bool array array;  (** [cloudy.(j).(i)] *)
+}
+
+val generate : Rng.t -> size:int -> ?cell:float -> ?cover:float -> unit -> t
+(** Random blobs of cloud until roughly the target cover fraction
+    (default 0.3) is reached. *)
+
+val cloud_fraction : t -> float
+
+val add_to_spec :
+  t ->
+  Gdp_core.Spec.t ->
+  ?model:string ->
+  resolution:string ->
+  image:string ->
+  unit ->
+  unit
+(** Declares the image object and asserts [cloudy(image) @p] for every
+    clouded cell centre and [any_color(image) @p] for every cell. The
+    paper writes the statistic with white (= cloud) pixels:
+
+    {v A = 1 − card("@P white(image)") / card("@P any_color(image)") v}
+
+    here the cloud predicate is named [cloudy] for readability. *)
+
+val add_clarity_rule : Gdp_core.Spec.t -> ?model:string -> image:string -> unit -> unit
+(** The §VII-B accuracy definition using [count_distinct] as [card]:
+    [%A clarity(image) ⇐ n = card(@P cloudy(image)) ∧ n0 = card(@P
+    any_color(image)) ∧ A = 1 − n/n0]. *)

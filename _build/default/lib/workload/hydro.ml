@@ -1,0 +1,111 @@
+open Gdp_core
+module P = Gdp_space.Point
+module T = Gdp_logic.Term
+
+type t = {
+  extent : float;
+  samples : (P.t * float) list;
+  field : P.t -> float;
+}
+
+(* A smooth positive depth field: a sum of a few random radial basins. *)
+let make_field rng ~extent ~max_depth =
+  let basins =
+    List.init 5 (fun _ ->
+        let cx = Rng.float rng extent
+        and cy = Rng.float rng extent
+        and depth = Rng.range rng (0.3 *. max_depth) max_depth
+        and radius = Rng.range rng (0.2 *. extent) (0.6 *. extent) in
+        (cx, cy, depth, radius))
+  in
+  fun (p : P.t) ->
+    let d =
+      List.fold_left
+        (fun acc (cx, cy, depth, radius) ->
+          let dx = (p.P.x -. cx) /. radius and dy = (p.P.y -. cy) /. radius in
+          acc +. (depth *. exp (-.((dx *. dx) +. (dy *. dy)))))
+        0.0 basins
+    in
+    Float.max 1.0 d
+
+let generate rng ~n_samples ?(extent = 100.0) ?(max_depth = 4000.0) () =
+  if n_samples < 0 then invalid_arg "Hydro.generate: negative sample count";
+  let field = make_field rng ~extent ~max_depth in
+  let samples =
+    List.init n_samples (fun _ ->
+        let p = P.make (Rng.float rng extent) (Rng.float rng extent) in
+        (p, field p))
+  in
+  { extent; samples; field }
+
+let true_depth t p = t.field p
+
+let two_nearest t p =
+  let sorted =
+    List.sort
+      (fun (a, _) (b, _) -> Float.compare (P.euclidean p a) (P.euclidean p b))
+      t.samples
+  in
+  match sorted with s1 :: s2 :: _ -> Some (s1, s2) | _ -> None
+
+let interpolate t p =
+  match two_nearest t p with
+  | None -> None
+  | Some ((p1, d1), (p2, d2)) ->
+      let r1 = P.euclidean p p1 and r2 = P.euclidean p p2 in
+      let depth =
+        if r1 = 0.0 then d1
+        else if r2 = 0.0 then d2
+        else begin
+          let w1 = 1.0 /. r1 and w2 = 1.0 /. r2 in
+          ((w1 *. d1) +. (w2 *. d2)) /. (w1 +. w2)
+        end
+      in
+      (* accuracy decays with distance to the nearest sample, scaled so
+         that a gap of a tenth of the survey extent halves the trust *)
+      let half_distance = t.extent /. 10.0 in
+      let accuracy = exp (-.(r1 /. half_distance) *. log 2.0) in
+      Some (depth, accuracy)
+
+let add_to_spec t spec ?model ?(object_name = "ocean") () =
+  Spec.declare_object spec object_name;
+  List.iter
+    (fun (p, d) ->
+      Spec.add_fact spec ?model
+        (Gfact.make "depth" ~values:[ T.float d ] ~objects:[ T.atom object_name ]
+           ~space:(Gfact.S_at (Gfact.pos_term p))))
+    t.samples;
+  (* the paper's function f as a computed predicate: depth_interp(P, D, A) *)
+  let interp_builtin (_ : Gdp_logic.Database.ctx) subst args =
+    match args with
+    | [ pt; d; acc ] -> (
+        match Gfact.pos_of_term (Gdp_logic.Subst.apply subst pt) with
+        | None -> Seq.empty
+        | Some p -> (
+            match interpolate t p with
+            | None -> Seq.empty
+            | Some (depth, accuracy) -> (
+                match Gdp_logic.Unify.unify subst d (T.float depth) with
+                | None -> Seq.empty
+                | Some s -> (
+                    match Gdp_logic.Unify.unify s acc (T.float accuracy) with
+                    | Some s' -> Seq.return s'
+                    | None -> Seq.empty))))
+    | _ -> Seq.empty
+  in
+  Spec.declare_builtin spec "depth_interp" ~arity:3 interp_builtin
+
+let add_interpolation_rule _t spec ?model ~region ~resolution () =
+  let v = T.var in
+  let p = v "P" and d = v "D" and acc = v "A" in
+  Spec.add_rule spec ?model ~name:"depth_interpolation" ~accuracy:acc
+    ~head:
+      (Gfact.make "depth" ~values:[ d ]
+         ~objects:[ T.atom "ocean" ]
+         ~space:(Gfact.S_at p))
+    Formula.(
+      conj
+        [
+          Test (T.app "region_reps" [ T.atom resolution; T.atom region; p ]);
+          Test (T.app "depth_interp" [ p; d; acc ]);
+        ])

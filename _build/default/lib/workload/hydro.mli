@@ -1,0 +1,35 @@
+(** Synthetic ocean-depth surveys: sparse samples of a smooth depth field,
+    standing in for a real bathymetric survey. Drives §VII-B's
+    extrapolation-accuracy example (E9): depth between samples is
+    interpolated, and the interpolation distance determines accuracy. *)
+
+type t = private {
+  extent : float;
+  samples : (Gdp_space.Point.t * float) list;  (** surveyed (point, depth) *)
+  field : Gdp_space.Point.t -> float;  (** ground-truth depth, metres > 0 *)
+}
+
+val generate :
+  Rng.t -> n_samples:int -> ?extent:float -> ?max_depth:float -> unit -> t
+
+val true_depth : t -> Gdp_space.Point.t -> float
+
+val interpolate : t -> Gdp_space.Point.t -> (float * float) option
+(** [(depth, accuracy)] by inverse-distance weighting of the two nearest
+    samples; accuracy decays with distance to the nearest sample
+    (1 at a sample, → 0 far away). [None] with fewer than two samples. *)
+
+val add_to_spec :
+  t -> Gdp_core.Spec.t -> ?model:string -> ?object_name:string -> unit -> unit
+(** Asserts [depth{d}(ocean) @p] facts for every sample, and declares the
+    computed predicate [depth_interp(P, D, A)] (the paper's function [f])
+    as a spec builtin, so a requirements rule can state
+
+    {v %A @P depth(D)(ocean) ⇐ depth_interp(P, D, A) v} *)
+
+val add_interpolation_rule :
+  t -> Gdp_core.Spec.t -> ?model:string -> region:string -> resolution:string -> unit -> unit
+(** The §VII-B accuracy definition itself: for every representative point
+    P of the named resolution within the named region, the interpolated
+    depth holds at P with the interpolation accuracy. Requires
+    {!add_to_spec} first. *)

@@ -1,0 +1,29 @@
+(** Deterministic splittable PRNG (splitmix64). Every generator in this
+    library takes an explicit state so examples, tests and benches are
+    reproducible from a seed (DESIGN.md §4, determinism). *)
+
+type t
+
+val create : int64 -> t
+val split : t -> t
+(** An independent stream; the parent advances. *)
+
+val int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] in [0, bound); raises [Invalid_argument] unless
+    [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] in [0, bound). *)
+
+val bool : t -> bool
+val range : t -> float -> float -> float
+(** Uniform in [lo, hi). *)
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller). *)
+
+val pick : t -> 'a list -> 'a
+(** Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list

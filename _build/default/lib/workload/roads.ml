@@ -1,0 +1,148 @@
+open Gdp_core
+module P = Gdp_space.Point
+
+type bridge = {
+  bridge_id : string;
+  on_road : string;
+  at : P.t;
+  is_open : bool;
+  observed_at : float option;
+}
+
+type road = { road_id : string; waypoints : P.t list }
+
+type t = {
+  roads : road list;
+  bridges : bridge list;
+  intersections : (string * string) list;
+}
+
+let polylines_cross w1 w2 =
+  let segments ws =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (a, b) :: go rest
+      | _ -> []
+    in
+    go ws
+  in
+  List.exists
+    (fun s1 -> List.exists (fun s2 -> Gdp_space.Geometry.segments_intersect s1 s2) (segments w2))
+    (segments w1)
+
+let generate rng ~n_roads ~bridges_per_road ?(extent = 100.0)
+    ?(open_probability = 0.7) ?(waypoints_per_road = 4) () =
+  if n_roads < 0 || bridges_per_road < 0 then
+    invalid_arg "Roads.generate: negative counts";
+  let roads =
+    List.init n_roads (fun i ->
+        let waypoints =
+          List.init (max 2 waypoints_per_road) (fun _ ->
+              P.make (Rng.float rng extent) (Rng.float rng extent))
+        in
+        { road_id = Printf.sprintf "road_%d" i; waypoints })
+  in
+  let bridges =
+    List.concat_map
+      (fun road ->
+        List.init bridges_per_road (fun k ->
+            let ws = Array.of_list road.waypoints in
+            let seg = Rng.int rng (Array.length ws - 1) in
+            let u = Rng.float rng 1.0 in
+            {
+              bridge_id = Printf.sprintf "%s_bridge_%d" road.road_id k;
+              on_road = road.road_id;
+              at = P.lerp ws.(seg) ws.(seg + 1) u;
+              is_open = Rng.float rng 1.0 < open_probability;
+              observed_at = Some (Rng.float rng 100.0);
+            }))
+      roads
+  in
+  let intersections =
+    List.concat_map
+      (fun r1 ->
+        List.filter_map
+          (fun r2 ->
+            if
+              String.compare r1.road_id r2.road_id < 0
+              && polylines_cross r1.waypoints r2.waypoints
+            then Some (r1.road_id, r2.road_id)
+            else None)
+          roads)
+      roads
+  in
+  { roads; bridges; intersections }
+
+let a = Gdp_logic.Term.atom
+
+let add_to_spec t spec ?model ?(spatial = false) ?(temporal = false) () =
+  List.iter (fun r -> Spec.declare_object spec r.road_id) t.roads;
+  List.iter (fun b -> Spec.declare_object spec b.bridge_id) t.bridges;
+  List.iter
+    (fun r ->
+      Spec.add_fact spec ?model (Gfact.make "road" ~objects:[ a r.road_id ]);
+      if spatial then
+        List.iter
+          (fun p ->
+            Spec.add_fact spec ?model
+              (Gfact.make "road_point" ~objects:[ a r.road_id ]
+                 ~space:(Gfact.S_at (Gfact.pos_term p))))
+          r.waypoints)
+    t.roads;
+  List.iter
+    (fun b ->
+      Spec.add_fact spec ?model
+        (Gfact.make "bridge" ~objects:[ a b.bridge_id; a b.on_road ]);
+      if spatial then
+        Spec.add_fact spec ?model
+          (Gfact.make "located" ~objects:[ a b.bridge_id ]
+             ~space:(Gfact.S_at (Gfact.pos_term b.at)));
+      if b.is_open then
+        match (temporal, b.observed_at) with
+        | true, Some obs ->
+            Spec.add_fact spec ?model
+              (Gfact.make "open" ~objects:[ a b.bridge_id ]
+                 ~time:(Gfact.T_at (Gdp_logic.Term.float obs)))
+        | _ -> Spec.add_fact spec ?model (Gfact.make "open" ~objects:[ a b.bridge_id ]))
+    t.bridges;
+  List.iter
+    (fun (r1, r2) ->
+      Spec.add_fact spec ?model
+        (Gfact.make "road_intersection" ~objects:[ a r1; a r2 ]))
+    t.intersections
+
+let add_status_rules spec ?model () =
+  let v = Gdp_logic.Term.var in
+  let x = v "X" and y = v "Y" in
+  Spec.add_rule spec ?model ~name:"open_road"
+    ~head:(Gfact.make "open_road" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "road" ~objects:[ x ]),
+          Forall
+            ( Atom (Gfact.make "bridge" ~objects:[ y; x ]),
+              Atom (Gfact.make "open" ~objects:[ y ]) ) ));
+  let x = v "X" in
+  Spec.add_rule spec ?model ~name:"closed"
+    ~head:(Gfact.make "closed" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "bridge" ~objects:[ x; v "_R" ]),
+          Not (Atom (Gfact.make "open" ~objects:[ x ])) ));
+  let x = v "X" in
+  Spec.add_rule spec ?model ~name:"known_status"
+    ~head:(Gfact.make "known_status" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "bridge" ~objects:[ x; v "_R" ]),
+          Or
+            ( Atom (Gfact.make "open" ~objects:[ x ]),
+              Atom (Gfact.make "closed" ~objects:[ x ]) ) ));
+  let x = v "X" in
+  Spec.add_constraint spec ?model ~name:"open_and_closed" ~error:"open_and_closed"
+    ~args:[ x ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "open" ~objects:[ x ]);
+          Atom (Gfact.make "closed" ~objects:[ x ]);
+        ])

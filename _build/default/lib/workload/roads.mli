@@ -1,0 +1,53 @@
+(** Synthetic road networks with bridges — the paper's §II/§III running
+    example at controllable scale (E1). *)
+
+type bridge = {
+  bridge_id : string;
+  on_road : string;
+  at : Gdp_space.Point.t;
+  is_open : bool;
+  observed_at : float option;  (** observation instant for temporal runs *)
+}
+
+type road = {
+  road_id : string;
+  waypoints : Gdp_space.Point.t list;
+}
+
+type t = {
+  roads : road list;
+  bridges : bridge list;
+  intersections : (string * string) list;
+}
+
+val generate :
+  Rng.t ->
+  n_roads:int ->
+  bridges_per_road:int ->
+  ?extent:float ->
+  ?open_probability:float ->
+  ?waypoints_per_road:int ->
+  unit ->
+  t
+(** Roads are random polylines inside [0, extent)²; each bridge sits on a
+    random point of its road and is open with the given probability
+    (default 0.7). Two roads intersect when their polylines cross. *)
+
+val add_to_spec :
+  t ->
+  Gdp_core.Spec.t ->
+  ?model:string ->
+  ?spatial:bool ->
+  ?temporal:bool ->
+  unit ->
+  unit
+(** Declares the objects and asserts [road/1], [bridge/2] (bridge, road),
+    [open/1] and [road_intersection/2] basic facts. With [spatial], roads
+    and bridges also get [@p] location facts ([located] for bridges,
+    [road_point] samples along each polyline). With [temporal], bridge
+    status facts become [&t] observations at [observed_at]. *)
+
+val add_status_rules : Gdp_core.Spec.t -> ?model:string -> unit -> unit
+(** The three §III-A virtual facts: a road is open iff all its bridges
+    are open; a bridge that is not open is assumed closed; an open-or-
+    closed bridge has known status. Also the §II-B open∧closed constraint. *)

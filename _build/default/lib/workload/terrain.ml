@@ -1,0 +1,145 @@
+type t = { size : int; cell : float; heights : float array array }
+
+let height t i j =
+  if i < 0 || j < 0 || i >= t.size || j >= t.size then
+    invalid_arg "Terrain.height: out of range";
+  t.heights.(j).(i)
+
+let cell_center t i j =
+  Gdp_space.Point.make
+    ((float_of_int i +. 0.5) *. t.cell)
+    ((float_of_int j +. 0.5) *. t.cell)
+
+let fold f init t =
+  let acc = ref init in
+  Array.iter (fun row -> Array.iter (fun h -> acc := f !acc h) row) t.heights;
+  !acc
+
+let min_height = fold Float.min Float.infinity
+let max_height = fold Float.max Float.neg_infinity
+
+let generate rng ~size_exp ?(roughness = 0.55) ?(cell = 1.0) () =
+  if size_exp < 1 || size_exp > 12 then
+    invalid_arg "Terrain.generate: size_exp out of [1, 12]";
+  let n = (1 lsl size_exp) + 1 in
+  let h = Array.make_matrix n n 0.0 in
+  let jitter amp = Rng.range rng (-.amp) amp in
+  h.(0).(0) <- Rng.float rng 1.0;
+  h.(0).(n - 1) <- Rng.float rng 1.0;
+  h.(n - 1).(0) <- Rng.float rng 1.0;
+  h.(n - 1).(n - 1) <- Rng.float rng 1.0;
+  let step = ref (n - 1) in
+  let amp = ref 0.5 in
+  while !step > 1 do
+    let s = !step and half = !step / 2 in
+    (* diamond *)
+    let j = ref half in
+    while !j < n do
+      let i = ref half in
+      while !i < n do
+        let avg =
+          (h.(!j - half).(!i - half)
+          +. h.(!j - half).(!i + half)
+          +. h.(!j + half).(!i - half)
+          +. h.(!j + half).(!i + half))
+          /. 4.0
+        in
+        h.(!j).(!i) <- avg +. jitter !amp;
+        i := !i + s
+      done;
+      j := !j + s
+    done;
+    (* square *)
+    let j = ref 0 in
+    while !j < n do
+      let i = ref (if !j mod s = 0 then half else 0) in
+      while !i < n do
+        let samples =
+          List.filter_map
+            (fun (di, dj) ->
+              let x = !i + di and y = !j + dj in
+              if x >= 0 && x < n && y >= 0 && y < n then Some h.(y).(x) else None)
+            [ (-half, 0); (half, 0); (0, -half); (0, half) ]
+        in
+        let avg = List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples) in
+        h.(!j).(!i) <- avg +. jitter !amp;
+        i := !i + s
+      done;
+      j := !j + half
+    done;
+    step := half;
+    amp := !amp *. roughness
+  done;
+  (* normalise to [0, 1] *)
+  let t = { size = n; cell; heights = h } in
+  let lo = min_height t and hi = max_height t in
+  let span = if hi = lo then 1.0 else hi -. lo in
+  Array.iteri
+    (fun j row -> Array.iteri (fun i v -> h.(j).(i) <- (v -. lo) /. span) row)
+    h;
+  t
+
+let downsample t ~factor =
+  if factor < 1 then invalid_arg "Terrain.downsample: factor must be >= 1";
+  let cells = t.size - 1 in
+  if cells mod factor <> 0 || cells / factor < 2 then
+    invalid_arg "Terrain.downsample: factor must divide the grid into >= 2 cells";
+  let n = (cells / factor) + 1 in
+  let h = Array.make_matrix n n 0.0 in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      (* average of the fine vertices pooled into this coarse vertex cell *)
+      let acc = ref 0.0 and cnt = ref 0 in
+      for dj = 0 to factor - 1 do
+        for di = 0 to factor - 1 do
+          let fi = (i * factor) + di and fj = (j * factor) + dj in
+          if fi < t.size && fj < t.size then begin
+            acc := !acc +. t.heights.(fj).(fi);
+            incr cnt
+          end
+        done
+      done;
+      h.(j).(i) <- !acc /. float_of_int !cnt
+    done
+  done;
+  { size = n; cell = t.cell *. float_of_int factor; heights = h }
+
+open Gdp_core
+
+let add_elevation_facts t spec ~resolution ?model ?(pred = "elevation")
+    ~object_name ?(scale = 1000.0) () =
+  let count = ref 0 in
+  for j = 0 to t.size - 2 do
+    for i = 0 to t.size - 2 do
+      let p = cell_center t i j in
+      let h = t.heights.(j).(i) *. scale in
+      Spec.add_fact spec ?model
+        (Gfact.make pred
+           ~values:[ Gdp_logic.Term.float h ]
+           ~objects:[ Gdp_logic.Term.atom object_name ]
+           ~space:(Gfact.S_uniform (Gdp_logic.Term.atom resolution, Gfact.pos_term p)));
+      incr count
+    done
+  done;
+  !count
+
+let add_mask_facts t spec ~resolution ?model ~pred ~object_name ~keep
+    ?(qualifier = `At) () =
+  let count = ref 0 in
+  for j = 0 to t.size - 2 do
+    for i = 0 to t.size - 2 do
+      if keep t.heights.(j).(i) then begin
+        let p = cell_center t i j in
+        let space =
+          match qualifier with
+          | `At -> Gfact.S_at (Gfact.pos_term p)
+          | `Sampled ->
+              Gfact.S_sampled (Gdp_logic.Term.atom resolution, Gfact.pos_term p)
+        in
+        Spec.add_fact spec ?model
+          (Gfact.make pred ~objects:[ Gdp_logic.Term.atom object_name ] ~space);
+        incr count
+      end
+    done
+  done;
+  !count

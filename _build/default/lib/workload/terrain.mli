@@ -1,0 +1,56 @@
+(** Synthetic terrain: diamond–square fractal elevation grids standing in
+    for the unavailable DMA elevation data (DESIGN.md §2). Drives the
+    elevation-peak, vegetation, island and shore-line examples (E5–E7). *)
+
+type t = private {
+  size : int;  (** grid side, 2^k + 1 *)
+  cell : float;  (** edge length of one cell in absolute-space units *)
+  heights : float array array;  (** [heights.(j).(i)], row-major *)
+}
+
+val generate : Rng.t -> size_exp:int -> ?roughness:float -> ?cell:float -> unit -> t
+(** [size_exp = k] gives a (2^k + 1)² grid. Roughness (default 0.55)
+    controls the amplitude decay per subdivision. Heights are normalised
+    to [0, 1]. *)
+
+val height : t -> int -> int -> float
+(** [height t i j]; raises [Invalid_argument] out of range. *)
+
+val cell_center : t -> int -> int -> Gdp_space.Point.t
+val min_height : t -> float
+val max_height : t -> float
+
+val downsample : t -> factor:int -> t
+(** Average-pool by an integer factor (size must stay ≥ 2 cells); the
+    result's [cell] grows by the factor. Ground truth for testing the
+    area-average operator. *)
+
+val add_elevation_facts :
+  t ->
+  Gdp_core.Spec.t ->
+  resolution:string ->
+  ?model:string ->
+  ?pred:string ->
+  object_name:string ->
+  ?scale:float ->
+  unit ->
+  int
+(** Assert one area-uniform elevation fact per cell
+    ([pred{h·scale}(object) @u[resolution] center]); the named resolution
+    must already be declared with matching cell size and origin at (0,0).
+    Returns the number of facts asserted. *)
+
+val add_mask_facts :
+  t ->
+  Gdp_core.Spec.t ->
+  resolution:string ->
+  ?model:string ->
+  pred:string ->
+  object_name:string ->
+  keep:(float -> bool) ->
+  ?qualifier:[ `At | `Sampled ] ->
+  unit ->
+  int
+(** Assert a point ([`At], default) or area-sampled fact at the centre of
+    every cell whose height satisfies [keep] — e.g.
+    [keep = (fun h -> h < sea_level)] for lakes. *)

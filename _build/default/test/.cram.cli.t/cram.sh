@@ -1,0 +1,38 @@
+  $ gdprs check demo.gdp
+  $ gdprs query demo.gdp 'closed(X)'
+  $ gdprs query demo.gdp 'open_road(X)'
+  $ gdprs query demo.gdp 'open_road(s2)'
+  $ gdprs ask demo.gdp 'holds(w, road, [], [R], nospace, notime)'
+  $ gdprs explain demo.gdp 'closed(b3)'
+  $ gdprs explain demo.gdp 'closed(b1)'
+  $ gdprs lint demo.gdp
+  $ cat demo.gdp > broken.gdp
+  $ echo 'fact closed(b1).' >> broken.gdp
+  $ gdprs check broken.gdp
+  $ cat demo.gdp > typo.gdp
+  $ echo 'fact @u[fine_typo](1.0, 1.0) wet(land).' >> typo.gdp
+  $ gdprs lint typo.gdp
+  $ gdpgen roads --roads 6 --bridges 2 --seed 7 -o gen.gdp 2>/dev/null
+  $ gdprs check gen.gdp
+  $ gdpgen census --states 4 --cities 3 --capital-bug 1.0 --seed 7 -o buggy.gdp 2>/dev/null
+  $ gdprs check buggy.gdp | head -3
+  $ gdpgen clouds --size 8 --cover 0.2 --seed 7 -o clouds.gdp 2>/dev/null
+  $ gdprs ask clouds.gdp --meta fuzzy_unified_max 'acc_max(w, clarity, [], [image], nospace, notime, A)' | head -1
+  $ cat > base.gdp <<'END'
+  > objects s1, b1.
+  > fact road(s1).
+  > fact bridge(b1, s1).
+  > END
+  $ cat > top.gdp <<'END'
+  > include "base.gdp".
+  > fact open(b1).
+  > rule open_road(X) <- road(X), forall(bridge(Y, X) => open(Y)).
+  > END
+  $ gdprs query top.gdp 'open_road(X)'
+  $ cat > loop_a.gdp <<'END'
+  > include "loop_b.gdp".
+  > END
+  $ cat > loop_b.gdp <<'END'
+  > include "loop_a.gdp".
+  > END
+  $ gdprs check loop_a.gdp

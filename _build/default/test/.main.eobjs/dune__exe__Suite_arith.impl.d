@@ -1,0 +1,1 @@
+test/suite_arith.ml: Alcotest Arith Float Gdp_logic Reader Subst Term

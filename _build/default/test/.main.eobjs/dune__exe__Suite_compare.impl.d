@@ -1,0 +1,1 @@
+test/suite_compare.ml: Alcotest Compare Format Formula Gdp_core Gdp_logic Gfact List Meta Spec String

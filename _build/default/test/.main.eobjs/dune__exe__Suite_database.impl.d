@@ -1,0 +1,1 @@
+test/suite_database.ml: Alcotest Database Gdp_logic List Reader Seq Term

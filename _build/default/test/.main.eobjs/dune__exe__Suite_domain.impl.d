@@ -1,0 +1,1 @@
+test/suite_domain.ml: Alcotest Gdp_domain Gdp_logic List Term

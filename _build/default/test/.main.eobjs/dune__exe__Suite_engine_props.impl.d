@@ -1,0 +1,1 @@
+test/suite_engine_props.ml: Alcotest Bottom_up Database Engine Gdp_logic List Printf QCheck QCheck_alcotest Reader Solve String Term

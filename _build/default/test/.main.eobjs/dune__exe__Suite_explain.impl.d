@@ -1,0 +1,1 @@
+test/suite_explain.ml: Alcotest Engine Explain Format Formula Gdp_core Gdp_logic Gdp_space Gfact List Meta Query Reader Solve Spec String Term

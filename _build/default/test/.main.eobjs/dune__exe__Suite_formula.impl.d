@@ -1,0 +1,1 @@
+test/suite_formula.ml: Alcotest Format Formula Gdp_core Gdp_logic Gfact List String Term

@@ -1,0 +1,1 @@
+test/suite_fuzzy.ml: Alcotest Algebra Float Format Fuzzy_set Gdp_fuzzy List Option Propagate QCheck QCheck_alcotest Truth

@@ -1,0 +1,1 @@
+test/suite_gfact.ml: Alcotest Format Gdp_core Gdp_logic Gdp_space Gdp_temporal Gfact List Term

@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest Gdp_core Gdp_domain Gdp_fuzzy Gdp_lang Gdp_space Gdp_temporal List Printf Query Spec String

@@ -1,0 +1,1 @@
+test/suite_lint.ml: Alcotest Formula Gdp_core Gdp_domain Gdp_lang Gdp_logic Gdp_space Gfact Lint List Meta Spec String

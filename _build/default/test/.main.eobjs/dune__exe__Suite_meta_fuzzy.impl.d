@@ -1,0 +1,1 @@
+test/suite_meta_fuzzy.ml: Alcotest Formula Gdp_core Gdp_fuzzy Gdp_logic Gdp_workload Gfact List Meta Query Spec Term

@@ -1,0 +1,1 @@
+test/suite_meta_spatial.ml: Alcotest Gdp_core Gdp_logic Gdp_space Gfact List Meta Query Spec Term

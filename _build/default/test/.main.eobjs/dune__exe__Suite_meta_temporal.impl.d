@@ -1,0 +1,1 @@
+test/suite_meta_temporal.ml: Alcotest Gdp_core Gdp_domain Gdp_logic Gdp_temporal Gfact List Meta Query Spec Term

@@ -1,0 +1,1 @@
+test/suite_pretty.ml: Alcotest Format Gdp_core Gdp_domain Gdp_lang Gdp_logic Gdp_space Gdp_temporal Gfact List Meta Query Spec

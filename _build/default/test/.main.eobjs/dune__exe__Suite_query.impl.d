@@ -1,0 +1,1 @@
+test/suite_query.ml: Alcotest Compile Database Formula Gdp_core Gdp_logic Gfact List Meta Query Reader Solve Spec Term

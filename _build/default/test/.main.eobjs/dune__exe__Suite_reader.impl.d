@@ -1,0 +1,1 @@
+test/suite_reader.ml: Alcotest Database Gdp_logic List Reader String Term

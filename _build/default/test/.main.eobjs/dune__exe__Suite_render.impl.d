@@ -1,0 +1,1 @@
+test/suite_render.ml: Alcotest Color Framebuffer Gdp_core Gdp_logic Gdp_render Gdp_space Gfact List Map_render Meta Query Spec String Svg

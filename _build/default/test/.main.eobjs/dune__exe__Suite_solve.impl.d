@@ -1,0 +1,1 @@
+test/suite_solve.ml: Alcotest Engine Gdp_logic List Reader Solve Term

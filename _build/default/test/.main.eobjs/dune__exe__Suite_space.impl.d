@@ -1,0 +1,1 @@
+test/suite_space.ml: Alcotest Coord Float Gdp_space Geometry List Point QCheck QCheck_alcotest Region Resolution

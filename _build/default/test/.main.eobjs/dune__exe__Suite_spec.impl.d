@@ -1,0 +1,1 @@
+test/suite_spec.ml: Alcotest Formula Gdp_core Gdp_logic Gdp_space Gdp_temporal Gfact List Meta Names Query Seq Spec Term

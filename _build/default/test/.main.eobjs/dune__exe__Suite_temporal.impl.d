@@ -1,0 +1,1 @@
+test/suite_temporal.ml: Alcotest Clock Float Gdp_temporal Interval QCheck QCheck_alcotest Resolution1d

@@ -1,0 +1,1 @@
+test/suite_term.ml: Alcotest Gdp_logic Hashtbl List Printf QCheck QCheck_alcotest Term

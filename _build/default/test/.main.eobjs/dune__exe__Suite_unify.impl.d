@@ -1,0 +1,1 @@
+test/suite_unify.ml: Alcotest Gdp_logic List QCheck QCheck_alcotest Subst Suite_term Term Unify

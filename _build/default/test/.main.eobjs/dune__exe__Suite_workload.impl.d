@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Float Gdp_core Gdp_logic Gdp_space Gdp_workload Gfact List Meta Printf Query Spec

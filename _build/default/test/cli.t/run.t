@@ -1,0 +1,103 @@
+The CLI front end, end to end. Consistency checking (§III-E):
+
+  $ gdprs check demo.gdp
+  world view: {w}
+  meta view:  {}
+  consistent: no constraint violations
+
+Queries under the open world assumption:
+
+  $ gdprs query demo.gdp 'closed(X)'
+  closed(b3)
+
+  $ gdprs query demo.gdp 'open_road(X)'
+  open_road(s1)
+
+  $ gdprs query demo.gdp 'open_road(s2)'
+  not provable (open world: undefined)
+  [1]
+
+Raw engine goals over the reified vocabulary:
+
+  $ gdprs ask demo.gdp 'holds(w, road, [], [R], nospace, notime)'
+  R = s1
+  R = s2
+
+Derivation evidence:
+
+  $ gdprs explain demo.gdp 'closed(b3)'
+  closed(b3)   [rule]
+    bridge(b3, s2)   [fact]
+    not provable: open(b3)   [naf]
+
+  $ gdprs explain demo.gdp 'closed(b1)'
+  not provable (open world: undefined)
+  [1]
+
+Static review finds nothing wrong here:
+
+  $ gdprs lint demo.gdp
+  clean: no findings
+
+An inconsistent revision is caught and exits non-zero:
+
+  $ cat demo.gdp > broken.gdp
+  $ echo 'fact closed(b1).' >> broken.gdp
+  $ gdprs check broken.gdp
+  world view: {w}
+  meta view:  {}
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(clash, b1)
+  [1]
+
+A lint finding for an unknown logical space:
+
+  $ cat demo.gdp > typo.gdp
+  $ echo 'fact @u[fine_typo](1.0, 1.0) wet(land).' >> typo.gdp
+  $ gdprs lint typo.gdp
+  error [unknown-space] (fact in model w) logical space 'fine_typo' is not declared
+  [1]
+
+The generator pipeline: synthesize requirements, then validate them
+with the checker — generated specifications are self-contained:
+
+  $ gdpgen roads --roads 6 --bridges 2 --seed 7 -o gen.gdp 2>/dev/null
+  $ gdprs check gen.gdp
+  world view: {w}
+  meta view:  {}
+  consistent: no constraint violations
+
+  $ gdpgen census --states 4 --cities 3 --capital-bug 1.0 --seed 7 -o buggy.gdp 2>/dev/null
+  $ gdprs check buggy.gdp | head -3
+  world view: {w}
+  meta view:  {}
+  INCONSISTENT: 4 violation(s)
+
+  $ gdpgen clouds --size 8 --cover 0.2 --seed 7 -o clouds.gdp 2>/dev/null
+  $ gdprs ask clouds.gdp --meta fuzzy_unified_max 'acc_max(w, clarity, [], [image], nospace, notime, A)' | head -1
+  A = 0.625
+
+Modular specifications via include:
+
+  $ cat > base.gdp <<'END'
+  > objects s1, b1.
+  > fact road(s1).
+  > fact bridge(b1, s1).
+  > END
+  $ cat > top.gdp <<'END'
+  > include "base.gdp".
+  > fact open(b1).
+  > rule open_road(X) <- road(X), forall(bridge(Y, X) => open(Y)).
+  > END
+  $ gdprs query top.gdp 'open_road(X)'
+  open_road(s1)
+
+  $ cat > loop_a.gdp <<'END'
+  > include "loop_b.gdp".
+  > END
+  $ cat > loop_b.gdp <<'END'
+  > include "loop_a.gdp".
+  > END
+  $ gdprs check loop_a.gdp
+  error: circular include of ./loop_b.gdp
+  [2]

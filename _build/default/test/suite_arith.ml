@@ -1,0 +1,85 @@
+open Gdp_logic
+
+let eval_term src = Arith.eval Subst.empty (Reader.term src)
+
+let check_int msg expected src =
+  match eval_term src with
+  | Arith.I n -> Alcotest.(check int) msg expected n
+  | Arith.F f -> Alcotest.failf "%s: expected int, got float %g" msg f
+
+let check_float msg expected src =
+  match eval_term src with
+  | Arith.F f -> Alcotest.(check (float 1e-9)) msg expected f
+  | Arith.I n -> Alcotest.failf "%s: expected float, got int %d" msg n
+
+let fails src =
+  match eval_term src with
+  | exception Arith.Error _ -> true
+  | _ -> false
+
+let test_basics () =
+  check_int "addition" 7 "3 + 4";
+  check_int "precedence" 14 "2 + 3 * 4";
+  check_int "parens" 20 "(2 + 3) * 4";
+  check_int "unary minus" (-5) "-5";
+  check_int "subtraction chain" (-4) "1 - 2 - 3";
+  check_float "float promote" 7.5 "3 + 4.5";
+  check_int "exact int division" 3 "6 / 2";
+  check_float "inexact division becomes float" 3.5 "7 / 2";
+  check_int "integer division" 3 "7 // 2";
+  check_int "mod" 1 "7 mod 2"
+
+let test_functions () =
+  check_int "abs" 5 "abs(-5)";
+  check_int "min" 2 "min(2, 7)";
+  check_int "max" 7 "max(2, 7)";
+  check_float "sqrt" 3.0 "sqrt(9)";
+  check_float "pi" Float.pi "pi";
+  check_int "sign" (-1) "sign(-9)";
+  check_float "power" 8.0 "2 ** 3";
+  check_int "truncate" 3 "truncate(3.9)";
+  check_int "round" 4 "round(3.9)";
+  check_int "floor" 3 "floor(3.9)";
+  check_int "ceiling" 4 "ceiling(3.1)";
+  check_float "float coercion" 3.0 "float(3)"
+
+let test_errors () =
+  Alcotest.(check bool) "division by zero" true (fails "1 / 0");
+  Alcotest.(check bool) "int division by zero" true (fails "1 // 0");
+  Alcotest.(check bool) "mod zero" true (fails "1 mod 0");
+  Alcotest.(check bool) "unbound var" true (fails "X + 1");
+  Alcotest.(check bool) "unknown function" true (fails "frobnicate(3)");
+  Alcotest.(check bool) "unknown constant" true (fails "tau");
+  Alcotest.(check bool) "string" true (fails "\"hello\" + 1")
+
+let test_eval_through_subst () =
+  let xt = Term.var "X" in
+  let v = match xt with Term.Var v -> v | _ -> assert false in
+  let s = Subst.bind v (Term.Int 10) Subst.empty in
+  match Arith.eval s (Term.app "+" [ xt; Term.Int 5 ]) with
+  | Arith.I 15 -> ()
+  | _ -> Alcotest.fail "substitution not honoured"
+
+let test_compare_num () =
+  Alcotest.(check int) "int vs float" 0
+    (Arith.compare_num (Arith.I 3) (Arith.F 3.0));
+  Alcotest.(check bool) "ordering" true
+    (Arith.compare_num (Arith.I 2) (Arith.F 2.5) < 0)
+
+let test_as_int () =
+  Alcotest.(check int) "integral float" 3 (Arith.as_int (Arith.F 3.0));
+  Alcotest.(check bool) "non-integral float" true
+    (try
+       ignore (Arith.as_int (Arith.F 3.5));
+       false
+     with Arith.Error _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "basic operators" `Quick test_basics;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "evaluates through substitution" `Quick test_eval_through_subst;
+    Alcotest.test_case "numeric comparison" `Quick test_compare_num;
+    Alcotest.test_case "as_int" `Quick test_as_int;
+  ]

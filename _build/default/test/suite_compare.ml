@@ -1,0 +1,98 @@
+open Gdp_core
+module T = Gdp_logic.Term
+
+let a = T.atom
+let v = T.var
+
+let sel ?models ?(metas = []) name =
+  { Compare.sel_name = name; sel_models = models; sel_metas = metas }
+
+let build_spec () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_objects spec [ "b1"; "b2" ];
+  Spec.add_fact spec (Gfact.make "open" ~objects:[ a "b1" ]);
+  Spec.declare_model spec "survey";
+  Spec.add_fact spec ~model:"survey" (Gfact.make "open" ~objects:[ a "b2" ]);
+  spec
+
+let test_world_view_difference () =
+  let spec = build_spec () in
+  (* a model VARIABLE makes the probe range over the whole world view *)
+  let probe =
+    { (Gfact.make "open" ~objects:[ v "X" ]) with Gfact.model = Some (v "M") }
+  in
+  let report =
+    Compare.views spec
+      ~left:(sel "w only" ~models:[ "w" ])
+      ~right:(sel "with survey" ~models:[ "w"; "survey" ])
+      ~probes:[ probe ]
+  in
+  (match report.Compare.differences with
+  | [ d ] ->
+      Alcotest.(check int) "shared answers" 1 d.Compare.both;
+      Alcotest.(check int) "nothing only-left" 0 (List.length d.Compare.only_left);
+      Alcotest.(check int) "survey adds one" 1 (List.length d.Compare.only_right)
+  | _ -> Alcotest.fail "one probe expected");
+  Alcotest.(check bool) "views disagree" false (Compare.agreement report)
+
+let test_meta_view_difference () =
+  (* the same data under min vs max unified fuzzy operators *)
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_model spec "trusted";
+  Spec.declare_object spec "img";
+  Spec.add_acc_statement spec (Gfact.make "clear" ~objects:[ a "img" ]) 0.9;
+  Spec.add_acc_statement spec (Gfact.make "clear" ~objects:[ a "img" ]) 0.5;
+  Spec.add_meta_model spec (Meta.fuzzy_threshold ~model:"trusted" ~threshold:0.8);
+  let probes = [ Gfact.make "clear" ~model:"trusted" ~objects:[ v "X" ] ] in
+  let report =
+    Compare.views spec
+      ~left:(sel "max" ~metas:[ "fuzzy_unified_max"; "fuzzy_threshold_trusted" ])
+      ~right:(sel "min" ~metas:[ "fuzzy_unified_min"; "fuzzy_threshold_trusted" ])
+      ~probes
+  in
+  (match report.Compare.differences with
+  | [ d ] ->
+      (* max: 0.9 > 0.8 realises the fact; min: 0.5 does not *)
+      Alcotest.(check int) "only under max" 1 (List.length d.Compare.only_left);
+      Alcotest.(check int) "nothing only under min" 0 (List.length d.Compare.only_right)
+  | _ -> Alcotest.fail "one probe expected");
+  Alcotest.(check bool) "not in agreement" false (Compare.agreement report)
+
+let test_agreement () =
+  let spec = build_spec () in
+  let report =
+    Compare.views spec
+      ~left:(sel "a" ~models:[ "w" ])
+      ~right:(sel "b" ~models:[ "w" ])
+      ~probes:[ Gfact.make "open" ~objects:[ v "X" ] ]
+  in
+  Alcotest.(check bool) "identical selections agree" true (Compare.agreement report)
+
+let test_violations_in_report () =
+  let spec = build_spec () in
+  let x = v "X" in
+  Spec.add_constraint spec ~model:"survey" ~name:"no_b2" ~error:"no_b2" ~args:[ x ]
+    (Formula.Atom (Gfact.make "open" ~objects:[ x ]));
+  let report =
+    Compare.views spec
+      ~left:(sel "w" ~models:[ "w" ])
+      ~right:(sel "both" ~models:[ "w"; "survey" ])
+      ~probes:[]
+  in
+  Alcotest.(check int) "left consistent" 0 (List.length report.Compare.left_violations);
+  Alcotest.(check bool) "right violates" true
+    (List.length report.Compare.right_violations > 0);
+  (* pretty printer renders *)
+  let s = Format.asprintf "%a" Compare.pp report in
+  Alcotest.(check bool) "pp mentions both names" true
+    (String.length s > 0)
+
+let tests =
+  [
+    Alcotest.test_case "world-view differences" `Quick test_world_view_difference;
+    Alcotest.test_case "meta-view differences" `Quick test_meta_view_difference;
+    Alcotest.test_case "agreement" `Quick test_agreement;
+    Alcotest.test_case "violations in reports" `Quick test_violations_in_report;
+  ]

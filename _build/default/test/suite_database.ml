@@ -1,0 +1,140 @@
+open Gdp_logic
+
+let clause src = Reader.clause src
+
+let test_assertz_order () =
+  let db = Database.create () in
+  Database.assertz db (clause "p(1).");
+  Database.assertz db (clause "p(2).");
+  Database.assertz db (clause "p(3).");
+  let heads =
+    Database.all_clauses db ("p", 1)
+    |> List.map (fun c -> Term.to_string c.Database.head)
+  in
+  Alcotest.(check (list string)) "assertion order" [ "p(1)"; "p(2)"; "p(3)" ] heads
+
+let test_asserta_prepends () =
+  let db = Database.create () in
+  Database.assertz db (clause "p(1).");
+  Database.asserta db (clause "p(0).");
+  let heads =
+    Database.all_clauses db ("p", 1)
+    |> List.map (fun c -> Term.to_string c.Database.head)
+  in
+  Alcotest.(check (list string)) "asserta first" [ "p(0)"; "p(1)" ] heads
+
+let test_first_arg_indexing () =
+  let db = Database.create () in
+  Database.assertz db (clause "p(a, 1).");
+  Database.assertz db (clause "p(b, 2).");
+  Database.assertz db (clause "p(X, 3).");
+  let candidates goal = List.length (Database.clauses db (Reader.term goal)) in
+  Alcotest.(check int) "keyed lookup filters" 2 (candidates "p(a, Z)");
+  Alcotest.(check int) "unbound first arg keeps all" 3 (candidates "p(W, Z)");
+  Alcotest.(check int) "no match only var clause" 1 (candidates "p(zz, Z)")
+
+let test_index_compound_key () =
+  let db = Database.create () in
+  Database.assertz db (clause "q(f(1), one).");
+  Database.assertz db (clause "q(g(1), gee).");
+  Alcotest.(check int) "compound key filters by functor" 1
+    (List.length (Database.clauses db (Reader.term "q(f(9), R)")))
+
+let test_retract () =
+  let db = Database.create () in
+  Database.assertz db (clause "p(X) :- q(X).");
+  Database.assertz db (clause "p(1).");
+  Alcotest.(check bool) "retract rule variant" true
+    (Database.retract db (clause "p(Y) :- q(Y)."));
+  Alcotest.(check int) "one clause left" 1 (List.length (Database.all_clauses db ("p", 1)));
+  Alcotest.(check bool) "absent clause" false (Database.retract db (clause "p(2)."));
+  Alcotest.(check bool) "fact retract" true (Database.retract db (clause "p(1)."));
+  Alcotest.(check int) "empty now" 0 (List.length (Database.all_clauses db ("p", 1)))
+
+let test_retract_first_in_order () =
+  let db = Database.create () in
+  Database.assertz db (clause "r(1).");
+  Database.assertz db (clause "r(X).");
+  Alcotest.(check bool) "retract variant of r(X)... picks matching clause" true
+    (Database.retract db (clause "r(Y)."));
+  let remaining = Database.all_clauses db ("r", 1) in
+  Alcotest.(check int) "one left" 1 (List.length remaining);
+  Alcotest.(check string) "ground one remains" "r(1)"
+    (Term.to_string (List.hd remaining).Database.head)
+
+let test_retract_all () =
+  let db = Database.create () in
+  Database.assertz db (clause "p(1).");
+  Database.assertz db (clause "p(2).");
+  Database.retract_all db ("p", 1);
+  Alcotest.(check int) "gone" 0 (List.length (Database.all_clauses db ("p", 1)))
+
+let test_copy_independent () =
+  let db = Database.create () in
+  Database.assertz db (clause "p(1).");
+  let db2 = Database.copy db in
+  Database.assertz db2 (clause "p(2).");
+  Alcotest.(check int) "original untouched" 1
+    (List.length (Database.all_clauses db ("p", 1)));
+  Alcotest.(check int) "copy extended" 2
+    (List.length (Database.all_clauses db2 ("p", 1)))
+
+let test_builtin_conflicts () =
+  let db = Database.create () in
+  Database.register_builtin db ("blt", 1) (fun _ s _ -> Seq.return s);
+  Alcotest.(check bool) "assert on builtin rejected" true
+    (try
+       Database.assertz db (clause "blt(1).");
+       false
+     with Invalid_argument _ -> true);
+  Database.assertz db (clause "notblt(1).");
+  Alcotest.(check bool) "builtin over clauses rejected" true
+    (try
+       Database.register_builtin db ("notblt", 1) (fun _ s _ -> Seq.return s);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bad_head_rejected () =
+  let db = Database.create () in
+  Alcotest.(check bool) "integer head" true
+    (try
+       Database.fact db (Term.int 3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rename_clause () =
+  let c = clause "p(X, Y) :- q(X), r(Y, X)." in
+  let c' = Database.rename_clause c in
+  let vars_of cl =
+    List.concat_map Term.vars (cl.Database.head :: cl.Database.body)
+    |> List.map (fun (v : Term.var) -> v.Term.id)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "same var count" 2 (List.length (vars_of c'));
+  Alcotest.(check bool) "disjoint from original" true
+    (List.for_all (fun id -> not (List.mem id (vars_of c))) (vars_of c'))
+
+let test_size_predicates () =
+  let db = Database.create () in
+  Database.assertz db (clause "p(1).");
+  Database.assertz db (clause "q(1, 2).");
+  Database.assertz db (clause "q(3, 4).");
+  Alcotest.(check int) "size" 3 (Database.size db);
+  Alcotest.(check (list (pair string int)))
+    "predicates sorted" [ ("p", 1); ("q", 2) ] (Database.predicates db)
+
+let tests =
+  [
+    Alcotest.test_case "assertz order" `Quick test_assertz_order;
+    Alcotest.test_case "asserta prepends" `Quick test_asserta_prepends;
+    Alcotest.test_case "first-argument indexing" `Quick test_first_arg_indexing;
+    Alcotest.test_case "compound index keys" `Quick test_index_compound_key;
+    Alcotest.test_case "retract" `Quick test_retract;
+    Alcotest.test_case "retract picks first in order" `Quick test_retract_first_in_order;
+    Alcotest.test_case "retract_all" `Quick test_retract_all;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "builtin conflicts" `Quick test_builtin_conflicts;
+    Alcotest.test_case "bad head rejected" `Quick test_bad_head_rejected;
+    Alcotest.test_case "rename_clause" `Quick test_rename_clause;
+    Alcotest.test_case "size and predicates" `Quick test_size_predicates;
+  ]

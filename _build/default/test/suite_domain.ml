@@ -1,0 +1,78 @@
+open Gdp_logic
+module Sd = Gdp_domain.Semantic_domain
+
+let test_enumeration () =
+  let veg = Sd.enumeration ~name:"vegetation" [ "pine"; "oak"; "grass" ] in
+  Alcotest.(check bool) "member" true (Sd.contains veg (Term.atom "pine"));
+  Alcotest.(check bool) "non-member" false (Sd.contains veg (Term.atom "sand"));
+  Alcotest.(check bool) "wrong type" false (Sd.contains veg (Term.int 3));
+  Alcotest.(check int) "enumerable" 3
+    (match veg.Sd.enumerate with Some l -> List.length l | None -> 0)
+
+let test_ranges () =
+  let temp = Sd.real_range ~name:"temperature" ~lo:(-100.0) ~hi:200.0 in
+  Alcotest.(check bool) "float inside" true (Sd.contains temp (Term.float 45.0));
+  Alcotest.(check bool) "int inside" true (Sd.contains temp (Term.int 45));
+  Alcotest.(check bool) "below" false (Sd.contains temp (Term.float (-150.0)));
+  Alcotest.(check bool) "atom rejected (paper's green)" false
+    (Sd.contains temp (Term.atom "green"));
+  let dice = Sd.int_range ~name:"dice" ~lo:1 ~hi:6 in
+  Alcotest.(check bool) "int range" true (Sd.contains dice (Term.int 6));
+  Alcotest.(check bool) "float not in int range" false
+    (Sd.contains dice (Term.float 3.0));
+  Alcotest.(check int) "int range enumerates" 6
+    (match dice.Sd.enumerate with Some l -> List.length l | None -> 0)
+
+let test_builtin_kinds () =
+  Alcotest.(check bool) "number" true
+    (Sd.contains (Sd.number ~name:"n") (Term.float 1.5));
+  Alcotest.(check bool) "text" true (Sd.contains (Sd.text ~name:"t") (Term.str "hi"));
+  Alcotest.(check bool) "text rejects atom" false
+    (Sd.contains (Sd.text ~name:"t") (Term.atom "hi"));
+  Alcotest.(check bool) "any accepts ground" true
+    (Sd.contains (Sd.any ~name:"a") (Term.app "f" [ Term.int 1 ]));
+  Alcotest.(check bool) "any rejects vars" false
+    (Sd.contains (Sd.any ~name:"a") (Term.var "X"))
+
+let test_operations () =
+  let temp = Sd.real_range ~name:"temperature" ~lo:(-100.0) ~hi:200.0 in
+  let to_celsius = function
+    | [ Term.Float f ] -> Some (Term.float ((f -. 32.0) *. 5.0 /. 9.0))
+    | _ -> None
+  in
+  let temp = Sd.with_operation temp "to_celsius" to_celsius in
+  (match Sd.apply_operation temp "to_celsius" [ Term.float 212.0 ] with
+  | Some (Term.Float c) -> Alcotest.(check (float 1e-9)) "212F = 100C" 100.0 c
+  | _ -> Alcotest.fail "operation failed");
+  Alcotest.(check bool) "unknown op" true
+    (Sd.apply_operation temp "nope" [] = None);
+  Alcotest.(check bool) "failing op is not-provable" true
+    (Sd.apply_operation temp "to_celsius" [ Term.atom "x" ] = None)
+
+let test_registry () =
+  let reg = Sd.Registry.builtin () in
+  Alcotest.(check bool) "builtin number present" true
+    (Sd.Registry.find reg "number" <> None);
+  Alcotest.(check bool) "boolean enumerates" true
+    (match Sd.Registry.find reg "boolean" with
+    | Some d -> d.Sd.enumerate = Some [ Term.atom "true"; Term.atom "false" ]
+    | None -> false);
+  Sd.Registry.add reg (Sd.enumeration ~name:"veg" [ "pine" ]);
+  Alcotest.(check bool) "added found" true (Sd.Registry.find reg "veg" <> None);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       Sd.Registry.add reg (Sd.enumeration ~name:"veg" [ "oak" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check (list string)) "names sorted"
+    [ "any"; "boolean"; "number"; "text"; "veg" ]
+    (Sd.Registry.names reg)
+
+let tests =
+  [
+    Alcotest.test_case "enumerations" `Quick test_enumeration;
+    Alcotest.test_case "ranges" `Quick test_ranges;
+    Alcotest.test_case "builtin kinds" `Quick test_builtin_kinds;
+    Alcotest.test_case "operations" `Quick test_operations;
+    Alcotest.test_case "registry" `Quick test_registry;
+  ]

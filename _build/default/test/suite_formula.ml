@@ -1,0 +1,160 @@
+open Gdp_logic
+open Gdp_core
+
+let a = Term.atom
+let v = Term.var
+let atom ?values ?objects p = Formula.Atom (Gfact.make p ?values ?objects)
+
+let safety ?(head_vars = []) f = Formula.check_safety ~head_vars f
+
+let var_of t = match t with Term.Var vv -> vv | _ -> assert false
+
+let test_conj () =
+  let f = Formula.conj [ atom "a"; atom "b"; atom "c" ] in
+  (match f with
+  | Formula.And (Formula.And (Formula.Atom _, Formula.Atom _), Formula.Atom _) -> ()
+  | _ -> Alcotest.fail "left-nested conjunction expected");
+  Alcotest.(check bool) "empty conj rejected" true
+    (try
+       ignore (Formula.conj []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_free_vars () =
+  let x = v "X" and y = v "Y" in
+  let f =
+    Formula.And
+      ( atom "p" ~objects:[ x ],
+        Formula.Or (atom "q" ~objects:[ y ], atom "r" ~objects:[ x ]) )
+  in
+  Alcotest.(check int) "two free vars" 2 (List.length (Formula.free_vars f))
+
+let test_safety_positive () =
+  let x = v "X" in
+  Alcotest.(check bool) "head bound by atom" true
+    (safety ~head_vars:[ var_of x ] (atom "p" ~objects:[ x ]) = Ok ())
+
+let test_safety_unbound_head () =
+  let x = v "X" and y = v "Y" in
+  match safety ~head_vars:[ var_of y ] (atom "p" ~objects:[ x ]) with
+  | Error e ->
+      Alcotest.(check int) "offending variable reported" 1 (List.length e.Formula.offending)
+  | Ok () -> Alcotest.fail "unbound head variable must be rejected"
+
+let test_safety_or_intersection () =
+  let x = v "X" and y = v "Y" in
+  (* Or binds only the intersection: X bound on both branches, Y only on one *)
+  let both =
+    Formula.Or (atom "p" ~objects:[ x ], atom "q" ~objects:[ x ])
+  in
+  Alcotest.(check bool) "bound on both branches" true
+    (safety ~head_vars:[ var_of x ] both = Ok ());
+  let one =
+    Formula.Or (atom "p" ~objects:[ x; y ], atom "q" ~objects:[ x ])
+  in
+  Alcotest.(check bool) "bound on one branch rejected" true
+    (safety ~head_vars:[ var_of y ] one <> Ok ())
+
+let test_safety_comparison () =
+  let x = v "X" in
+  let unbound = Formula.Test (Term.app ">" [ x; Term.int 5 ]) in
+  Alcotest.(check bool) "comparison on unbound rejected" true (safety unbound <> Ok ());
+  let bound =
+    Formula.And (atom "p" ~values:[ x ], Formula.Test (Term.app ">" [ x; Term.int 5 ]))
+  in
+  Alcotest.(check bool) "comparison after binding ok" true (safety bound = Ok ())
+
+let test_safety_test_binds () =
+  let x = v "X" and d = v "D" in
+  (* a non-comparison test binds its variables: is/2 output feeds the head *)
+  let f =
+    Formula.And
+      ( atom "p" ~values:[ x ],
+        Formula.Test (Term.app "is" [ d; Term.app "*" [ x; Term.int 2 ] ]) )
+  in
+  Alcotest.(check bool) "is binds output" true (safety ~head_vars:[ var_of d ] f = Ok ())
+
+let test_safety_negation_forall_no_export () =
+  let x = v "X" in
+  let neg = Formula.Not (atom "p" ~objects:[ x ]) in
+  Alcotest.(check bool) "negation exports nothing" true
+    (safety ~head_vars:[ var_of x ] neg <> Ok ());
+  let fa = Formula.Forall (atom "p" ~objects:[ x ], atom "q" ~objects:[ x ]) in
+  Alcotest.(check bool) "forall exports nothing" true
+    (safety ~head_vars:[ var_of x ] fa <> Ok ())
+
+let test_safety_forall_guard_binds_conclusion () =
+  let x = v "X" and y = v "Y" in
+  (* inside the quantifier the guard binds the conclusion's variables *)
+  let f =
+    Formula.And
+      ( atom "road" ~objects:[ x ],
+        Formula.Forall
+          (atom "bridge" ~objects:[ y; x ], atom "open" ~objects:[ y ]) )
+  in
+  Alcotest.(check bool) "paper's open_road rule is safe" true
+    (safety ~head_vars:[ var_of x ] f = Ok ())
+
+let test_to_goals_shapes () =
+  let x = v "X" in
+  let f =
+    Formula.And
+      ( atom "road" ~objects:[ x ],
+        Formula.Forall (atom "bridge" ~objects:[ v "Y"; x ], atom "open" ~objects:[ v "Y" ]) )
+  in
+  let goals = Formula.to_goals ~default_model:"w" f in
+  Alcotest.(check int) "two goals" 2 (List.length goals);
+  (match List.nth goals 1 with
+  | Term.App ("forall", [ _; _ ]) -> ()
+  | t -> Alcotest.failf "forall compilation: %s" (Term.to_string t));
+  let neg = Formula.Not (atom "p") in
+  (match Formula.to_goals ~default_model:"w" neg with
+  | [ Term.App ("\\+", [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "not compiles to NAF");
+  let disj = Formula.Or (atom "p", atom "q") in
+  match Formula.to_goals ~default_model:"w" disj with
+  | [ Term.App (";", [ _; _ ]) ] -> ()
+  | _ -> Alcotest.fail "or compiles to ;/2"
+
+let test_to_goals_model_defaulting () =
+  let f = atom "p" in
+  (match Formula.to_goals ~default_model:"celsius" f with
+  | [ Term.App ("holds", Term.Atom "celsius" :: _) ] -> ()
+  | _ -> Alcotest.fail "body atoms inherit the rule's model");
+  let explicit = Formula.Atom (Gfact.make "p" ~model:"other") in
+  match Formula.to_goals ~default_model:"celsius" explicit with
+  | [ Term.App ("holds", Term.Atom "other" :: _) ] -> ()
+  | _ -> Alcotest.fail "explicit model wins"
+
+let test_acc_compiles_to_acc_max () =
+  let acc_var = v "A" in
+  let f = Formula.Acc (Gfact.make "clear" ~objects:[ a "img" ], acc_var) in
+  match Formula.to_goals ~default_model:"w" f with
+  | [ Term.App ("acc_max", _) ] -> ()
+  | _ -> Alcotest.fail "Acc compiles to acc_max/7"
+
+let test_pp () =
+  let f =
+    Formula.And (atom "p", Formula.Not (atom "q"))
+  in
+  let s = Format.asprintf "%a" Formula.pp f in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let tests =
+  [
+    Alcotest.test_case "conj" `Quick test_conj;
+    Alcotest.test_case "free_vars" `Quick test_free_vars;
+    Alcotest.test_case "safety: positive binding" `Quick test_safety_positive;
+    Alcotest.test_case "safety: unbound head" `Quick test_safety_unbound_head;
+    Alcotest.test_case "safety: or intersection" `Quick test_safety_or_intersection;
+    Alcotest.test_case "safety: comparisons" `Quick test_safety_comparison;
+    Alcotest.test_case "safety: tests bind" `Quick test_safety_test_binds;
+    Alcotest.test_case "safety: not/forall export nothing" `Quick
+      test_safety_negation_forall_no_export;
+    Alcotest.test_case "safety: forall guard binds conclusion" `Quick
+      test_safety_forall_guard_binds_conclusion;
+    Alcotest.test_case "compilation shapes" `Quick test_to_goals_shapes;
+    Alcotest.test_case "model defaulting" `Quick test_to_goals_model_defaulting;
+    Alcotest.test_case "accuracy atoms" `Quick test_acc_compiles_to_acc_max;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

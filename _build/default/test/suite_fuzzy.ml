@@ -1,0 +1,300 @@
+open Gdp_fuzzy
+
+let truth = Alcotest.testable Truth.pp Truth.equal
+
+let test_truth_validation () =
+  Alcotest.(check bool) "valid" true (Truth.to_float (Truth.v 0.5) = 0.5);
+  Alcotest.check_raises "above one" (Invalid_argument "Truth.v: 1.5 outside [0, 1]")
+    (fun () -> ignore (Truth.v 1.5));
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Truth.v (-0.1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "nan rejected" true
+    (try
+       ignore (Truth.v Float.nan);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.check truth "clamp high" Truth.absolutely_true (Truth.clamp 7.0);
+  Alcotest.check truth "clamp low" Truth.absolutely_false (Truth.clamp (-3.0))
+
+let test_truth_predicates () =
+  Alcotest.(check bool) "absolute 1" true (Truth.is_absolute Truth.absolutely_true);
+  Alcotest.(check bool) "absolute 0" true (Truth.is_absolute Truth.absolutely_false);
+  Alcotest.(check bool) "0.5 not absolute" false (Truth.is_absolute (Truth.v 0.5));
+  Alcotest.(check bool) "exceeds strict" false
+    (Truth.exceeds (Truth.v 0.8) ~threshold:0.8);
+  Alcotest.(check bool) "exceeds" true (Truth.exceeds (Truth.v 0.81) ~threshold:0.8)
+
+let families = [ Algebra.Min_max; Algebra.Product; Algebra.Lukasiewicz ]
+
+let test_classical_consistency () =
+  List.iter
+    (fun family ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a matches two-valued logic" Algebra.pp_family family)
+        true
+        (Algebra.truth_table_consistent family))
+    families
+
+let test_min_max_table () =
+  (* the paper's flooded/frozen example: 0.45 ∧ 0.65 = 0.45 *)
+  let a = Truth.v 0.45 and b = Truth.v 0.65 in
+  Alcotest.check truth "conj is min" (Truth.v 0.45) (Algebra.conj Algebra.Min_max a b);
+  Alcotest.check truth "disj is max" (Truth.v 0.65) (Algebra.disj Algebra.Min_max a b);
+  Alcotest.check truth "neg" (Truth.v 0.55) (Algebra.neg a)
+
+let test_quantifiers () =
+  let xs = List.map Truth.v [ 0.9; 0.4; 0.7 ] in
+  Alcotest.check truth "forall = inf" (Truth.v 0.4) (Algebra.forall Algebra.Min_max xs);
+  Alcotest.check truth "exists = sup" (Truth.v 0.9) (Algebra.exists Algebra.Min_max xs);
+  Alcotest.check truth "empty forall true" Truth.absolutely_true
+    (Algebra.forall Algebra.Min_max []);
+  Alcotest.check truth "empty exists false" Truth.absolutely_false
+    (Algebra.exists Algebra.Min_max [])
+
+let test_implication () =
+  (* Kleene-Dienes: max(1-a, b) *)
+  Alcotest.check truth "implies" (Truth.v 0.6)
+    (Algebra.implies Algebra.Min_max (Truth.v 0.4) (Truth.v 0.3))
+
+let arb_truth =
+  QCheck.map ~rev:Truth.to_float Truth.clamp (QCheck.float_bound_inclusive 1.0)
+
+let prop_conj_bounds =
+  QCheck.Test.make ~name:"t-norms below min, t-conorms above max" ~count:300
+    (QCheck.pair arb_truth arb_truth)
+    (fun (a, b) ->
+      List.for_all
+        (fun family ->
+          let c = Truth.to_float (Algebra.conj family a b)
+          and d = Truth.to_float (Algebra.disj family a b) in
+          c <= Float.min (Truth.to_float a) (Truth.to_float b) +. 1e-12
+          && d >= Float.max (Truth.to_float a) (Truth.to_float b) -. 1e-12)
+        families)
+
+let prop_de_morgan_min_max =
+  QCheck.Test.make ~name:"De Morgan for min-max" ~count:300
+    (QCheck.pair arb_truth arb_truth)
+    (fun (a, b) ->
+      let lhs = Algebra.neg (Algebra.conj Algebra.Min_max a b) in
+      let rhs = Algebra.disj Algebra.Min_max (Algebra.neg a) (Algebra.neg b) in
+      Float.abs (Truth.to_float lhs -. Truth.to_float rhs) < 1e-12)
+
+let prop_commutative =
+  QCheck.Test.make ~name:"conj/disj commutative (all families)" ~count:300
+    (QCheck.pair arb_truth arb_truth)
+    (fun (a, b) ->
+      List.for_all
+        (fun f ->
+          Truth.equal (Algebra.conj f a b) (Algebra.conj f b a)
+          && Truth.equal (Algebra.disj f a b) (Algebra.disj f b a))
+        families)
+
+let prop_double_negation =
+  QCheck.Test.make ~name:"double negation" ~count:300 arb_truth (fun a ->
+      Float.abs (Truth.to_float (Algebra.neg (Algebra.neg a)) -. Truth.to_float a)
+      < 1e-12)
+
+(* ---- propagation ---- *)
+
+let oracle assoc a = List.assoc_opt a assoc |> Option.map Truth.v
+
+let test_ac_atom () =
+  let f = Propagate.Atom "x" in
+  Alcotest.(check (option truth)) "known atom" (Some (Truth.v 0.7))
+    (Propagate.ac (oracle [ ("x", 0.7) ]) f);
+  Alcotest.(check (option truth)) "unknown atom fails" None
+    (Propagate.ac (oracle []) f)
+
+let test_ac_and_or () =
+  let f = Propagate.And (Propagate.Atom "a", Propagate.Atom "b") in
+  let o = oracle [ ("a", 0.8); ("b", 0.5) ] in
+  Alcotest.(check (option truth)) "and = min" (Some (Truth.v 0.5)) (Propagate.ac o f);
+  let g = Propagate.Or (Propagate.Atom "a", Propagate.Atom "b") in
+  Alcotest.(check (option truth)) "or = max" (Some (Truth.v 0.8)) (Propagate.ac o g);
+  (* or with one failing branch takes the other *)
+  let o2 = oracle [ ("a", 0.8) ] in
+  Alcotest.(check (option truth)) "or tolerates one failure" (Some (Truth.v 0.8))
+    (Propagate.ac o2 g);
+  Alcotest.(check (option truth)) "and fails on any failure" None (Propagate.ac o2 f)
+
+let test_ac_forall () =
+  (* min(AC F1, inf max(1 - AC F2, AC F3)) *)
+  let f =
+    Propagate.Forall
+      ( Propagate.Atom "base",
+        [
+          (Propagate.Atom "g1", Propagate.Atom "c1");
+          (Propagate.Atom "g2", Propagate.Atom "c2");
+        ] )
+  in
+  let o = oracle [ ("base", 0.9); ("g1", 0.8); ("c1", 0.7); ("g2", 0.3); ("c2", 0.1) ] in
+  (* instance 1: max(0.2, 0.7) = 0.7 ; instance 2: max(0.7, 0.1) = 0.7 ; min with 0.9 = 0.7 *)
+  Alcotest.(check (option truth)) "paper rule" (Some (Truth.v 0.7)) (Propagate.ac o f);
+  (* unprovable guard: vacuous instance *)
+  let o2 = oracle [ ("base", 0.9); ("g2", 0.3); ("c2", 0.1); ("c1", 0.5) ] in
+  Alcotest.(check (option truth)) "unprovable guard is vacuous" (Some (Truth.v 0.7))
+    (Propagate.ac o2 f)
+
+let test_ac_not () =
+  let f = Propagate.Not_provable (Propagate.Atom "a", false) in
+  Alcotest.(check (option truth)) "not of unprovable keeps F1" (Some (Truth.v 0.6))
+    (Propagate.ac (oracle [ ("a", 0.6) ]) f);
+  let g = Propagate.Not_provable (Propagate.Atom "a", true) in
+  Alcotest.(check (option truth)) "not of provable fails" None
+    (Propagate.ac (oracle [ ("a", 0.6) ]) g)
+
+let test_ac_classical_example () =
+  (* "if the only two accuracies used are 0 and 1 the results are
+     consistent with the two-valued logic" — 0-accuracy conjunct gives 0 *)
+  let f = Propagate.And (Propagate.Atom "t", Propagate.Atom "f") in
+  Alcotest.(check (option truth)) "min(1,0) = 0" (Some Truth.absolutely_false)
+    (Propagate.ac (oracle [ ("t", 1.0); ("f", 0.0) ]) f)
+
+let test_map_atoms_size () =
+  let f =
+    Propagate.And
+      ( Propagate.Atom 1,
+        Propagate.Forall (Propagate.Atom 2, [ (Propagate.Atom 3, Propagate.Atom 4) ]) )
+  in
+  Alcotest.(check (list int)) "atoms in order" [ 1; 2; 3; 4 ] (Propagate.atoms f);
+  Alcotest.(check int) "size" 6 (Propagate.size f);
+  let g = Propagate.map string_of_int f in
+  Alcotest.(check (list string)) "map" [ "1"; "2"; "3"; "4" ] (Propagate.atoms g)
+
+let gen_formula =
+  let open QCheck.Gen in
+  let atom = map (fun i -> Propagate.Atom i) (int_range 0 5) in
+  fix (fun self depth ->
+      if depth = 0 then atom
+      else
+        frequency
+          [
+            (3, atom);
+            (2, map2 (fun a b -> Propagate.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun a b -> Propagate.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            ( 1,
+              map2
+                (fun a pairs -> Propagate.Forall (a, pairs))
+                (self (depth - 1))
+                (list_size (int_range 0 2)
+                   (pair (self (depth - 1)) (self (depth - 1)))) );
+          ])
+    3
+
+let prop_ac_classical_is_boolean =
+  (* with a classical oracle (only 0/1), AC is 0/1 and matches boolean
+     evaluation *)
+  QCheck.Test.make ~name:"AC on classical atoms is two-valued" ~count:200
+    (QCheck.make gen_formula)
+    (fun f ->
+      let truthy i = i mod 2 = 0 in
+      let o i = if truthy i then Some Truth.absolutely_true else Some Truth.absolutely_false in
+      let rec bool_eval = function
+        | Propagate.Atom i -> truthy i
+        | Propagate.And (a, b) -> bool_eval a && bool_eval b
+        | Propagate.Or (a, b) -> bool_eval a || bool_eval b
+        | Propagate.Forall (a, pairs) ->
+            bool_eval a
+            && List.for_all (fun (g, c) -> (not (bool_eval g)) || bool_eval c) pairs
+        | Propagate.Not_provable (a, p) -> bool_eval a && not p
+      in
+      match Propagate.ac o f with
+      | Some a -> Truth.to_float a = if bool_eval f then 1.0 else 0.0
+      | None -> false)
+
+let gen_positive_formula =
+  (* the ∧/∨ fragment: AC is monotone here (a rising guard accuracy makes
+     quantified implications LESS true, so Forall is excluded) *)
+  let open QCheck.Gen in
+  let atom = map (fun i -> Propagate.Atom i) (int_range 0 5) in
+  fix (fun self depth ->
+      if depth = 0 then atom
+      else
+        frequency
+          [
+            (2, atom);
+            (1, map2 (fun a b -> Propagate.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Propagate.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+          ])
+    4
+
+let prop_ac_monotone_in_atoms =
+  QCheck.Test.make ~name:"AC monotone on the positive fragment" ~count:200
+    (QCheck.make gen_positive_formula)
+    (fun f ->
+      let lo i = Some (Truth.v (0.1 +. (0.1 *. float_of_int (i mod 5)))) in
+      let hi i = Option.map (fun t -> Truth.clamp (Truth.to_float t +. 0.2)) (lo i) in
+      match (Propagate.ac lo f, Propagate.ac hi f) with
+      | Some a, Some b -> Truth.to_float b >= Truth.to_float a -. 1e-12
+      | _ -> false)
+
+(* ---- fuzzy sets ---- *)
+
+let m s x = Truth.to_float (Fuzzy_set.membership s x)
+
+let test_fuzzy_set_shapes () =
+  let tri = Fuzzy_set.triangular ~a:0.0 ~b:5.0 ~c:10.0 in
+  Alcotest.(check (float 1e-9)) "tri peak" 1.0 (m tri 5.0);
+  Alcotest.(check (float 1e-9)) "tri mid" 0.5 (m tri 2.5);
+  Alcotest.(check (float 1e-9)) "tri outside" 0.0 (m tri 12.0);
+  let trap = Fuzzy_set.trapezoidal ~a:0.0 ~b:2.0 ~c:4.0 ~d:6.0 in
+  Alcotest.(check (float 1e-9)) "trap plateau" 1.0 (m trap 3.0);
+  Alcotest.(check (float 1e-9)) "trap rise" 0.5 (m trap 1.0);
+  let g = Fuzzy_set.gaussian ~mean:0.0 ~sigma:1.0 in
+  Alcotest.(check (float 1e-9)) "gaussian peak" 1.0 (m g 0.0);
+  Alcotest.(check bool) "gaussian decays" true (m g 3.0 < 0.05);
+  let s = Fuzzy_set.sigmoid ~midpoint:10.0 ~slope:1.0 in
+  Alcotest.(check (float 1e-9)) "sigmoid midpoint" 0.5 (m s 10.0);
+  Alcotest.check_raises "bad triangular"
+    (Invalid_argument "Fuzzy_set.triangular: breakpoints must be non-decreasing")
+    (fun () -> ignore (Fuzzy_set.triangular ~a:5.0 ~b:1.0 ~c:10.0))
+
+let test_fuzzy_set_ops () =
+  let tri = Fuzzy_set.triangular ~a:0.0 ~b:5.0 ~c:10.0 in
+  Alcotest.(check (float 1e-9)) "complement" 0.5
+    (m (Fuzzy_set.complement tri) 2.5);
+  Alcotest.(check (float 1e-9)) "very = squared" 0.25 (m (Fuzzy_set.very tri) 2.5);
+  Alcotest.(check (float 1e-9)) "somewhat = sqrt" (sqrt 0.5)
+    (m (Fuzzy_set.somewhat tri) 2.5);
+  Alcotest.(check bool) "alpha cut" true (Fuzzy_set.alpha_cut tri ~alpha:0.4 2.5);
+  Alcotest.(check bool) "alpha cut fails" false (Fuzzy_set.alpha_cut tri ~alpha:0.6 2.5);
+  let u = Fuzzy_set.union tri (Fuzzy_set.crisp (fun x -> x > 8.0)) in
+  Alcotest.(check (float 1e-9)) "union" 1.0 (m u 9.0);
+  Alcotest.(check int) "support" 2
+    (List.length (Fuzzy_set.support tri ~samples:[ -1.0; 2.5; 5.0; 11.0 ]))
+
+let test_defuzzify () =
+  let tri = Fuzzy_set.triangular ~a:0.0 ~b:5.0 ~c:10.0 in
+  (match Fuzzy_set.defuzzify_centroid tri ~lo:0.0 ~hi:10.0 ~steps:1000 with
+  | Some c -> Alcotest.(check (float 0.01)) "symmetric centroid" 5.0 c
+  | None -> Alcotest.fail "centroid expected");
+  Alcotest.(check bool) "zero mass" true
+    (Fuzzy_set.defuzzify_centroid tri ~lo:20.0 ~hi:30.0 ~steps:100 = None)
+
+let tests =
+  [
+    Alcotest.test_case "truth validation" `Quick test_truth_validation;
+    Alcotest.test_case "truth predicates" `Quick test_truth_predicates;
+    Alcotest.test_case "classical consistency" `Quick test_classical_consistency;
+    Alcotest.test_case "min-max table (paper example)" `Quick test_min_max_table;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "Kleene-Dienes implication" `Quick test_implication;
+    Alcotest.test_case "AC: atoms" `Quick test_ac_atom;
+    Alcotest.test_case "AC: and/or" `Quick test_ac_and_or;
+    Alcotest.test_case "AC: bounded forall" `Quick test_ac_forall;
+    Alcotest.test_case "AC: negation" `Quick test_ac_not;
+    Alcotest.test_case "AC: classical limits" `Quick test_ac_classical_example;
+    Alcotest.test_case "propagate map/atoms/size" `Quick test_map_atoms_size;
+    Alcotest.test_case "fuzzy set shapes" `Quick test_fuzzy_set_shapes;
+    Alcotest.test_case "fuzzy set operations" `Quick test_fuzzy_set_ops;
+    Alcotest.test_case "defuzzification" `Quick test_defuzzify;
+    QCheck_alcotest.to_alcotest prop_conj_bounds;
+    QCheck_alcotest.to_alcotest prop_de_morgan_min_max;
+    QCheck_alcotest.to_alcotest prop_commutative;
+    QCheck_alcotest.to_alcotest prop_double_negation;
+    QCheck_alcotest.to_alcotest prop_ac_classical_is_boolean;
+    QCheck_alcotest.to_alcotest prop_ac_monotone_in_atoms;
+  ]

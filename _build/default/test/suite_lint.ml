@@ -1,0 +1,158 @@
+open Gdp_core
+module T = Gdp_logic.Term
+
+let a = T.atom
+let v = T.var
+
+let codes findings = List.map (fun f -> f.Lint.code) findings
+let with_code c findings = List.filter (fun f -> f.Lint.code = c) findings
+
+let test_clean_spec () =
+  let result =
+    Gdp_lang.Elaborate.load_string
+      {|
+      objects s1, b1.
+      fact road(s1).
+      fact bridge(b1, s1).
+      fact open(b1).
+      rule closed(X) <- bridge(X, _), not open(X).
+      |}
+  in
+  Alcotest.(check (list string)) "no findings" []
+    (codes (Lint.lint result.Gdp_lang.Elaborate.spec))
+
+let test_undeclared_object () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_object spec "s1";
+  Spec.add_fact spec (Gfact.make "road" ~objects:[ a "s1" ]);
+  Spec.add_fact spec (Gfact.make "road" ~objects:[ a "ghost" ]);
+  let findings = Lint.lint spec in
+  Alcotest.(check int) "ghost flagged" 1
+    (List.length (with_code "undeclared-object" findings));
+  Alcotest.(check bool) "warning severity" true
+    ((List.hd (with_code "undeclared-object" findings)).Lint.severity = Lint.Warning)
+
+let test_no_object_checks_without_declarations () =
+  (* specifications that declare no objects opt out of the check *)
+  let spec = Spec.create () in
+  Spec.add_fact spec (Gfact.make "road" ~objects:[ a "anything" ]);
+  Alcotest.(check int) "no undeclared-object findings" 0
+    (List.length (with_code "undeclared-object" (Lint.lint spec)))
+
+let test_unused_object () =
+  let spec = Spec.create () in
+  Spec.declare_objects spec [ "used"; "idle" ];
+  Spec.add_fact spec (Gfact.make "road" ~objects:[ a "used" ]);
+  let findings = with_code "unused-object" (Lint.lint spec) in
+  Alcotest.(check int) "idle flagged" 1 (List.length findings);
+  Alcotest.(check bool) "mentions the object" true
+    (let msg = (List.hd findings).Lint.message in
+     String.length msg > 0
+     &&
+     let re_found = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + 4 <= String.length msg && String.sub msg i 4 = "idle" then
+           re_found := true)
+       msg;
+     !re_found)
+
+let test_unknown_space_and_region () =
+  let spec = Spec.create () in
+  Spec.declare_object spec "land";
+  Spec.add_fact spec
+    (Gfact.make "wet" ~objects:[ a "land" ]
+       ~space:(Gfact.S_uniform (a "nowhere", Gfact.pos_term (Gdp_space.Point.make 0. 0.))));
+  let x = v "X" and p = v "P" in
+  Spec.add_rule spec ~name:"r" ~head:(Gfact.make "q" ~objects:[ x ])
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "wet" ~objects:[ x ]);
+          Test (T.app "region_reps" [ a "ghost_space"; a "ghost_region"; p ]);
+        ]);
+  let findings = Lint.lint spec in
+  Alcotest.(check bool) "has errors" true (Lint.has_errors findings);
+  Alcotest.(check int) "two unknown spaces" 2
+    (List.length (with_code "unknown-space" findings));
+  Alcotest.(check int) "one unknown region" 1
+    (List.length (with_code "unknown-region" findings));
+  (* errors sort first *)
+  Alcotest.(check bool) "errors first" true
+    ((List.hd findings).Lint.severity = Lint.Error)
+
+let test_undefined_predicate () =
+  let spec = Spec.create () in
+  Spec.declare_object spec "x";
+  let xv = v "X" in
+  Spec.add_rule spec ~name:"r" ~head:(Gfact.make "derived" ~objects:[ xv ])
+    (Formula.Atom (Gfact.make "phantom" ~objects:[ xv ]));
+  let findings = with_code "undefined-predicate" (Lint.lint spec) in
+  Alcotest.(check int) "phantom flagged" 1 (List.length findings);
+  (* defining phantom by a fact clears it *)
+  Spec.add_fact spec (Gfact.make "phantom" ~objects:[ a "x" ]);
+  Alcotest.(check int) "cleared" 0
+    (List.length (with_code "undefined-predicate" (Lint.lint spec)))
+
+let test_undeclared_predicate_with_signatures () =
+  let spec = Spec.create () in
+  Spec.declare_predicate spec "road" ~object_arity:1;
+  Spec.declare_object spec "s1";
+  Spec.add_fact spec (Gfact.make "road" ~objects:[ a "s1" ]);
+  Spec.add_fact spec (Gfact.make "raod" ~objects:[ a "s1" ]) (* typo *);
+  let findings = with_code "undeclared-predicate" (Lint.lint spec) in
+  Alcotest.(check int) "typo flagged" 1 (List.length findings)
+
+let test_unused_domain_empty_model () =
+  let spec = Spec.create () in
+  Spec.declare_domain spec (Gdp_domain.Semantic_domain.number ~name:"altitude");
+  Spec.declare_model spec "hollow";
+  let findings = Lint.lint spec in
+  Alcotest.(check int) "unused domain" 1
+    (List.length (with_code "unused-domain" findings));
+  Alcotest.(check int) "empty model" 1 (List.length (with_code "empty-model" findings))
+
+let test_accuracy_without_fact () =
+  let spec = Spec.create () in
+  Spec.declare_object spec "img";
+  Spec.add_acc_statement spec (Gfact.make "clear" ~objects:[ a "img" ]) 0.9;
+  Alcotest.(check int) "flagged" 1
+    (List.length (with_code "accuracy-without-fact" (Lint.lint spec)));
+  Spec.add_fact spec (Gfact.make "clear" ~objects:[ a "img" ]);
+  Alcotest.(check int) "cleared by plain fact" 0
+    (List.length (with_code "accuracy-without-fact" (Lint.lint spec)))
+
+let test_error_pred_not_flagged () =
+  (* constraints use ERROR, which is never "undefined" *)
+  let spec = Spec.create () in
+  Spec.declare_object spec "x";
+  Spec.add_fact spec (Gfact.make "open" ~objects:[ a "x" ]);
+  Spec.add_fact spec (Gfact.make "closed" ~objects:[ a "x" ]);
+  let xv = v "X" in
+  Spec.add_constraint spec ~name:"c" ~error:"clash" ~args:[ xv ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "open" ~objects:[ xv ]);
+          Atom (Gfact.make "closed" ~objects:[ xv ]);
+        ]);
+  Alcotest.(check int) "no undefined-predicate for ERROR" 0
+    (List.length (with_code "undefined-predicate" (Lint.lint spec)))
+
+let tests =
+  [
+    Alcotest.test_case "clean specification" `Quick test_clean_spec;
+    Alcotest.test_case "undeclared object" `Quick test_undeclared_object;
+    Alcotest.test_case "opt-out without declarations" `Quick
+      test_no_object_checks_without_declarations;
+    Alcotest.test_case "unused object" `Quick test_unused_object;
+    Alcotest.test_case "unknown space/region" `Quick test_unknown_space_and_region;
+    Alcotest.test_case "undefined predicate" `Quick test_undefined_predicate;
+    Alcotest.test_case "undeclared predicate (typo)" `Quick
+      test_undeclared_predicate_with_signatures;
+    Alcotest.test_case "unused domain / empty model" `Quick
+      test_unused_domain_empty_model;
+    Alcotest.test_case "accuracy without plain fact" `Quick test_accuracy_without_fact;
+    Alcotest.test_case "ERROR predicate exempt" `Quick test_error_pred_not_flagged;
+  ]

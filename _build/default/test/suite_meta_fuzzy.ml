@@ -1,0 +1,253 @@
+open Gdp_logic
+open Gdp_core
+
+let a = Term.atom
+let v = Term.var
+
+let base_spec () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_objects spec [ "img1"; "img2" ];
+  spec
+
+let clear o = Gfact.make "clear" ~objects:[ a o ]
+
+let test_unified_max () =
+  let spec = base_spec () in
+  Spec.add_acc_statement spec (clear "img1") 0.9;
+  Spec.add_acc_statement spec (clear "img1") 0.6;
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max" ] in
+  Alcotest.(check (option (float 1e-9))) "max of 0.9/0.6" (Some 0.9)
+    (Query.accuracy q (clear "img1"));
+  Alcotest.(check bool) "no accuracy for unqualified fact" true
+    (Query.accuracy q (clear "img2") = None)
+
+let test_unified_min_avg () =
+  let spec = base_spec () in
+  Spec.add_acc_statement spec (clear "img1") 0.9;
+  Spec.add_acc_statement spec (clear "img1") 0.6;
+  let qmin = Query.create spec ~meta_view:[ "fuzzy_unified_min" ] in
+  Alcotest.(check (option (float 1e-9))) "min" (Some 0.6) (Query.accuracy qmin (clear "img1"));
+  let qavg = Query.create spec ~meta_view:[ "fuzzy_unified_avg" ] in
+  Alcotest.(check (option (float 1e-9))) "avg" (Some 0.75)
+    (Query.accuracy qavg (clear "img1"))
+
+let test_accuracy_ignored_by_default () =
+  (* §VII-C first way of ignoring accuracy: plain definitions simply do
+     not see %-qualified facts *)
+  let spec = base_spec () in
+  Spec.add_acc_statement spec (clear "img1") 0.99;
+  let q = Query.create spec in
+  Alcotest.(check bool) "q(x) not provable from %a q(x)" false
+    (Query.holds q (clear "img1"))
+
+let test_threshold_meta_model () =
+  let spec = base_spec () in
+  Spec.add_acc_statement spec (clear "img1") 0.9;
+  Spec.add_acc_statement spec (clear "img2") 0.5;
+  Spec.declare_model spec "trusted";
+  Spec.add_meta_model spec (Meta.fuzzy_threshold ~model:"trusted" ~threshold:0.8);
+  let q =
+    Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_threshold_trusted" ]
+  in
+  Alcotest.(check bool) "above threshold realised" true
+    (Query.holds q (Gfact.make "clear" ~model:"trusted" ~objects:[ a "img1" ]));
+  Alcotest.(check bool) "below threshold not realised" false
+    (Query.holds q (Gfact.make "clear" ~model:"trusted" ~objects:[ a "img2" ]));
+  Alcotest.(check bool) "threshold range checked" true
+    (try
+       ignore (Meta.fuzzy_threshold ~model:"m" ~threshold:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_accuracy_rule () =
+  (* user-defined accuracy definition (§VII-B): accuracy as a function of
+     the fact's value *)
+  let spec = base_spec () in
+  Spec.declare_object spec "sensor";
+  Spec.add_fact spec
+    (Gfact.make "reading" ~values:[ Term.float 10.0 ] ~objects:[ a "sensor" ]);
+  let val_v = v "V" and acc_v = v "A" and s_v = v "S" in
+  Spec.add_rule spec ~name:"reading_acc" ~accuracy:acc_v
+    ~head:(Gfact.make "reading" ~values:[ val_v ] ~objects:[ s_v ])
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "reading" ~values:[ val_v ] ~objects:[ s_v ]);
+          Test (Term.app "is" [ acc_v; Term.app "/" [ Term.float 1.0; val_v ] ]);
+        ]);
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max" ] in
+  Alcotest.(check (option (float 1e-9))) "computed accuracy" (Some 0.1)
+    (Query.accuracy q (Gfact.make "reading" ~values:[ v "V" ] ~objects:[ a "sensor" ]))
+
+let test_propagation_and () =
+  let spec = base_spec () in
+  Spec.add_acc_statement spec (Gfact.make "flooded" ~objects:[ a "img1" ]) 0.45;
+  Spec.add_acc_statement spec (Gfact.make "frozen" ~objects:[ a "img1" ]) 0.65;
+  (* both facts also plainly true so the rule body is provable *)
+  Spec.add_fact spec (Gfact.make "flooded" ~objects:[ a "img1" ]);
+  Spec.add_fact spec (Gfact.make "frozen" ~objects:[ a "img1" ]);
+  let x = v "X" in
+  Spec.add_rule spec ~name:"hazard" ~head:(Gfact.make "hazard" ~objects:[ x ])
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "flooded" ~objects:[ x ]);
+          Atom (Gfact.make "frozen" ~objects:[ x ]);
+        ]);
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_propagation" ] in
+  (* the paper's min-max example: 0.45 ∧ 0.65 = 0.45 *)
+  Alcotest.(check (option (float 1e-9))) "min rule" (Some 0.45)
+    (Query.accuracy q (Gfact.make "hazard" ~objects:[ a "img1" ]))
+
+let test_propagation_or_and_crisp () =
+  let spec = base_spec () in
+  Spec.add_acc_statement spec (Gfact.make "flooded" ~objects:[ a "img1" ]) 0.45;
+  Spec.add_fact spec (Gfact.make "flooded" ~objects:[ a "img1" ]);
+  (* frozen is crisply true with no accuracy statement: treated as 1.0 *)
+  Spec.add_fact spec (Gfact.make "frozen" ~objects:[ a "img1" ]);
+  let x = v "X" in
+  Spec.add_rule spec ~name:"either" ~head:(Gfact.make "either" ~objects:[ x ])
+    Formula.(
+      Or
+        ( Atom (Gfact.make "flooded" ~objects:[ x ]),
+          Atom (Gfact.make "frozen" ~objects:[ x ]) ));
+  Spec.add_rule spec ~name:"both" ~head:(Gfact.make "both" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "flooded" ~objects:[ x ]),
+          Atom (Gfact.make "frozen" ~objects:[ x ]) ));
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_propagation" ] in
+  Alcotest.(check (option (float 1e-9))) "or = max(0.45, 1)" (Some 1.0)
+    (Query.accuracy q (Gfact.make "either" ~objects:[ a "img1" ]));
+  Alcotest.(check (option (float 1e-9))) "and = min(0.45, 1)" (Some 0.45)
+    (Query.accuracy q (Gfact.make "both" ~objects:[ a "img1" ]))
+
+let test_propagation_forall () =
+  let spec = base_spec () in
+  Spec.declare_objects spec [ "r"; "b1"; "b2" ];
+  Spec.add_fact spec (Gfact.make "road" ~objects:[ a "r" ]);
+  List.iter
+    (fun b ->
+      Spec.add_fact spec (Gfact.make "bridge" ~objects:[ a b; a "r" ]);
+      Spec.add_fact spec (Gfact.make "open" ~objects:[ a b ]))
+    [ "b1"; "b2" ];
+  Spec.add_acc_statement spec (Gfact.make "open" ~objects:[ a "b1" ]) 0.8;
+  Spec.add_acc_statement spec (Gfact.make "open" ~objects:[ a "b2" ]) 0.6;
+  let x = v "X" and y = v "Y" in
+  Spec.add_rule spec ~name:"open_road" ~head:(Gfact.make "open_road" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "road" ~objects:[ x ]),
+          Forall
+            ( Atom (Gfact.make "bridge" ~objects:[ y; x ]),
+              Atom (Gfact.make "open" ~objects:[ y ]) ) ));
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_propagation" ] in
+  (* guards are crisp (bridge facts): each instance contributes max(0, AC(open)) ;
+     inf over {0.8, 0.6} = 0.6 ; road is crisp 1.0 *)
+  Alcotest.(check (option (float 1e-9))) "forall propagates inf" (Some 0.6)
+    (Query.accuracy q (Gfact.make "open_road" ~objects:[ a "r" ]))
+
+let test_propagation_not () =
+  let spec = base_spec () in
+  Spec.declare_object spec "b9";
+  Spec.add_fact spec (Gfact.make "bridge" ~objects:[ a "b9"; a "r" ]);
+  Spec.add_acc_statement spec (Gfact.make "bridge" ~objects:[ a "b9"; a "r" ]) 0.7;
+  let x = v "X" in
+  Spec.add_rule spec ~name:"closed" ~head:(Gfact.make "closed" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "bridge" ~objects:[ x; v "_R" ]),
+          Not (Atom (Gfact.make "open" ~objects:[ x ])) ));
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_propagation" ] in
+  (* min(AC(bridge), 1) = 0.7 when "open" is not provable *)
+  Alcotest.(check (option (float 1e-9))) "naf keeps positive part" (Some 0.7)
+    (Query.accuracy q (Gfact.make "closed" ~objects:[ a "b9" ]))
+
+let test_fuzzy_constraint () =
+  (* §VII-E: an error triggered by low accuracy of some fact *)
+  let spec = base_spec () in
+  Spec.add_acc_statement spec (clear "img1") 0.5;
+  Spec.add_acc_statement spec (clear "img2") 0.95;
+  let x = v "X" and acc_v = v "A" in
+  Spec.add_constraint spec ~name:"bad_image" ~error:"bad_image" ~args:[ x ]
+    Formula.(
+      conj
+        [
+          Acc (Gfact.make "clear" ~objects:[ x ], acc_v);
+          Test (Term.app "<" [ acc_v; Term.float 0.8 ]);
+        ]);
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max" ] in
+  match Query.violations q with
+  | [ viol ] ->
+      Alcotest.(check string) "tag" "bad_image" viol.Query.v_tag;
+      Alcotest.(check bool) "img1 flagged" true
+        (List.exists (Term.equal (a "img1")) viol.Query.v_args)
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l)
+
+let test_clarity_card () =
+  (* §VII-B: statistically defined accuracy via the cardinality primitive *)
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  let rng = Gdp_workload.Rng.create 7L in
+  let clouds = Gdp_workload.Clouds.generate rng ~size:8 ~cover:0.3 () in
+  Gdp_workload.Clouds.add_to_spec clouds spec ~resolution:"r" ~image:"img" ();
+  Gdp_workload.Clouds.add_clarity_rule spec ~image:"img" ();
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max" ] in
+  match Query.accuracy q (Gfact.make "clarity" ~objects:[ a "img" ]) with
+  | Some acc ->
+      Alcotest.(check (float 1e-9)) "clarity = 1 - cloud fraction"
+        (1.0 -. Gdp_workload.Clouds.cloud_fraction clouds)
+        acc
+  | None -> Alcotest.fail "clarity accuracy expected"
+
+let test_fuzzy_builtins () =
+  let spec = base_spec () in
+  let q = Query.create spec in
+  Alcotest.(check bool) "fz_and min" true (Query.ask q "fz_and(0.3, 0.7, 0.3)");
+  Alcotest.(check bool) "fz_or max" true (Query.ask q "fz_or(0.3, 0.7, 0.7)");
+  Alcotest.(check bool) "fz_not" true (Query.ask q "fz_not(0.3, A), A =:= 0.7";);
+  (* family switch changes the connectives *)
+  spec.Spec.fuzzy_family <- Gdp_fuzzy.Algebra.Product;
+  let q2 = Query.create spec in
+  Alcotest.(check bool) "product family" true
+    (Query.ask q2 "fz_and(0.5, 0.5, A), A =:= 0.25")
+
+let test_alternative_family_propagation () =
+  let spec = base_spec () in
+  spec.Spec.fuzzy_family <- Gdp_fuzzy.Algebra.Product;
+  Spec.add_acc_statement spec (Gfact.make "flooded" ~objects:[ a "img1" ]) 0.5;
+  Spec.add_acc_statement spec (Gfact.make "frozen" ~objects:[ a "img1" ]) 0.5;
+  Spec.add_fact spec (Gfact.make "flooded" ~objects:[ a "img1" ]);
+  Spec.add_fact spec (Gfact.make "frozen" ~objects:[ a "img1" ]);
+  let x = v "X" in
+  Spec.add_rule spec ~name:"hazard" ~head:(Gfact.make "hazard" ~objects:[ x ])
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "flooded" ~objects:[ x ]);
+          Atom (Gfact.make "frozen" ~objects:[ x ]);
+        ]);
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max"; "fuzzy_propagation" ] in
+  Alcotest.(check (option (float 1e-9))) "product conj" (Some 0.25)
+    (Query.accuracy q (Gfact.make "hazard" ~objects:[ a "img1" ]))
+
+let tests =
+  [
+    Alcotest.test_case "unified max" `Quick test_unified_max;
+    Alcotest.test_case "unified min/avg variants" `Quick test_unified_min_avg;
+    Alcotest.test_case "accuracy ignored by default" `Quick
+      test_accuracy_ignored_by_default;
+    Alcotest.test_case "threshold meta-model" `Quick test_threshold_meta_model;
+    Alcotest.test_case "user accuracy definition" `Quick test_accuracy_rule;
+    Alcotest.test_case "propagation: conjunction" `Quick test_propagation_and;
+    Alcotest.test_case "propagation: disjunction + crisp" `Quick
+      test_propagation_or_and_crisp;
+    Alcotest.test_case "propagation: bounded forall" `Quick test_propagation_forall;
+    Alcotest.test_case "propagation: negation" `Quick test_propagation_not;
+    Alcotest.test_case "fuzzy constraints" `Quick test_fuzzy_constraint;
+    Alcotest.test_case "picture clarity via card" `Quick test_clarity_card;
+    Alcotest.test_case "fuzzy builtins" `Quick test_fuzzy_builtins;
+    Alcotest.test_case "alternative connective family" `Quick
+      test_alternative_family_propagation;
+  ]

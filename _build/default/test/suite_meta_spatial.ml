@@ -1,0 +1,377 @@
+open Gdp_logic
+open Gdp_core
+module Res = Gdp_space.Resolution
+module P = Gdp_space.Point
+
+let a = Term.atom
+let v = Term.var
+let pos x y = Gfact.pos_term (P.make x y)
+
+(* two aligned grids: coarse 4x4 cells, fine 1x1 cells, over [0,8)² *)
+let base_spec () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Res.uniform ~name:"r1" 4.0);
+  Spec.declare_space spec (Res.uniform ~name:"r2" 1.0);
+  Spec.declare_region spec "world"
+    (Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:8.0 ~max_y:8.0);
+  Spec.declare_objects spec [ "land"; "hill" ];
+  spec
+
+let veg ?space () = Gfact.make "vegetation" ~values:[ a "pine" ] ~objects:[ a "land" ] ?space
+
+let test_simple_operator () =
+  let spec = base_spec () in
+  Spec.add_fact spec (Gfact.make "wet" ~objects:[ a "land" ]);
+  let q = Query.create spec ~meta_view:[ "spatial_simple" ] in
+  (* space-independent facts are true at every point *)
+  Alcotest.(check bool) "true anywhere" true
+    (Query.holds q (Gfact.make "wet" ~objects:[ a "land" ] ~space:(Gfact.S_at (pos 123.0 456.0))));
+  (* without the meta-model, spatial queries of nonspatial facts fail *)
+  let q0 = Query.create spec ~meta_view:[] in
+  Alcotest.(check bool) "inactive meta-model" false
+    (Query.holds q0 (Gfact.make "wet" ~objects:[ a "land" ] ~space:(Gfact.S_at (pos 1.0 1.0))))
+
+let test_at_facts_exact () =
+  let spec = base_spec () in
+  Spec.add_fact spec (veg ~space:(Gfact.S_at (pos 3.0 4.0)) ());
+  let q = Query.create spec in
+  Alcotest.(check bool) "exact point" true
+    (Query.holds q (veg ~space:(Gfact.S_at (pos 3.0 4.0)) ()));
+  Alcotest.(check bool) "other point" false
+    (Query.holds q (veg ~space:(Gfact.S_at (pos 3.0 4.1)) ()))
+
+let test_uniform_expansion () =
+  let spec = base_spec () in
+  Spec.add_fact spec (veg ~space:(Gfact.S_uniform (a "r1", pos 1.0 1.0)) ());
+  let q = Query.create spec ~meta_view:[ "spatial_uniform" ] in
+  Alcotest.(check bool) "inside patch" true
+    (Query.holds q (veg ~space:(Gfact.S_at (pos 3.9 0.1)) ()));
+  Alcotest.(check bool) "outside patch" false
+    (Query.holds q (veg ~space:(Gfact.S_at (pos 4.1 0.1)) ()));
+  (* downward inheritance to the finer grid *)
+  Alcotest.(check bool) "finer cell inherits" true
+    (Query.holds q (veg ~space:(Gfact.S_uniform (a "r2", pos 2.5 3.5)) ()));
+  Alcotest.(check int) "all 16 fine subcells enumerable" 16
+    (List.length (Query.solutions q (veg ~space:(Gfact.S_uniform (a "r2", v "P")) ())));
+  (* no inheritance upward without the up meta-model *)
+  let spec2 = base_spec () in
+  Spec.add_fact spec2 (veg ~space:(Gfact.S_uniform (a "r2", pos 0.5 0.5)) ());
+  let q2 = Query.create spec2 ~meta_view:[ "spatial_uniform" ] in
+  Alcotest.(check bool) "fine does not lift to coarse" false
+    (Query.holds q2 (veg ~space:(Gfact.S_uniform (a "r1", pos 1.0 1.0)) ()))
+
+let fill_fine_cells spec cells =
+  List.iter
+    (fun (x, y) ->
+      Spec.add_fact spec (veg ~space:(Gfact.S_uniform (a "r2", pos x y)) ()))
+    cells
+
+let all_16 =
+  List.concat_map
+    (fun i -> List.map (fun j -> (float_of_int i +. 0.5, float_of_int j +. 0.5))
+        [ 0; 1; 2; 3 ])
+    [ 0; 1; 2; 3 ]
+
+let test_uniform_upward () =
+  let spec = base_spec () in
+  fill_fine_cells spec all_16;
+  let q = Query.create spec ~meta_view:[ "spatial_uniform_up" ] in
+  Alcotest.(check bool) "acquired by coarse cell" true
+    (Query.holds q (veg ~space:(Gfact.S_uniform (a "r1", pos 2.0 2.0)) ()));
+  (* missing one subcell blocks acquisition *)
+  let spec2 = base_spec () in
+  fill_fine_cells spec2 (List.tl all_16);
+  let q2 = Query.create spec2 ~meta_view:[ "spatial_uniform_up" ] in
+  Alcotest.(check bool) "incomplete cover not acquired" false
+    (Query.holds q2 (veg ~space:(Gfact.S_uniform (a "r1", pos 2.0 2.0)) ()))
+
+let test_uniform_up_and_down_with_loop_check () =
+  let spec = base_spec () in
+  fill_fine_cells spec all_16;
+  let q = Query.create spec ~meta_view:[ "spatial_uniform"; "spatial_uniform_up" ] in
+  Alcotest.(check bool) "both directions coexist" true
+    (Query.holds q (veg ~space:(Gfact.S_uniform (a "r1", pos 2.0 2.0)) ()));
+  Alcotest.(check bool) "negative case terminates" false
+    (Query.holds q (veg ~space:(Gfact.S_uniform (a "r1", pos 6.0 6.0)) ()))
+
+let test_sampled () =
+  let spec = base_spec () in
+  (* a point fact, as from a road of sub-resolution width *)
+  Spec.add_fact spec (Gfact.make "road" ~objects:[ a "land" ] ~space:(Gfact.S_at (pos 6.3 6.7)));
+  let q = Query.create spec ~meta_view:[ "spatial_sampled" ] in
+  Alcotest.(check bool) "sample at coarse cell" true
+    (Query.holds q
+       (Gfact.make "road" ~objects:[ a "land" ]
+          ~space:(Gfact.S_sampled (a "r1", pos 7.0 5.0))));
+  Alcotest.(check bool) "sample at fine cell" true
+    (Query.holds q
+       (Gfact.make "road" ~objects:[ a "land" ]
+          ~space:(Gfact.S_sampled (a "r2", pos 6.5 6.5))));
+  Alcotest.(check bool) "no sample in empty cell" false
+    (Query.holds q
+       (Gfact.make "road" ~objects:[ a "land" ]
+          ~space:(Gfact.S_sampled (a "r1", pos 1.0 1.0))));
+  (* enumeration mode binds representative points *)
+  (match
+     Query.solutions q
+       (Gfact.make "road" ~objects:[ a "land" ] ~space:(Gfact.S_sampled (a "r1", v "P")))
+   with
+  | sols ->
+      Alcotest.(check bool) "at least one derived sample" true (List.length sols >= 1))
+
+let test_sampled_subarea_propagation () =
+  let spec = base_spec () in
+  (* a sample stored directly at the fine resolution *)
+  Spec.add_fact spec
+    (Gfact.make "mineral" ~objects:[ a "land" ] ~space:(Gfact.S_sampled (a "r2", pos 2.5 2.5)));
+  let q = Query.create spec ~meta_view:[ "spatial_sampled" ] in
+  Alcotest.(check bool) "fine sample lifts to coarse area" true
+    (Query.holds q
+       (Gfact.make "mineral" ~objects:[ a "land" ]
+          ~space:(Gfact.S_sampled (a "r1", pos 1.0 1.0))))
+
+let test_averaged () =
+  let spec = base_spec () in
+  List.iteri
+    (fun i (x, y) ->
+      Spec.add_fact spec
+        (Gfact.make "elevation"
+           ~values:[ Term.float (100.0 *. float_of_int (i + 1)) ]
+           ~objects:[ a "land" ]
+           ~space:(Gfact.S_uniform (a "r2", pos x y))))
+    all_16;
+  let q = Query.create spec ~meta_view:[ "spatial_averaged" ] in
+  match
+    Query.solutions q
+      (Gfact.make "elevation" ~values:[ v "Z" ] ~objects:[ a "land" ]
+         ~space:(Gfact.S_averaged (a "r1", pos 2.0 2.0)))
+  with
+  | [ sol ] -> (
+      match sol.Gfact.values with
+      | [ Term.Float avg ] ->
+          (* the 4 fine cells inside [0,4)² are indices of all_16 with both
+             coordinates < 4: positions 0..15 filtered; compute expected *)
+          let expected =
+            all_16
+            |> List.mapi (fun i (x, y) -> (x, y, 100.0 *. float_of_int (i + 1)))
+            |> List.filter (fun (x, y, _) -> x < 4.0 && y < 4.0)
+            |> fun l ->
+            List.fold_left (fun acc (_, _, z) -> acc +. z) 0.0 l
+            /. float_of_int (List.length l)
+          in
+          Alcotest.(check (float 1e-6)) "average of the 16 subcells" expected avg
+      | _ -> Alcotest.fail "no value")
+  | l -> Alcotest.failf "expected one averaged solution, got %d" (List.length l)
+
+let test_averaged_requires_full_cover () =
+  let spec = base_spec () in
+  Spec.add_fact spec
+    (Gfact.make "elevation" ~values:[ Term.float 5.0 ] ~objects:[ a "land" ]
+       ~space:(Gfact.S_uniform (a "r2", pos 0.5 0.5)));
+  let q = Query.create spec ~meta_view:[ "spatial_averaged" ] in
+  Alcotest.(check bool) "partial cover yields no average" false
+    (Query.holds q
+       (Gfact.make "elevation" ~values:[ v "Z" ] ~objects:[ a "land" ]
+          ~space:(Gfact.S_averaged (a "r1", pos 2.0 2.0))))
+
+let test_point_type_definition () =
+  (* §V-D: all position-dependent properties at a single point *)
+  let spec = base_spec () in
+  Spec.add_fact spec (Gfact.make "beacon" ~objects:[ a "hill" ] ~space:(Gfact.S_at (pos 1.0 1.0)));
+  Spec.add_fact spec (Gfact.make "summit" ~objects:[ a "hill" ] ~space:(Gfact.S_at (pos 1.0 1.0)));
+  Spec.add_fact spec (Gfact.make "beacon" ~objects:[ a "land" ] ~space:(Gfact.S_at (pos 1.0 1.0)));
+  Spec.add_fact spec (Gfact.make "summit" ~objects:[ a "land" ] ~space:(Gfact.S_at (pos 5.0 5.0)));
+  let q = Query.create spec ~meta_view:[ "point_type" ] in
+  Alcotest.(check bool) "hill is a point feature" true
+    (Query.holds q (Gfact.make "point_type" ~objects:[ a "hill" ]));
+  Alcotest.(check bool) "land is not" false
+    (Query.holds q (Gfact.make "point_type" ~objects:[ a "land" ]))
+
+let test_overlap_definition () =
+  (* §V-D overlap: two objects with a position-dependent property at the
+     same point *)
+  let spec = base_spec () in
+  Spec.declare_objects spec [ "lake_a"; "park_b"; "far_c" ];
+  List.iter
+    (fun (o, x, y) ->
+      Spec.add_fact spec
+        (Gfact.make "covers" ~objects:[ a o ] ~space:(Gfact.S_at (pos x y))))
+    [ ("lake_a", 1.0, 1.0); ("lake_a", 2.0, 1.0); ("park_b", 2.0, 1.0);
+      ("far_c", 7.0, 7.0) ];
+  let q = Query.create spec ~meta_view:[ "overlap" ] in
+  Alcotest.(check bool) "overlapping objects" true
+    (Query.holds q (Gfact.make "overlap" ~objects:[ a "lake_a"; a "park_b" ]));
+  Alcotest.(check bool) "disjoint objects" false
+    (Query.holds q (Gfact.make "overlap" ~objects:[ a "lake_a"; a "far_c" ]))
+
+let test_island_thresholding () =
+  (* §V-D: an island appears at low resolution only if its size exceeds
+     delta *)
+  let spec = base_spec () in
+  Spec.declare_objects spec [ "big_island"; "tiny_island" ];
+  (* big island: 5 fine cells; tiny: 1 *)
+  List.iter
+    (fun (x, y) ->
+      Spec.add_fact spec
+        (Gfact.make "island" ~objects:[ a "big_island" ]
+           ~space:(Gfact.S_sampled (a "r2", pos x y))))
+    [ (0.5, 0.5); (1.5, 0.5); (2.5, 0.5); (0.5, 1.5); (1.5, 1.5) ];
+  Spec.add_fact spec
+    (Gfact.make "island" ~objects:[ a "tiny_island" ]
+       ~space:(Gfact.S_sampled (a "r2", pos 6.5 6.5)));
+  Spec.add_meta_model spec
+    (Meta.thresholding ~pred:"island" ~fine:"r2" ~coarse:"r1" ~min_cells:2 ());
+  let q = Query.create spec ~meta_view:[ "threshold_island" ] in
+  Alcotest.(check bool) "big island drawn at r1" true
+    (Query.holds q
+       (Gfact.make "island" ~objects:[ a "big_island" ]
+          ~space:(Gfact.S_sampled (a "r1", pos 2.0 2.0))));
+  Alcotest.(check bool) "tiny island dropped at r1" false
+    (Query.holds q
+       (Gfact.make "island" ~objects:[ a "tiny_island" ]
+          ~space:(Gfact.S_sampled (a "r1", pos 6.0 6.0))))
+
+let test_copying_rule () =
+  let spec = base_spec () in
+  Spec.add_fact spec
+    (Gfact.make "marsh" ~objects:[ a "land" ] ~space:(Gfact.S_sampled (a "r2", pos 1.5 1.5)));
+  Spec.add_meta_model spec (Meta.copying ~pred:"marsh" ~fine:"r2" ~coarse:"r1" ());
+  let q = Query.create spec ~meta_view:[ "copy_marsh" ] in
+  Alcotest.(check bool) "copied to coarse" true
+    (Query.holds q
+       (Gfact.make "marsh" ~objects:[ a "land" ] ~space:(Gfact.S_sampled (a "r1", pos 1.0 1.0))))
+
+let test_shoreline_composition () =
+  (* §V-D: lake point and shore point in the same coarse cell give a
+     shore_line point at that cell *)
+  let spec = base_spec () in
+  Spec.declare_object spec "superior";
+  Spec.add_fact spec
+    (Gfact.make "lake" ~objects:[ a "superior" ] ~space:(Gfact.S_at (pos 1.5 1.5)));
+  Spec.add_fact spec
+    (Gfact.make "shore" ~objects:[ a "superior" ] ~space:(Gfact.S_at (pos 2.5 1.5)));
+  (* another shore far away: no lake in the same coarse cell *)
+  Spec.add_fact spec
+    (Gfact.make "shore" ~objects:[ a "superior" ] ~space:(Gfact.S_at (pos 6.5 6.5)));
+  Spec.add_meta_model spec
+    (Meta.composition ~a:"lake" ~b:"shore" ~result:"shore_line" ~fine:"r2" ~coarse:"r1" ());
+  let q = Query.create spec ~meta_view:[ "compose_shore_line" ] in
+  let sols =
+    Query.solutions q
+      (Gfact.make "shore_line" ~objects:[ a "superior" ] ~space:(Gfact.S_at (v "P")))
+  in
+  Alcotest.(check int) "exactly one shoreline cell" 1 (List.length sols);
+  match (List.hd sols).Gfact.space with
+  | Gfact.S_at p ->
+      Alcotest.(check bool) "at the coarse representative" true
+        (Gfact.pos_of_term p = Some (P.make 2.0 2.0))
+  | _ -> Alcotest.fail "expected at-qualifier"
+
+let test_adjacency_relation () =
+  let spec = base_spec () in
+  Spec.declare_objects spec [ "lake"; "marsh"; "desert" ];
+  List.iter
+    (fun (o, x, y) ->
+      Spec.add_fact spec
+        (Gfact.make "located" ~objects:[ a o ] ~space:(Gfact.S_at (pos x y))))
+    [ ("lake", 1.5, 1.5); ("marsh", 2.5, 1.5); ("desert", 7.5, 7.5) ];
+  (* fine cells of size 1: lake at cell (1,1), marsh at (2,1): adjacent *)
+  Spec.add_meta_model spec
+    (Meta.adjacency ~located:"located" ~resolution:"r2" ~max_gap:1.01 ());
+  let q = Query.create spec ~meta_view:[ "adjacency" ] in
+  Alcotest.(check bool) "neighbouring cells adjacent" true
+    (Query.holds q (Gfact.make "adjacent" ~objects:[ a "lake"; a "marsh" ]));
+  Alcotest.(check bool) "symmetric" true
+    (Query.holds q (Gfact.make "adjacent" ~objects:[ a "marsh"; a "lake" ]));
+  Alcotest.(check bool) "far cells not adjacent" false
+    (Query.holds q (Gfact.make "adjacent" ~objects:[ a "lake"; a "desert" ]));
+  Alcotest.(check bool) "not self-adjacent" false
+    (Query.holds q (Gfact.make "adjacent" ~objects:[ a "lake"; a "lake" ]))
+
+let test_relative_position () =
+  let spec = base_spec () in
+  Spec.declare_objects spec [ "townA"; "townB" ];
+  List.iter
+    (fun (o, x, y) ->
+      Spec.add_fact spec
+        (Gfact.make "located" ~objects:[ a o ] ~space:(Gfact.S_at (pos x y))))
+    [ ("townA", 4.0, 7.0); ("townB", 4.0, 1.0) ];
+  Spec.add_meta_model spec (Meta.relative_position ~located:"located" ());
+  let q = Query.create spec ~meta_view:[ "relative_position" ] in
+  Alcotest.(check bool) "A north of B" true
+    (Query.holds q (Gfact.make "north_of" ~objects:[ a "townA"; a "townB" ]));
+  Alcotest.(check bool) "B south of A" true
+    (Query.holds q (Gfact.make "south_of" ~objects:[ a "townB"; a "townA" ]));
+  Alcotest.(check bool) "A not south of B" false
+    (Query.holds q (Gfact.make "south_of" ~objects:[ a "townA"; a "townB" ]));
+  (* east/west *)
+  Spec.declare_object spec "townC";
+  Spec.add_fact spec
+    (Gfact.make "located" ~objects:[ a "townC" ] ~space:(Gfact.S_at (pos 7.9 1.0)));
+  let q = Query.create spec ~meta_view:[ "relative_position" ] in
+  Alcotest.(check bool) "C east of B" true
+    (Query.holds q (Gfact.make "east_of" ~objects:[ a "townC"; a "townB" ]));
+  Alcotest.(check bool) "B west of C" true
+    (Query.holds q (Gfact.make "west_of" ~objects:[ a "townB"; a "townC" ]))
+
+let test_relative_size () =
+  let spec = base_spec () in
+  Spec.declare_objects spec [ "big"; "small" ];
+  List.iter
+    (fun (x, y) ->
+      Spec.add_fact spec
+        (Gfact.make "island" ~objects:[ a "big" ]
+           ~space:(Gfact.S_sampled (a "r2", pos x y))))
+    [ (0.5, 0.5); (1.5, 0.5); (2.5, 0.5) ];
+  Spec.add_fact spec
+    (Gfact.make "island" ~objects:[ a "small" ]
+       ~space:(Gfact.S_sampled (a "r2", pos 6.5 6.5)));
+  Spec.add_meta_model spec (Meta.relative_size ~pred:"island" ~resolution:"r2" ());
+  let q = Query.create spec ~meta_view:[ "size_island" ] in
+  Alcotest.(check bool) "big larger than small" true
+    (Query.holds q (Gfact.make "larger_than" ~objects:[ a "big"; a "small" ]));
+  Alcotest.(check bool) "small not larger" false
+    (Query.holds q (Gfact.make "larger_than" ~objects:[ a "small"; a "big" ]))
+
+let test_dist_direction_builtins () =
+  let spec = base_spec () in
+  let q = Query.create spec in
+  Alcotest.(check bool) "distance" true
+    (Query.ask q "pt_dist(pos(0.0, 0.0), pos(3.0, 4.0), D), D =:= 5.0");
+  Alcotest.(check bool) "direction east" true
+    (Query.ask q "pt_direction(pos(0.0, 0.0), pos(1.0, 0.0), A), A =:= 0.0");
+  Alcotest.(check bool) "res_apply" true
+    (Query.ask q "res_apply(r1, pos(3.0, 3.0), pos(2.0, 2.0))");
+  Alcotest.(check bool) "refines enumerates" true
+    (Query.ask q "res_refines(r2, r1)");
+  Alcotest.(check bool) "refines irreflexive in rules" false
+    (Query.ask q "res_refines(r1, r1)");
+  Alcotest.(check bool) "region_reps enumerates" true
+    (Query.ask q "region_reps(r1, world, pos(2.0, 2.0))");
+  Alcotest.(check int) "4 coarse cells in world" 4
+    (List.length (Query.ask_all q "region_reps(r1, world, P)"))
+
+let tests =
+  [
+    Alcotest.test_case "simple operator" `Quick test_simple_operator;
+    Alcotest.test_case "point facts exact" `Quick test_at_facts_exact;
+    Alcotest.test_case "area-uniform expansion + down" `Quick test_uniform_expansion;
+    Alcotest.test_case "area-uniform upward" `Quick test_uniform_upward;
+    Alcotest.test_case "uniform up+down with loop check" `Quick
+      test_uniform_up_and_down_with_loop_check;
+    Alcotest.test_case "area-sampled" `Quick test_sampled;
+    Alcotest.test_case "sampled subarea propagation" `Quick
+      test_sampled_subarea_propagation;
+    Alcotest.test_case "area-averaged" `Quick test_averaged;
+    Alcotest.test_case "average needs full cover" `Quick test_averaged_requires_full_cover;
+    Alcotest.test_case "point-type feature (§V-D)" `Quick test_point_type_definition;
+    Alcotest.test_case "overlap (§V-D)" `Quick test_overlap_definition;
+    Alcotest.test_case "island thresholding (§V-D)" `Quick test_island_thresholding;
+    Alcotest.test_case "copying rule (§V-D)" `Quick test_copying_rule;
+    Alcotest.test_case "shore-line composition (§V-D)" `Quick test_shoreline_composition;
+    Alcotest.test_case "adjacency relation (§V-D)" `Quick test_adjacency_relation;
+    Alcotest.test_case "relative position (§V-D)" `Quick test_relative_position;
+    Alcotest.test_case "relative size (§V-D)" `Quick test_relative_size;
+    Alcotest.test_case "spatial builtins" `Quick test_dist_direction_builtins;
+  ]

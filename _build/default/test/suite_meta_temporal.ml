@@ -1,0 +1,297 @@
+open Gdp_logic
+open Gdp_core
+module Iv = Gdp_temporal.Interval
+
+let a = Term.atom
+let v = Term.var
+let at t = Gfact.T_at (Term.float t)
+let over iv = Gfact.T_uniform (Gfact.interval_term iv)
+
+let base_spec ?(now = 1990.0) () =
+  let spec = Spec.create ~now () in
+  Meta.install_standard spec;
+  Spec.declare_object spec "b";
+  spec
+
+let open_b ?time () = Gfact.make "open" ~objects:[ a "b" ] ?time
+
+let test_temporal_simple () =
+  let spec = base_spec () in
+  Spec.add_fact spec (open_b ());
+  let q = Query.create spec ~meta_view:[ "temporal_simple" ] in
+  Alcotest.(check bool) "time-independent true at any instant" true
+    (Query.holds q (open_b ~time:(at 1975.0) ()));
+  let q0 = Query.create spec ~meta_view:[] in
+  Alcotest.(check bool) "inactive" false (Query.holds q0 (open_b ~time:(at 1975.0) ()))
+
+let test_interval_uniform_expansion () =
+  let spec = base_spec () in
+  Spec.add_fact spec (open_b ~time:(over (Iv.closed 1970.0 1980.0)) ());
+  let q = Query.create spec ~meta_view:[ "temporal_uniform" ] in
+  Alcotest.(check bool) "member instant" true (Query.holds q (open_b ~time:(at 1975.0) ()));
+  Alcotest.(check bool) "boundary of closed" true
+    (Query.holds q (open_b ~time:(at 1980.0) ()));
+  Alcotest.(check bool) "outside" false (Query.holds q (open_b ~time:(at 1985.0) ()));
+  (* subinterval inheritance *)
+  Alcotest.(check bool) "subinterval" true
+    (Query.holds q (open_b ~time:(over (Iv.closed 1972.0 1978.0)) ()));
+  Alcotest.(check bool) "superinterval not derivable" false
+    (Query.holds q (open_b ~time:(over (Iv.closed 1960.0 1985.0)) ()))
+
+let test_open_interval_bounds () =
+  let spec = base_spec () in
+  Spec.add_fact spec (open_b ~time:(over (Iv.right_open 1970.0 1980.0)) ());
+  let q = Query.create spec ~meta_view:[ "temporal_uniform" ] in
+  Alcotest.(check bool) "lower closed" true (Query.holds q (open_b ~time:(at 1970.0) ()));
+  Alcotest.(check bool) "upper open excluded" false
+    (Query.holds q (open_b ~time:(at 1980.0) ()))
+
+let test_temporal_sampled () =
+  let spec = base_spec () in
+  Spec.add_fact spec (open_b ~time:(at 1975.0) ());
+  let q = Query.create spec ~meta_view:[ "temporal_sampled" ] in
+  Alcotest.(check bool) "interval acquires sample" true
+    (Query.holds q
+       (open_b ~time:(Gfact.T_sampled (Gfact.interval_term (Iv.closed 1970.0 1980.0))) ()));
+  Alcotest.(check bool) "disjoint interval has no sample" false
+    (Query.holds q
+       (open_b ~time:(Gfact.T_sampled (Gfact.interval_term (Iv.closed 1980.5 1985.0))) ()))
+
+let test_comprehension_principle () =
+  let spec = base_spec () in
+  Spec.add_fact spec (open_b ~time:(at 1975.0) ());
+  let q = Query.create spec ~meta_view:[ "temporal_comprehension" ] in
+  Alcotest.(check bool) "expedient uniform truth" true
+    (Query.holds q (open_b ~time:(over (Iv.closed 1970.0 1980.0)) ()));
+  Alcotest.(check bool) "interval without observation" false
+    (Query.holds q (open_b ~time:(over (Iv.closed 1981.0 1985.0)) ()))
+
+let status t value =
+  Gfact.make "status" ~values:[ a value ] ~objects:[ a "b" ] ~time:(at t)
+
+let test_continuity_assumption () =
+  let spec = base_spec () in
+  Spec.add_fact spec (status 1971.0 "ok");
+  Spec.add_fact spec (status 1980.0 "bad");
+  Spec.add_fact spec (status 1985.0 "ok");
+  let q = Query.create spec ~meta_view:[ "temporal_continuity" ] in
+  (* between consecutive observations the earlier value holds uniformly
+     over [T1, T2) *)
+  Alcotest.(check bool) "ok uniform over [1971, 1980)" true
+    (Query.holds q
+       (Gfact.make "status" ~values:[ a "ok" ] ~objects:[ a "b" ]
+          ~time:(over (Iv.right_open 1971.0 1980.0))));
+  Alcotest.(check bool) "bad uniform over [1980, 1985)" true
+    (Query.holds q
+       (Gfact.make "status" ~values:[ a "bad" ] ~objects:[ a "b" ]
+          ~time:(over (Iv.right_open 1980.0 1985.0))));
+  (* the long span is interrupted by the 1980 observation *)
+  Alcotest.(check bool) "interrupted span rejected" false
+    (Query.holds q
+       (Gfact.make "status" ~values:[ a "ok" ] ~objects:[ a "b" ]
+          ~time:(over (Iv.right_open 1971.0 1985.0))))
+
+let test_persistence () =
+  let spec = base_spec ~now:1990.0 () in
+  Spec.add_fact spec (status 1971.0 "ok");
+  Spec.add_fact spec (status 1980.0 "bad");
+  let q = Query.create spec ~meta_view:[ "temporal_persistence" ] in
+  Alcotest.(check bool) "persists after observation" true
+    (Query.holds q (status 1975.0 "ok"));
+  Alcotest.(check bool) "overridden by newer observation" false
+    (Query.holds q (status 1985.0 "ok"));
+  Alcotest.(check bool) "newer value persists" true (Query.holds q (status 1985.0 "bad"));
+  Alcotest.(check bool) "no persistence into the future" false
+    (Query.holds q (status 1995.0 "bad"));
+  Alcotest.(check bool) "nothing before first observation" false
+    (Query.holds q (status 1960.0 "ok"))
+
+let test_now_placeholder () =
+  let spec = base_spec ~now:1990.0 () in
+  Spec.add_fact spec (open_b ~time:(Gfact.T_at (a "now")) ());
+  let q = Query.create spec ~meta_view:[ "temporal_now" ] in
+  Alcotest.(check bool) "true at the present instant" true
+    (Query.holds q (open_b ~time:(at 1990.0) ()));
+  Alcotest.(check bool) "not in the past" false
+    (Query.holds q (open_b ~time:(at 1970.0) ()));
+  (* the present moves: same compiled db reads the mutable clock *)
+  Gdp_temporal.Clock.set spec.Spec.clock 2000.0;
+  Alcotest.(check bool) "present moved" true (Query.holds q (open_b ~time:(at 2000.0) ()));
+  Alcotest.(check bool) "old present now past" false
+    (Query.holds q (open_b ~time:(at 1990.0) ()))
+
+let test_now_relative_intervals () =
+  let spec = base_spec ~now:100.0 () in
+  (* interval [now-5, now+5] written with symbolic bounds *)
+  let iv_term =
+    Term.app "iv"
+      [
+        Term.app "incl" [ Term.app "-" [ a "now"; Term.float 5.0 ] ];
+        Term.app "incl" [ Term.app "+" [ a "now"; Term.float 5.0 ] ];
+      ]
+  in
+  Spec.add_fact spec (open_b ~time:(Gfact.T_uniform iv_term) ());
+  let q = Query.create spec ~meta_view:[ "temporal_uniform" ] in
+  Alcotest.(check bool) "inside now±5" true (Query.holds q (open_b ~time:(at 103.0) ()));
+  Alcotest.(check bool) "outside now±5" false (Query.holds q (open_b ~time:(at 106.0) ()))
+
+let test_past_present_future_builtins () =
+  let spec = base_spec ~now:1990.0 () in
+  let q = Query.create spec in
+  Alcotest.(check bool) "past(1971) provable — the paper's example" true
+    (Query.ask q "time_past(1971.0)");
+  Alcotest.(check bool) "present(1971) not provable" false
+    (Query.ask q "time_present(1971.0)");
+  Alcotest.(check bool) "future(1971) not provable" false
+    (Query.ask q "time_future(1971.0)");
+  Alcotest.(check bool) "present(now)" true (Query.ask q "time_now(T), time_present(T)")
+
+let test_cwa_meta_model () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_objects spec [ "b1"; "b2" ];
+  Spec.declare_predicate spec "passable" ~object_arity:1;
+  Spec.add_fact spec (Gfact.make "passable" ~objects:[ a "b1" ]);
+  let q = Query.create spec ~meta_view:[ "cwa" ] in
+  Alcotest.(check bool) "known fact becomes true-valued" true
+    (Query.holds q (Gfact.make "passable" ~values:[ a "true" ] ~objects:[ a "b1" ]));
+  Alcotest.(check bool) "unknown fact becomes false-valued" true
+    (Query.holds q (Gfact.make "passable" ~values:[ a "false" ] ~objects:[ a "b2" ]));
+  Alcotest.(check bool) "known fact is not false" false
+    (Query.holds q (Gfact.make "passable" ~values:[ a "false" ] ~objects:[ a "b1" ]));
+  (* open world without the meta-model *)
+  let q0 = Query.create spec ~meta_view:[] in
+  Alcotest.(check bool) "no CWA by default" false
+    (Query.holds q0 (Gfact.make "passable" ~values:[ a "false" ] ~objects:[ a "b2" ]))
+
+let test_contradiction_meta_constraint () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_object spec "b1";
+  Spec.add_fact spec (Gfact.make "open" ~values:[ a "true" ] ~objects:[ a "b1" ]);
+  Spec.add_fact spec (Gfact.make "open" ~values:[ a "false" ] ~objects:[ a "b1" ]);
+  let q = Query.create spec ~meta_view:[ "contradiction" ] in
+  (match Query.violations q with
+  | [ viol ] ->
+      Alcotest.(check string) "tag" "contradiction" viol.Query.v_tag;
+      Alcotest.(check bool) "predicate reported" true
+        (List.exists (Term.equal (a "open")) viol.Query.v_args)
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l));
+  (* same values at different instants do not clash *)
+  let spec2 = Spec.create () in
+  Meta.install_standard spec2;
+  Spec.declare_object spec2 "b1";
+  Spec.add_fact spec2
+    (Gfact.make "open" ~values:[ a "true" ] ~objects:[ a "b1" ] ~time:(at 1.0));
+  Spec.add_fact spec2
+    (Gfact.make "open" ~values:[ a "false" ] ~objects:[ a "b1" ] ~time:(at 2.0));
+  Alcotest.(check bool) "different instants consistent" true
+    (Query.consistent (Query.create spec2 ~meta_view:[ "contradiction" ]))
+
+let test_sorts_meta_model () =
+  let spec = Spec.create () in
+  Spec.declare_domain spec
+    (Gdp_domain.Semantic_domain.real_range ~name:"temperature" ~lo:(-100.0) ~hi:200.0);
+  Spec.declare_predicate spec "average_temperature" ~value_domains:[ "temperature" ]
+    ~object_arity:1;
+  Spec.declare_object spec "saint_louis";
+  Meta.install_standard spec;
+  Spec.add_fact spec
+    (Gfact.make "average_temperature" ~values:[ Term.float 45.0 ]
+       ~objects:[ a "saint_louis" ]);
+  Alcotest.(check bool) "valid temperature consistent" true
+    (Query.consistent (Query.create spec ~meta_view:[ "sorts" ]));
+  (* the paper's anomalous average_temperature(green) *)
+  Spec.add_fact spec
+    (Gfact.make "average_temperature" ~values:[ a "green" ] ~objects:[ a "saint_louis" ]);
+  let q = Query.create spec ~meta_view:[ "sorts" ] in
+  match Query.violations q with
+  | [ viol ] ->
+      Alcotest.(check string) "bad_sort flagged" "bad_sort" viol.Query.v_tag;
+      Alcotest.(check bool) "offending value reported" true
+        (List.exists (Term.equal (a "green")) viol.Query.v_args)
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l)
+
+let test_temporal_averaged () =
+  let spec = base_spec () in
+  List.iter
+    (fun (t, z) ->
+      Spec.add_fact spec
+        (Gfact.make "depth" ~values:[ Term.float z ] ~objects:[ a "b" ] ~time:(at t)))
+    [ (1970.0, 100.0); (1975.0, 200.0); (1980.0, 300.0); (1990.0, 1000.0) ];
+  let q = Query.create spec ~meta_view:[ "temporal_averaged" ] in
+  (match
+     Query.solutions q
+       (Gfact.make "depth" ~values:[ v "Z" ] ~objects:[ a "b" ]
+          ~time:(Gfact.T_averaged (Gfact.interval_term (Iv.closed 1970.0 1980.0))))
+   with
+  | [ sol ] -> (
+      match sol.Gfact.values with
+      | [ Term.Float avg ] ->
+          Alcotest.(check (float 1e-9)) "mean of the three in-window readings"
+            200.0 avg
+      | _ -> Alcotest.fail "no value")
+  | l -> Alcotest.failf "expected one averaged answer, got %d" (List.length l));
+  Alcotest.(check bool) "empty window has no average" false
+    (Query.holds q
+       (Gfact.make "depth" ~values:[ v "Z" ] ~objects:[ a "b" ]
+          ~time:(Gfact.T_averaged (Gfact.interval_term (Iv.closed 1981.0 1985.0)))))
+
+let test_cyclic () =
+  (* a ferry that runs daily between hour 8 and 18 *)
+  let spec = base_spec ~now:0.0 () in
+  Spec.add_fact spec
+    (Gfact.make "ferry_runs" ~objects:[ a "b" ]
+       ~time:
+         (Gfact.T_var
+            (Term.app "cyc"
+               [
+                 Term.float 24.0;
+                 Gfact.interval_term (Iv.closed 8.0 18.0);
+               ])));
+  let q = Query.create spec ~meta_view:[ "temporal_cyclic" ] in
+  let runs t = Query.holds q (Gfact.make "ferry_runs" ~objects:[ a "b" ] ~time:(at t)) in
+  Alcotest.(check bool) "mid-morning day 0" true (runs 10.0);
+  Alcotest.(check bool) "night day 0" false (runs 3.0);
+  Alcotest.(check bool) "mid-morning day 5" true (runs (10.0 +. (5.0 *. 24.0)));
+  Alcotest.(check bool) "night day 5" false (runs (3.0 +. (5.0 *. 24.0)));
+  Alcotest.(check bool) "phase boundary inclusive" true (runs (18.0 +. 24.0));
+  Alcotest.(check bool) "negative time phases correctly" true (runs (-14.0));
+  (* -14 mod 24 = 10: in service *)
+  Alcotest.(check bool) "negative time off-phase" false (runs (-2.0))
+
+let test_tres_builtins () =
+  let spec = base_spec () in
+  Spec.declare_tspace spec
+    (Gdp_temporal.Resolution1d.make ~name:"years" ~origin:0.0 ~step:1.0 ());
+  Spec.declare_tspace spec
+    (Gdp_temporal.Resolution1d.make ~name:"decades" ~origin:0.0 ~step:10.0 ());
+  let q = Query.create spec in
+  Alcotest.(check bool) "tres_apply" true
+    (Query.ask q "tres_apply(years, 1975.3, 1975.0)");
+  Alcotest.(check bool) "tres_cell" true
+    (Query.ask q "tres_cell(decades, 1975.0, Iv), iv_mem(1979.9, Iv)");
+  Alcotest.(check bool) "tres_refines" true (Query.ask q "tres_refines(years, decades)");
+  Alcotest.(check bool) "tres_refines direction" false
+    (Query.ask q "tres_refines(decades, years)")
+
+let tests =
+  [
+    Alcotest.test_case "time-independence" `Quick test_temporal_simple;
+    Alcotest.test_case "interval-uniform" `Quick test_interval_uniform_expansion;
+    Alcotest.test_case "open/closed bounds" `Quick test_open_interval_bounds;
+    Alcotest.test_case "interval-sampled" `Quick test_temporal_sampled;
+    Alcotest.test_case "comprehension principle" `Quick test_comprehension_principle;
+    Alcotest.test_case "continuity assumption" `Quick test_continuity_assumption;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "now placeholder" `Quick test_now_placeholder;
+    Alcotest.test_case "now-relative intervals" `Quick test_now_relative_intervals;
+    Alcotest.test_case "past/present/future" `Quick test_past_present_future_builtins;
+    Alcotest.test_case "closed world assumption" `Quick test_cwa_meta_model;
+    Alcotest.test_case "contradiction meta-constraint" `Quick
+      test_contradiction_meta_constraint;
+    Alcotest.test_case "many-sorted logic" `Quick test_sorts_meta_model;
+    Alcotest.test_case "interval average (§VI)" `Quick test_temporal_averaged;
+    Alcotest.test_case "cyclic phenomena (§VI-B extension)" `Quick test_cyclic;
+    Alcotest.test_case "temporal resolution builtins" `Quick test_tres_builtins;
+  ]

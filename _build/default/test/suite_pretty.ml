@@ -1,0 +1,221 @@
+open Gdp_core
+module Pretty = Gdp_lang.Pretty
+module Elaborate = Gdp_lang.Elaborate
+
+let pat s = Elaborate.fact_to_pattern (Gdp_lang.Parser.fact s)
+
+let roundtrip src =
+  let r1 = Elaborate.load_string src in
+  let printed = Pretty.spec_to_string r1.Elaborate.spec in
+  let r2 =
+    try Elaborate.load_string printed
+    with Elaborate.Error msg ->
+      Alcotest.failf "reparse failed: %s\n--- printed ---\n%s" msg printed
+  in
+  (r1, r2, printed)
+
+let same_answers (r1, r2, printed) ?(metas = []) probes =
+  let q1 = Elaborate.query r1 ~metas () and q2 = Elaborate.query r2 ~metas () in
+  List.iter
+    (fun probe ->
+      let a = Query.holds q1 (pat probe) and b = Query.holds q2 (pat probe) in
+      if a <> b then
+        Alcotest.failf "probe %s: %b vs %b\n--- printed ---\n%s" probe a b printed)
+    probes
+
+let test_basic_roundtrip () =
+  let r = roundtrip {|
+    objects s1, b1, b2.
+    fact road(s1).
+    fact bridge(b1, s1).
+    fact bridge(b2, s1).
+    fact open(b1).
+    rule open_road(X) <- road(X), forall(bridge(Y, X) => open(Y)).
+    rule closed(X) <- bridge(X, _), not open(X).
+    constraint clash(X) <- open(X), closed(X).
+  |} in
+  same_answers r
+    [ "road(s1)"; "closed(b2)"; "open_road(s1)"; "open(b1)"; "closed(b1)" ]
+
+let test_qualified_roundtrip () =
+  let r = roundtrip {|
+    clock 1990.
+    objects land, b.
+    space r1 = grid(4.0).
+    space r2 = grid(1.0).
+    region world = rect(0, 0, 8, 8).
+    fact @u[r1](1.0, 1.0) wet(land).
+    fact @(6.5, 6.5) dry(land).
+    fact &u[1970, 1980) open(b).
+    fact &now inspected(b).
+    fact &c[24.0][8, 18] ferry_runs(b).
+  |} in
+  same_answers r ~metas:[ "spatial_uniform"; "temporal_uniform"; "temporal_cyclic" ]
+    [
+      "@(3.0, 3.0) wet(land)";
+      "@(5.0, 3.0) wet(land)";
+      "@(6.5, 6.5) dry(land)";
+      "&1975 open(b)";
+      "&1980 open(b)";
+      "&32.0 ferry_runs(b)";
+      "&44.0 ferry_runs(b)";
+    ]
+
+let test_models_acc_roundtrip () =
+  let r = roundtrip {|
+    objects x, img.
+    domain temperature = real(-100, 200).
+    predicate average_temperature{temperature}(1).
+    model celsius.
+    fact average_temperature(45)(x).
+    in celsius {
+      fact average_temperature(7)(x).
+    }
+    acc 0.9 clear(img).
+    acc 0.35 clear(img).
+  |} in
+  let r1, r2, printed = r in
+  same_answers (r1, r2, printed)
+    [ "average_temperature(45)(x)"; "celsius'average_temperature(7)(x)" ];
+  let q1 = Elaborate.query r1 ~metas:[ "fuzzy_unified_max" ] ()
+  and q2 = Elaborate.query r2 ~metas:[ "fuzzy_unified_max" ] () in
+  Alcotest.(check (option (float 1e-9)))
+    "accuracy preserved"
+    (Query.accuracy q1 (pat "clear(img)"))
+    (Query.accuracy q2 (pat "clear(img)"))
+
+let test_metamodel_roundtrip () =
+  let r = roundtrip {|
+    objects x.
+    fact repaired(x).
+    metamodel optimism {
+      holds(M, open, [], [X], S, T) :- holds(M, repaired, [], [X], S, T).
+    }
+  |} in
+  same_answers r ~metas:[ "optimism" ] [ "open(x)"; "open(zzz)" ]
+
+let test_accuracy_rule_roundtrip () =
+  let r = roundtrip {|
+    objects sensor.
+    fact reading(10)(sensor).
+    rule %A trusted(V)(S) <- reading(V)(S), A is 1 / V.
+  |} in
+  let r1, r2, _ = r in
+  let q1 = Elaborate.query r1 ~metas:[ "fuzzy_unified_max" ] ()
+  and q2 = Elaborate.query r2 ~metas:[ "fuzzy_unified_max" ] () in
+  Alcotest.(check (option (float 1e-9)))
+    "accuracy rule preserved"
+    (Query.accuracy q1 (pat "trusted(V)(sensor)"))
+    (Query.accuracy q2 (pat "trusted(V)(sensor)"))
+
+let test_declarations_roundtrip () =
+  let src = {|
+    coordinate geographic.
+    clock 1990.5.
+    fuzzy product.
+    domain veg = { pine, oak }.
+    domain pop = int(0, 10).
+    objects a, b.
+    predicate cover{veg}(1).
+    space r1 = grid(2.0, 3.0) origin (0.5, 0.5).
+    timespace years = line(1.0) origin 0.0.
+    region tri = polygon((0, 0), (4, 0), (0, 4)).
+    region disc = circle(5, 5, 2).
+  |} in
+  let r1 = Elaborate.load_string src in
+  let printed = Pretty.spec_to_string r1.Elaborate.spec in
+  let r2 = Elaborate.load_string printed in
+  let s1 = r1.Elaborate.spec and s2 = r2.Elaborate.spec in
+  Alcotest.(check bool) "coordinate" true (s1.Spec.coord = s2.Spec.coord);
+  Alcotest.(check (float 1e-9)) "clock"
+    (Gdp_temporal.Clock.now s1.Spec.clock)
+    (Gdp_temporal.Clock.now s2.Spec.clock);
+  Alcotest.(check bool) "fuzzy family" true
+    (s1.Spec.fuzzy_family = s2.Spec.fuzzy_family);
+  Alcotest.(check bool) "space" true
+    (match (Spec.find_space s1 "r1", Spec.find_space s2 "r1") with
+    | Some a, Some b -> Gdp_space.Resolution.equal a b
+    | _ -> false);
+  Alcotest.(check bool) "tspace" true
+    (match (Spec.find_tspace s1 "years", Spec.find_tspace s2 "years") with
+    | Some a, Some b -> Gdp_temporal.Resolution1d.equal a b
+    | _ -> false);
+  Alcotest.(check int) "regions" 2 (List.length s2.Spec.regions);
+  Alcotest.(check bool) "domain shape survives" true
+    (match Gdp_domain.Semantic_domain.Registry.find s2.Spec.domains "pop" with
+    | Some d -> d.Gdp_domain.Semantic_domain.shape = Some (Gdp_domain.Semantic_domain.Int_range (0, 10))
+    | None -> false)
+
+let test_fixpoint () =
+  (* printing the reparse prints the same text: pretty is a fixpoint *)
+  let src = {|
+    objects s1, b1.
+    fact road(s1).
+    fact @(1.0, 2.0) wet(s1).
+    rule closed(X) <- bridge(X, _), not open(X).
+  |} in
+  let r1 = Elaborate.load_string src in
+  let p1 = Pretty.spec_to_string r1.Elaborate.spec in
+  let r2 = Elaborate.load_string p1 in
+  let p2 = Pretty.spec_to_string r2.Elaborate.spec in
+  Alcotest.(check string) "fixpoint" p1 p2
+
+let test_unserialisable_reported () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_domain spec
+    (Gdp_domain.Semantic_domain.make ~name:"odd"
+       ~contains:(function Gdp_logic.Term.Int n -> n mod 2 = 1 | _ -> false)
+       ());
+  Alcotest.(check bool) "custom domain rejected" true
+    (try
+       ignore (Pretty.spec_to_string spec);
+       false
+     with Failure _ -> true)
+
+let test_fact_printer () =
+  let check src =
+    let f = pat src in
+    let printed = Format.asprintf "%a" Pretty.fact f in
+    let f2 = pat printed in
+    (* compare through the reified encoding modulo variable ids *)
+    let norm p =
+      Gdp_logic.Term.to_string
+        (Gfact.to_holds ~default_model:"w"
+           {
+             p with
+             Gfact.values = List.map (fun _ -> Gdp_logic.Term.atom "v") p.Gfact.values;
+           })
+    in
+    if Gfact.is_ground f then
+      Alcotest.(check string) src
+        (Gdp_logic.Term.to_string (Gfact.to_holds ~default_model:"w" f))
+        (Gdp_logic.Term.to_string (Gfact.to_holds ~default_model:"w" f2))
+    else Alcotest.(check string) src (norm f) (norm f2)
+  in
+  List.iter check
+    [
+      "road(s1)";
+      "average_temperature(45)(saint_louis)";
+      "celsius'freezing_point(0)(x)";
+      "@(3.5, 0.5) vegetation(pine)(hill)";
+      "@u[r1](1.0, 1.0) wet(land)";
+      "&1975.0 open(b)";
+      "&u[1970.0, 1980.0) open(b)";
+      "&now inspected(b)";
+      "&c[24.0][8.0, 18.0] ferry(b)";
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "basic roundtrip" `Quick test_basic_roundtrip;
+    Alcotest.test_case "qualified facts roundtrip" `Quick test_qualified_roundtrip;
+    Alcotest.test_case "models and accuracy roundtrip" `Quick test_models_acc_roundtrip;
+    Alcotest.test_case "metamodel roundtrip" `Quick test_metamodel_roundtrip;
+    Alcotest.test_case "accuracy rule roundtrip" `Quick test_accuracy_rule_roundtrip;
+    Alcotest.test_case "declarations roundtrip" `Quick test_declarations_roundtrip;
+    Alcotest.test_case "printing is a fixpoint" `Quick test_fixpoint;
+    Alcotest.test_case "unserialisable specs reported" `Quick
+      test_unserialisable_reported;
+    Alcotest.test_case "fact printer" `Quick test_fact_printer;
+  ]

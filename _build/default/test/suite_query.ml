@@ -1,0 +1,219 @@
+open Gdp_logic
+open Gdp_core
+
+let a = Term.atom
+let v = Term.var
+
+(* the paper's §II/§III running example *)
+let roads_spec () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_objects spec [ "s1"; "s2"; "b1"; "b2"; "b3" ];
+  Spec.declare_predicate spec "road" ~object_arity:1;
+  Spec.declare_predicate spec "bridge" ~object_arity:2;
+  List.iter
+    (fun o -> Spec.add_fact spec (Gfact.make "road" ~objects:[ a o ]))
+    [ "s1"; "s2" ];
+  List.iter
+    (fun (b, s) -> Spec.add_fact spec (Gfact.make "bridge" ~objects:[ a b; a s ]))
+    [ ("b1", "s1"); ("b2", "s1"); ("b3", "s2") ];
+  List.iter
+    (fun b -> Spec.add_fact spec (Gfact.make "open" ~objects:[ a b ]))
+    [ "b1"; "b2" ];
+  let x = v "X" and y = v "Y" in
+  Spec.add_rule spec ~name:"open_road" ~head:(Gfact.make "open_road" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "road" ~objects:[ x ]),
+          Forall
+            ( Atom (Gfact.make "bridge" ~objects:[ y; x ]),
+              Atom (Gfact.make "open" ~objects:[ y ]) ) ));
+  let x = v "X" in
+  Spec.add_rule spec ~name:"closed" ~head:(Gfact.make "closed" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "bridge" ~objects:[ x; v "_R" ]),
+          Not (Atom (Gfact.make "open" ~objects:[ x ])) ));
+  let x = v "X" in
+  Spec.add_constraint spec ~name:"open_and_closed" ~error:"open_and_closed"
+    ~args:[ x ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "open" ~objects:[ x ]);
+          Atom (Gfact.make "closed" ~objects:[ x ]);
+        ]);
+  spec
+
+let test_paper_virtual_facts () =
+  let q = Query.create (roads_spec ()) in
+  Alcotest.(check bool) "open_road(s1)" true
+    (Query.holds q (Gfact.make "open_road" ~objects:[ a "s1" ]));
+  Alcotest.(check bool) "open_road(s2) undefined" false
+    (Query.holds q (Gfact.make "open_road" ~objects:[ a "s2" ]));
+  Alcotest.(check bool) "closed(b3) by NAF" true
+    (Query.holds q (Gfact.make "closed" ~objects:[ a "b3" ]))
+
+let test_solutions_enumeration () =
+  let q = Query.create (roads_spec ()) in
+  let sols = Query.solutions q (Gfact.make "bridge" ~objects:[ v "B"; v "R" ]) in
+  Alcotest.(check int) "three bridges" 3 (List.length sols);
+  Alcotest.(check bool) "instantiated" true (List.for_all Gfact.is_ground sols);
+  let limited = Query.solutions ~limit:2 q (Gfact.make "bridge" ~objects:[ v "B"; v "R" ]) in
+  Alcotest.(check int) "limit honoured" 2 (List.length limited)
+
+let test_consistency () =
+  let spec = roads_spec () in
+  let q = Query.create spec in
+  Alcotest.(check bool) "consistent" true (Query.consistent q);
+  Alcotest.(check int) "no violations" 0 (List.length (Query.violations q));
+  Spec.add_fact spec (Gfact.make "closed" ~objects:[ a "b1" ]);
+  let q2 = Query.create spec in
+  Alcotest.(check bool) "inconsistent after closed(b1)" false (Query.consistent q2);
+  match Query.violations q2 with
+  | [ viol ] ->
+      Alcotest.(check string) "tag" "open_and_closed" viol.Query.v_tag;
+      Alcotest.(check string) "model" "w" viol.Query.v_model;
+      Alcotest.(check bool) "culprit" true
+        (List.exists (Term.equal (a "b1")) viol.Query.v_args)
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l)
+
+let test_world_view_filtering () =
+  let spec = roads_spec () in
+  Spec.declare_model spec "proposed";
+  Spec.add_fact spec ~model:"proposed" (Gfact.make "road" ~objects:[ a "s1" ]);
+  Spec.add_fact spec ~model:"proposed" (Gfact.make "planned" ~objects:[ a "s9" ]);
+  let q_all = Query.create spec in
+  Alcotest.(check bool) "proposed fact visible in full view" true
+    (Query.holds q_all (Gfact.make "planned" ~model:"proposed" ~objects:[ a "s9" ]));
+  let q_w = Query.create spec ~world_view:[ "w" ] in
+  Alcotest.(check bool) "invisible when model outside world view" false
+    (Query.holds q_w (Gfact.make "planned" ~model:"proposed" ~objects:[ a "s9" ]));
+  Alcotest.(check (list string)) "world view recorded" [ "w" ] (Query.world_view q_w)
+
+let test_constraint_relative_to_world_view () =
+  (* a violation may occur in one world view but not another (§III-E) *)
+  let spec = roads_spec () in
+  Spec.declare_model spec "survey";
+  Spec.add_fact spec ~model:"survey" (Gfact.make "open" ~objects:[ a "b3" ]);
+  Spec.add_fact spec ~model:"survey" (Gfact.make "closed" ~objects:[ a "b3" ]);
+  let x = v "X" in
+  Spec.add_constraint spec ~model:"survey" ~name:"survey_conflict"
+    ~error:"survey_conflict" ~args:[ x ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "open" ~objects:[ x ]);
+          Atom (Gfact.make "closed" ~objects:[ x ]);
+        ]);
+  Alcotest.(check bool) "w alone consistent" true
+    (Query.consistent (Query.create spec ~world_view:[ "w" ]));
+  Alcotest.(check bool) "with survey inconsistent" false
+    (Query.consistent (Query.create spec ~world_view:[ "w"; "survey" ]))
+
+let test_undeclared_names_rejected () =
+  let spec = roads_spec () in
+  Alcotest.(check bool) "bad model" true
+    (try
+       ignore (Query.create spec ~world_view:[ "nope" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad meta-model" true
+    (try
+       ignore (Query.create spec ~meta_view:[ "nope" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_generator_facts () =
+  let q = Query.create (roads_spec ()) in
+  Alcotest.(check bool) "model generator" true (Query.ask q "model(w)");
+  Alcotest.(check bool) "pred generator" true (Query.ask q "pred(road, 0, 1)");
+  Alcotest.(check bool) "obj generator" true (Query.ask q "obj(b2)");
+  Alcotest.(check int) "all objects" 5
+    (List.length (Query.ask_all q "obj(X)"))
+
+let test_ask_raw () =
+  let q = Query.create (roads_spec ()) in
+  Alcotest.(check bool) "raw holds query" true
+    (Query.ask q "holds(w, road, [], [s1], nospace, notime)");
+  Alcotest.(check int) "raw enumeration" 2
+    (List.length (Query.ask_all q "holds(w, road, [], [R], nospace, notime)"))
+
+let test_rule_clause_shape () =
+  let x = v "X" in
+  let rule =
+    {
+      Spec.rule_head = Gfact.make "p" ~objects:[ x ];
+      rule_accuracy = None;
+      rule_body = Formula.Atom (Gfact.make "q" ~objects:[ x ]);
+      rule_name = "test";
+    }
+  in
+  let c = Compile.rule_clause ~model:"m" rule in
+  (match c.Database.head with
+  | Term.App ("holds", Term.Atom "m" :: _) -> ()
+  | t -> Alcotest.failf "head: %s" (Term.to_string t));
+  Alcotest.(check int) "one body goal" 1 (List.length c.Database.body);
+  (* propagation companion *)
+  (match Compile.propagation_clause ~model:"m" rule with
+  | Some pc -> (
+      match pc.Database.head with
+      | Term.App ("acc", _) ->
+          Alcotest.(check int) "body + ac_eval" 2 (List.length pc.Database.body)
+      | t -> Alcotest.failf "acc head: %s" (Term.to_string t))
+  | None -> Alcotest.fail "propagation clause expected");
+  let acc_rule = { rule with Spec.rule_accuracy = Some (Term.float 0.5) } in
+  Alcotest.(check bool) "no companion for accuracy rules" true
+    (Compile.propagation_clause ~model:"m" acc_rule = None);
+  match (Compile.rule_clause ~model:"m" acc_rule).Database.head with
+  | Term.App ("acc", args) ->
+      Alcotest.(check bool) "accuracy last arg" true
+        (match List.rev args with Term.Float 0.5 :: _ -> true | _ -> false)
+  | t -> Alcotest.failf "acc rule head: %s" (Term.to_string t)
+
+let test_depth_options () =
+  let spec = roads_spec () in
+  (* a pathological meta-model that loops *)
+  Spec.add_meta_model spec
+    {
+      Spec.meta_name = "looper";
+      meta_doc = "test";
+      meta_clauses = [ Reader.clause "holds(M, Q, V, O, S, T) :- holds(M, Q, V, O, S, T)." ];
+      needs_loop_check = false;
+    };
+  let q = Query.create spec ~meta_view:[ "looper" ] ~max_depth:200 in
+  Alcotest.check_raises "depth exhaustion raises" Solve.Depth_exhausted (fun () ->
+      ignore (Query.holds q (Gfact.make "nothing" ~objects:[ a "x" ])));
+  let q2 = Query.create spec ~meta_view:[ "looper" ] ~max_depth:200 ~on_depth:`Fail in
+  Alcotest.(check bool) "fail mode" false
+    (Query.holds q2 (Gfact.make "nothing" ~objects:[ a "x" ]))
+
+let test_loop_check_auto_enabled () =
+  let spec = roads_spec () in
+  Spec.add_meta_model spec
+    {
+      Spec.meta_name = "looper";
+      meta_doc = "test";
+      meta_clauses = [ Reader.clause "holds(M, Q, V, O, S, T) :- holds(M, Q, V, O, S, T)." ];
+      needs_loop_check = true;
+    };
+  (* needs_loop_check makes the identical-goal recursion fail finitely *)
+  let q = Query.create spec ~meta_view:[ "looper" ] in
+  Alcotest.(check bool) "terminates and answers" true
+    (Query.holds q (Gfact.make "road" ~objects:[ a "s1" ]))
+
+let tests =
+  [
+    Alcotest.test_case "paper's virtual facts" `Quick test_paper_virtual_facts;
+    Alcotest.test_case "solution enumeration" `Quick test_solutions_enumeration;
+    Alcotest.test_case "consistency and violations" `Quick test_consistency;
+    Alcotest.test_case "world-view filtering" `Quick test_world_view_filtering;
+    Alcotest.test_case "violations relative to world view" `Quick
+      test_constraint_relative_to_world_view;
+    Alcotest.test_case "undeclared names rejected" `Quick test_undeclared_names_rejected;
+    Alcotest.test_case "generator facts" `Quick test_generator_facts;
+    Alcotest.test_case "raw queries" `Quick test_ask_raw;
+    Alcotest.test_case "compiled clause shapes" `Quick test_rule_clause_shape;
+    Alcotest.test_case "depth options" `Quick test_depth_options;
+    Alcotest.test_case "automatic loop check" `Quick test_loop_check_auto_enabled;
+  ]

@@ -1,0 +1,246 @@
+open Gdp_render
+open Gdp_core
+
+let color = Alcotest.testable Color.pp Color.equal
+
+let test_color_basics () =
+  Alcotest.check color "clamped" (Color.v 255 0 0) (Color.v 300 (-5) 0);
+  Alcotest.check color "lerp middle" (Color.gray 128)
+    (Color.lerp Color.black Color.white 0.501);
+  Alcotest.check color "lerp clamps" Color.white (Color.lerp Color.black Color.white 2.0)
+
+let test_ramps () =
+  Alcotest.check color "ramp start" Color.black (Color.ramp [ Color.black; Color.white ] 0.0);
+  Alcotest.check color "ramp end" Color.white (Color.ramp [ Color.black; Color.white ] 1.0);
+  Alcotest.check color "grayscale" (Color.gray 128) (Color.grayscale 0.501);
+  Alcotest.(check bool) "empty ramp rejected" true
+    (try
+       ignore (Color.ramp [] 0.5);
+       false
+     with Invalid_argument _ -> true);
+  (* terrain goes from blue-ish to white *)
+  let low = Color.terrain 0.0 and high = Color.terrain 1.0 in
+  Alcotest.(check bool) "terrain low is blue" true (low.Color.b > low.Color.r);
+  Alcotest.check color "terrain peak white" Color.white high
+
+let test_categorical () =
+  Alcotest.check color "cycles" (Color.categorical 0) (Color.categorical 12);
+  Alcotest.(check bool) "distinct neighbours" false
+    (Color.equal (Color.categorical 0) (Color.categorical 1));
+  Alcotest.check color "negative index safe" (Color.categorical 3) (Color.categorical (-3))
+
+let test_framebuffer_ops () =
+  let fb = Framebuffer.create ~width:4 ~height:3 () in
+  Alcotest.(check int) "width" 4 (Framebuffer.width fb);
+  Alcotest.(check int) "height" 3 (Framebuffer.height fb);
+  Framebuffer.set fb 1 2 Color.red;
+  Alcotest.check color "set/get" Color.red (Framebuffer.get fb 1 2);
+  Framebuffer.set fb 99 99 Color.red;
+  Alcotest.(check bool) "oob write clipped" true true;
+  Alcotest.(check bool) "oob read raises" true
+    (try
+       ignore (Framebuffer.get fb 4 0);
+       false
+     with Invalid_argument _ -> true);
+  Framebuffer.fill fb Color.blue;
+  Alcotest.check color "fill" Color.blue (Framebuffer.get fb 0 0);
+  Framebuffer.fill_rect fb ~x:0 ~y:0 ~w:2 ~h:2 Color.green;
+  Alcotest.check color "rect inside" Color.green (Framebuffer.get fb 1 1);
+  Alcotest.check color "rect outside" Color.blue (Framebuffer.get fb 2 2);
+  Alcotest.(check bool) "bad dims" true
+    (try
+       ignore (Framebuffer.create ~width:0 ~height:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_draw_line_circle () =
+  let fb = Framebuffer.create ~width:10 ~height:10 () in
+  Framebuffer.draw_line fb (0, 0) (9, 9) Color.white;
+  Alcotest.check color "diagonal start" Color.white (Framebuffer.get fb 0 0);
+  Alcotest.check color "diagonal end" Color.white (Framebuffer.get fb 9 9);
+  Alcotest.check color "diagonal middle" Color.white (Framebuffer.get fb 5 5);
+  let fb2 = Framebuffer.create ~width:11 ~height:11 () in
+  Framebuffer.draw_circle fb2 ~cx:5 ~cy:5 ~r:4 Color.red;
+  Alcotest.check color "circle east" Color.red (Framebuffer.get fb2 9 5);
+  Alcotest.check color "circle north" Color.red (Framebuffer.get fb2 5 1);
+  Alcotest.check color "centre untouched" Color.black (Framebuffer.get fb2 5 5)
+
+let test_blend () =
+  let fb = Framebuffer.create ~width:2 ~height:1 () in
+  Framebuffer.blend fb 0 0 Color.white ~alpha:0.5;
+  let c = Framebuffer.get fb 0 0 in
+  Alcotest.(check bool) "half blend" true (c.Color.r > 100 && c.Color.r < 156)
+
+let test_ppm () =
+  let fb = Framebuffer.create ~width:2 ~height:2 () in
+  Framebuffer.set fb 0 0 Color.white;
+  let ppm = Framebuffer.to_ppm fb in
+  Alcotest.(check bool) "header" true (String.length ppm > 11 && String.sub ppm 0 2 = "P6");
+  (* 2x2 pixels * 3 bytes after the header *)
+  let header_len = String.index_from ppm (String.index_from ppm (String.index ppm '\n' + 1) '\n' + 1) '\n' + 1 in
+  Alcotest.(check int) "payload size" 12 (String.length ppm - header_len);
+  Alcotest.(check char) "first byte" '\xff' ppm.[header_len]
+
+let test_ascii () =
+  let fb = Framebuffer.create ~width:3 ~height:2 () in
+  Framebuffer.set fb 0 0 Color.white;
+  let art = Framebuffer.to_ascii fb in
+  let lines = String.split_on_char '\n' art |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "two rows" 2 (List.length lines);
+  Alcotest.(check int) "three cols" 3 (String.length (List.hd lines));
+  Alcotest.(check char) "bright pixel" '@' (List.hd lines).[0];
+  Alcotest.(check char) "dark pixel" ' ' (List.hd lines).[1]
+
+let test_histogram () =
+  let fb = Framebuffer.create ~width:4 ~height:1 () in
+  Framebuffer.set fb 0 0 Color.red;
+  match Framebuffer.histogram fb with
+  | (c1, n1) :: (c2, n2) :: [] ->
+      Alcotest.check color "majority first" Color.black c1;
+      Alcotest.(check int) "count" 3 n1;
+      Alcotest.check color "minority" Color.red c2;
+      Alcotest.(check int) "single" 1 n2
+  | l -> Alcotest.failf "expected two buckets, got %d" (List.length l)
+
+(* ---------- map rendering ---------- *)
+
+let a = Gdp_logic.Term.atom
+let v = Gdp_logic.Term.var
+let pos x y = Gfact.pos_term (Gdp_space.Point.make x y)
+
+let demo_query () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r" 1.0);
+  Spec.declare_object spec "land";
+  (* elevation on a 4x4 grid, island in one corner *)
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let x = float_of_int i +. 0.5 and y = float_of_int j +. 0.5 in
+      Spec.add_fact spec
+        (Gfact.make "elevation"
+           ~values:[ Gdp_logic.Term.float (float_of_int (i + j)) ]
+           ~objects:[ a "land" ]
+           ~space:(Gfact.S_uniform (a "r", pos x y)))
+    done
+  done;
+  Spec.add_fact spec
+    (Gfact.make "island" ~objects:[ a "land" ] ~space:(Gfact.S_at (pos 0.5 3.5)));
+  Spec.add_acc_statement spec
+    (Gfact.make "surveyed" ~objects:[ a "land" ] ~space:(Gfact.S_at (pos 1.5 0.5)))
+    0.75;
+  (spec, Query.create spec ~meta_view:[ "fuzzy_unified_max" ])
+
+let region4 = Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:4.0 ~max_y:4.0
+
+let value_layer () =
+  Map_render.value ~name:"elevation" ~lo:0.0 ~hi:6.0 (fun p ->
+      let z = v "Z" in
+      {
+        Map_render.pattern =
+          Gfact.make "elevation" ~values:[ z ] ~objects:[ a "land" ]
+            ~space:(Gfact.S_uniform (a "r", Gfact.pos_term p));
+        value_var = z;
+      })
+
+let test_render_map () =
+  let _, q = demo_query () in
+  let island_layer =
+    Map_render.presence ~name:"island" ~color:Color.red (fun p ->
+        Gfact.make "island" ~objects:[ a "land" ] ~space:(Gfact.S_at (Gfact.pos_term p)))
+  in
+  let fb =
+    Map_render.render q ~resolution:"r" ~region:region4 [ value_layer (); island_layer ]
+  in
+  Alcotest.(check int) "4x4 pixels" 4 (Framebuffer.width fb);
+  Alcotest.(check int) "rows" 4 (Framebuffer.height fb);
+  (* north is up: cell (0.5, 3.5) → pixel (0, 0); island overpaints *)
+  Alcotest.check color "island on top" Color.red (Framebuffer.get fb 0 0);
+  (* elevation gradient: the south-west corner is lowest (terrain colormap
+     low = blue), the north-east corner highest *)
+  let sw = Framebuffer.get fb 0 3 and ne = Framebuffer.get fb 3 0 in
+  Alcotest.(check bool) "gradient differs" false (Color.equal sw ne)
+
+let test_render_cell_px_and_accuracy () =
+  let _, q = demo_query () in
+  let acc_layer =
+    Map_render.accuracy_layer ~name:"survey accuracy" (fun p ->
+        Gfact.make "surveyed" ~objects:[ a "land" ] ~space:(Gfact.S_at (Gfact.pos_term p)))
+  in
+  let fb =
+    Map_render.render q ~resolution:"r" ~region:region4 ~cell_px:3 [ acc_layer ]
+  in
+  Alcotest.(check int) "scaled width" 12 (Framebuffer.width fb);
+  (* cell (1.5, 0.5) → cell index (1, 0) → pixel block starting (3, 9) *)
+  let c = Framebuffer.get fb 4 10 in
+  Alcotest.(check bool) "accuracy heat painted" false (Color.equal c Color.black)
+
+let test_render_errors () =
+  let _, q = demo_query () in
+  Alcotest.(check bool) "unknown resolution" true
+    (try
+       ignore (Map_render.render q ~resolution:"nope" ~region:region4 []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad cell_px" true
+    (try
+       ignore (Map_render.render q ~resolution:"r" ~region:region4 ~cell_px:0 []);
+       false
+     with Invalid_argument _ -> true)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_svg_output () =
+  let fb = Framebuffer.create ~width:4 ~height:2 () in
+  Framebuffer.set fb 0 0 Color.red;
+  Framebuffer.set fb 1 0 Color.red;
+  Framebuffer.set fb 2 0 Color.blue;
+  let svg = Svg.of_framebuffer ~scale:10 fb in
+  Alcotest.(check bool) "svg header" true (contains svg "<svg");
+  Alcotest.(check bool) "dimensions" true (contains svg "width=\"40\" height=\"20\"");
+  (* run-length coalescing: the two red pixels are ONE rect of width 20 *)
+  Alcotest.(check bool) "coalesced run" true
+    (contains svg "width=\"20\" height=\"10\" fill=\"#dc322f\"");
+  Alcotest.(check bool) "closes" true (contains svg "</svg>");
+  Alcotest.(check bool) "scale validated" true
+    (try
+       ignore (Svg.of_framebuffer ~scale:0 fb);
+       false
+     with Invalid_argument _ -> true)
+
+let test_svg_legend () =
+  let fb = Framebuffer.create ~width:2 ~height:2 () in
+  let svg =
+    Svg.of_framebuffer ~legend:[ ("lakes & rivers", Color.blue) ] fb
+  in
+  Alcotest.(check bool) "legend text escaped" true
+    (contains svg "lakes &amp; rivers");
+  Alcotest.(check bool) "legend swatch" true (contains svg "#2659c4")
+
+let test_legend () =
+  let l1 = Map_render.presence ~name:"roads" (fun _ -> Gfact.make "road") in
+  Alcotest.(check string) "legend lines" "- roads" (Map_render.legend [ l1 ]);
+  Alcotest.(check string) "layer name" "roads" (Map_render.layer_name l1)
+
+let tests =
+  [
+    Alcotest.test_case "color basics" `Quick test_color_basics;
+    Alcotest.test_case "ramps" `Quick test_ramps;
+    Alcotest.test_case "categorical palette" `Quick test_categorical;
+    Alcotest.test_case "framebuffer ops" `Quick test_framebuffer_ops;
+    Alcotest.test_case "lines and circles" `Quick test_draw_line_circle;
+    Alcotest.test_case "blending" `Quick test_blend;
+    Alcotest.test_case "PPM output" `Quick test_ppm;
+    Alcotest.test_case "ASCII output" `Quick test_ascii;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "map rendering" `Quick test_render_map;
+    Alcotest.test_case "cell scaling and accuracy layers" `Quick
+      test_render_cell_px_and_accuracy;
+    Alcotest.test_case "render errors" `Quick test_render_errors;
+    Alcotest.test_case "SVG output" `Quick test_svg_output;
+    Alcotest.test_case "SVG legend" `Quick test_svg_legend;
+    Alcotest.test_case "legend" `Quick test_legend;
+  ]

@@ -1,0 +1,251 @@
+open Gdp_logic
+
+let family_db () =
+  let db = Engine.create () in
+  Engine.consult db
+    {|
+    parent(tom, bob). parent(tom, liz).
+    parent(bob, ann). parent(bob, pat). parent(pat, jim).
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+    |};
+  db
+
+let test_facts () =
+  let db = family_db () in
+  Alcotest.(check bool) "fact provable" true (Engine.ask db "parent(tom, bob)");
+  Alcotest.(check bool) "absent fact" false (Engine.ask db "parent(bob, tom)")
+
+let test_recursion () =
+  let db = family_db () in
+  Alcotest.(check bool) "transitive" true (Engine.ask db "ancestor(tom, jim)");
+  Alcotest.(check int) "all descendants of tom" 5
+    (List.length (Engine.ask_all db "ancestor(tom, X)"))
+
+let test_solution_order () =
+  let db = family_db () in
+  let answers =
+    Engine.ask_all db "parent(tom, X)"
+    |> List.map (fun bs -> Term.to_string (List.assoc "X" bs))
+  in
+  Alcotest.(check (list string)) "clause order" [ "bob"; "liz" ] answers
+
+let test_conjunction_disjunction () =
+  let db = family_db () in
+  Alcotest.(check bool) "conjunction" true
+    (Engine.ask db "parent(tom, X), parent(X, ann)");
+  Alcotest.(check int) "disjunction both branches" 2
+    (List.length (Engine.ask_all db "(X = 1 ; X = 2)"))
+
+let test_if_then_else () =
+  let db = Engine.create () in
+  Engine.consult db "p(1). p(2).";
+  (* condition commits to its first solution *)
+  Alcotest.(check int) "then branch once" 1
+    (List.length (Engine.ask_all db "(p(X) -> true ; fail)"));
+  Alcotest.(check bool) "else branch" true
+    (Engine.ask db "(p(99) -> fail ; true)");
+  Alcotest.(check bool) "bare if-then" true (Engine.ask db "(p(2) -> true)")
+
+let test_negation_as_failure () =
+  let db = family_db () in
+  Alcotest.(check bool) "naf of absent" true (Engine.ask db "\\+ parent(liz, tom)");
+  Alcotest.(check bool) "naf of present" false (Engine.ask db "\\+ parent(tom, liz)");
+  Alcotest.(check bool) "not alias" true (Engine.ask db "not parent(liz, tom)")
+
+let test_call () =
+  let db = family_db () in
+  Alcotest.(check bool) "call/1" true (Engine.ask db "call(parent(tom, bob))");
+  Alcotest.(check bool) "call/N appends" true (Engine.ask db "call(parent, tom, bob)");
+  Alcotest.(check bool) "call atom" true (Engine.ask db "G = parent(tom, bob), call(G)")
+
+let test_unify_builtins () =
+  let db = Engine.create () in
+  Alcotest.(check bool) "=" true (Engine.ask db "f(X, 2) = f(1, Y), X =:= 1, Y =:= 2");
+  Alcotest.(check bool) "\\=" true (Engine.ask db "a \\= b");
+  Alcotest.(check bool) "== on distinct vars" false (Engine.ask db "X == Y");
+  Alcotest.(check bool) "== needs identity" true (Engine.ask db "X = Y, X == Y");
+  Alcotest.(check bool) "compare" true (Engine.ask db "compare(<, 1, 2)")
+
+let test_findall () =
+  let db = family_db () in
+  Alcotest.(check bool) "findall collects" true
+    (Engine.ask db "findall(X, parent(tom, X), [bob, liz])");
+  Alcotest.(check bool) "findall empty on failure" true
+    (Engine.ask db "findall(X, parent(zzz, X), [])")
+
+let test_findall_no_leak () =
+  let db = family_db () in
+  (* bindings inside findall must not leak to the caller *)
+  Alcotest.(check bool) "X unbound after findall" true
+    (Engine.ask db "findall(X, parent(tom, X), _), var(X)")
+
+let test_aggregates () =
+  let db = Engine.create () in
+  Engine.consult db "v(1). v(2). v(3). v(2).";
+  Alcotest.(check bool) "count" true (Engine.ask db "aggregate_count(v(_), 4)");
+  Alcotest.(check bool) "sum" true (Engine.ask db "aggregate_sum(X, v(X), S), S =:= 8");
+  Alcotest.(check bool) "avg" true (Engine.ask db "aggregate_avg(X, v(X), A), A =:= 2.0");
+  Alcotest.(check bool) "max" true (Engine.ask db "aggregate_max(X, v(X), 3.0)");
+  Alcotest.(check bool) "min" true (Engine.ask db "aggregate_min(X, v(X), 1.0)");
+  Alcotest.(check bool) "distinct" true (Engine.ask db "distinct(X, v(X), [1, 2, 3])");
+  Alcotest.(check bool) "count_distinct" true (Engine.ask db "count_distinct(X, v(X), 3)");
+  Alcotest.(check bool) "avg of nothing fails" false
+    (Engine.ask db "aggregate_avg(X, v(X, _, _), _)")
+
+let test_between () =
+  let db = Engine.create () in
+  Alcotest.(check int) "between enumerates" 5
+    (List.length (Engine.ask_all db "between(1, 5, X)"));
+  Alcotest.(check bool) "between checks" true (Engine.ask db "between(1, 5, 3)");
+  Alcotest.(check bool) "out of range" false (Engine.ask db "between(1, 5, 9)")
+
+let test_type_tests () =
+  let db = Engine.create () in
+  Alcotest.(check bool) "var" true (Engine.ask db "var(X)");
+  Alcotest.(check bool) "nonvar after binding" true (Engine.ask db "X = 1, nonvar(X)");
+  Alcotest.(check bool) "atom" true (Engine.ask db "atom(foo)");
+  Alcotest.(check bool) "number" true (Engine.ask db "number(3.5)");
+  Alcotest.(check bool) "integer" true (Engine.ask db "integer(3)");
+  Alcotest.(check bool) "float not integer" false (Engine.ask db "integer(3.5)");
+  Alcotest.(check bool) "compound" true (Engine.ask db "compound(f(1))");
+  Alcotest.(check bool) "ground" false (Engine.ask db "ground(f(X))")
+
+let test_term_construction () =
+  let db = Engine.create () in
+  Alcotest.(check bool) "functor decompose" true
+    (Engine.ask db "functor(f(a, b), f, 2)");
+  Alcotest.(check bool) "functor construct" true
+    (Engine.ask db "functor(T, f, 2), T = f(_, _)");
+  Alcotest.(check bool) "arg" true (Engine.ask db "arg(2, f(a, b), b)");
+  Alcotest.(check bool) "univ decompose" true (Engine.ask db "f(a, b) =.. [f, a, b]");
+  Alcotest.(check bool) "univ construct" true
+    (Engine.ask db "T =.. [g, 1], T = g(1)");
+  Alcotest.(check bool) "copy_term" true
+    (Engine.ask db "copy_term(f(X, X, Y), f(A, B, C)), A == B, \\+ A == C")
+
+let test_atom_builtins () =
+  let db = Engine.create () in
+  Alcotest.(check bool) "atom_concat" true (Engine.ask db "atom_concat(ab, cd, abcd)");
+  Alcotest.(check bool) "atom_number parse" true (Engine.ask db "atom_number('42', 42)");
+  Alcotest.(check bool) "atom_number print" true
+    (Engine.ask db "atom_number(A, 7), A == '7'")
+
+let test_assert_retract_runtime () =
+  let db = Engine.create () in
+  Alcotest.(check bool) "assertz then prove" true
+    (Engine.ask db "assertz(dyn(1)), dyn(1)");
+  Alcotest.(check bool) "retract" true (Engine.ask db "retract(dyn(1)), \\+ dyn(1)")
+
+let test_prelude_lists () =
+  let db = Engine.create () in
+  Alcotest.(check bool) "member" true (Engine.ask db "member(2, [1, 2, 3])");
+  Alcotest.(check bool) "append" true
+    (Engine.ask db "append([1], [2, 3], [1, 2, 3])");
+  Alcotest.(check int) "append splits" 4
+    (List.length (Engine.ask_all db "append(A, B, [1, 2, 3])"));
+  Alcotest.(check bool) "reverse" true (Engine.ask db "reverse([1, 2, 3], [3, 2, 1])");
+  Alcotest.(check bool) "length" true (Engine.ask db "length([a, b], 2)");
+  Alcotest.(check bool) "nth0" true (Engine.ask db "nth0(1, [a, b, c], b)");
+  Alcotest.(check bool) "nth1" true (Engine.ask db "nth1(1, [a, b, c], a)");
+  Alcotest.(check bool) "last" true (Engine.ask db "last([a, b, c], c)");
+  Alcotest.(check bool) "select" true (Engine.ask db "select(b, [a, b, c], [a, c])");
+  Alcotest.(check int) "permutations of 3" 6
+    (List.length (Engine.ask_all db "permutation([1, 2, 3], P)"));
+  Alcotest.(check bool) "sum_list" true (Engine.ask db "sum_list([1, 2, 3], 6)");
+  Alcotest.(check bool) "max_list" true (Engine.ask db "max_list([1, 5, 3], 5)");
+  Alcotest.(check bool) "min_list" true (Engine.ask db "min_list([4, 1, 3], 1)");
+  Alcotest.(check bool) "maplist/2" true (Engine.ask db "maplist(number, [1, 2])");
+  Alcotest.(check bool) "memberchk single" true
+    (Engine.ask db "findall(x, memberchk(1, [1, 1, 1]), [x])")
+
+let test_forall () =
+  let db = Engine.create () in
+  Engine.consult db "b(1). b(2). big(1). big(2).";
+  Alcotest.(check bool) "forall holds" true (Engine.ask db "forall(b(X), big(X))");
+  Engine.consult db "b(3).";
+  Alcotest.(check bool) "forall fails on counterexample" false
+    (Engine.ask db "forall(b(X), big(X))");
+  Alcotest.(check bool) "vacuous forall" true (Engine.ask db "forall(b(99), fail)")
+
+let test_depth_limit () =
+  let db = Engine.create () in
+  Engine.consult db "loop(X) :- loop(X).";
+  let opts = { Solve.default_options with max_depth = 100 } in
+  Alcotest.check_raises "raises by default" Solve.Depth_exhausted (fun () ->
+      ignore (Engine.ask ~options:opts db "loop(1)"));
+  let opts = { opts with on_depth = `Fail } in
+  Alcotest.(check bool) "fails when configured" false
+    (Engine.ask ~options:opts db "loop(1)")
+
+let test_loop_check () =
+  let db = Engine.create () in
+  Engine.consult db "n(X) :- n(X). n(base).";
+  let opts = { Solve.default_options with loop_check = true } in
+  Alcotest.(check bool) "loop check finds base case" true
+    (Engine.ask ~options:opts db "n(base)")
+
+let test_solution_laziness () =
+  let db = Engine.create () in
+  Engine.consult db "nat(0). nat(s(N)) :- nat(N).";
+  (* infinitely many solutions; taking the first few must terminate *)
+  let sols = Solve.all ~limit:5 db (Reader.goals "nat(X)") in
+  Alcotest.(check int) "first five naturals" 5 (List.length sols)
+
+let test_trace_events () =
+  let db = family_db () in
+  let calls = ref 0 and exits = ref 0 and fails = ref 0 in
+  let trace = function
+    | Solve.Call _ -> incr calls
+    | Solve.Exit _ -> incr exits
+    | Solve.Fail _ -> incr fails
+  in
+  let opts = { Solve.default_options with trace = Some trace } in
+  ignore (Solve.all ~options:opts db (Reader.goals "parent(tom, X)"));
+  Alcotest.(check bool) "saw calls" true (!calls > 0);
+  Alcotest.(check bool) "saw exits" true (!exits >= 2);
+  Alcotest.(check bool) "saw final fail" true (!fails >= 1)
+
+let test_count_and_first () =
+  let db = family_db () in
+  Alcotest.(check int) "count" 2 (Solve.count db (Reader.goals "parent(tom, X)"));
+  Alcotest.(check int) "count with limit" 1
+    (Solve.count ~limit:1 db (Reader.goals "parent(tom, X)"));
+  Alcotest.(check bool) "first" true
+    (Solve.first db (Reader.goals "parent(tom, X)") <> None)
+
+let test_non_callable_goal () =
+  let db = Engine.create () in
+  Alcotest.(check bool) "integer goal rejected" true
+    (try
+       ignore (Engine.ask db "X = 3, call(X)");
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "facts" `Quick test_facts;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "solution order" `Quick test_solution_order;
+    Alcotest.test_case "conjunction/disjunction" `Quick test_conjunction_disjunction;
+    Alcotest.test_case "if-then-else" `Quick test_if_then_else;
+    Alcotest.test_case "negation as failure" `Quick test_negation_as_failure;
+    Alcotest.test_case "call" `Quick test_call;
+    Alcotest.test_case "unification builtins" `Quick test_unify_builtins;
+    Alcotest.test_case "findall" `Quick test_findall;
+    Alcotest.test_case "findall does not leak" `Quick test_findall_no_leak;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "between" `Quick test_between;
+    Alcotest.test_case "type tests" `Quick test_type_tests;
+    Alcotest.test_case "term construction" `Quick test_term_construction;
+    Alcotest.test_case "atom builtins" `Quick test_atom_builtins;
+    Alcotest.test_case "runtime assert/retract" `Quick test_assert_retract_runtime;
+    Alcotest.test_case "prelude list library" `Quick test_prelude_lists;
+    Alcotest.test_case "forall" `Quick test_forall;
+    Alcotest.test_case "depth limit" `Quick test_depth_limit;
+    Alcotest.test_case "loop check" `Quick test_loop_check;
+    Alcotest.test_case "lazy solutions" `Quick test_solution_laziness;
+    Alcotest.test_case "trace events" `Quick test_trace_events;
+    Alcotest.test_case "count and first" `Quick test_count_and_first;
+    Alcotest.test_case "non-callable goal" `Quick test_non_callable_goal;
+  ]

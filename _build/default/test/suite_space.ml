@@ -1,0 +1,303 @@
+open Gdp_space
+
+let point = Alcotest.testable Point.pp Point.equal
+let pt = Point.make
+
+let test_point_ops () =
+  Alcotest.check point "add" (pt 4.0 6.0) (Point.add (pt 1.0 2.0) (pt 3.0 4.0));
+  Alcotest.check point "sub" (pt 2.0 2.0) (Point.sub (pt 3.0 4.0) (pt 1.0 2.0));
+  Alcotest.check point "scale" (pt 2.0 4.0) (Point.scale 2.0 (pt 1.0 2.0));
+  Alcotest.(check (float 1e-9)) "euclidean 3-4-5" 5.0
+    (Point.euclidean (pt 0.0 0.0) (pt 3.0 4.0));
+  Alcotest.(check (float 1e-9)) "manhattan" 7.0
+    (Point.manhattan (pt 0.0 0.0) (pt 3.0 4.0));
+  Alcotest.(check (float 1e-9)) "chebyshev" 4.0
+    (Point.chebyshev (pt 0.0 0.0) (pt 3.0 4.0));
+  Alcotest.check point "midpoint" (pt 1.5 2.0) (Point.midpoint (pt 1.0 2.0) (pt 2.0 2.0));
+  Alcotest.check point "lerp" (pt 2.5 0.0) (Point.lerp (pt 0.0 0.0) (pt 10.0 0.0) 0.25);
+  Alcotest.(check bool) "3d distance" true
+    (Point.euclidean (pt 0.0 0.0) (Point.make ~z:2.0 0.0 0.0) = 2.0)
+
+let test_coord_cartesian_polar () =
+  Alcotest.(check (float 1e-9)) "cartesian distance" 5.0
+    (Coord.distance Coord.Cartesian (pt 0.0 0.0) (pt 3.0 4.0));
+  (* polar: r=1 at angles 0 and pi are 2 apart *)
+  Alcotest.(check (float 1e-9)) "polar distance" 2.0
+    (Coord.distance Coord.Polar (pt 1.0 0.0) (pt 1.0 Float.pi));
+  Alcotest.(check (float 1e-9)) "direction east" 0.0
+    (Coord.direction Coord.Cartesian (pt 0.0 0.0) (pt 5.0 0.0));
+  Alcotest.(check (float 1e-9)) "direction north" (Float.pi /. 2.0)
+    (Coord.direction Coord.Cartesian (pt 0.0 0.0) (pt 0.0 5.0));
+  Alcotest.(check (float 1e-6)) "direction wraps positive"
+    (2.0 *. Float.pi -. (Float.pi /. 2.0))
+    (Coord.direction Coord.Cartesian (pt 0.0 0.0) (pt 0.0 (-5.0)))
+
+let test_coord_geographic () =
+  (* one degree of latitude is ~111.19 km on the spherical earth *)
+  let d = Coord.distance Coord.Geographic (pt 0.0 0.0) (pt 0.0 1.0) in
+  Alcotest.(check bool) "1 degree latitude ≈ 111 km" true
+    (Float.abs (d -. 111_195.0) < 200.0);
+  (* bearing from (0,0) due north to (0,1) is 0 *)
+  Alcotest.(check (float 1e-6)) "bearing north" 0.0
+    (Coord.direction Coord.Geographic (pt 0.0 0.0) (pt 0.0 1.0));
+  Alcotest.(check (float 1e-3)) "bearing east" (Float.pi /. 2.0)
+    (Coord.direction Coord.Geographic (pt 0.0 0.0) (pt 1.0 0.0));
+  (* altitude contributes *)
+  let d3 =
+    Coord.distance Coord.Geographic (Point.make ~z:0.0 0.0 0.0)
+      (Point.make ~z:1000.0 0.0 0.0)
+  in
+  Alcotest.(check (float 1e-6)) "pure altitude" 1000.0 d3
+
+let test_resolution_apply () =
+  let r = Resolution.uniform ~name:"r" 10.0 in
+  Alcotest.check point "cell centre" (pt 25.0 35.0) (Resolution.apply r (pt 27.0 31.0));
+  Alcotest.check point "idempotent" (pt 25.0 35.0)
+    (Resolution.apply r (Resolution.apply r (pt 27.0 31.0)));
+  Alcotest.check point "negative coords" (pt (-5.0) (-5.0))
+    (Resolution.apply r (pt (-0.1) (-9.9)));
+  Alcotest.(check bool) "same cell" true
+    (Resolution.same_cell r (pt 21.0 31.0) (pt 29.0 39.0));
+  Alcotest.(check bool) "different cell" false
+    (Resolution.same_cell r (pt 21.0 31.0) (pt 31.0 31.0));
+  Alcotest.(check bool) "z preserved" true
+    ((Resolution.apply r (Point.make ~z:7.0 27.0 31.0)).Point.z = 7.0)
+
+let test_resolution_refines () =
+  let f = Resolution.uniform ~name:"f" 1.0 in
+  let c = Resolution.uniform ~name:"c" 4.0 in
+  let off = Resolution.make ~name:"o" ~origin:(pt 0.5 0.0) ~dx:4.0 ~dy:4.0 () in
+  let aniso = Resolution.make ~name:"a" ~dx:2.0 ~dy:3.0 () in
+  Alcotest.(check bool) "refines" true (Resolution.refines ~fine:f ~coarse:c);
+  Alcotest.(check bool) "reflexive" true (Resolution.refines ~fine:f ~coarse:f);
+  Alcotest.(check bool) "not inverted" false (Resolution.refines ~fine:c ~coarse:f);
+  Alcotest.(check bool) "misaligned origin" false (Resolution.refines ~fine:f ~coarse:off);
+  Alcotest.(check bool) "anisotropic refines fine grid" true
+    (Resolution.refines ~fine:f ~coarse:aniso);
+  (* non-integral ratio *)
+  let c25 = Resolution.uniform ~name:"c25" 2.5 in
+  Alcotest.(check bool) "non-integral ratio" false
+    (Resolution.refines ~fine:f ~coarse:c25)
+
+let test_resolution_representatives () =
+  let r = Resolution.uniform ~name:"r" 1.0 in
+  let region = Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:4.0 ~max_y:2.0 in
+  let reps = Resolution.representatives r region in
+  Alcotest.(check int) "4x2 cells" 8 (List.length reps);
+  (* row-major deterministic order *)
+  Alcotest.check point "first" (pt 0.5 0.5) (List.hd reps);
+  Alcotest.check point "last" (pt 3.5 1.5) (List.nth reps 7);
+  (* circle keeps only interior centres *)
+  let disc = Region.circle ~center:(pt 2.0 2.0) ~radius:1.0 in
+  let inside = Resolution.representatives r disc in
+  Alcotest.(check bool) "circle subset of bbox" true (List.length inside <= 9);
+  List.iter
+    (fun p -> Alcotest.(check bool) "in region" true (Region.mem p disc))
+    inside
+
+let test_resolution_subcells () =
+  let f = Resolution.uniform ~name:"f" 1.0 in
+  let c = Resolution.uniform ~name:"c" 3.0 in
+  let subs = Resolution.subcell_representatives ~fine:f ~coarse:c (pt 4.0 4.0) in
+  Alcotest.(check int) "9 subcells" 9 (List.length subs);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "subcell within coarse cell" true
+        (Resolution.same_cell c p (pt 4.0 4.0)))
+    subs;
+  Alcotest.check_raises "not a refinement"
+    (Invalid_argument "Resolution.subcell_representatives: not a refinement")
+    (fun () ->
+      ignore (Resolution.subcell_representatives ~fine:c ~coarse:f (pt 0.0 0.0)))
+
+let test_region_membership () =
+  let rect = Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:10.0 ~max_y:5.0 in
+  Alcotest.(check bool) "inside rect" true (Region.mem (pt 5.0 2.0) rect);
+  Alcotest.(check bool) "boundary inside" true (Region.mem (pt 10.0 5.0) rect);
+  Alcotest.(check bool) "outside" false (Region.mem (pt 11.0 2.0) rect);
+  let circle = Region.circle ~center:(pt 0.0 0.0) ~radius:5.0 in
+  Alcotest.(check bool) "inside circle" true (Region.mem (pt 3.0 4.0) circle);
+  Alcotest.(check bool) "outside circle" false (Region.mem (pt 3.1 4.0) circle);
+  let tri = Region.polygon [ pt 0.0 0.0; pt 10.0 0.0; pt 0.0 10.0 ] in
+  Alcotest.(check bool) "inside triangle" true (Region.mem (pt 2.0 2.0) tri);
+  Alcotest.(check bool) "outside triangle" false (Region.mem (pt 6.0 6.0) tri);
+  let u = Region.Union (rect, circle) in
+  Alcotest.(check bool) "union" true (Region.mem (pt (-3.0) 0.0) u);
+  let d = Region.Difference (rect, circle) in
+  Alcotest.(check bool) "difference excludes" false (Region.mem (pt 1.0 1.0) d);
+  Alcotest.(check bool) "difference keeps" true (Region.mem (pt 9.0 4.0) d);
+  let i = Region.Intersection (rect, circle) in
+  Alcotest.(check bool) "intersection" true (Region.mem (pt 1.0 1.0) i);
+  Alcotest.(check bool) "intersection excludes" false (Region.mem (pt 9.0 4.0) i)
+
+let test_region_area_centroid () =
+  Alcotest.(check (option (float 1e-9))) "rect area" (Some 50.0)
+    (Region.area (Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:10.0 ~max_y:5.0));
+  Alcotest.(check (option (float 1e-6))) "circle area" (Some (Float.pi *. 4.0))
+    (Region.area (Region.circle ~center:(pt 0.0 0.0) ~radius:2.0));
+  Alcotest.(check (option (float 1e-9))) "triangle area" (Some 50.0)
+    (Region.area (Region.polygon [ pt 0.0 0.0; pt 10.0 0.0; pt 0.0 10.0 ]));
+  (match Region.centroid (Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:10.0 ~max_y:4.0) with
+  | Some c -> Alcotest.check point "rect centroid" (pt 5.0 2.0) c
+  | None -> Alcotest.fail "centroid");
+  match
+    Region.centroid (Region.polygon [ pt 0.0 0.0; pt 9.0 0.0; pt 9.0 9.0; pt 0.0 9.0 ])
+  with
+  | Some c -> Alcotest.check point "square centroid" (pt 4.5 4.5) c
+  | None -> Alcotest.fail "polygon centroid"
+
+let test_region_bbox () =
+  (match
+     Region.bounding_box
+       (Region.Union
+          ( Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:1.0 ~max_y:1.0,
+            Region.circle ~center:(pt 5.0 5.0) ~radius:1.0 ))
+   with
+  | Some (x0, y0, x1, y1) ->
+      Alcotest.(check (float 1e-9)) "min x" 0.0 x0;
+      Alcotest.(check (float 1e-9)) "min y" 0.0 y0;
+      Alcotest.(check (float 1e-9)) "max x" 6.0 x1;
+      Alcotest.(check (float 1e-9)) "max y" 6.0 y1
+  | None -> Alcotest.fail "bbox");
+  Alcotest.(check bool) "disjoint intersection has no bbox" true
+    (Region.bounding_box
+       (Region.Intersection
+          ( Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:1.0 ~max_y:1.0,
+            Region.rect ~min_x:5.0 ~min_y:5.0 ~max_x:6.0 ~max_y:6.0 ))
+    = None)
+
+let test_grid_line () =
+  let line = Geometry.grid_line (0, 0) (3, 0) in
+  Alcotest.(check int) "horizontal length" 4 (List.length line);
+  Alcotest.(check bool) "endpoints included" true
+    (List.mem (0, 0) line && List.mem (3, 0) line);
+  let diag = Geometry.grid_line (0, 0) (3, 3) in
+  Alcotest.(check bool) "diagonal hits corners" true
+    (List.mem (0, 0) diag && List.mem (3, 3) diag);
+  Alcotest.(check int) "single point" 1 (List.length (Geometry.grid_line (2, 2) (2, 2)));
+  let steep = Geometry.grid_line (0, 0) (1, 5) in
+  Alcotest.(check bool) "steep connected" true (List.length steep >= 6)
+
+let test_segments_intersect () =
+  Alcotest.(check bool) "crossing" true
+    (Geometry.segments_intersect
+       (pt 0.0 0.0, pt 2.0 2.0)
+       (pt 0.0 2.0, pt 2.0 0.0));
+  Alcotest.(check bool) "parallel" false
+    (Geometry.segments_intersect
+       (pt 0.0 0.0, pt 2.0 0.0)
+       (pt 0.0 1.0, pt 2.0 1.0));
+  Alcotest.(check bool) "touching endpoint" true
+    (Geometry.segments_intersect
+       (pt 0.0 0.0, pt 1.0 1.0)
+       (pt 1.0 1.0, pt 2.0 0.0));
+  Alcotest.(check bool) "collinear overlapping" true
+    (Geometry.segments_intersect
+       (pt 0.0 0.0, pt 2.0 0.0)
+       (pt 1.0 0.0, pt 3.0 0.0))
+
+let test_segment_point_distance () =
+  Alcotest.(check (float 1e-9)) "perpendicular" 1.0
+    (Geometry.segment_point_distance (pt 0.0 0.0, pt 2.0 0.0) (pt 1.0 1.0));
+  Alcotest.(check (float 1e-9)) "beyond end clamps" (sqrt 2.0)
+    (Geometry.segment_point_distance (pt 0.0 0.0, pt 2.0 0.0) (pt 3.0 1.0));
+  Alcotest.(check (float 1e-9)) "degenerate segment" 5.0
+    (Geometry.segment_point_distance (pt 0.0 0.0, pt 0.0 0.0) (pt 3.0 4.0))
+
+let test_convex_hull () =
+  let square =
+    [ pt 0.0 0.0; pt 4.0 0.0; pt 4.0 4.0; pt 0.0 4.0; pt 2.0 2.0; pt 1.0 3.0 ]
+  in
+  let hull = Geometry.convex_hull square in
+  Alcotest.(check int) "square hull has 4 vertices" 4 (List.length hull);
+  Alcotest.(check bool) "interior point dropped" true
+    (not (List.exists (Point.equal (pt 2.0 2.0)) hull));
+  Alcotest.(check int) "two points" 2
+    (List.length (Geometry.convex_hull [ pt 0.0 0.0; pt 1.0 1.0; pt 0.0 0.0 ]))
+
+let test_polyline () =
+  Alcotest.(check (float 1e-9)) "length" 2.0
+    (Geometry.polyline_length [ pt 0.0 0.0; pt 1.0 0.0; pt 1.0 1.0 ]);
+  let simplified =
+    Geometry.douglas_peucker ~epsilon:0.1
+      [ pt 0.0 0.0; pt 1.0 0.01; pt 2.0 0.0; pt 3.0 2.0 ]
+  in
+  Alcotest.(check int) "collinear-ish point dropped" 3 (List.length simplified);
+  let kept =
+    Geometry.douglas_peucker ~epsilon:0.001
+      [ pt 0.0 0.0; pt 1.0 0.5; pt 2.0 0.0 ]
+  in
+  Alcotest.(check int) "significant point kept" 3 (List.length kept)
+
+(* properties *)
+let arb_pt =
+  QCheck.map
+    (fun (x, y) -> pt x y)
+    QCheck.(pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+
+let prop_resolution_idempotent =
+  QCheck.Test.make ~name:"resolution apply idempotent" ~count:300 arb_pt (fun p ->
+      let r = Resolution.uniform ~name:"r" 7.0 in
+      Point.equal (Resolution.apply r p) (Resolution.apply r (Resolution.apply r p)))
+
+let prop_same_cell_equiv =
+  QCheck.Test.make ~name:"same_cell iff equal representatives" ~count:300
+    (QCheck.pair arb_pt arb_pt)
+    (fun (p1, p2) ->
+      let r = Resolution.uniform ~name:"r" 7.0 in
+      Resolution.same_cell r p1 p2
+      = Point.equal
+          (Resolution.apply r (Point.make p1.Point.x p1.Point.y))
+          (Resolution.apply r (Point.make p2.Point.x p2.Point.y)))
+
+let prop_refines_transitive =
+  QCheck.Test.make ~name:"refinement transitive on aligned grids" ~count:100
+    (QCheck.triple QCheck.(1 -- 4) QCheck.(1 -- 4) QCheck.(1 -- 4))
+    (fun (a, b, c) ->
+      let r1 = Resolution.uniform ~name:"r1" (float_of_int a) in
+      let r2 = Resolution.uniform ~name:"r2" (float_of_int (a * b)) in
+      let r3 = Resolution.uniform ~name:"r3" (float_of_int (a * b * c)) in
+      Resolution.refines ~fine:r1 ~coarse:r2
+      && Resolution.refines ~fine:r2 ~coarse:r3
+      && Resolution.refines ~fine:r1 ~coarse:r3)
+
+let prop_hull_contains_points =
+  QCheck.Test.make ~name:"hull contains all input points" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 3 12) arb_pt)
+    (fun pts ->
+      match Geometry.convex_hull pts with
+      | hull when List.length hull >= 3 ->
+          let poly = Region.polygon hull in
+          (* boundary points may fall either way with even-odd; test
+             slightly shrunk towards the centroid *)
+          let cx = List.fold_left (fun a p -> a +. p.Point.x) 0.0 pts /. float_of_int (List.length pts)
+          and cy = List.fold_left (fun a p -> a +. p.Point.y) 0.0 pts /. float_of_int (List.length pts) in
+          List.for_all
+            (fun p ->
+              let q = Point.lerp p (pt cx cy) 0.01 in
+              Region.mem q poly)
+            pts
+      | _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "point operations" `Quick test_point_ops;
+    Alcotest.test_case "cartesian and polar" `Quick test_coord_cartesian_polar;
+    Alcotest.test_case "geographic (haversine)" `Quick test_coord_geographic;
+    Alcotest.test_case "resolution apply" `Quick test_resolution_apply;
+    Alcotest.test_case "refinement relation" `Quick test_resolution_refines;
+    Alcotest.test_case "representatives" `Quick test_resolution_representatives;
+    Alcotest.test_case "subcells" `Quick test_resolution_subcells;
+    Alcotest.test_case "region membership" `Quick test_region_membership;
+    Alcotest.test_case "region area/centroid" `Quick test_region_area_centroid;
+    Alcotest.test_case "region bounding boxes" `Quick test_region_bbox;
+    Alcotest.test_case "grid lines (Bresenham)" `Quick test_grid_line;
+    Alcotest.test_case "segment intersection" `Quick test_segments_intersect;
+    Alcotest.test_case "segment-point distance" `Quick test_segment_point_distance;
+    Alcotest.test_case "convex hull" `Quick test_convex_hull;
+    Alcotest.test_case "polylines" `Quick test_polyline;
+    QCheck_alcotest.to_alcotest prop_resolution_idempotent;
+    QCheck_alcotest.to_alcotest prop_same_cell_equiv;
+    QCheck_alcotest.to_alcotest prop_refines_transitive;
+    QCheck_alcotest.to_alcotest prop_hull_contains_points;
+  ]

@@ -1,0 +1,189 @@
+open Gdp_logic
+open Gdp_core
+
+let a = Term.atom
+let v = Term.var
+
+let fresh () =
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  spec
+
+let test_default_model_exists () =
+  let spec = fresh () in
+  Alcotest.(check (list string)) "w declared" [ "w" ] (Spec.model_names spec);
+  Alcotest.(check bool) "find model w" true
+    (try
+       ignore (Spec.model spec "w");
+       true
+     with Not_found -> false)
+
+let test_duplicate_declarations () =
+  let spec = fresh () in
+  Spec.declare_object spec "o1";
+  Alcotest.(check bool) "dup object" true
+    (try
+       Spec.declare_object spec "o1";
+       false
+     with Invalid_argument _ -> true);
+  Spec.declare_model spec "m1";
+  Alcotest.(check bool) "dup model" true
+    (try
+       Spec.declare_model spec "m1";
+       false
+     with Invalid_argument _ -> true);
+  Spec.declare_predicate spec "p" ~object_arity:1;
+  Alcotest.(check bool) "dup predicate" true
+    (try
+       Spec.declare_predicate spec "p";
+       false
+     with Invalid_argument _ -> true);
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r" 1.0);
+  Alcotest.(check bool) "dup space" true
+    (try
+       Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"r" 2.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unnamed space" true
+    (try
+       Spec.declare_space spec (Gdp_space.Resolution.uniform 1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_predicate_unknown_domain () =
+  let spec = fresh () in
+  Alcotest.(check bool) "unknown domain rejected" true
+    (try
+       Spec.declare_predicate spec "q" ~value_domains:[ "nope" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_fact_checks () =
+  let spec = fresh () in
+  Spec.declare_predicate spec "pop" ~value_domains:[ "number" ] ~object_arity:1;
+  Alcotest.(check bool) "non-ground rejected" true
+    (try
+       Spec.add_fact spec (Gfact.make "pop" ~values:[ v "X" ] ~objects:[ a "c" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "value arity" true
+    (try
+       Spec.add_fact spec (Gfact.make "pop" ~objects:[ a "c" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "object arity" true
+    (try
+       Spec.add_fact spec
+         (Gfact.make "pop" ~values:[ Term.int 1 ] ~objects:[ a "c"; a "d" ]);
+       false
+     with Invalid_argument _ -> true);
+  (* undeclared predicates are an open vocabulary *)
+  Spec.add_fact spec (Gfact.make "whatever" ~objects:[ a "c" ]);
+  Alcotest.(check int) "fact stored" 1 (List.length (Spec.model spec "w").Spec.facts)
+
+let test_model_resolution () =
+  let spec = fresh () in
+  Spec.declare_model spec "m1";
+  Spec.add_fact spec ~model:"m1" (Gfact.make "p" ~objects:[ a "x" ]);
+  Spec.add_fact spec (Gfact.make "p" ~model:"m1" ~objects:[ a "y" ]);
+  Alcotest.(check int) "both in m1" 2 (List.length (Spec.model spec "m1").Spec.facts);
+  Alcotest.(check bool) "conflicting qualifier rejected" true
+    (try
+       Spec.add_fact spec ~model:"m1" (Gfact.make "p" ~model:"w" ~objects:[ a "z" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "undeclared model rejected" true
+    (try
+       Spec.add_fact spec ~model:"nope" (Gfact.make "p" ~objects:[ a "x" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_acc_statement_checks () =
+  let spec = fresh () in
+  Spec.add_acc_statement spec (Gfact.make "clear" ~objects:[ a "i" ]) 0.5;
+  Alcotest.(check bool) "range checked" true
+    (try
+       Spec.add_acc_statement spec (Gfact.make "clear" ~objects:[ a "i" ]) 1.5;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ground required" true
+    (try
+       Spec.add_acc_statement spec (Gfact.make "clear" ~objects:[ v "X" ]) 0.5;
+       false
+     with Invalid_argument _ -> true)
+
+let test_rule_safety_enforced () =
+  let spec = fresh () in
+  let x = v "X" and y = v "Y" in
+  Alcotest.(check bool) "unsafe rule rejected" true
+    (try
+       Spec.add_rule spec ~head:(Gfact.make "p" ~objects:[ y ])
+         (Formula.Atom (Gfact.make "q" ~objects:[ x ]));
+       false
+     with Invalid_argument _ -> true);
+  (* safe rule accepted *)
+  Spec.add_rule spec ~head:(Gfact.make "p" ~objects:[ x ])
+    (Formula.Atom (Gfact.make "q" ~objects:[ x ]));
+  Alcotest.(check int) "stored" 1 (List.length (Spec.model spec "w").Spec.rules)
+
+let test_constraint_encoding () =
+  let spec = fresh () in
+  let x = v "X" in
+  Spec.add_constraint spec ~error:"bad" ~args:[ x ]
+    (Formula.Atom (Gfact.make "p" ~objects:[ x ]));
+  let c = List.hd (Spec.model spec "w").Spec.constraints in
+  Alcotest.(check bool) "head is ERROR" true
+    (Term.equal c.Spec.rule_head.Gfact.pred (a Names.error_pred));
+  Alcotest.(check int) "tag and args in values" 2
+    (List.length c.Spec.rule_head.Gfact.values)
+
+let test_meta_models_registry () =
+  let spec = fresh () in
+  Alcotest.(check bool) "standard installed" true
+    (Spec.find_meta_model spec "spatial_uniform" <> None);
+  Alcotest.(check bool) "sorts installed" true (Spec.find_meta_model spec "sorts" <> None);
+  Alcotest.(check bool) "dup meta rejected" true
+    (try
+       Spec.add_meta_model spec (Meta.cwa ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "standard name count"
+    (List.length Meta.standard_names)
+    (List.length spec.Spec.meta_models)
+
+let test_extra_builtins () =
+  let spec = fresh () in
+  Spec.declare_builtin spec "custom" ~arity:1 (fun _ s _ -> Seq.return s);
+  Alcotest.(check bool) "dup builtin rejected" true
+    (try
+       Spec.declare_builtin spec "custom" ~arity:1 (fun _ s _ -> Seq.return s);
+       false
+     with Invalid_argument _ -> true);
+  let q = Query.create spec in
+  Alcotest.(check bool) "available in compiled db" true (Query.ask q "custom(anything)")
+
+let test_tspace () =
+  let spec = fresh () in
+  Spec.declare_tspace spec (Gdp_temporal.Resolution1d.make ~name:"years" ~origin:0.0 ~step:1.0 ());
+  Alcotest.(check bool) "found" true (Spec.find_tspace spec "years" <> None);
+  Alcotest.(check bool) "dup rejected" true
+    (try
+       Spec.declare_tspace spec
+         (Gdp_temporal.Resolution1d.make ~name:"years" ~origin:0.0 ~step:2.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "default model w" `Quick test_default_model_exists;
+    Alcotest.test_case "duplicate declarations" `Quick test_duplicate_declarations;
+    Alcotest.test_case "unknown domain in signature" `Quick test_predicate_unknown_domain;
+    Alcotest.test_case "fact validation" `Quick test_fact_checks;
+    Alcotest.test_case "model resolution" `Quick test_model_resolution;
+    Alcotest.test_case "accuracy statements" `Quick test_acc_statement_checks;
+    Alcotest.test_case "rule safety enforced" `Quick test_rule_safety_enforced;
+    Alcotest.test_case "constraint encoding" `Quick test_constraint_encoding;
+    Alcotest.test_case "meta-model registry" `Quick test_meta_models_registry;
+    Alcotest.test_case "extra builtins" `Quick test_extra_builtins;
+    Alcotest.test_case "temporal spaces" `Quick test_tspace;
+  ]

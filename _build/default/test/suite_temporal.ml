@@ -1,0 +1,216 @@
+open Gdp_temporal
+
+let interval = Alcotest.testable Interval.pp Interval.equal
+
+let test_construction () =
+  Alcotest.(check bool) "closed mem lower" true (Interval.mem 1.0 (Interval.closed 1.0 2.0));
+  Alcotest.(check bool) "open excludes lower" false
+    (Interval.mem 1.0 (Interval.open_ 1.0 2.0));
+  Alcotest.(check bool) "left_open excludes lower" false
+    (Interval.mem 1.0 (Interval.left_open 1.0 2.0));
+  Alcotest.(check bool) "left_open includes upper" true
+    (Interval.mem 2.0 (Interval.left_open 1.0 2.0));
+  Alcotest.(check bool) "right_open includes lower" true
+    (Interval.mem 1.0 (Interval.right_open 1.0 2.0));
+  Alcotest.(check bool) "right_open excludes upper" false
+    (Interval.mem 2.0 (Interval.right_open 1.0 2.0));
+  Alcotest.(check bool) "degenerate instant" true (Interval.mem 3.0 (Interval.at 3.0));
+  Alcotest.(check bool) "always" true (Interval.mem 1e9 Interval.always);
+  Alcotest.check_raises "inverted closed rejected"
+    (Invalid_argument "Interval.closed: upper bound below lower bound") (fun () ->
+      ignore (Interval.closed 2.0 1.0));
+  Alcotest.(check bool) "empty make" true
+    (Interval.make (Interval.Exclusive 1.0) (Interval.Inclusive 1.0) = None)
+
+let test_is_instant_duration () =
+  Alcotest.(check bool) "instant" true (Interval.is_instant (Interval.at 5.0));
+  Alcotest.(check bool) "not instant" false
+    (Interval.is_instant (Interval.closed 1.0 2.0));
+  Alcotest.(check (option (float 1e-9))) "duration" (Some 1.0)
+    (Interval.duration (Interval.closed 1.0 2.0));
+  Alcotest.(check (option (float 1e-9))) "unbounded duration" None
+    (Interval.duration (Interval.from 1.0))
+
+let test_intersect () =
+  let i1 = Interval.closed 0.0 5.0 and i2 = Interval.closed 3.0 8.0 in
+  Alcotest.(check (option interval)) "overlap" (Some (Interval.closed 3.0 5.0))
+    (Interval.intersect i1 i2);
+  Alcotest.(check (option interval)) "disjoint" None
+    (Interval.intersect (Interval.closed 0.0 1.0) (Interval.closed 2.0 3.0));
+  Alcotest.(check (option interval)) "touching closed" (Some (Interval.at 1.0))
+    (Interval.intersect (Interval.closed 0.0 1.0) (Interval.closed 1.0 3.0));
+  Alcotest.(check (option interval)) "open boundary empty" None
+    (Interval.intersect (Interval.open_ 0.0 1.0) (Interval.closed 1.0 3.0));
+  (* mixed bound tightness *)
+  Alcotest.(check (option interval)) "exclusive wins"
+    (Some (Interval.left_open 3.0 5.0))
+    (Interval.intersect (Interval.closed 0.0 5.0) (Interval.left_open 3.0 8.0))
+
+let test_union () =
+  Alcotest.(check (option interval)) "overlapping union"
+    (Some (Interval.closed 0.0 8.0))
+    (Interval.union_if_connected (Interval.closed 0.0 5.0) (Interval.closed 3.0 8.0));
+  Alcotest.(check (option interval)) "touching union"
+    (Some (Interval.closed 0.0 3.0))
+    (Interval.union_if_connected (Interval.closed 0.0 1.0) (Interval.closed 1.0 3.0));
+  Alcotest.(check (option interval)) "half-open seam union"
+    (Some (Interval.closed 0.0 3.0))
+    (Interval.union_if_connected (Interval.right_open 0.0 1.0) (Interval.closed 1.0 3.0));
+  Alcotest.(check (option interval)) "gap rejected" None
+    (Interval.union_if_connected (Interval.closed 0.0 1.0) (Interval.closed 2.0 3.0));
+  Alcotest.(check (option interval)) "open seam rejected" None
+    (Interval.union_if_connected (Interval.open_ 0.0 1.0) (Interval.open_ 1.0 3.0))
+
+let test_subset_before () =
+  Alcotest.(check bool) "subset" true
+    (Interval.subset (Interval.closed 1.0 2.0) ~of_:(Interval.closed 0.0 3.0));
+  Alcotest.(check bool) "not subset" false
+    (Interval.subset (Interval.closed 0.0 4.0) ~of_:(Interval.closed 0.0 3.0));
+  Alcotest.(check bool) "open subset of closed same bounds" true
+    (Interval.subset (Interval.open_ 0.0 3.0) ~of_:(Interval.closed 0.0 3.0));
+  Alcotest.(check bool) "closed not subset of open" false
+    (Interval.subset (Interval.closed 0.0 3.0) ~of_:(Interval.open_ 0.0 3.0));
+  Alcotest.(check bool) "reflexive" true
+    (Interval.subset (Interval.closed 0.0 3.0) ~of_:(Interval.closed 0.0 3.0));
+  Alcotest.(check bool) "everything subset of always" true
+    (Interval.subset (Interval.closed 0.0 3.0) ~of_:Interval.always);
+  Alcotest.(check bool) "before" true
+    (Interval.before (Interval.closed 0.0 1.0) (Interval.closed 2.0 3.0));
+  Alcotest.(check bool) "touching closed not before" false
+    (Interval.before (Interval.closed 0.0 1.0) (Interval.closed 1.0 3.0));
+  Alcotest.(check bool) "touching open before" true
+    (Interval.before (Interval.closed 0.0 1.0) (Interval.open_ 1.0 3.0))
+
+let allen = Alcotest.testable Interval.pp_allen ( = )
+
+let test_allen () =
+  let c = Interval.closed in
+  let check name a b expected =
+    Alcotest.(check (option allen)) name (Some expected) (Interval.allen a b)
+  in
+  check "before" (c 0. 1.) (c 2. 3.) Interval.Before;
+  check "after" (c 2. 3.) (c 0. 1.) Interval.After;
+  check "meets" (c 0. 1.) (c 1. 3.) Interval.Meets;
+  check "met-by" (c 1. 3.) (c 0. 1.) Interval.Met_by;
+  check "overlaps" (c 0. 2.) (c 1. 3.) Interval.Overlaps;
+  check "overlapped-by" (c 1. 3.) (c 0. 2.) Interval.Overlapped_by;
+  check "starts" (c 0. 1.) (c 0. 3.) Interval.Starts;
+  check "started-by" (c 0. 3.) (c 0. 1.) Interval.Started_by;
+  check "during" (c 1. 2.) (c 0. 3.) Interval.During;
+  check "contains" (c 0. 3.) (c 1. 2.) Interval.Contains;
+  check "finishes" (c 2. 3.) (c 0. 3.) Interval.Finishes;
+  check "finished-by" (c 0. 3.) (c 2. 3.) Interval.Finished_by;
+  check "equals" (c 0. 3.) (c 0. 3.) Interval.Equals;
+  Alcotest.(check (option allen)) "unbounded rejected" None
+    (Interval.allen Interval.always (c 0. 1.))
+
+let arb_closed =
+  QCheck.map
+    (fun (a, b) -> Interval.closed (Float.min a b) (Float.max a b))
+    QCheck.(pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+
+let prop_allen_total_on_closed =
+  QCheck.Test.make ~name:"Allen classification total on closed intervals" ~count:500
+    (QCheck.pair arb_closed arb_closed)
+    (fun (a, b) -> Interval.allen a b <> None)
+
+let prop_intersect_subset =
+  QCheck.Test.make ~name:"intersection is a subset of both" ~count:500
+    (QCheck.pair arb_closed arb_closed)
+    (fun (a, b) ->
+      match Interval.intersect a b with
+      | None -> true
+      | Some i -> Interval.subset i ~of_:a && Interval.subset i ~of_:b)
+
+let prop_union_superset =
+  QCheck.Test.make ~name:"connected union contains both" ~count:500
+    (QCheck.pair arb_closed arb_closed)
+    (fun (a, b) ->
+      match Interval.union_if_connected a b with
+      | None -> true
+      | Some u -> Interval.subset a ~of_:u && Interval.subset b ~of_:u)
+
+(* ---- resolution ---- *)
+
+let test_resolution1d () =
+  let r = Resolution1d.make ~origin:0.0 ~step:10.0 () in
+  Alcotest.(check (float 1e-9)) "apply floors" 20.0 (Resolution1d.apply r 27.3);
+  Alcotest.(check (float 1e-9)) "idempotent" 20.0
+    (Resolution1d.apply r (Resolution1d.apply r 27.3));
+  Alcotest.(check (float 1e-9)) "negative" (-10.0) (Resolution1d.apply r (-0.5));
+  Alcotest.(check int) "cell index" 2 (Resolution1d.cell_index r 27.3);
+  Alcotest.(check bool) "cell contains point" true
+    (Interval.mem 27.3 (Resolution1d.cell_of r 27.3));
+  Alcotest.check_raises "zero step"
+    (Invalid_argument "Resolution1d.make: step must be positive") (fun () ->
+      ignore (Resolution1d.make ~origin:0.0 ~step:0.0 ()))
+
+let test_resolution1d_refines () =
+  let fine = Resolution1d.make ~origin:0.0 ~step:1.0 () in
+  let coarse = Resolution1d.make ~origin:0.0 ~step:5.0 () in
+  let offset = Resolution1d.make ~origin:0.3 ~step:5.0 () in
+  Alcotest.(check bool) "aligned multiple refines" true
+    (Resolution1d.refines ~fine ~coarse);
+  Alcotest.(check bool) "not coarser" false (Resolution1d.refines ~fine:coarse ~coarse:fine);
+  Alcotest.(check bool) "misaligned origin" false
+    (Resolution1d.refines ~fine ~coarse:offset);
+  Alcotest.(check bool) "reflexive" true (Resolution1d.refines ~fine ~coarse:fine)
+
+let test_resolution1d_reps () =
+  let r = Resolution1d.make ~origin:0.0 ~step:10.0 () in
+  Alcotest.(check (list (float 1e-9))) "representatives" [ 0.0; 10.0; 20.0 ]
+    (Resolution1d.representatives r (Interval.closed 5.0 25.0));
+  let fine = Resolution1d.make ~origin:0.0 ~step:5.0 () in
+  Alcotest.(check (list (float 1e-9))) "subcells" [ 10.0; 15.0 ]
+    (Resolution1d.subcell_representatives ~fine ~coarse:r 13.0)
+
+(* ---- clock ---- *)
+
+let test_clock_point () =
+  let c = Clock.create ~now:1990.0 () in
+  Alcotest.(check bool) "past" true (Clock.past c 1971.0);
+  Alcotest.(check bool) "present exact" true (Clock.present c 1990.0);
+  Alcotest.(check bool) "future" true (Clock.future c 1995.0);
+  Alcotest.(check bool) "not past" false (Clock.past c 1995.0);
+  Clock.advance c 10.0;
+  Alcotest.(check (float 1e-9)) "advanced" 2000.0 (Clock.now c);
+  Alcotest.(check bool) "old present now past" true (Clock.past c 1990.0);
+  Alcotest.check_raises "no time travel" (Invalid_argument "Clock.advance: negative step")
+    (fun () -> Clock.advance c (-1.0))
+
+let test_clock_with_resolution () =
+  let years = Resolution1d.make ~origin:0.0 ~step:1.0 () in
+  let c = Clock.create ~resolution:years ~now:1990.5 () in
+  (* the paper: the year is 1990, so present(1990.x) holds *)
+  Alcotest.(check bool) "present spans the year" true (Clock.present c 1990.1);
+  Alcotest.(check bool) "past year" true (Clock.past c 1971.0);
+  Alcotest.(check bool) "future year" true (Clock.future c 1991.0);
+  Alcotest.(check bool) "paper: past(1971)" true (Clock.past c 1971.9)
+
+let test_resolve_now () =
+  let c = Clock.create ~now:100.0 () in
+  (match Clock.resolve_now c (Interval.Inclusive 5.0) with
+  | Interval.Inclusive v -> Alcotest.(check (float 1e-9)) "now+5" 105.0 v
+  | _ -> Alcotest.fail "expected inclusive");
+  match Clock.resolve_now c Interval.Unbounded with
+  | Interval.Unbounded -> ()
+  | _ -> Alcotest.fail "unbounded unchanged"
+
+let tests =
+  [
+    Alcotest.test_case "interval construction" `Quick test_construction;
+    Alcotest.test_case "instants and duration" `Quick test_is_instant_duration;
+    Alcotest.test_case "intersection" `Quick test_intersect;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "subset/before" `Quick test_subset_before;
+    Alcotest.test_case "Allen relations" `Quick test_allen;
+    Alcotest.test_case "logical time" `Quick test_resolution1d;
+    Alcotest.test_case "temporal refinement" `Quick test_resolution1d_refines;
+    Alcotest.test_case "temporal representatives" `Quick test_resolution1d_reps;
+    Alcotest.test_case "clock (point present)" `Quick test_clock_point;
+    Alcotest.test_case "clock with resolution" `Quick test_clock_with_resolution;
+    Alcotest.test_case "resolve now" `Quick test_resolve_now;
+    QCheck_alcotest.to_alcotest prop_allen_total_on_closed;
+    QCheck_alcotest.to_alcotest prop_intersect_subset;
+    QCheck_alcotest.to_alcotest prop_union_superset;
+  ]

@@ -1,0 +1,170 @@
+open Gdp_logic
+
+let x () = Term.var "X"
+let check_bool msg expected actual = Alcotest.(check bool) msg expected actual
+
+let unifies ?occurs_check a b =
+  match Unify.unify ?occurs_check Subst.empty a b with
+  | Some _ -> true
+  | None -> false
+
+let test_subst_bind_lookup () =
+  let xv = match x () with Term.Var v -> v | _ -> assert false in
+  let s = Subst.bind xv (Term.int 1) Subst.empty in
+  check_bool "lookup finds binding" true
+    (match Subst.lookup xv s with Some (Term.Int 1) -> true | _ -> false);
+  check_bool "bind twice rejected" true
+    (try
+       ignore (Subst.bind xv (Term.int 2) s);
+       false
+     with Invalid_argument _ -> true)
+
+let test_walk_chains () =
+  let va = Term.var_with_id "A" (Term.fresh_id ())
+  and vb = Term.var_with_id "B" (Term.fresh_id ()) in
+  let s =
+    Subst.empty |> Subst.bind va (Term.Var vb) |> Subst.bind vb (Term.atom "end")
+  in
+  check_bool "walk resolves chains" true
+    (Term.equal (Subst.walk s (Term.Var va)) (Term.atom "end"))
+
+let test_walk_shallow () =
+  let va = Term.var_with_id "A" (Term.fresh_id ())
+  and vb = Term.var_with_id "B" (Term.fresh_id ()) in
+  let s = Subst.bind va (Term.app "f" [ Term.Var vb ]) Subst.empty in
+  let s = Subst.bind vb (Term.int 3) s in
+  (match Subst.walk s (Term.Var va) with
+  | Term.App ("f", [ Term.Var _ ]) -> ()
+  | other -> Alcotest.failf "walk went deep: %s" (Term.to_string other));
+  match Subst.apply s (Term.Var va) with
+  | Term.App ("f", [ Term.Int 3 ]) -> ()
+  | other -> Alcotest.failf "apply should go deep: %s" (Term.to_string other)
+
+let test_unify_atoms () =
+  check_bool "same atoms" true (unifies (Term.atom "a") (Term.atom "a"));
+  check_bool "different atoms" false (unifies (Term.atom "a") (Term.atom "b"))
+
+let test_unify_var_binds () =
+  let xt = x () in
+  match Unify.unify Subst.empty xt (Term.app "f" [ Term.int 1 ]) with
+  | Some s ->
+      check_bool "binding applied" true
+        (Term.equal (Subst.apply s xt) (Term.app "f" [ Term.int 1 ]))
+  | None -> Alcotest.fail "should unify"
+
+let test_unify_compound () =
+  let xt = x () and yt = Term.var "Y" in
+  let t1 = Term.app "f" [ xt; Term.atom "b" ] in
+  let t2 = Term.app "f" [ Term.atom "a"; yt ] in
+  match Unify.unify Subst.empty t1 t2 with
+  | Some s ->
+      check_bool "X = a" true (Term.equal (Subst.apply s xt) (Term.atom "a"));
+      check_bool "Y = b" true (Term.equal (Subst.apply s yt) (Term.atom "b"))
+  | None -> Alcotest.fail "should unify"
+
+let test_unify_var_aliasing () =
+  let xt = x () and yt = Term.var "Y" in
+  match Unify.unify Subst.empty xt yt with
+  | Some s -> (
+      match Unify.unify s xt (Term.int 5) with
+      | Some s' ->
+          check_bool "alias propagates" true
+            (Term.equal (Subst.apply s' yt) (Term.int 5))
+      | None -> Alcotest.fail "second unification failed")
+  | None -> Alcotest.fail "var-var unification failed"
+
+let test_unify_clash () =
+  check_bool "functor clash" false
+    (unifies (Term.app "f" [ Term.int 1 ]) (Term.app "g" [ Term.int 1 ]));
+  check_bool "arity clash" false
+    (unifies (Term.app "f" [ Term.int 1 ]) (Term.app "f" [ Term.int 1; Term.int 2 ]))
+
+let test_occurs_check () =
+  let xt = x () in
+  let cyclic = Term.app "f" [ xt ] in
+  check_bool "without occurs check succeeds" true (unifies xt cyclic);
+  check_bool "with occurs check fails" false (unifies ~occurs_check:true xt cyclic)
+
+let test_occurs_through_bindings () =
+  let va = Term.var_with_id "A" (Term.fresh_id ())
+  and vb = Term.var_with_id "B" (Term.fresh_id ()) in
+  let s = Subst.bind vb (Term.app "g" [ Term.Var va ]) Subst.empty in
+  check_bool "occurs through chain" true (Unify.occurs s va (Term.Var vb))
+
+let test_matches_one_way () =
+  let xt = x () in
+  let pattern = Term.app "f" [ xt; Term.atom "b" ] in
+  check_bool "pattern matches subject" true
+    (Unify.matches Subst.empty ~pattern (Term.app "f" [ Term.int 1; Term.atom "b" ])
+    <> None);
+  check_bool "subject vars do not bind" true
+    (Unify.matches Subst.empty ~pattern:(Term.atom "a") (x ()) = None)
+
+let test_restrict () =
+  let xt = x () and yt = Term.var "Y" in
+  match Unify.unify Subst.empty (Term.app "f" [ xt; yt ])
+          (Term.app "f" [ Term.int 1; Term.int 2 ])
+  with
+  | Some s ->
+      let vs =
+        List.map (function Term.Var v -> v | _ -> assert false) [ xt; yt ]
+      in
+      let bindings = Subst.restrict vs s in
+      Alcotest.(check int) "two bindings" 2 (List.length bindings);
+      check_bool "X first" true
+        (match bindings with ("X", Term.Int 1) :: _ -> true | _ -> false)
+  | None -> Alcotest.fail "should unify"
+
+(* properties *)
+let arb_term = Suite_term.arb_term
+
+let prop_unify_reflexive =
+  QCheck.Test.make ~name:"ground term unifies with itself" ~count:200 arb_term
+    (fun t -> match Unify.unify Subst.empty t t with Some _ -> true | None -> false)
+
+let prop_unify_symmetric =
+  QCheck.Test.make ~name:"unifiability is symmetric" ~count:200
+    (QCheck.pair arb_term arb_term)
+    (fun (a, b) ->
+      (Unify.unify Subst.empty a b <> None) = (Unify.unify Subst.empty b a <> None))
+
+let prop_mgu_unifies =
+  QCheck.Test.make ~name:"mgu makes both sides equal" ~count:200
+    (QCheck.pair arb_term arb_term)
+    (fun (a, b) ->
+      match Unify.unify Subst.empty a b with
+      | None -> QCheck.assume_fail ()
+      | Some s -> Term.equal (Subst.apply s a) (Subst.apply s b))
+
+let prop_apply_idempotent =
+  QCheck.Test.make ~name:"apply is idempotent after unify" ~count:200
+    (QCheck.pair arb_term arb_term)
+    (fun (a, b) ->
+      let xt = Term.var "X" in
+      let pat = Term.app "p" [ xt; a ] in
+      let sub = Term.app "p" [ b; a ] in
+      match Unify.unify Subst.empty pat sub with
+      | None -> QCheck.assume_fail ()
+      | Some s ->
+          let once = Subst.apply s pat in
+          Term.equal once (Subst.apply s once))
+
+let tests =
+  [
+    Alcotest.test_case "subst bind/lookup" `Quick test_subst_bind_lookup;
+    Alcotest.test_case "walk resolves chains" `Quick test_walk_chains;
+    Alcotest.test_case "walk shallow, apply deep" `Quick test_walk_shallow;
+    Alcotest.test_case "unify atoms" `Quick test_unify_atoms;
+    Alcotest.test_case "unify binds variables" `Quick test_unify_var_binds;
+    Alcotest.test_case "unify compounds" `Quick test_unify_compound;
+    Alcotest.test_case "variable aliasing" `Quick test_unify_var_aliasing;
+    Alcotest.test_case "functor/arity clash" `Quick test_unify_clash;
+    Alcotest.test_case "occurs check" `Quick test_occurs_check;
+    Alcotest.test_case "occurs through bindings" `Quick test_occurs_through_bindings;
+    Alcotest.test_case "one-way matching" `Quick test_matches_one_way;
+    Alcotest.test_case "restrict projects bindings" `Quick test_restrict;
+    QCheck_alcotest.to_alcotest prop_unify_reflexive;
+    QCheck_alcotest.to_alcotest prop_unify_symmetric;
+    QCheck_alcotest.to_alcotest prop_mgu_unifies;
+    QCheck_alcotest.to_alcotest prop_apply_idempotent;
+  ]

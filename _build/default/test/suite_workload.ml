@@ -1,0 +1,274 @@
+open Gdp_core
+module W = Gdp_workload
+
+let a = Gdp_logic.Term.atom
+let v = Gdp_logic.Term.var
+
+let test_rng_determinism () =
+  let r1 = W.Rng.create 42L and r2 = W.Rng.create 42L in
+  let seq r = List.init 10 (fun _ -> W.Rng.int64 r) in
+  Alcotest.(check bool) "same seed same stream" true (seq r1 = seq r2);
+  let r3 = W.Rng.create 43L in
+  Alcotest.(check bool) "different seed different stream" false
+    (seq (W.Rng.create 42L) = seq r3)
+
+let test_rng_ranges () =
+  let r = W.Rng.create 7L in
+  for _ = 1 to 200 do
+    let n = W.Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (n >= 0 && n < 10);
+    let f = W.Rng.float r 2.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.0);
+    let g = W.Rng.range r (-5.0) 5.0 in
+    Alcotest.(check bool) "range" true (g >= -5.0 && g < 5.0)
+  done;
+  Alcotest.(check bool) "bad bound" true
+    (try
+       ignore (W.Rng.int r 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rng_split_and_utils () =
+  let r = W.Rng.create 1L in
+  let child = W.Rng.split r in
+  Alcotest.(check bool) "split streams diverge" false
+    (W.Rng.int64 r = W.Rng.int64 child);
+  Alcotest.(check bool) "pick member" true
+    (List.mem (W.Rng.pick r [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  let l = [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "shuffle is a permutation"
+    l
+    (List.sort compare (W.Rng.shuffle r l));
+  (* rough sanity for gaussian: mean near 0 *)
+  let n = 2000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. W.Rng.gaussian r
+  done;
+  Alcotest.(check bool) "gaussian mean" true (Float.abs (!sum /. float_of_int n) < 0.15)
+
+let test_terrain_generation () =
+  let rng = W.Rng.create 11L in
+  let t = W.Terrain.generate rng ~size_exp:4 () in
+  Alcotest.(check int) "size 2^4+1" 17 t.W.Terrain.size;
+  Alcotest.(check (float 1e-9)) "normalised min" 0.0 (W.Terrain.min_height t);
+  Alcotest.(check (float 1e-9)) "normalised max" 1.0 (W.Terrain.max_height t);
+  (* determinism *)
+  let t2 = W.Terrain.generate (W.Rng.create 11L) ~size_exp:4 () in
+  Alcotest.(check bool) "deterministic" true
+    (W.Terrain.height t 3 5 = W.Terrain.height t2 3 5);
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (W.Terrain.height t 17 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_terrain_downsample () =
+  let rng = W.Rng.create 5L in
+  let t = W.Terrain.generate rng ~size_exp:3 ~cell:1.0 () in
+  let d = W.Terrain.downsample t ~factor:2 in
+  Alcotest.(check int) "half the cells" 5 d.W.Terrain.size;
+  Alcotest.(check (float 1e-9)) "cell doubles" 2.0 d.W.Terrain.cell;
+  (* pooled value is the average of the pooled fine vertices *)
+  let expected =
+    (W.Terrain.height t 0 0 +. W.Terrain.height t 1 0 +. W.Terrain.height t 0 1
+   +. W.Terrain.height t 1 1)
+    /. 4.0
+  in
+  Alcotest.(check (float 1e-9)) "average pooling" expected (W.Terrain.height d 0 0);
+  Alcotest.(check bool) "bad factor" true
+    (try
+       ignore (W.Terrain.downsample t ~factor:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_terrain_to_spec () =
+  let rng = W.Rng.create 3L in
+  let t = W.Terrain.generate rng ~size_exp:2 ~cell:1.0 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"fine" 1.0);
+  Spec.declare_object spec "land";
+  let n =
+    W.Terrain.add_elevation_facts t spec ~resolution:"fine" ~object_name:"land" ()
+  in
+  Alcotest.(check int) "4x4 facts" 16 n;
+  let q = Query.create spec in
+  Alcotest.(check int) "all queryable" 16
+    (List.length
+       (Query.solutions q
+          (Gfact.make "elevation" ~values:[ v "Z" ] ~objects:[ a "land" ]
+             ~space:(Gfact.S_uniform (a "fine", v "P")))));
+  let m =
+    W.Terrain.add_mask_facts t spec ~resolution:"fine" ~pred:"lake"
+      ~object_name:"land" ~keep:(fun h -> h < 0.5) ()
+  in
+  Alcotest.(check bool) "mask nonempty and partial" true (m > 0 && m < 16)
+
+let test_roads_generation () =
+  let rng = W.Rng.create 9L in
+  let net = W.Roads.generate rng ~n_roads:5 ~bridges_per_road:3 () in
+  Alcotest.(check int) "roads" 5 (List.length net.W.Roads.roads);
+  Alcotest.(check int) "bridges" 15 (List.length net.W.Roads.bridges);
+  List.iter
+    (fun (b : W.Roads.bridge) ->
+      Alcotest.(check bool) "bridge on its road's extent" true
+        (b.W.Roads.at.Gdp_space.Point.x >= 0.0 && b.W.Roads.at.Gdp_space.Point.x <= 100.0))
+    net.W.Roads.bridges;
+  (* determinism *)
+  let net2 = W.Roads.generate (W.Rng.create 9L) ~n_roads:5 ~bridges_per_road:3 () in
+  Alcotest.(check bool) "deterministic" true
+    ((List.hd net.W.Roads.bridges).W.Roads.is_open
+    = (List.hd net2.W.Roads.bridges).W.Roads.is_open)
+
+let test_roads_spec_integration () =
+  let rng = W.Rng.create 13L in
+  let net = W.Roads.generate rng ~n_roads:4 ~bridges_per_road:2 ~open_probability:0.5 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  W.Roads.add_to_spec net spec ();
+  W.Roads.add_status_rules spec ();
+  let q = Query.create spec in
+  Alcotest.(check int) "roads queryable" 4
+    (List.length (Query.solutions q (Gfact.make "road" ~objects:[ v "R" ])));
+  (* every bridge has known status: open or derived closed *)
+  let known b = Query.holds q (Gfact.make "known_status" ~objects:[ a b ]) in
+  Alcotest.(check bool) "every bridge known" true
+    (List.for_all (fun (b : W.Roads.bridge) -> known b.W.Roads.bridge_id) net.W.Roads.bridges);
+  Alcotest.(check bool) "consistent" true (Query.consistent q);
+  (* open_road agrees with the generator's ground truth *)
+  List.iter
+    (fun (r : W.Roads.road) ->
+      let expected =
+        net.W.Roads.bridges
+        |> List.filter (fun (b : W.Roads.bridge) -> b.W.Roads.on_road = r.W.Roads.road_id)
+        |> List.for_all (fun (b : W.Roads.bridge) -> b.W.Roads.is_open)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "open_road(%s)" r.W.Roads.road_id)
+        expected
+        (Query.holds q (Gfact.make "open_road" ~objects:[ a r.W.Roads.road_id ])))
+    net.W.Roads.roads
+
+let test_hydro_interpolation () =
+  let rng = W.Rng.create 21L in
+  let survey = W.Hydro.generate rng ~n_samples:30 () in
+  Alcotest.(check int) "samples" 30 (List.length survey.W.Hydro.samples);
+  (* at a sample point the accuracy is 1 and the depth is the sample's *)
+  let p, d = List.hd survey.W.Hydro.samples in
+  (match W.Hydro.interpolate survey p with
+  | Some (depth, acc) ->
+      Alcotest.(check (float 1e-6)) "depth at sample" d depth;
+      Alcotest.(check (float 1e-6)) "full trust at sample" 1.0 acc
+  | None -> Alcotest.fail "interpolation failed");
+  (* far away the accuracy decays *)
+  let far = Gdp_space.Point.make 1000.0 1000.0 in
+  (match W.Hydro.interpolate survey far with
+  | Some (_, acc) -> Alcotest.(check bool) "low trust far away" true (acc < 0.1)
+  | None -> Alcotest.fail "interpolation failed");
+  (* too few samples *)
+  let tiny = W.Hydro.generate (W.Rng.create 1L) ~n_samples:1 () in
+  Alcotest.(check bool) "needs two samples" true
+    (W.Hydro.interpolate tiny (Gdp_space.Point.make 1.0 1.0) = None)
+
+let test_hydro_spec_integration () =
+  let rng = W.Rng.create 22L in
+  let survey = W.Hydro.generate rng ~n_samples:20 ~extent:100.0 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  Spec.declare_space spec (Gdp_space.Resolution.uniform ~name:"grid" 20.0);
+  Spec.declare_region spec "area"
+    (Gdp_space.Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:100.0 ~max_y:100.0);
+  W.Hydro.add_to_spec survey spec ();
+  W.Hydro.add_interpolation_rule survey spec ~region:"area" ~resolution:"grid" ();
+  let q = Query.create spec ~meta_view:[ "fuzzy_unified_max" ] in
+  (* depth with accuracy derivable at every representative point *)
+  let accs =
+    Query.accuracies q
+      (Gfact.make "depth" ~values:[ v "D" ] ~objects:[ a "ocean" ]
+         ~space:(Gfact.S_at (v "P")))
+  in
+  Alcotest.(check int) "5x5 grid points" 25 (List.length accs);
+  List.iter
+    (fun (_, acc) ->
+      Alcotest.(check bool) "accuracy in range" true (acc > 0.0 && acc <= 1.0))
+    accs
+
+let test_census () =
+  let rng = W.Rng.create 31L in
+  let c = W.Census.generate rng ~n_states:4 ~cities_per_state:3 () in
+  Alcotest.(check int) "states" 4 (List.length c.W.Census.states);
+  Alcotest.(check int) "cities" 12 (List.length c.W.Census.cities);
+  (* exactly one capital per state without the seeded bug *)
+  List.iter
+    (fun s ->
+      let capitals =
+        List.filter
+          (fun (city : W.Census.city) ->
+            city.W.Census.in_state = s && city.W.Census.is_capital)
+          c.W.Census.cities
+      in
+      Alcotest.(check int) ("one capital in " ^ s) 1 (List.length capitals))
+    c.W.Census.states;
+  (* seeded inconsistency *)
+  let buggy =
+    W.Census.generate (W.Rng.create 31L) ~n_states:6 ~cities_per_state:3
+      ~capital_bug_probability:1.0 ()
+  in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  W.Census.add_to_spec buggy spec ();
+  W.Census.add_constraints spec ();
+  let q = Query.create spec in
+  Alcotest.(check bool) "two-capitals violation found" false (Query.consistent q);
+  List.iter
+    (fun viol -> Alcotest.(check string) "tag" "two_capitals" viol.Query.v_tag)
+    (Query.violations q)
+
+let test_census_large_city () =
+  let rng = W.Rng.create 33L in
+  let c = W.Census.generate rng ~n_states:3 ~cities_per_state:4 () in
+  let spec = Spec.create () in
+  Meta.install_standard spec;
+  W.Census.add_to_spec c spec ();
+  W.Census.add_large_city_rule spec ~threshold:1_000_000 ();
+  let q = Query.create spec in
+  let expected =
+    List.filter (fun (city : W.Census.city) -> city.W.Census.population > 1_000_000)
+      c.W.Census.cities
+    |> List.length
+  in
+  Alcotest.(check int) "large cities match ground truth" expected
+    (List.length (Query.solutions q (Gfact.make "large_city" ~objects:[ v "C" ])))
+
+let test_clouds () =
+  let rng = W.Rng.create 41L in
+  let c = W.Clouds.generate rng ~size:16 ~cover:0.4 () in
+  let f = W.Clouds.cloud_fraction c in
+  Alcotest.(check bool) "reached target cover" true (f >= 0.4);
+  Alcotest.(check bool) "not total" true (f < 1.0);
+  Alcotest.(check bool) "zero cover stays clear" true
+    (W.Clouds.cloud_fraction (W.Clouds.generate (W.Rng.create 1L) ~size:8 ~cover:0.0 ())
+    = 0.0);
+  Alcotest.(check bool) "bad size" true
+    (try
+       ignore (W.Clouds.generate rng ~size:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng split/pick/shuffle/gaussian" `Quick test_rng_split_and_utils;
+    Alcotest.test_case "terrain generation" `Quick test_terrain_generation;
+    Alcotest.test_case "terrain downsampling" `Quick test_terrain_downsample;
+    Alcotest.test_case "terrain to spec" `Quick test_terrain_to_spec;
+    Alcotest.test_case "roads generation" `Quick test_roads_generation;
+    Alcotest.test_case "roads spec integration" `Quick test_roads_spec_integration;
+    Alcotest.test_case "hydro interpolation" `Quick test_hydro_interpolation;
+    Alcotest.test_case "hydro spec integration" `Quick test_hydro_spec_integration;
+    Alcotest.test_case "census constraints" `Quick test_census;
+    Alcotest.test_case "census large cities" `Quick test_census_large_city;
+    Alcotest.test_case "clouds" `Quick test_clouds;
+  ]
