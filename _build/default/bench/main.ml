@@ -28,12 +28,13 @@ let v = T.var
 let section title = Printf.printf "\n==== %s ====\n" title
 let row fmt = Printf.printf fmt
 
-(* wall-clock of a thunk, in milliseconds (coarse; the micro benches use
-   bechamel below) *)
+(* wall-clock of a thunk, in milliseconds, off the monotonic clock
+   (Sys.time would report CPU time; the micro benches use bechamel below) *)
 let time_ms f =
-  let t0 = Sys.time () in
+  let t0 = Monotonic_clock.now () in
   let result = f () in
-  ((Sys.time () -. t0) *. 1000.0, result)
+  let t1 = Monotonic_clock.now () in
+  (Int64.to_float (Int64.sub t1 t0) /. 1e6, result)
 
 (* ---------------------------------------------------------------- E1 *)
 
@@ -749,6 +750,122 @@ let micro () =
         rows)
     results
 
+(* --------------------------------------- engine-bu: fixpoint strategies *)
+
+(* naive vs semi-naive bottom-up vs top-down SLDNF on recursive /
+   negation / guarded workloads at growing scale — the quantification of
+   the "Prolog's computational inefficiency" the paper only mentions.
+   The top-down column proves a sample of the derived atoms (up to 100)
+   with the ancestor loop check on; "agree" additionally checks both
+   fixpoint strategies derive identical fact counts. *)
+let engine_bu () =
+  let open Gdp_logic in
+  let topdown_options = { Solve.default_options with Solve.loop_check = true } in
+  let probe db facts =
+    let n = List.length facts in
+    let step = max 1 (n / 100) in
+    let sample = List.filteri (fun i _ -> i mod step = 0) facts in
+    let ms, ok =
+      time_ms (fun () ->
+          List.for_all
+            (fun f -> Solve.succeeds ~options:topdown_options db [ f ])
+            sample)
+    in
+    (ms, List.length sample, ok)
+  in
+  let run_series title dbs probe_goal =
+    section title;
+    row "  %8s %10s %8s %10s %8s %8s %14s  %s\n" "scale" "naive_ms" "n_fire"
+      "semi_ms" "s_fire" "speedup" "topdown_ms" "agree";
+    List.iter
+      (fun (scale, db) ->
+        let naive_ms, naive_fp =
+          time_ms (fun () -> Bottom_up.run ~strategy:Bottom_up.Naive db)
+        in
+        let semi_ms, semi_fp = time_ms (fun () -> Bottom_up.run db) in
+        let derived = Bottom_up.facts_matching semi_fp probe_goal in
+        let td_ms, n_probes, td_ok = probe db derived in
+        let agree = Bottom_up.count naive_fp = Bottom_up.count semi_fp && td_ok in
+        row "  %8d %10.1f %8d %10.1f %8d %7.1fx %10.1f/%-3d  %s\n" scale
+          naive_ms
+          (Bottom_up.rule_firings naive_fp)
+          semi_ms
+          (Bottom_up.rule_firings semi_fp)
+          (naive_ms /. Float.max 0.01 semi_ms)
+          td_ms n_probes
+          (if agree then "yes" else "DISAGREE"))
+      dbs
+  in
+  let roads_db n =
+    let db = Engine.create () in
+    let rng = W.Rng.create 7L in
+    let node i = a (Printf.sprintf "n%d" i) in
+    for i = 0 to n - 1 do
+      (* a backbone chain plus random shortcuts: long derivation paths *)
+      if i < n - 1 then Database.fact db (T.app "link" [ node i; node (i + 1) ]);
+      Database.fact db
+        (T.app "link" [ node (W.Rng.int rng n); node (W.Rng.int rng n) ])
+    done;
+    Engine.consult db
+      {|
+      reach(X, Y) :- link(X, Y).
+      reach(X, Y) :- link(X, Z), reach(Z, Y).
+      |};
+    db
+  in
+  run_series "engine-bu roads — reach = transitive closure of link"
+    (List.map (fun n -> (n, roads_db n)) [ 16; 32; 64 ])
+    (T.app "reach" [ v "X"; v "Y" ]);
+  let census_db n =
+    let db = Engine.create () in
+    for s = 0 to n - 1 do
+      Database.fact db (T.app "state" [ a (Printf.sprintf "s%d" s) ]);
+      for c = 0 to 3 do
+        Database.fact db
+          (T.app "in_state"
+             [ a (Printf.sprintf "c%d_%d" s c); a (Printf.sprintf "s%d" s) ])
+      done;
+      if s mod 3 <> 0 then
+        Database.fact db (T.app "capital" [ a (Printf.sprintf "c%d_0" s) ])
+    done;
+    Engine.consult db
+      {|
+      state_with_capital(S) :- in_state(C, S), capital(C).
+      state_without_capital(S) :- state(S), \+ state_with_capital(S).
+      |};
+    db
+  in
+  run_series "engine-bu census — negation as failure over a lower stratum"
+    (List.map (fun n -> (n, census_db n)) [ 100; 200; 400 ])
+    (T.app "state_without_capital" [ v "S" ]);
+  let terrain_db n =
+    let db = Engine.create () in
+    let rng = W.Rng.create 11L in
+    let name i j = a (Printf.sprintf "t%d_%d" i j) in
+    let elev = Array.init n (fun _ -> Array.init n (fun _ -> W.Rng.int rng 1000)) in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        Database.fact db (T.app "elev" [ name i j; T.int elev.(i).(j) ]);
+        List.iter
+          (fun (di, dj) ->
+            let i' = i + di and j' = j + dj in
+            if i' >= 0 && i' < n && j' >= 0 && j' < n then
+              Database.fact db (T.app "adj" [ name i j; name i' j' ]))
+          [ (0, 1); (1, 0); (0, -1); (-1, 0) ]
+      done
+    done;
+    Engine.consult db
+      {|
+      downhill(A, B) :- adj(A, B), elev(A, Ea), elev(B, Eb), Eb < Ea.
+      flows(A, B) :- downhill(A, B).
+      flows(A, B) :- downhill(A, C), flows(C, B).
+      |};
+    db
+  in
+  run_series "engine-bu terrain — downhill flow closure with < guards"
+    (List.map (fun n -> (n, terrain_db n)) [ 4; 6; 8 ])
+    (T.app "flows" [ v "A"; v "B" ])
+
 (* ---------------------------------------------------------------- main *)
 
 let reports =
@@ -763,10 +880,14 @@ let () =
   | [] ->
       List.iter (fun (_, f) -> f ()) reports;
       ablation ();
-      micro ()
+      micro ();
+      engine_bu ()
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) reports
-  | [ "micro" ] -> micro ()
+  | [ "micro" ] ->
+      micro ();
+      engine_bu ()
   | [ "ablation" ] -> ablation ()
+  | [ "engine-bu" ] -> engine_bu ()
   | names ->
       List.iter
         (fun name ->
@@ -774,8 +895,11 @@ let () =
           | Some f -> f ()
           | None when name = "micro" -> micro ()
           | None when name = "ablation" -> ablation ()
+          | None when name = "engine-bu" -> engine_bu ()
           | None ->
               Printf.eprintf
-                "unknown experiment %s (e1..e12, report, ablation, micro)\n" name;
+                "unknown experiment %s (e1..e12, report, ablation, micro, \
+                 engine-bu)\n"
+                name;
               exit 2)
         names

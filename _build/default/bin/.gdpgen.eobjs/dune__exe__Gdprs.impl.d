@@ -1,0 +1,1 @@
+bin/gdprs.ml: Arg Cmd Cmdliner Format Gdp_core Gdp_lang Gdp_logic Gdp_render Gdp_space Gfact Lint List Printf Query Spec String Term

@@ -1,0 +1,1 @@
+bin/gdpgen.ml: Arg Cmd Cmdliner Fun Gdp_core Gdp_lang Gdp_space Gdp_workload Int64 Meta Printf Spec String Term

@@ -30,6 +30,17 @@ let models_arg =
 let metas_arg =
   Arg.(value & opt_all string [] & info [ "meta" ] ~docv:"META" ~doc:"Meta-view meta-model (repeatable).")
 
+let materialize_arg =
+  Arg.(value & flag
+       & info [ "materialize" ]
+           ~doc:"Answer from the bottom-up fixpoint (semi-naive stratified \
+                 Datalog) instead of top-down resolution. Fails when the \
+                 specification uses constructs outside the Datalog fragment \
+                 (forall, disjunction, computed predicates).")
+
+let with_materialize q materialize =
+  if materialize then Query.with_mode q Query.Materialized else q
+
 let handle_errors f =
   try f () with
   | Gdp_lang.Elaborate.Error msg | Gdp_lang.Parser.Error msg ->
@@ -38,6 +49,9 @@ let handle_errors f =
   | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 2
+  | Gdp_logic.Bottom_up.Unsupported msg ->
+      Printf.eprintf "error: not materializable: %s\n" msg;
+      exit 2
   | Gdp_logic.Solve.Depth_exhausted ->
       Printf.eprintf "error: inference depth exhausted (try simpler queries or fewer meta-models)\n";
       exit 3
@@ -45,12 +59,19 @@ let handle_errors f =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run file view models metas =
+  let run file view models metas materialize =
     handle_errors (fun () ->
         let result = load file in
-        let q = build_query result view models metas in
+        let q = with_materialize (build_query result view models metas) materialize in
         Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
         Printf.printf "meta view:  {%s}\n" (String.concat ", " (Query.meta_view q));
+        if materialize then begin
+          let fp = Query.materialization q in
+          Printf.printf "materialised: %d facts, %d strata, %d passes\n"
+            (Gdp_logic.Bottom_up.count fp)
+            (Gdp_logic.Bottom_up.strata_count fp)
+            (Gdp_logic.Bottom_up.iterations fp)
+        end;
         match Query.violations q with
         | [] ->
             print_endline "consistent: no constraint violations";
@@ -62,7 +83,7 @@ let check_cmd =
   in
   let doc = "Check a specification's consistency under a world view (§III-E)." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg)
 
 (* ---- query ---- *)
 
@@ -74,10 +95,10 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Maximum answers.")
   in
-  let run file view models metas pattern limit =
+  let run file view models metas pattern limit materialize =
     handle_errors (fun () ->
         let result = load file in
-        let q = build_query result view models metas in
+        let q = with_materialize (build_query result view models metas) materialize in
         let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
         match Query.solutions ~limit q pat with
         | [] ->
@@ -89,7 +110,8 @@ let query_cmd =
   in
   let doc = "Enumerate the provable instantiations of a fact pattern." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg $ limit_arg)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
+          $ limit_arg $ materialize_arg)
 
 (* ---- ask ---- *)
 

@@ -1,1 +1,1 @@
-lib/core/compile.ml: Database Engine Formula Gdp_builtins Gdp_logic Gdp_space Gdp_temporal Gfact List Meta Names Printf Spec String Term
+lib/core/compile.ml: Bottom_up Database Engine Formula Gdp_builtins Gdp_logic Gdp_space Gdp_temporal Gfact List Meta Names Printf Spec String Term

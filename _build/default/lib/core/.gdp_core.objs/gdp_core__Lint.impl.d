@@ -1,1 +1,1 @@
-lib/core/lint.ml: Format Formula Gdp_domain Gdp_logic Gdp_space Gfact List Names Printf Set Spec String Term
+lib/core/lint.ml: Bottom_up Compile Format Formula Gdp_domain Gdp_logic Gdp_space Gfact List Names Printf Query Set Spec String Term

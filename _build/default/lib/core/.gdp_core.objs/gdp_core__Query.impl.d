@@ -1,1 +1,1 @@
-lib/core/query.ml: Compile Explain Format Gdp_logic Gfact Hashtbl List Names Option Reader Solve String Subst Term
+lib/core/query.ml: Bottom_up Compile Explain Format Gdp_logic Gfact Hashtbl List Names Option Reader Solve Spec String Subst Term Unify

@@ -153,3 +153,15 @@ let compile ?world_view ?(meta_view = []) spec =
     List.exists (fun (m : Spec.meta_model) -> m.Spec.needs_loop_check) metas
   in
   { spec; db; world_view; meta_view; needs_loop_check }
+
+(* holds/6 and acc/7 carry the user predicate as the constant at argument
+   1; splitting their relations there lets the bottom-up evaluator
+   stratify compiled specifications predicate by predicate instead of
+   collapsing the whole base into one recursive holds/6 relation *)
+let datalog_refine : Bottom_up.refine =
+ fun (name, arity) ->
+  if (String.equal name Names.holds && arity = 6)
+     || (String.equal name Names.acc && arity = 7)
+     || (String.equal name Names.acc_max && arity = 7)
+  then Some 1
+  else None

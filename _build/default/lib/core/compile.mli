@@ -36,3 +36,10 @@ val propagation_clause : model:string -> Spec.rule -> Database.clause option
 (** The §VII-F mechanical companion clause
     [acc(...) :- body, ac_eval(reified_body, A)] — [None] for rules that
     are themselves accuracy definitions. *)
+
+val datalog_refine : Gdp_logic.Bottom_up.refine
+(** Relation refinement for compiled databases: splits [holds/6], [acc/7]
+    and [acc_max/7] by the user-predicate constant at argument 1, so
+    {!Gdp_logic.Bottom_up} stratifies a compiled specification predicate
+    by predicate. Pass to [Bottom_up.classify] / [Bottom_up.run] whenever
+    the database came from {!compile}. *)

@@ -244,6 +244,27 @@ let lint (spec : Spec.t) =
         m.Spec.acc_statements)
     spec.Spec.models;
 
+  (* dynamic constraint sweep: when the default world view compiles into
+     the bottom-up Datalog fragment, materialise it and report every
+     derived ERROR fact — a whole-base check no static inspection can do.
+     Specifications outside the fragment (forall, disjunction, computed
+     predicates) are skipped silently; the sweep is best-effort and never
+     crashes the linter. *)
+  (if List.exists (fun (m : Spec.model_def) -> m.Spec.constraints <> []) spec.Spec.models
+   then
+     try
+       let q = Query.of_compiled ~mode:Query.Materialized (Compile.compile spec) in
+       match Query.materializable q with
+       | Error _ -> ()
+       | Ok () ->
+           List.iter
+             (fun v ->
+               add Warning "constraint-violation" v.Query.v_model
+                 "the materialised world view derives %s"
+                 (Format.asprintf "%a" Query.pp_violation v))
+             (Query.violations q)
+     with Invalid_argument _ | Failure _ | Bottom_up.Unsupported _ -> ());
+
   List.stable_sort
     (fun a b ->
       match compare (severity_rank a.severity) (severity_rank b.severity) with

@@ -41,7 +41,14 @@ val lint : Spec.t -> finding list
     - [accuracy-without-fact] (Info): an accuracy statement qualifies a
       fact never asserted plainly — §VII-C notes the usual pattern is
       that "each fact for which an accuracy is specified also exists
-      without any accuracy". *)
+      without any accuracy";
+    - [constraint-violation] (Warning): the specification declares
+      constraints and its default world view lies in the bottom-up
+      Datalog fragment, and materialising it derives an [ERROR] fact —
+      the inconsistency itself, found by exhaustive sweep rather than
+      static inspection. Specifications outside the fragment skip this
+      check silently (run [gdprs check --materialize] for the hard
+      error). *)
 
 val has_errors : finding list -> bool
 val pp_finding : Format.formatter -> finding -> unit

@@ -1,8 +1,24 @@
 open Gdp_logic
 
-type t = { compiled : Compile.t; options : Solve.options }
+type engine_mode = Top_down | Materialized
 
-let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) (compiled : Compile.t) =
+type t = {
+  compiled : Compile.t;
+  options : Solve.options;
+  mode : engine_mode;
+  mutable fp : Bottom_up.fixpoint option;
+      (** lazily computed, shared by the [with_mode] copies of this query *)
+}
+
+let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode
+    (compiled : Compile.t) =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None ->
+        if compiled.Compile.spec.Spec.prefer_materialized then Materialized
+        else Top_down
+  in
   {
     compiled;
     options =
@@ -12,19 +28,48 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) (compiled : Compile.
         on_depth;
         loop_check = compiled.Compile.needs_loop_check;
       };
+    mode;
+    fp = None;
   }
 
-let create ?world_view ?meta_view ?max_depth ?on_depth spec =
-  of_compiled ?max_depth ?on_depth (Compile.compile ?world_view ?meta_view spec)
+let create ?world_view ?meta_view ?max_depth ?on_depth ?mode spec =
+  of_compiled ?max_depth ?on_depth ?mode
+    (Compile.compile ?world_view ?meta_view spec)
 
 let spec q = q.compiled.Compile.spec
 let db q = q.compiled.Compile.db
 let world_view q = q.compiled.Compile.world_view
 let meta_view q = q.compiled.Compile.meta_view
+let mode q = q.mode
+let with_mode q mode = { q with mode }
+
+let materializable q =
+  Bottom_up.classify ~refine:Compile.datalog_refine (db q)
+
+let materialization q =
+  match q.fp with
+  | Some fp -> fp
+  | None ->
+      let fp = Bottom_up.run ~refine:Compile.datalog_refine (db q) in
+      q.fp <- Some fp;
+      fp
+
+let take limit l =
+  match limit with
+  | None -> l
+  | Some n -> List.filteri (fun i _ -> i < n) l
 
 let holds q pattern =
   let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
-  Solve.succeeds ~options:q.options (db q) [ goal ]
+  match q.mode with
+  | Top_down -> Solve.succeeds ~options:q.options (db q) [ goal ]
+  | Materialized ->
+      let fp = materialization q in
+      if Term.is_ground goal then Bottom_up.holds fp goal
+      else
+        List.exists
+          (fun fact -> Unify.unify Subst.empty goal fact <> None)
+          (Bottom_up.facts_matching fp goal)
 
 (* distinct answers in first-derivation order *)
 let dedupe_by key l =
@@ -41,9 +86,20 @@ let dedupe_by key l =
 
 let solutions ?limit q pattern =
   let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
-  Solve.all ~options:q.options ?limit (db q) [ goal ]
-  |> List.filter_map (fun s -> Gfact.of_holds (Subst.apply s goal))
-  |> dedupe_by (fun f -> Term.to_string (Gfact.to_holds ~default_model:Names.default_model f))
+  match q.mode with
+  | Top_down ->
+      Solve.all ~options:q.options ?limit (db q) [ goal ]
+      |> List.filter_map (fun s -> Gfact.of_holds (Subst.apply s goal))
+      |> dedupe_by (fun f ->
+             Term.to_string (Gfact.to_holds ~default_model:Names.default_model f))
+  | Materialized ->
+      let fp = materialization q in
+      Bottom_up.facts_matching fp goal
+      |> List.filter_map (fun fact ->
+             match Unify.unify Subst.empty goal fact with
+             | Some _ -> Gfact.of_holds fact
+             | None -> None)
+      |> take limit
 
 let accuracy q pattern =
   let a = Term.var "A" in
@@ -76,6 +132,12 @@ type violation = {
   v_objects : Term.t list;
 }
 
+let decode_violation_parts model values objects =
+  match (model, values, objects) with
+  | Term.Atom v_model, Some (Term.Atom v_tag :: v_args), Some v_objects ->
+      Some { v_model; v_tag; v_args; v_objects }
+  | _ -> None
+
 let violations ?limit q =
   let m = Term.var "M"
   and vs = Term.var "Vs"
@@ -86,18 +148,25 @@ let violations ?limit q =
     Term.app Names.holds
       [ m; Term.atom Names.error_pred; vs; os; s; tm ]
   in
-  Solve.all ~options:q.options ?limit (db q) [ goal ]
-  |> List.filter_map (fun subst ->
-         let model =
-           match Subst.apply subst m with Term.Atom name -> Some name | _ -> None
-         in
-         let values = Term.as_list (Subst.apply subst vs) in
-         let objects = Term.as_list (Subst.apply subst os) in
-         match (model, values, objects) with
-         | Some v_model, Some (Term.Atom v_tag :: v_args), Some v_objects ->
-             Some { v_model; v_tag; v_args; v_objects }
-         | _ -> None)
-  |> List.sort_uniq compare
+  match q.mode with
+  | Top_down ->
+      Solve.all ~options:q.options ?limit (db q) [ goal ]
+      |> List.filter_map (fun subst ->
+             decode_violation_parts (Subst.apply subst m)
+               (Term.as_list (Subst.apply subst vs))
+               (Term.as_list (Subst.apply subst os)))
+      |> List.sort_uniq compare
+  | Materialized ->
+      let fp = materialization q in
+      Bottom_up.facts_matching fp goal
+      |> List.filter_map (fun fact ->
+             match fact with
+             | Term.App (_, [ model; Term.Atom p; vs; os; _; _ ])
+               when String.equal p Names.error_pred ->
+                 decode_violation_parts model (Term.as_list vs) (Term.as_list os)
+             | _ -> None)
+      |> List.sort_uniq compare
+      |> take limit
 
 let consistent q = violations ~limit:1 q = []
 

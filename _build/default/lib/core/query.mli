@@ -10,20 +10,54 @@ open Gdp_logic
 
 type t
 
+type engine_mode =
+  | Top_down  (** SLDNF resolution per query ({!Gdp_logic.Solve}) *)
+  | Materialized
+      (** answer from the stratified bottom-up fixpoint
+          ({!Gdp_logic.Bottom_up}), computed once per query object and
+          cached — the right choice for whole-base questions
+          ({!violations}, broad {!solutions}) over specifications inside
+          the Datalog fragment *)
+
 val create :
   ?world_view:string list ->
   ?meta_view:string list ->
   ?max_depth:int ->
   ?on_depth:[ `Fail | `Raise ] ->
+  ?mode:engine_mode ->
   Spec.t ->
   t
 (** Compile and wrap. The engine's ancestor loop check is enabled
     automatically when an active meta-model requires it. Defaults:
     [max_depth = 100_000], [on_depth = `Raise] (a blown budget surfaces as
-    {!Gdp_logic.Solve.Depth_exhausted} rather than silent failure). *)
+    {!Gdp_logic.Solve.Depth_exhausted} rather than silent failure);
+    [mode] follows [spec.Spec.prefer_materialized] (normally
+    {!Top_down}). *)
 
 val of_compiled :
-  ?max_depth:int -> ?on_depth:[ `Fail | `Raise ] -> Compile.t -> t
+  ?max_depth:int ->
+  ?on_depth:[ `Fail | `Raise ] ->
+  ?mode:engine_mode ->
+  Compile.t ->
+  t
+
+val mode : t -> engine_mode
+
+val with_mode : t -> engine_mode -> t
+(** Same compiled database, different answering strategy. The cached
+    fixpoint (if already computed) is shared. *)
+
+val materializable : t -> (unit, string) result
+(** Whether the compiled database lies in the stratified Datalog fragment
+    the bottom-up engine evaluates; [Error reason] names the first
+    offending clause. Specifications using [forall], disjunction or
+    computed (builtin) predicates in rule bodies are not materializable. *)
+
+val materialization : t -> Gdp_logic.Bottom_up.fixpoint
+(** The materialised consequences of the database (computed on first use,
+    then cached). Raises {!Gdp_logic.Bottom_up.Unsupported} when the
+    database is outside the fragment — check {!materializable} first for
+    a [result]. *)
 
 val spec : t -> Spec.t
 val db : t -> Database.t
@@ -32,14 +66,18 @@ val meta_view : t -> string list
 
 val holds : t -> Gfact.t -> bool
 (** Is the (possibly non-ground) pattern provable? Unqualified patterns
-    refer to the default model [w]. *)
+    refer to the default model [w]. In {!Materialized} mode the answer
+    comes from the fixpoint: a ground pattern is a set-membership test,
+    an open one a scan of its predicate's relation. *)
 
 val solutions : ?limit:int -> t -> Gfact.t -> Gfact.t list
 (** All provable instantiations of the pattern, deduplicated, in
     first-derivation order. Answers that are not fully ground (e.g.
     through unbound qualifier slots) are returned as patterns with
     variables. [limit] bounds the underlying derivations, so with many
-    duplicate derivations fewer distinct answers may come back. *)
+    duplicate derivations fewer distinct answers may come back. In
+    {!Materialized} mode answers come from the fixpoint in the standard
+    order of terms and are always ground. *)
 
 val accuracy : t -> Gfact.t -> float option
 (** The unified accuracy [%[A]] of the pattern (§VII-D) under whichever
@@ -60,7 +98,11 @@ type violation = {
 val violations : ?limit:int -> t -> violation list
 (** All provable [ERROR] facts across the world view (§III-C): the
     world view "is called consistent" iff this is empty. Violations are
-    deduplicated. *)
+    deduplicated. In {!Materialized} mode this is a scan of the
+    fixpoint's [ERROR] relation — the natural whole-base sweep.
+
+    {!accuracy}, {!explain} and {!ask} always run top-down regardless of
+    mode: proofs and accuracy maximisation need the SLDNF machinery. *)
 
 val consistent : t -> bool
 

@@ -41,6 +41,7 @@ type t = {
   mutable models : model_def list;
   mutable meta_models : meta_model list;
   mutable extra_builtins : ((string * int) * Database.builtin) list;
+  mutable prefer_materialized : bool;
 }
 
 let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
@@ -58,6 +59,7 @@ let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
       models = [];
       meta_models = [];
       extra_builtins = [];
+      prefer_materialized = false;
     }
   in
   spec.models <-

@@ -69,6 +69,11 @@ type t = {
       (** application-specific computed predicates (e.g. the paper's depth
           interpolation function f, §VII-B), registered into every
           compiled database *)
+  mutable prefer_materialized : bool;
+      (** when true, {!Query.create} defaults to the bottom-up
+          materialised engine mode instead of top-down SLDNF — only
+          meaningful for specifications inside the stratified Datalog
+          fragment (see {!Query.materializable}) *)
 }
 
 val create : ?coord:Gdp_space.Coord.t -> ?now:float -> unit -> t

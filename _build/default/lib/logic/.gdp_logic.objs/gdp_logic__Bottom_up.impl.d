@@ -1,1 +1,1 @@
-lib/logic/bottom_up.ml: Database List Printf Set Subst Term Unify
+lib/logic/bottom_up.ml: Arith Array Database Hashtbl Int List Map Option Prelude Printf Set String Subst Term Unify

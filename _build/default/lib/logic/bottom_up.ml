@@ -4,91 +4,542 @@ module Term_set = Set.Make (struct
   let compare = Term.compare
 end)
 
-type fixpoint = { derived : Term_set.t; passes : int }
+module Iset = Set.Make (Int)
 
 exception Unsupported of string
 
-let control_functors =
-  [ ","; ";"; "->"; "not"; "\\+"; "call"; "="; "\\="; "=="; "\\==" ]
+type strategy = Naive | Semi_naive
+type refine = string * int -> int option
 
-let check_goal_supported db g =
-  match Term.functor_of g with
-  | None -> raise (Unsupported "non-atom goal")
-  | Some (name, arity) ->
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* A relation is a predicate, optionally split by the constant at one
+   argument position (see the [refine] documentation): the GDP compiler
+   reifies every user predicate into holds/6, and without the split the
+   whole base would be one recursive relation. *)
+module Rel = struct
+  type t = { name : string; arity : int; sub : string option }
+
+  let compare (a : t) (b : t) =
+    match String.compare a.name b.name with
+    | 0 -> (
+        match Int.compare a.arity b.arity with
+        | 0 -> Option.compare String.compare a.sub b.sub
+        | c -> c)
+    | c -> c
+
+  let to_string r =
+    match r.sub with
+    | None -> Printf.sprintf "%s/%d" r.name r.arity
+    | Some s -> Printf.sprintf "%s/%d[%s]" r.name r.arity s
+end
+
+module Rel_map = Map.Make (Rel)
+
+(* Body literals in textual order. Positive literals carry their join
+   position so the semi-naive driver can aim the delta at one of them. *)
+type lit =
+  | Pos of int * Rel.t * Term.t
+  | Neg of Rel.t * Term.t
+  | Cmp of string * Term.t * Term.t  (** arithmetic comparison guard *)
+  | Eq of bool * Term.t * Term.t  (** ground ==/2 (true) or \==/2 (false) *)
+  | Is of Term.t * Term.t
+  | Never  (** fail/false in the body: the rule can never fire *)
+
+type rule = {
+  head : Term.t;
+  head_rel : Rel.t;
+  body : lit list;
+  pos_rels : Rel.t array;  (** relation at each positive join position *)
+}
+
+let control_functors = [ ","; ";"; "->"; "call"; "="; "\\=" ]
+let cmp_ops = [ "<"; ">"; "=<"; ">="; "=:="; "=\\=" ]
+
+let rel_of ~refine ~what t =
+  match Term.functor_of t with
+  | None -> unsupported "%s: %s is not a predicate atom" what (Term.to_string t)
+  | Some (name, arity) -> (
+      match refine (name, arity) with
+      | None -> { Rel.name; arity; sub = None }
+      | Some pos -> (
+          let arg =
+            match t with Term.App (_, args) -> List.nth_opt args pos | _ -> None
+          in
+          match arg with
+          | Some (Term.Atom p) -> { Rel.name; arity; sub = Some p }
+          | _ ->
+              unsupported
+                "%s: %s/%d needs a constant at refining argument %d in %s" what
+                name arity pos (Term.to_string t)))
+
+let vset t =
+  List.fold_left
+    (fun s (v : Term.var) -> Iset.add v.Term.id s)
+    Iset.empty (Term.vars t)
+
+(* ------------------------------------------------------------------ *)
+(* classification: one pass deciding membership in the fragment, shared
+   by [supported], [run] and the stratification error messages          *)
+
+let parse_body_goal db ~ignore ~refine ~ctx ~next_pos g =
+  match g with
+  | Term.Var _ -> unsupported "%s: unbound variable used as a body goal" ctx
+  | Term.Int _ | Term.Float _ | Term.Str _ ->
+      unsupported "%s: non-callable body goal %s" ctx (Term.to_string g)
+  | Term.Atom "true" -> None
+  | Term.Atom ("fail" | "false") -> Some Never
+  | Term.Atom _ | Term.App _ -> (
+      let name, arity =
+        match Term.functor_of g with Some fa -> fa | None -> assert false
+      in
       if List.mem name control_functors then
-        raise (Unsupported (Printf.sprintf "control construct %s" name));
-      if Database.find_builtin db (name, arity) <> None then
-        raise (Unsupported (Printf.sprintf "builtin %s/%d" name arity))
+        unsupported "%s: control construct %s/%d in the body" ctx name arity
+      else if (String.equal name "not" || String.equal name "\\+") && arity = 1
+      then begin
+        let inner = match g with Term.App (_, [ x ]) -> x | _ -> assert false in
+        match Term.functor_of inner with
+        | None ->
+            unsupported "%s: negation of non-atomic goal %s" ctx
+              (Term.to_string inner)
+        | Some (iname, iarity) ->
+            if
+              List.mem iname control_functors
+              || String.equal iname "not" || String.equal iname "\\+"
+              || (iarity = 2 && (List.mem iname cmp_ops || String.equal iname "is"))
+              || List.mem iname [ "true"; "fail"; "false"; "=="; "\\==" ]
+            then
+              unsupported "%s: negation of non-atomic goal %s" ctx
+                (Term.to_string inner)
+            else if List.mem (iname, iarity) ignore then
+              unsupported "%s: library predicate %s/%d outside the Datalog \
+                           fragment" ctx iname iarity
+            else if Database.find_builtin db (iname, iarity) <> None then
+              unsupported "%s: builtin %s/%d under negation" ctx iname iarity
+            else Some (Neg (rel_of ~refine ~what:ctx inner, inner))
+      end
+      else if arity = 2 && List.mem name cmp_ops then
+        match g with
+        | Term.App (_, [ a; b ]) -> Some (Cmp (name, a, b))
+        | _ -> assert false
+      else if arity = 2 && String.equal name "is" then
+        match g with
+        | Term.App (_, [ l; r ]) -> Some (Is (l, r))
+        | _ -> assert false
+      else if arity = 2 && (String.equal name "==" || String.equal name "\\==")
+      then
+        match g with
+        | Term.App (_, [ a; b ]) -> Some (Eq (String.equal name "==", a, b))
+        | _ -> assert false
+      else if List.mem (name, arity) ignore then
+        unsupported "%s: library predicate %s/%d outside the Datalog fragment"
+          ctx name arity
+      else if Database.find_builtin db (name, arity) <> None then
+        unsupported "%s: builtin %s/%d" ctx name arity
+      else begin
+        let i = !next_pos in
+        incr next_pos;
+        Some (Pos (i, rel_of ~refine ~what:ctx g, g))
+      end)
 
-let check_clause_supported db (c : Database.clause) =
-  List.iter (check_goal_supported db) c.Database.body;
-  (match c.Database.body with
-  | [] ->
-      if not (Term.is_ground c.Database.head) then
-        raise (Unsupported "non-ground fact")
-  | _ -> ());
-  (* range restriction: every head variable occurs in the body *)
-  let body_vars =
-    List.concat_map Term.vars c.Database.body
-    |> List.map (fun (v : Term.var) -> v.Term.id)
+(* Left-to-right boundness: guards and negated literals must be ground by
+   the time evaluation reaches them, which the top-down engine also
+   requires for the clause to behave as written. *)
+let check_safety ~ctx head body =
+  let bound =
+    List.fold_left
+      (fun bound lit ->
+        match lit with
+        | Pos (_, _, atom) -> Iset.union bound (vset atom)
+        | Is (l, r) ->
+            if not (Iset.subset (vset r) bound) then
+              unsupported
+                "%s: arithmetic expression %s uses variables not bound by a \
+                 preceding positive literal" ctx (Term.to_string r);
+            Iset.union bound (vset l)
+        | Cmp (_, a, b) | Eq (_, a, b) ->
+            if not (Iset.subset (Iset.union (vset a) (vset b)) bound) then
+              unsupported
+                "%s: comparison guard uses variables not bound by a preceding \
+                 positive literal" ctx;
+            bound
+        | Neg (_, atom) ->
+            if not (Iset.subset (vset atom) bound) then
+              unsupported
+                "%s: negated literal %s must be ground when reached (bind its \
+                 variables with a preceding positive literal)" ctx
+                (Term.to_string atom);
+            bound
+        | Never -> bound)
+      Iset.empty body
   in
+  if not (Iset.subset (vset head) bound) then
+    unsupported "%s: head variable not bound by the body" ctx
+
+let parse_clause db ~ignore ~refine (c : Database.clause) =
+  match Term.functor_of c.Database.head with
+  | None ->
+      unsupported "clause head %s is not a predicate atom"
+        (Term.to_string c.Database.head)
+  | Some fa ->
+      if List.mem fa ignore then None (* library clause: invisible *)
+      else begin
+        let head_rel = rel_of ~refine ~what:"clause head" c.Database.head in
+        let ctx = Rel.to_string head_rel in
+        if c.Database.body = [] then begin
+          if not (Term.is_ground c.Database.head) then
+            unsupported "%s: non-ground fact %s" ctx
+              (Term.to_string c.Database.head);
+          Some (`Fact (head_rel, c.Database.head))
+        end
+        else begin
+          let next_pos = ref 0 in
+          let body =
+            List.filter_map
+              (parse_body_goal db ~ignore ~refine ~ctx ~next_pos)
+              c.Database.body
+          in
+          check_safety ~ctx c.Database.head body;
+          let pos_rels = Array.make !next_pos head_rel in
+          List.iter
+            (function Pos (i, rel, _) -> pos_rels.(i) <- rel | _ -> ())
+            body;
+          Some (`Rule { head = c.Database.head; head_rel; body; pos_rels })
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* stratification: Tarjan SCCs over the predicate dependency graph,
+   rejecting negation inside a component, then longest-path stratum
+   numbers over the condensation (negative edges bump by one)           *)
+
+let compute_strata rules fact_rels =
+  let nodes : (Rel.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let edges : (Rel.t, (Rel.t * bool) list) Hashtbl.t = Hashtbl.create 64 in
+  let add_node r = if not (Hashtbl.mem nodes r) then Hashtbl.add nodes r () in
+  let add_edge a b neg =
+    let l = Option.value ~default:[] (Hashtbl.find_opt edges a) in
+    Hashtbl.replace edges a ((b, neg) :: l)
+  in
+  List.iter add_node fact_rels;
   List.iter
-    (fun (v : Term.var) ->
-      if not (List.mem v.Term.id body_vars) && c.Database.body <> [] then
-        raise (Unsupported "head variable not bound by the body"))
-    (Term.vars c.Database.head)
+    (fun r ->
+      add_node r.head_rel;
+      List.iter
+        (function
+          | Pos (_, rel, _) ->
+              add_node rel;
+              add_edge r.head_rel rel false
+          | Neg (rel, _) ->
+              add_node rel;
+              add_edge r.head_rel rel true
+          | Cmp _ | Eq _ | Is _ | Never -> ())
+        r.body)
+    rules;
+  let out v = Option.value ~default:[] (Hashtbl.find_opt edges v) in
+  (* Tarjan *)
+  let index = Hashtbl.create 64
+  and lowlink = Hashtbl.create 64
+  and on_stack = Hashtbl.create 64
+  and comp = Hashtbl.create 64 in
+  let stack = ref [] and counter = ref 0 and n_comp = ref 0 in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (out v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let id = !n_comp in
+      incr n_comp;
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            Hashtbl.replace comp w id;
+            if Rel.compare w v <> 0 then pop ()
+      in
+      pop ()
+    end
+  in
+  Hashtbl.iter (fun v () -> if not (Hashtbl.mem index v) then strong v) nodes;
+  let comp_of = Hashtbl.find comp in
+  (* negation must leave its own component *)
+  List.iter
+    (fun r ->
+      List.iter
+        (function
+          | Neg (rel, _) when comp_of rel = comp_of r.head_rel ->
+              unsupported
+                "%s: negation of %s inside a recursive stratum (stratified \
+                 negation needs the negated predicate in a strictly lower \
+                 stratum)"
+                (Rel.to_string r.head_rel)
+                (Rel.to_string rel)
+          | _ -> ())
+        r.body)
+    rules;
+  (* stratum per component: DFS memo over the (acyclic) condensation *)
+  let comp_edges = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun v deps ->
+      let cv = comp_of v in
+      List.iter
+        (fun (w, neg) ->
+          let cw = comp_of w in
+          if cv <> cw || neg then
+            Hashtbl.replace comp_edges cv
+              ((cw, neg)
+              :: Option.value ~default:[] (Hashtbl.find_opt comp_edges cv)))
+        deps)
+    edges;
+  let memo = Hashtbl.create 64 in
+  let rec stratum c =
+    match Hashtbl.find_opt memo c with
+    | Some s -> s
+    | None ->
+        let s =
+          List.fold_left
+            (fun acc (d, neg) -> max acc (stratum d + if neg then 1 else 0))
+            0
+            (Option.value ~default:[] (Hashtbl.find_opt comp_edges c))
+        in
+        Hashtbl.replace memo c s;
+        s
+  in
+  let stratum_of rel = stratum (comp_of rel) in
+  let n_strata =
+    Hashtbl.fold (fun v () acc -> max acc (stratum_of v + 1)) nodes 0
+  in
+  (stratum_of, n_strata)
 
 let all_clauses db =
   List.concat_map (fun fa -> Database.all_clauses db fa) (Database.predicates db)
 
-let supported db =
-  match List.iter (check_clause_supported db) (all_clauses db) with
-  | () -> true
-  | exception Unsupported _ -> false
+let prepare db ~ignore ~refine =
+  let facts = ref [] and rules = ref [] in
+  List.iter
+    (fun c ->
+      match parse_clause db ~ignore ~refine c with
+      | None -> ()
+      | Some (`Fact (rel, t)) -> facts := (rel, t) :: !facts
+      | Some (`Rule r) -> rules := r :: !rules)
+    (all_clauses db);
+  let facts = List.rev !facts and rules = List.rev !rules in
+  let stratum_of, n_strata = compute_strata rules (List.map fst facts) in
+  (facts, rules, stratum_of, n_strata)
 
-let run ?(max_iterations = 10_000) ?(max_facts = 1_000_000) db =
-  let clauses = all_clauses db in
-  List.iter (check_clause_supported db) clauses;
-  let facts, rules =
-    List.partition (fun (c : Database.clause) -> c.Database.body = []) clauses
+let classify ?(ignore = Prelude.predicates) ?(refine = fun _ -> None) db =
+  match prepare db ~ignore ~refine with
+  | _ -> Ok ()
+  | exception Unsupported reason -> Error reason
+
+let supported ?ignore ?refine db =
+  match classify ?ignore ?refine db with Ok () -> true | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* evaluation                                                          *)
+
+type fixpoint = {
+  rels : (Rel.t, Term_set.t) Hashtbl.t;
+  refine : refine;
+  passes : int;
+  firings : int;
+  n_strata : int;
+}
+
+let run ?(strategy = Semi_naive) ?(ignore = Prelude.predicates)
+    ?(refine = fun _ -> None) ?(max_iterations = 10_000)
+    ?(max_facts = 1_000_000) db =
+  let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
+  let rels : (Rel.t, Term_set.t) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0 in
+  let get rel = Option.value ~default:Term_set.empty (Hashtbl.find_opt rels rel) in
+  let add rel t =
+    let s = get rel in
+    if Term_set.mem t s then false
+    else begin
+      Hashtbl.replace rels rel (Term_set.add t s);
+      incr total;
+      if !total > max_facts then failwith "Bottom_up.run: fact bound hit";
+      true
+    end
   in
-  let derived =
-    ref
-      (Term_set.of_list (List.map (fun (c : Database.clause) -> c.Database.head) facts))
-  in
-  let passes = ref 0 in
-  let changed = ref true in
-  while !changed do
+  List.iter (fun (rel, t) -> let _seen : bool = add rel t in ()) facts;
+  let passes = ref 0 and firings = ref 0 in
+  let tick () =
     incr passes;
-    if !passes > max_iterations then failwith "Bottom_up.run: iteration bound hit";
-    changed := false;
-    List.iter
-      (fun (c : Database.clause) ->
-        let { Database.head; body } = Database.rename_clause c in
-        (* join the body left to right against the derived set *)
-        let rec join subst = function
-          | [] ->
-              let fact = Subst.apply subst head in
-              if not (Term_set.mem fact !derived) then begin
-                derived := Term_set.add fact !derived;
-                if Term_set.cardinal !derived > max_facts then
-                  failwith "Bottom_up.run: fact bound hit";
-                changed := true
-              end
-          | g :: rest ->
-              Term_set.iter
-                (fun fact ->
-                  match Unify.unify subst g fact with
-                  | Some subst' -> join subst' rest
-                  | None -> ())
-                !derived
+    if !passes > max_iterations then failwith "Bottom_up.run: iteration bound hit"
+  in
+  (* evaluate one rule body left to right; [delta_at] aims one positive
+     join position at the previous pass's delta instead of the full
+     relation *)
+  let eval_rule ~delta_at ~delta_set rule ~emit =
+    incr firings;
+    let rec go subst lits =
+      match lits with
+      | [] -> emit rule.head_rel (Subst.apply subst rule.head)
+      | Pos (i, rel, atom) :: rest -> (
+          let set =
+            match delta_at with Some j when j = i -> delta_set | _ -> get rel
+          in
+          let g = Subst.apply subst atom in
+          if Term.is_ground g then begin
+            if Term_set.mem g set then go subst rest
+          end
+          else
+            Term_set.iter
+              (fun fact ->
+                match Unify.unify subst atom fact with
+                | Some s -> go s rest
+                | None -> ())
+              set)
+      | Neg (rel, atom) :: rest ->
+          if not (Term_set.mem (Subst.apply subst atom) (get rel)) then
+            go subst rest
+      | Cmp (op, a, b) :: rest -> (
+          match (Arith.eval subst a, Arith.eval subst b) with
+          | exception Arith.Error _ -> ()
+          | x, y ->
+              let c = Arith.compare_num x y in
+              let ok =
+                match op with
+                | "<" -> c < 0
+                | ">" -> c > 0
+                | "=<" -> c <= 0
+                | ">=" -> c >= 0
+                | "=:=" -> c = 0
+                | _ -> c <> 0
+              in
+              if ok then go subst rest)
+      | Eq (want_eq, a, b) :: rest ->
+          if Term.equal (Subst.apply subst a) (Subst.apply subst b) = want_eq
+          then go subst rest
+      | Is (l, r) :: rest -> (
+          match Arith.eval subst r with
+          | exception Arith.Error _ -> ()
+          | n -> (
+              match Unify.unify subst l (Arith.to_term n) with
+              | Some s -> go s rest
+              | None -> ()))
+      | Never :: _ -> ()
+    in
+    go Subst.empty rule.body
+  in
+  let by_stratum = Array.make (max n_strata 1) [] in
+  List.iter
+    (fun r ->
+      let s = stratum_of r.head_rel in
+      by_stratum.(s) <- r :: by_stratum.(s))
+    rules;
+  Array.iteri (fun i rs -> by_stratum.(i) <- List.rev rs) by_stratum;
+  Array.iter
+    (fun srules ->
+      if srules <> [] then begin
+        let new_facts = ref Rel_map.empty in
+        let emit rel t =
+          if add rel t then
+            new_facts :=
+              Rel_map.update rel
+                (function
+                  | None -> Some (Term_set.singleton t)
+                  | Some s -> Some (Term_set.add t s))
+                !new_facts
         in
-        join Subst.empty body)
-      rules
-  done;
-  { derived = !derived; passes = !passes }
+        (* pass 1: every rule of the stratum against the full relations *)
+        tick ();
+        List.iter
+          (fun r -> eval_rule ~delta_at:None ~delta_set:Term_set.empty r ~emit)
+          srules;
+        let deltas = ref !new_facts in
+        while not (Rel_map.is_empty !deltas) do
+          tick ();
+          new_facts := Rel_map.empty;
+          (match strategy with
+          | Naive ->
+              List.iter
+                (fun r ->
+                  eval_rule ~delta_at:None ~delta_set:Term_set.empty r ~emit)
+                srules
+          | Semi_naive ->
+              List.iter
+                (fun r ->
+                  Array.iteri
+                    (fun i rel ->
+                      match Rel_map.find_opt rel !deltas with
+                      | Some d when not (Term_set.is_empty d) ->
+                          eval_rule ~delta_at:(Some i) ~delta_set:d r ~emit
+                      | _ -> ())
+                    r.pos_rels)
+                srules);
+          deltas := !new_facts
+        done
+      end)
+    by_stratum;
+  { rels; refine; passes = !passes; firings = !firings; n_strata }
 
-let facts fp = Term_set.elements fp.derived
-let holds fp t = Term_set.mem t fp.derived
-let count fp = Term_set.cardinal fp.derived
+(* ------------------------------------------------------------------ *)
+
+let facts fp =
+  Hashtbl.fold (fun _ set acc -> Term_set.elements set @ acc) fp.rels []
+  |> List.sort Term.compare
+
+let rel_of_ground fp t =
+  match Term.functor_of t with
+  | None -> None
+  | Some (name, arity) -> (
+      match fp.refine (name, arity) with
+      | None -> Some { Rel.name; arity; sub = None }
+      | Some pos -> (
+          let arg =
+            match t with Term.App (_, args) -> List.nth_opt args pos | _ -> None
+          in
+          match arg with
+          | Some (Term.Atom p) -> Some { Rel.name; arity; sub = Some p }
+          | _ -> None))
+
+let holds fp t =
+  match rel_of_ground fp t with
+  | None -> false
+  | Some rel -> (
+      match Hashtbl.find_opt fp.rels rel with
+      | None -> false
+      | Some set -> Term_set.mem t set)
+
+let facts_matching fp goal =
+  match Term.functor_of goal with
+  | None -> []
+  | Some (name, arity) -> (
+      match rel_of_ground fp goal with
+      | Some rel -> (
+          match Hashtbl.find_opt fp.rels rel with
+          | None -> []
+          | Some set -> Term_set.elements set)
+      | None ->
+          (* refined predicate queried with a variable at the refining
+             argument: union over the predicate's refined relations *)
+          Hashtbl.fold
+            (fun (r : Rel.t) set acc ->
+              if String.equal r.Rel.name name && r.Rel.arity = arity then
+                Term_set.elements set @ acc
+              else acc)
+            fp.rels []
+          |> List.sort Term.compare)
+
+let count fp = Hashtbl.fold (fun _ set acc -> acc + Term_set.cardinal set) fp.rels 0
 let iterations fp = fp.passes
+let rule_firings fp = fp.firings
+let strata_count fp = fp.n_strata

@@ -1,26 +1,74 @@
-(** Naive bottom-up (fixpoint) evaluation of the positive Datalog
-    fragment: facts plus conjunctive rules without negation, builtins,
-    control constructs or compound-term construction in heads beyond what
-    the facts supply.
+(** Bottom-up (fixpoint) evaluation of the stratified Datalog fragment:
+    ground facts, conjunctive rules, negation as failure over strictly
+    lower strata, and ground arithmetic / comparison guards.
 
-    Two uses: materialising the consequences of a requirements base (all
-    realised facts at once, independent of query order), and differential
-    testing of the top-down {!Solve} engine — on the shared fragment both
-    must derive exactly the same ground atoms
-    ([test/suite_engine_props.ml]). *)
+    Two evaluation strategies share one stratified core:
+
+    - {e Naive}: within each stratum, every rule re-fires against the full
+      relations on every pass until nothing changes. Kept as the reference
+      implementation and as the baseline the benchmarks compare against.
+    - {e Semi-naive} (the default): each pass only re-fires rules that
+      mention a predicate whose relation changed in the previous pass, and
+      one positive body literal is matched against that {e delta} rather
+      than the full relation — the classic Datalog optimisation.
+
+    Facts are stored in per-relation indexes rather than one flat set, so
+    a body literal only ever joins against its own predicate's facts.
+
+    Three uses: materialising the consequences of a requirements base (all
+    realised facts at once, independent of query order — see
+    [Gdp_core.Query]'s materialised mode), whole-base [ERROR]-constraint
+    sweeps, and differential testing of the top-down {!Solve} engine — on
+    the shared fragment all three must derive exactly the same ground
+    atoms ([test/suite_engine_props.ml]). *)
 
 type fixpoint
 
 exception Unsupported of string
-(** Raised when the database leaves the fragment: a clause body that uses
-    negation, disjunction, if-then-else, arithmetic or any built-in; a
-    non-range-restricted rule (a head variable absent from the body); or a
-    non-ground fact. *)
+(** Raised when the database leaves the fragment. See {!classify}. *)
 
-val run : ?max_iterations:int -> ?max_facts:int -> Database.t -> fixpoint
-(** Iterate to fixpoint (default bounds: 10_000 iterations, 1_000_000
+type strategy = Naive | Semi_naive
+
+type refine = string * int -> int option
+(** Relation refinement: [refine (name, arity) = Some pos] splits the
+    predicate [name/arity] into one relation per constant found at
+    argument position [pos] (0-based). The GDP compiler reifies every
+    fact into [holds/6] with the user predicate at position 1; without
+    refinement the whole base would collapse into a single recursive
+    relation and stratified negation could never apply. Atoms of a
+    refined predicate must carry a constant at [pos]. The default refines
+    nothing. *)
+
+val classify :
+  ?ignore:(string * int) list -> ?refine:refine -> Database.t -> (unit, string) result
+(** One classification pass shared by {!supported}, {!run} and the
+    stratification error messages: [Ok ()] when every clause lies in the
+    evaluable fragment, [Error reason] naming the first offending clause
+    otherwise. Reasons include: control constructs ([;], [->], [call],
+    [=], [\=]) or builtins in a body; negation of a non-atomic goal;
+    a guard or negated literal with variables not bound by a preceding
+    positive literal; a non-ground fact; a head variable not bound by the
+    body; and negation through a recursive stratum. Clauses whose head
+    predicate is listed in [ignore] (default: {!Prelude.predicates}, so
+    engine databases created by {!Engine.create} classify on user clauses
+    only) are invisible; body references to them are rejected. *)
+
+val supported : ?ignore:(string * int) list -> ?refine:refine -> Database.t -> bool
+(** [classify db = Ok ()]. *)
+
+val run :
+  ?strategy:strategy ->
+  ?ignore:(string * int) list ->
+  ?refine:refine ->
+  ?max_iterations:int ->
+  ?max_facts:int ->
+  Database.t ->
+  fixpoint
+(** Evaluate strata in dependency order to the least fixpoint (default
+    strategy {!Semi_naive}; default bounds: 10_000 passes, 1_000_000
     facts — exceeding either raises [Failure], which only unsafe
-    function-symbol recursion can trigger). *)
+    function-symbol recursion can trigger). Raises {!Unsupported} with
+    the {!classify} reason when the database leaves the fragment. *)
 
 val facts : fixpoint -> Term.t list
 (** All derived ground atoms, sorted in the standard order of terms. *)
@@ -28,9 +76,23 @@ val facts : fixpoint -> Term.t list
 val holds : fixpoint -> Term.t -> bool
 (** Membership of a ground atom. *)
 
-val count : fixpoint -> int
-val iterations : fixpoint -> int
-(** Number of passes until the least fixpoint was reached. *)
+val facts_matching : fixpoint -> Term.t -> Term.t list
+(** The stored facts of the goal's relation (refined by the goal's
+    constant at the refinement position when possible; the union of the
+    predicate's refined relations when that argument is a variable),
+    sorted. The goal itself is not unified against them — callers filter. *)
 
-val supported : Database.t -> bool
-(** Does the whole database lie in the evaluable fragment? *)
+val count : fixpoint -> int
+
+val iterations : fixpoint -> int
+(** Total number of passes across all strata until the least fixpoint. *)
+
+val rule_firings : fixpoint -> int
+(** Number of rule-body evaluations: per pass, naive evaluation fires
+    every rule of the stratum, semi-naive fires one evaluation per
+    (rule, changed-predicate position). The benchmark's "fewer
+    full-relation joins" claim is this counter. *)
+
+val strata_count : fixpoint -> int
+(** Number of strata the program was split into (1 for pure positive
+    programs with a single recursive component family). *)

@@ -9,3 +9,10 @@
     [∀X (F2 → F3)] (§III-A). *)
 
 val install : Database.t -> unit
+
+val predicates : (string * int) list
+(** Name/arity of every predicate {!install} defines. {!Bottom_up} uses
+    this as the default set of library clauses to leave out of fragment
+    classification (prelude clauses use lists, control constructs and
+    non-ground facts, so any database holding them would otherwise be
+    rejected wholesale). *)

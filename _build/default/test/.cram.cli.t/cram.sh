@@ -36,3 +36,19 @@
   > include "loop_a.gdp".
   > END
   $ gdprs check loop_a.gdp
+  $ cat > dl.gdp <<'END'
+  > objects n1, n2, n3, n4.
+  > fact link(n1, n2).
+  > fact link(n2, n3).
+  > fact link(n3, n4).
+  > fact flagged(n3).
+  > rule reach(X, Y) <- link(X, Y).
+  > rule reach(X, Y) <- link(X, Z), reach(Z, Y).
+  > rule clear(X) <- link(X, _), not flagged(X).
+  > constraint flagged_reachable(X) <- reach(n1, X), flagged(X).
+  > END
+  $ gdprs check dl.gdp --materialize
+  $ gdprs query dl.gdp 'reach(n1, X)' --materialize
+  $ gdprs query dl.gdp 'clear(X)' --materialize
+  $ gdprs lint dl.gdp
+  $ gdprs check demo.gdp --materialize

@@ -1,1 +1,1 @@
-test/suite_engine_props.ml: Alcotest Bottom_up Database Engine Gdp_logic List Printf QCheck QCheck_alcotest Reader Solve String Term
+test/suite_engine_props.ml: Alcotest Bottom_up Buffer Database Engine Gdp_logic List Prelude Printf QCheck QCheck_alcotest Reader Solve String Term

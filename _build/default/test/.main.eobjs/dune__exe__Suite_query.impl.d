@@ -1,1 +1,1 @@
-test/suite_query.ml: Alcotest Compile Database Formula Gdp_core Gdp_logic Gfact List Meta Query Reader Solve Spec Term
+test/suite_query.ml: Alcotest Compile Database Format Formula Gdp_core Gdp_logic Gfact List Meta Query Reader Solve Spec Term

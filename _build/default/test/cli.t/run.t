@@ -101,3 +101,53 @@ Modular specifications via include:
   $ gdprs check loop_a.gdp
   error: circular include of ./loop_b.gdp
   [2]
+
+Materialised (bottom-up) evaluation: the whole base is computed once by
+the semi-naive stratified fixpoint, and ground/open queries and the
+ERROR sweep are answered from it. A seeded violation — flagged(n3) is
+reachable from n1:
+
+  $ cat > dl.gdp <<'END'
+  > objects n1, n2, n3, n4.
+  > fact link(n1, n2).
+  > fact link(n2, n3).
+  > fact link(n3, n4).
+  > fact flagged(n3).
+  > rule reach(X, Y) <- link(X, Y).
+  > rule reach(X, Y) <- link(X, Z), reach(Z, Y).
+  > rule clear(X) <- link(X, _), not flagged(X).
+  > constraint flagged_reachable(X) <- reach(n1, X), flagged(X).
+  > END
+  $ gdprs check dl.gdp --materialize
+  world view: {w}
+  meta view:  {}
+  materialised: 18 facts, 2 strata, 5 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n3)
+  [1]
+
+Open queries come back from the fixpoint, ground and sorted; negation
+as failure over the lower stratum works bottom-up too:
+
+  $ gdprs query dl.gdp 'reach(n1, X)' --materialize
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+  $ gdprs query dl.gdp 'clear(X)' --materialize
+  clear(n1)
+  clear(n2)
+
+The linter runs the same sweep on materializable specifications and
+reports derived ERROR facts as findings:
+
+  $ gdprs lint dl.gdp
+  warning [constraint-violation] (w) the materialised world view derives w: ERROR(flagged_reachable, n3)
+
+Specifications outside the Datalog fragment (forall, computed
+predicates) are rejected with the offending clause:
+
+  $ gdprs check demo.gdp --materialize
+  world view: {w}
+  meta view:  {}
+  error: not materializable: holds/6[open_road]: library predicate forall/2 outside the Datalog fragment
+  [2]

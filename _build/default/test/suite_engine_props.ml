@@ -1,12 +1,21 @@
-(* Differential testing: on the positive Datalog fragment the top-down
-   SLDNF engine and the bottom-up fixpoint evaluator must derive exactly
-   the same ground atoms. *)
+(* Differential testing: on the stratified Datalog fragment the top-down
+   SLDNF engine and both bottom-up strategies (the naive reference and
+   the semi-naive default) must derive exactly the same ground atoms —
+   including negation as failure over lower strata and ground arithmetic
+   guards. *)
 
 open Gdp_logic
 
 let db_of src =
   let db = Database.create () in
   List.iter (Database.assertz db) (Reader.program src);
+  db
+
+(* Engine databases carry the builtins ([<], [is], ...) and the prelude,
+   so guards behave identically under both evaluators. *)
+let engine_db_of src =
+  let db = Engine.create () in
+  Engine.consult db src;
   db
 
 let test_bottom_up_basics () =
@@ -28,48 +37,128 @@ let test_bottom_up_cycles_terminate () =
 
 let test_unsupported_detected () =
   let rejects src =
-    let db = Engine.create () in
-    Engine.consult db src;
+    let db = engine_db_of src in
     (not (Bottom_up.supported db))
     &&
     match Bottom_up.run db with
     | exception Bottom_up.Unsupported _ -> true
     | _ -> false
   in
-  Alcotest.(check bool) "negation" true (rejects "p(X) :- q(X), \\+ r(X). q(1).");
-  Alcotest.(check bool) "builtin" true (rejects "p(X) :- q(X), X > 1. q(2).");
+  let accepts src = Bottom_up.supported (engine_db_of src) in
+  (* the fragment now includes stratified negation and ground guards *)
+  Alcotest.(check bool) "stratified negation accepted" true
+    (accepts "p(X) :- q(X), \\+ r(X). q(1).");
+  Alcotest.(check bool) "arith guard accepted" true
+    (accepts "p(X) :- q(X), X > 1. q(2).");
+  Alcotest.(check bool) "is on bound args accepted" true
+    (accepts "p(Y) :- q(X), Y is X + 1. q(2).");
+  (* ... and still rejects what it cannot evaluate *)
+  Alcotest.(check bool) "negation in a recursive stratum" true
+    (rejects "p(X) :- q(X), \\+ p(X). q(1).");
+  Alcotest.(check bool) "disjunction" true (rejects "p(X) :- q(X) ; r(X). q(1).");
+  Alcotest.(check bool) "unification builtin" true
+    (rejects "p(X) :- q(X), X = 1. q(1).");
   Alcotest.(check bool) "non-ground fact" true (rejects "p(X).");
   Alcotest.(check bool) "unrestricted head" true (rejects "p(X, Y) :- q(X). q(1).");
-  let ok = db_of "p(1). q(X) :- p(X)." in
-  Alcotest.(check bool) "positive fragment accepted" true (Bottom_up.supported ok)
+  Alcotest.(check bool) "unbound negated literal" true (rejects "p :- \\+ q(X).");
+  Alcotest.(check bool) "unbound guard" true (rejects "p(X) :- q(X), Y < 2. q(1).");
+  Alcotest.(check bool) "library predicate in body" true
+    (rejects "p(X) :- member(X, l).");
+  Alcotest.(check bool) "positive fragment accepted" true
+    (Bottom_up.supported (db_of "p(1). q(X) :- p(X)."));
+  (* classify names the offending construct *)
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  (match Bottom_up.classify (engine_db_of "p(X) :- q(X), \\+ p(X). q(1).") with
+  | Error reason ->
+      Alcotest.(check bool) "reason mentions the stratum" true
+        (contains reason "stratum")
+  | Ok () -> Alcotest.fail "recursion through negation not detected")
 
-let agree ?(constants = [ "a"; "b"; "c" ]) db =
-  (* probe every ground atom of the (finite) Herbrand base: top-down
-     provability must coincide with bottom-up membership. Ground probes
-     with the ancestor loop check keep each SLD search finite and small;
-     enumeration goals would instead walk every derivation. *)
+let test_stratified_negation () =
+  let db =
+    engine_db_of
+      "b(1). b(2). g(1).\n\
+       bad(X) :- b(X), \\+ g(X).\n\
+       good(X) :- b(X), \\+ bad(X)."
+  in
   let fp = Bottom_up.run db in
+  Alcotest.(check bool) "bad(2)" true (Bottom_up.holds fp (Reader.term "bad(2)"));
+  Alcotest.(check bool) "not bad(1)" false (Bottom_up.holds fp (Reader.term "bad(1)"));
+  Alcotest.(check bool) "good(1)" true (Bottom_up.holds fp (Reader.term "good(1)"));
+  Alcotest.(check bool) "not good(2)" false (Bottom_up.holds fp (Reader.term "good(2)"));
+  Alcotest.(check int) "three strata" 3 (Bottom_up.strata_count fp)
+
+let test_guards () =
+  let db =
+    engine_db_of
+      "q(1). q(5). q(a).\n\
+       p(X) :- q(X), X < 3.\n\
+       d(Y) :- q(X), Y is X * 2."
+  in
+  let fp = Bottom_up.run db in
+  Alcotest.(check bool) "p(1)" true (Bottom_up.holds fp (Reader.term "p(1)"));
+  Alcotest.(check bool) "not p(5)" false (Bottom_up.holds fp (Reader.term "p(5)"));
+  (* non-numeric argument: the guard fails like the top-down builtin does *)
+  Alcotest.(check bool) "not p(a)" false (Bottom_up.holds fp (Reader.term "p(a)"));
+  Alcotest.(check bool) "d(2)" true (Bottom_up.holds fp (Reader.term "d(2)"));
+  Alcotest.(check bool) "d(10)" true (Bottom_up.holds fp (Reader.term "d(10)"))
+
+let test_delta_refiring () =
+  (* a 30-edge chain: semi-naive re-fires only the recursive rule against
+     the delta; naive re-fires every rule against the full relations on
+     every one of the ~30 passes *)
+  let buf = Buffer.create 512 in
+  for i = 0 to 29 do
+    Buffer.add_string buf (Printf.sprintf "e(n%d, n%d). " i (i + 1))
+  done;
+  Buffer.add_string buf "r(X, Y) :- e(X, Y). r(X, Y) :- e(X, Z), r(Z, Y).";
+  let db = db_of (Buffer.contents buf) in
+  let naive = Bottom_up.run ~strategy:Bottom_up.Naive db in
+  let semi = Bottom_up.run db in
+  Alcotest.(check int) "same fixpoint" (Bottom_up.count naive) (Bottom_up.count semi);
+  Alcotest.(check bool) "many passes" true (Bottom_up.iterations semi > 15);
+  Alcotest.(check bool) "semi-naive fires fewer rule bodies" true
+    (Bottom_up.rule_firings semi < Bottom_up.rule_firings naive)
+
+(* Probe every ground atom of the (finite) Herbrand base over the user
+   predicates: top-down provability must coincide with bottom-up
+   membership, and the two bottom-up strategies must compute the same
+   fixpoint. Ground probes with the ancestor loop check keep each SLD
+   search finite; prelude predicates are skipped (the fixpoint ignores
+   their clauses, and e.g. [forall] succeeds vacuously top-down). *)
+let agree ?(constants = [ "a"; "b"; "c" ]) db =
+  let fp = Bottom_up.run db in
+  let fp_naive = Bottom_up.run ~strategy:Bottom_up.Naive db in
   let opts = { Solve.default_options with loop_check = true } in
-  (* every bottom-up consequence (including compound atoms outside the
-     constant base) is provable top-down *)
+  List.equal Term.equal (Bottom_up.facts fp) (Bottom_up.facts fp_naive)
+  && (* every bottom-up consequence (including atoms outside the constant
+        base) is provable top-down *)
   List.for_all
     (fun fact -> Solve.succeeds ~options:opts db [ fact ])
     (Bottom_up.facts fp)
   && List.for_all
-    (fun (name, arity) ->
-      let rec tuples n =
-        if n = 0 then [ [] ]
-        else
-          List.concat_map
-            (fun rest -> List.map (fun c -> Term.atom c :: rest) constants)
-            (tuples (n - 1))
-      in
-      List.for_all
-        (fun args ->
-          let atom = Term.app name args in
-          Solve.succeeds ~options:opts db [ atom ] = Bottom_up.holds fp atom)
-        (tuples arity))
-    (Database.predicates db)
+       (fun (name, arity) ->
+         let rec tuples n =
+           if n = 0 then [ [] ]
+           else
+             List.concat_map
+               (fun rest -> List.map (fun c -> Term.atom c :: rest) constants)
+               (tuples (n - 1))
+         in
+         List.for_all
+           (fun args ->
+             let atom = Term.app name args in
+             Solve.succeeds ~options:opts db [ atom ] = Bottom_up.holds fp atom)
+           (tuples arity))
+       (List.filter
+          (fun fa -> not (List.mem fa Prelude.predicates))
+          (Database.predicates db))
 
 let test_differential_fixed_programs () =
   List.iter
@@ -80,13 +169,20 @@ let test_differential_fixed_programs () =
       "f(a). g(b). h(X, Y) :- f(X), g(Y).";
       "p(1). p(2). q(X, Y) :- p(X), p(Y).";
       "a(1). b(1). c(X) :- a(X), b(X). d(X) :- c(X).";
+    ];
+  (* negation and guards need the engine builtins on the top-down side *)
+  List.iter
+    (fun src -> Alcotest.(check bool) src true (agree (engine_db_of src)))
+    [
+      "q(a). q(b). m(a). p(X) :- q(X), \\+ m(X).";
+      "v(a, 1). v(b, 4). big(X) :- v(X, N), N >= 3. small(X) :- v(X, N), \\+ big(X).";
+      "q(1). q(5). q(a). p(X) :- q(X), X < 3.";
     ]
 
 (* Random stratified (non-recursive) positive programs: base predicates
    q0/q1 hold facts, derived predicates p1/p2 are defined only from
    strictly lower strata — SLD is then complete without any loop guard,
-   so equality with the fixpoint is the true specification. Recursion is
-   covered by the curated right-recursive programs above. *)
+   so equality with the fixpoint is the true specification. *)
 let gen_program =
   let open QCheck.Gen in
   let const = oneofl [ "a"; "b"; "c" ] in
@@ -144,13 +240,68 @@ let prop_differential =
     ~count:60 (QCheck.make ~print:(fun s -> s) gen_program) (fun src ->
       agree (db_of src))
 
+(* Random stratified programs over the full fragment: a random edge
+   relation, its (right-recursive, so SLD with the ancestor check stays
+   complete on ground probes) transitive closure, negation over lower
+   strata — sometimes two layers deep — and arithmetic guards. *)
+let gen_stratified_program =
+  let open QCheck.Gen in
+  let const = oneofl [ "a"; "b"; "c"; "d" ] in
+  let* n_edges = int_range 3 8 in
+  let* edges =
+    list_size (return n_edges)
+      (map2 (fun x y -> Printf.sprintf "e(%s, %s)." x y) const const)
+  in
+  let nodes = List.map (Printf.sprintf "node(%s).") [ "a"; "b"; "c"; "d" ] in
+  let* vals =
+    list_size (return 4)
+      (map2 (fun c n -> Printf.sprintf "val(%s, %d)." c n) const (int_range 0 5))
+  in
+  let reach = [ "r(X, Y) :- e(X, Y)."; "r(X, Y) :- e(X, Z), r(Z, Y)." ] in
+  let* hub =
+    oneofl
+      [
+        "hub(X) :- e(X, Y).";
+        "hub(X) :- r(X, X).";
+        "hub(X) :- r(X, Y), r(Y, X).";
+      ]
+  in
+  let iso = "iso(X) :- node(X), \\+ hub(X)." in
+  let* second_layer = oneofl [ []; [ "plain(X) :- node(X), \\+ iso(X)." ] ] in
+  let* guards =
+    oneofl
+      [
+        [];
+        [ "big(X) :- val(X, N), N >= 3." ];
+        [ "twice(X, M) :- val(X, N), M is N * 2." ];
+        [ "big(X) :- val(X, N), N >= 3."; "small(X) :- node(X), \\+ big(X)." ];
+      ]
+  in
+  return
+    (String.concat "\n"
+       (edges @ nodes @ vals @ reach @ [ hub; iso ] @ second_layer @ guards))
+
+let prop_differential_stratified =
+  QCheck.Test.make
+    ~name:
+      "semi-naive, naive and SLD agree on random stratified programs with \
+       negation and guards"
+    ~count:250
+    (QCheck.make ~print:(fun s -> s) gen_stratified_program)
+    (fun src ->
+      agree ~constants:[ "a"; "b"; "c"; "d" ] (engine_db_of src))
+
 let tests =
   [
     Alcotest.test_case "fixpoint basics" `Quick test_bottom_up_basics;
     Alcotest.test_case "cycles terminate bottom-up" `Quick
       test_bottom_up_cycles_terminate;
     Alcotest.test_case "fragment detection" `Quick test_unsupported_detected;
+    Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
+    Alcotest.test_case "arithmetic guards" `Quick test_guards;
+    Alcotest.test_case "semi-naive delta re-firing" `Quick test_delta_refiring;
     Alcotest.test_case "differential: fixed programs" `Quick
       test_differential_fixed_programs;
     QCheck_alcotest.to_alcotest prop_differential;
+    QCheck_alcotest.to_alcotest prop_differential_stratified;
   ]

@@ -202,9 +202,82 @@ let test_loop_check_auto_enabled () =
   Alcotest.(check bool) "terminates and answers" true
     (Query.holds q (Gfact.make "road" ~objects:[ a "s1" ]))
 
+(* a specification inside the stratified Datalog fragment: recursion,
+   negation of a single atom, and a seeded constraint violation *)
+let datalog_spec () =
+  let spec = Spec.create () in
+  Spec.declare_objects spec [ "n1"; "n2"; "n3"; "n4" ];
+  List.iter
+    (fun (x, y) -> Spec.add_fact spec (Gfact.make "link" ~objects:[ a x; a y ]))
+    [ ("n1", "n2"); ("n2", "n3"); ("n3", "n4") ];
+  Spec.add_fact spec (Gfact.make "flagged" ~objects:[ a "n3" ]);
+  let x = v "X" and y = v "Y" and z = v "Z" in
+  Spec.add_rule spec ~name:"reach_base"
+    ~head:(Gfact.make "reach" ~objects:[ x; y ])
+    Formula.(Atom (Gfact.make "link" ~objects:[ x; y ]));
+  Spec.add_rule spec ~name:"reach_step"
+    ~head:(Gfact.make "reach" ~objects:[ x; y ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "link" ~objects:[ x; z ]),
+          Atom (Gfact.make "reach" ~objects:[ z; y ]) ));
+  Spec.add_rule spec ~name:"clear" ~head:(Gfact.make "clear" ~objects:[ x ])
+    Formula.(
+      And
+        ( Atom (Gfact.make "link" ~objects:[ x; v "_Y" ]),
+          Not (Atom (Gfact.make "flagged" ~objects:[ x ])) ));
+  Spec.add_constraint spec ~name:"flag_reach" ~error:"flagged_reachable"
+    ~args:[ x ]
+    Formula.(
+      conj
+        [
+          Atom (Gfact.make "reach" ~objects:[ a "n1"; x ]);
+          Atom (Gfact.make "flagged" ~objects:[ x ]);
+        ]);
+  spec
+
+let test_materialized_mode () =
+  let spec = datalog_spec () in
+  let q = Query.create spec in
+  (match Query.materializable q with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "expected materializable: %s" r);
+  let qm = Query.with_mode q Query.Materialized in
+  Alcotest.(check bool) "ground holds" true
+    (Query.holds qm (Gfact.make "reach" ~objects:[ a "n1"; a "n4" ]));
+  Alcotest.(check bool) "absent" false
+    (Query.holds qm (Gfact.make "reach" ~objects:[ a "n4"; a "n1" ]));
+  Alcotest.(check int) "open query from the fixpoint" 3
+    (List.length (Query.solutions qm (Gfact.make "reach" ~objects:[ a "n1"; v "Y" ])));
+  let key f = Format.asprintf "%a" Gfact.pp f in
+  let sorted l = List.sort_uniq compare (List.map key l) in
+  Alcotest.(check (list string))
+    "solutions agree with top-down"
+    (sorted (Query.solutions q (Gfact.make "reach" ~objects:[ v "X"; v "Y" ])))
+    (sorted (Query.solutions qm (Gfact.make "reach" ~objects:[ v "X"; v "Y" ])));
+  (* negation over a lower stratum *)
+  Alcotest.(check bool) "clear(n1)" true
+    (Query.holds qm (Gfact.make "clear" ~objects:[ a "n1" ]));
+  Alcotest.(check bool) "not clear(n3): flagged" false
+    (Query.holds qm (Gfact.make "clear" ~objects:[ a "n3" ]));
+  (* the ERROR sweep runs off the fixpoint *)
+  (match Query.violations qm with
+  | [ viol ] -> Alcotest.(check string) "tag" "flagged_reachable" viol.Query.v_tag
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l));
+  Alcotest.(check bool) "consistent agrees with top-down" (Query.consistent q)
+    (Query.consistent qm);
+  (* a forall-using spec is not materializable, and Spec can set the default *)
+  (match Query.materializable (Query.create (roads_spec ())) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "forall spec should not be materializable");
+  spec.Spec.prefer_materialized <- true;
+  Alcotest.(check bool) "prefer_materialized drives the default mode" true
+    (Query.mode (Query.create spec) = Query.Materialized)
+
 let tests =
   [
     Alcotest.test_case "paper's virtual facts" `Quick test_paper_virtual_facts;
+    Alcotest.test_case "materialized engine mode" `Quick test_materialized_mode;
     Alcotest.test_case "solution enumeration" `Quick test_solutions_enumeration;
     Alcotest.test_case "consistency and violations" `Quick test_consistency;
     Alcotest.test_case "world-view filtering" `Quick test_world_view_filtering;

@@ -50,3 +50,25 @@ exclude_all(G, L) :- forall(member(X, L), \+ call(G, X)).
 |}
 
 let install db = Reader.consult db source
+
+let predicates =
+  [
+    ("member", 2);
+    ("memberchk", 2);
+    ("append", 3);
+    ("reverse", 2);
+    ("reverse_acc", 3);
+    ("length", 2);
+    ("nth0", 3);
+    ("nth1", 3);
+    ("last", 2);
+    ("select", 3);
+    ("permutation", 2);
+    ("sum_list", 2);
+    ("max_list", 2);
+    ("min_list", 2);
+    ("maplist", 2);
+    ("maplist", 3);
+    ("forall", 2);
+    ("exclude_all", 2);
+  ]
