@@ -752,12 +752,155 @@ let micro () =
 
 (* --------------------------------------- engine-bu: fixpoint strategies *)
 
-(* naive vs semi-naive bottom-up vs top-down SLDNF on recursive /
+(* Workload builders shared by the console `engine-bu` series and the
+   machine-readable `json` mode. *)
+
+let bu_roads_db n =
+  let open Gdp_logic in
+  let db = Engine.create () in
+  let rng = W.Rng.create 7L in
+  let node i = a (Printf.sprintf "n%d" i) in
+  for i = 0 to n - 1 do
+    (* a backbone chain plus random shortcuts: long derivation paths *)
+    if i < n - 1 then Database.fact db (T.app "link" [ node i; node (i + 1) ]);
+    Database.fact db
+      (T.app "link" [ node (W.Rng.int rng n); node (W.Rng.int rng n) ])
+  done;
+  Engine.consult db
+    {|
+    reach(X, Y) :- link(X, Y).
+    reach(X, Y) :- link(X, Z), reach(Z, Y).
+    |};
+  db
+
+let bu_census_db n =
+  let open Gdp_logic in
+  let db = Engine.create () in
+  for s = 0 to n - 1 do
+    Database.fact db (T.app "state" [ a (Printf.sprintf "s%d" s) ]);
+    for c = 0 to 3 do
+      Database.fact db
+        (T.app "in_state"
+           [ a (Printf.sprintf "c%d_%d" s c); a (Printf.sprintf "s%d" s) ])
+    done;
+    if s mod 3 <> 0 then
+      Database.fact db (T.app "capital" [ a (Printf.sprintf "c%d_0" s) ])
+  done;
+  Engine.consult db
+    {|
+    state_with_capital(S) :- capital(C), in_state(C, S).
+    state_without_capital(S) :- state(S), \+ state_with_capital(S).
+    |};
+  db
+
+let bu_terrain_db n =
+  let open Gdp_logic in
+  let db = Engine.create () in
+  let rng = W.Rng.create 11L in
+  let name i j = a (Printf.sprintf "t%d_%d" i j) in
+  let elev = Array.init n (fun _ -> Array.init n (fun _ -> W.Rng.int rng 1000)) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Database.fact db (T.app "elev" [ name i j; T.int elev.(i).(j) ]);
+      List.iter
+        (fun (di, dj) ->
+          let i' = i + di and j' = j + dj in
+          if i' >= 0 && i' < n && j' >= 0 && j' < n then
+            Database.fact db (T.app "adj" [ name i j; name i' j' ]))
+        [ (0, 1); (1, 0); (0, -1); (-1, 0) ]
+    done
+  done;
+  Engine.consult db
+    {|
+    downhill(A, B) :- adj(A, B), elev(A, Ea), elev(B, Eb), Eb < Ea.
+    flows(A, B) :- downhill(A, B).
+    flows(A, B) :- downhill(A, C), flows(C, B).
+    |};
+  db
+
+type bu_workload = {
+  bu_name : string;
+  bu_title : string;
+  bu_db : int -> Gdp_logic.Database.t;
+  bu_goal : Gdp_logic.Term.t;
+  bu_console_sizes : int list;  (* naive + scan + indexed + top-down probes *)
+  bu_json_sizes : int list;  (* scan + indexed only: scales past naive *)
+  bu_json_small : int list;  (* CI smoke scales *)
+}
+
+let bu_workloads =
+  [
+    {
+      bu_name = "roads-reach";
+      bu_title = "engine-bu roads — reach = transitive closure of link";
+      bu_db = bu_roads_db;
+      bu_goal = T.app "reach" [ v "X"; v "Y" ];
+      bu_console_sizes = [ 16; 32; 64 ];
+      bu_json_sizes = [ 40; 160; 640 ];
+      bu_json_small = [ 16; 64 ];
+    };
+    {
+      bu_name = "census-negation";
+      bu_title = "engine-bu census — negation as failure over a lower stratum";
+      bu_db = bu_census_db;
+      bu_goal = T.app "state_without_capital" [ v "S" ];
+      bu_console_sizes = [ 100; 200; 400 ];
+      bu_json_sizes = [ 400; 1600; 3200 ];
+      bu_json_small = [ 100; 400 ];
+    };
+    {
+      bu_name = "terrain-flows";
+      bu_title = "engine-bu terrain — downhill flow closure with < guards";
+      bu_db = bu_terrain_db;
+      bu_goal = T.app "flows" [ v "A"; v "B" ];
+      bu_console_sizes = [ 4; 6; 8 ];
+      bu_json_sizes = [ 6; 10; 14 ];
+      bu_json_small = [ 4; 8 ];
+    };
+  ]
+
+(* One scan-vs-indexed measurement: the semi-naive evaluator with joins
+   forced to full-relation scans in textual order (the PR 1 baseline,
+   minus its O(log n) set overhead) against the index-driven planner. *)
+type bu_row = {
+  br_scale : int;
+  br_facts : int;
+  br_passes : int;
+  br_scan_ms : float;
+  br_scan_firings : int;
+  br_indexed_ms : float;
+  br_indexed_firings : int;
+  br_agree : bool;
+}
+
+let bu_measure db scale =
+  let open Gdp_logic in
+  let scan_ms, scan_fp =
+    time_ms (fun () -> Bottom_up.run ~indexing:false db)
+  in
+  let idx_ms, idx_fp = time_ms (fun () -> Bottom_up.run db) in
+  {
+    br_scale = scale;
+    br_facts = Bottom_up.count idx_fp;
+    br_passes = Bottom_up.iterations idx_fp;
+    br_scan_ms = scan_ms;
+    br_scan_firings = Bottom_up.rule_firings scan_fp;
+    br_indexed_ms = idx_ms;
+    br_indexed_firings = Bottom_up.rule_firings idx_fp;
+    br_agree =
+      Bottom_up.count scan_fp = Bottom_up.count idx_fp
+      && List.equal Term.equal (Bottom_up.facts scan_fp)
+           (Bottom_up.facts idx_fp);
+  }
+
+let bu_speedup r = r.br_scan_ms /. Float.max 0.01 r.br_indexed_ms
+
+(* naive vs scan vs indexed bottom-up vs top-down SLDNF on recursive /
    negation / guarded workloads at growing scale — the quantification of
    the "Prolog's computational inefficiency" the paper only mentions.
    The top-down column proves a sample of the derived atoms (up to 100)
-   with the ancestor loop check on; "agree" additionally checks both
-   fixpoint strategies derive identical fact counts. *)
+   with the ancestor loop check on; "agree" additionally checks all
+   fixpoint configurations derive identical fact sets. *)
 let engine_bu () =
   let open Gdp_logic in
   let topdown_options = { Solve.default_options with Solve.loop_check = true } in
@@ -773,98 +916,76 @@ let engine_bu () =
     in
     (ms, List.length sample, ok)
   in
-  let run_series title dbs probe_goal =
-    section title;
-    row "  %8s %10s %8s %10s %8s %8s %14s  %s\n" "scale" "naive_ms" "n_fire"
-      "semi_ms" "s_fire" "speedup" "topdown_ms" "agree";
-    List.iter
-      (fun (scale, db) ->
-        let naive_ms, naive_fp =
-          time_ms (fun () -> Bottom_up.run ~strategy:Bottom_up.Naive db)
-        in
-        let semi_ms, semi_fp = time_ms (fun () -> Bottom_up.run db) in
-        let derived = Bottom_up.facts_matching semi_fp probe_goal in
-        let td_ms, n_probes, td_ok = probe db derived in
-        let agree = Bottom_up.count naive_fp = Bottom_up.count semi_fp && td_ok in
-        row "  %8d %10.1f %8d %10.1f %8d %7.1fx %10.1f/%-3d  %s\n" scale
-          naive_ms
-          (Bottom_up.rule_firings naive_fp)
-          semi_ms
-          (Bottom_up.rule_firings semi_fp)
-          (naive_ms /. Float.max 0.01 semi_ms)
-          td_ms n_probes
-          (if agree then "yes" else "DISAGREE"))
-      dbs
-  in
-  let roads_db n =
-    let db = Engine.create () in
-    let rng = W.Rng.create 7L in
-    let node i = a (Printf.sprintf "n%d" i) in
-    for i = 0 to n - 1 do
-      (* a backbone chain plus random shortcuts: long derivation paths *)
-      if i < n - 1 then Database.fact db (T.app "link" [ node i; node (i + 1) ]);
-      Database.fact db
-        (T.app "link" [ node (W.Rng.int rng n); node (W.Rng.int rng n) ])
-    done;
-    Engine.consult db
-      {|
-      reach(X, Y) :- link(X, Y).
-      reach(X, Y) :- link(X, Z), reach(Z, Y).
-      |};
-    db
-  in
-  run_series "engine-bu roads — reach = transitive closure of link"
-    (List.map (fun n -> (n, roads_db n)) [ 16; 32; 64 ])
-    (T.app "reach" [ v "X"; v "Y" ]);
-  let census_db n =
-    let db = Engine.create () in
-    for s = 0 to n - 1 do
-      Database.fact db (T.app "state" [ a (Printf.sprintf "s%d" s) ]);
-      for c = 0 to 3 do
-        Database.fact db
-          (T.app "in_state"
-             [ a (Printf.sprintf "c%d_%d" s c); a (Printf.sprintf "s%d" s) ])
-      done;
-      if s mod 3 <> 0 then
-        Database.fact db (T.app "capital" [ a (Printf.sprintf "c%d_0" s) ])
-    done;
-    Engine.consult db
-      {|
-      state_with_capital(S) :- in_state(C, S), capital(C).
-      state_without_capital(S) :- state(S), \+ state_with_capital(S).
-      |};
-    db
-  in
-  run_series "engine-bu census — negation as failure over a lower stratum"
-    (List.map (fun n -> (n, census_db n)) [ 100; 200; 400 ])
-    (T.app "state_without_capital" [ v "S" ]);
-  let terrain_db n =
-    let db = Engine.create () in
-    let rng = W.Rng.create 11L in
-    let name i j = a (Printf.sprintf "t%d_%d" i j) in
-    let elev = Array.init n (fun _ -> Array.init n (fun _ -> W.Rng.int rng 1000)) in
-    for i = 0 to n - 1 do
-      for j = 0 to n - 1 do
-        Database.fact db (T.app "elev" [ name i j; T.int elev.(i).(j) ]);
-        List.iter
-          (fun (di, dj) ->
-            let i' = i + di and j' = j + dj in
-            if i' >= 0 && i' < n && j' >= 0 && j' < n then
-              Database.fact db (T.app "adj" [ name i j; name i' j' ]))
-          [ (0, 1); (1, 0); (0, -1); (-1, 0) ]
-      done
-    done;
-    Engine.consult db
-      {|
-      downhill(A, B) :- adj(A, B), elev(A, Ea), elev(B, Eb), Eb < Ea.
-      flows(A, B) :- downhill(A, B).
-      flows(A, B) :- downhill(A, C), flows(C, B).
-      |};
-    db
-  in
-  run_series "engine-bu terrain — downhill flow closure with < guards"
-    (List.map (fun n -> (n, terrain_db n)) [ 4; 6; 8 ])
-    (T.app "flows" [ v "A"; v "B" ])
+  List.iter
+    (fun w ->
+      section w.bu_title;
+      row "  %8s %10s %10s %8s %10s %8s %8s %14s  %s\n" "scale" "naive_ms"
+        "scan_ms" "s_fire" "idx_ms" "i_fire" "speedup" "topdown_ms" "agree";
+      List.iter
+        (fun scale ->
+          let db = w.bu_db scale in
+          let naive_ms, naive_fp =
+            time_ms (fun () -> Bottom_up.run ~strategy:Bottom_up.Naive db)
+          in
+          let r = bu_measure db scale in
+          let idx_fp = Bottom_up.run db in
+          let derived = Bottom_up.facts_matching idx_fp w.bu_goal in
+          let td_ms, n_probes, td_ok = probe db derived in
+          let agree =
+            r.br_agree && Bottom_up.count naive_fp = r.br_facts && td_ok
+          in
+          row "  %8d %10.1f %10.1f %8d %10.1f %8d %7.1fx %10.1f/%-3d  %s\n"
+            scale naive_ms r.br_scan_ms r.br_scan_firings r.br_indexed_ms
+            r.br_indexed_firings (bu_speedup r) td_ms n_probes
+            (if agree then "yes" else "DISAGREE"))
+        w.bu_console_sizes)
+    bu_workloads
+
+(* ------------------------------------------------- json: perf tracking *)
+
+(* `bench/main.exe -- json [small]` re-runs the engine-bu workloads as
+   scan-vs-indexed pairs (no naive column, so the scales can grow past
+   what quadratic re-firing tolerates) and writes BENCH_engine.json —
+   the machine-readable perf trajectory CI archives on every push. *)
+let bench_json ?(small = false) () =
+  let out = "BENCH_engine.json" in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"gdprs-bench-engine/1\",\n";
+  add "  \"bench\": \"engine-bu scan vs indexed (semi-naive fixpoint)\",\n";
+  add "  \"mode\": %S,\n" (if small then "small" else "full");
+  add "  \"series\": [\n";
+  let n_workloads = List.length bu_workloads in
+  List.iteri
+    (fun wi w ->
+      let sizes = if small then w.bu_json_small else w.bu_json_sizes in
+      section (Printf.sprintf "json %s" w.bu_title);
+      row "  %8s %10s %10s %10s %8s  %s\n" "scale" "facts" "scan_ms" "idx_ms"
+        "speedup" "agree";
+      add "    {\n      \"name\": %S,\n      \"rows\": [\n" w.bu_name;
+      let n_sizes = List.length sizes in
+      List.iteri
+        (fun si scale ->
+          let r = bu_measure (w.bu_db scale) scale in
+          row "  %8d %10d %10.1f %10.1f %7.1fx  %s\n" r.br_scale r.br_facts
+            r.br_scan_ms r.br_indexed_ms (bu_speedup r)
+            (if r.br_agree then "yes" else "DISAGREE");
+          add
+            "        { \"scale\": %d, \"facts\": %d, \"passes\": %d, \
+             \"scan_ms\": %.3f, \"scan_firings\": %d, \"indexed_ms\": %.3f, \
+             \"indexed_firings\": %d, \"speedup\": %.2f, \"agree\": %b }%s\n"
+            r.br_scale r.br_facts r.br_passes r.br_scan_ms r.br_scan_firings
+            r.br_indexed_ms r.br_indexed_firings (bu_speedup r) r.br_agree
+            (if si < n_sizes - 1 then "," else ""))
+        sizes;
+      add "      ]\n    }%s\n" (if wi < n_workloads - 1 then "," else ""))
+    bu_workloads;
+  add "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
 
 (* ---------------------------------------------------------------- main *)
 
@@ -888,6 +1009,8 @@ let () =
       engine_bu ()
   | [ "ablation" ] -> ablation ()
   | [ "engine-bu" ] -> engine_bu ()
+  | [ "json" ] -> bench_json ()
+  | [ "json"; "small" ] -> bench_json ~small:true ()
   | names ->
       List.iter
         (fun name ->
@@ -899,7 +1022,7 @@ let () =
           | None ->
               Printf.eprintf
                 "unknown experiment %s (e1..e12, report, ablation, micro, \
-                 engine-bu)\n"
+                 engine-bu, json [small])\n"
                 name;
               exit 2)
         names

@@ -69,7 +69,7 @@ let holds q pattern =
       else
         List.exists
           (fun fact -> Unify.unify Subst.empty goal fact <> None)
-          (Bottom_up.facts_matching fp goal)
+          (Bottom_up.probe fp goal)
 
 (* distinct answers in first-derivation order *)
 let dedupe_by key l =
@@ -93,12 +93,14 @@ let solutions ?limit q pattern =
       |> dedupe_by (fun f ->
              Term.to_string (Gfact.to_holds ~default_model:Names.default_model f))
   | Materialized ->
+      (* probe the fixpoint's argument indexes with the goal's ground
+         positions, then sort the (narrowed) candidates so answers keep
+         the standard order a full sorted scan used to produce *)
       let fp = materialization q in
-      Bottom_up.facts_matching fp goal
-      |> List.filter_map (fun fact ->
-             match Unify.unify Subst.empty goal fact with
-             | Some _ -> Gfact.of_holds fact
-             | None -> None)
+      Bottom_up.probe fp goal
+      |> List.filter (fun fact -> Unify.unify Subst.empty goal fact <> None)
+      |> List.sort Term.compare
+      |> List.filter_map Gfact.of_holds
       |> take limit
 
 let accuracy q pattern =
@@ -158,7 +160,7 @@ let violations ?limit q =
       |> List.sort_uniq compare
   | Materialized ->
       let fp = materialization q in
-      Bottom_up.facts_matching fp goal
+      Bottom_up.probe fp goal
       |> List.filter_map (fun fact ->
              match fact with
              | Term.App (_, [ model; Term.Atom p; vs; os; _; _ ])

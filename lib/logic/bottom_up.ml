@@ -1,8 +1,89 @@
-module Term_set = Set.Make (struct
+module Term_tbl = Hashtbl.Make (struct
   type t = Term.t
 
-  let compare = Term.compare
+  let equal = Term.equal
+  let hash = Term.hash
 end)
+
+(* A materialised relation: a hash set of hash-consed ground facts (O(1)
+   expected membership, physical-equality fast paths on the stored
+   terms), the facts in insertion order for deterministic scans, and
+   lazily built argument-position indexes for join probes. An index maps
+   the tuple of subterms at a set of argument positions to the facts
+   carrying exactly those subterms there; [eval_rule] probes the index of
+   whichever positions the in-flowing substitution has made ground. *)
+module Relation = struct
+  type t = {
+    facts : unit Term_tbl.t;
+    mutable arr : Term.t array; (* slots [0, n) valid, insertion order *)
+    mutable n : int;
+    mutable indexes : (int list * Term.t list Term_tbl.t) list;
+        (* bound argument positions (ascending) -> probe table *)
+  }
+
+  let dummy = Term.Atom ""
+
+  let create () =
+    { facts = Term_tbl.create 64; arr = Array.make 16 dummy; n = 0; indexes = [] }
+
+  let mem r t = Term_tbl.mem r.facts t
+  let cardinal r = r.n
+
+  (* insertion order: derivation cascades within a pass, and therefore
+     the pass counter, stay deterministic and independent of hash order *)
+  let iter f r =
+    for i = 0 to r.n - 1 do
+      f (Array.unsafe_get r.arr i)
+    done
+
+  let elements r = Array.to_list (Array.sub r.arr 0 r.n)
+
+  let args_of = function Term.App (_, args) -> args | _ -> []
+
+  (* The probe key packs the subterms at [positions] into one compound so
+     {!Term.hash}/{!Term.equal} do all the work. *)
+  let key_at positions args =
+    Term.App ("$key", List.map (fun p -> List.nth args p) positions)
+
+  let index_insert idx k fact =
+    Term_tbl.replace idx k
+      (fact :: Option.value ~default:[] (Term_tbl.find_opt idx k))
+
+  let index r positions =
+    match List.assoc_opt positions r.indexes with
+    | Some idx -> idx
+    | None ->
+        let idx = Term_tbl.create (max 64 r.n) in
+        iter (fun fact -> index_insert idx (key_at positions (args_of fact)) fact) r;
+        r.indexes <- (positions, idx) :: r.indexes;
+        idx
+
+  let add r t =
+    if Term_tbl.mem r.facts t then false
+    else begin
+      Term_tbl.replace r.facts t ();
+      if r.n = Array.length r.arr then begin
+        let bigger = Array.make (2 * r.n) dummy in
+        Array.blit r.arr 0 bigger 0 r.n;
+        r.arr <- bigger
+      end;
+      r.arr.(r.n) <- t;
+      r.n <- r.n + 1;
+      List.iter
+        (fun (positions, idx) ->
+          index_insert idx (key_at positions (args_of t)) t)
+        r.indexes;
+      true
+    end
+
+  (* Facts whose arguments at [positions] equal the corresponding (ground)
+     arguments of [args] — a superset check is not needed: unification
+     of a ground subterm succeeds only on structural equality, so the
+     bucket holds exactly the unification candidates for those positions. *)
+  let probe r positions args =
+    Option.value ~default:[]
+      (Term_tbl.find_opt (index r positions) (key_at positions args))
+end
 
 module Iset = Set.Make (Int)
 
@@ -351,64 +432,205 @@ let supported ?ignore ?refine db =
   match classify ?ignore ?refine db with Ok () -> true | Error _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* join planning: a greedy sideways-information-passing order            *)
+
+(* A guard is ready once every variable it reads is bound. *)
+let guard_ready bound = function
+  | Cmp (_, a, b) | Eq (_, a, b) ->
+      Iset.subset (Iset.union (vset a) (vset b)) bound
+  | Is (_, r) -> Iset.subset (vset r) bound
+  | Neg (_, atom) -> Iset.subset (vset atom) bound
+  | Never -> true
+  | Pos _ -> false
+
+(* How many arguments of [atom] the bindings in [bound] make ground —
+   the number of index positions a probe on this literal could use. *)
+let bound_arg_count bound atom =
+  match atom with
+  | Term.App (_, args) ->
+      List.fold_left
+        (fun n arg -> if Iset.subset (vset arg) bound then n + 1 else n)
+        0 args
+  | _ -> 0
+
+let remove_first x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest -> if y == x then List.rev_append acc rest else go (y :: acc) rest
+  in
+  go [] l
+
+(* Reorder one rule body: the delta literal (if the semi-naive driver aims
+   one) goes first, then repeatedly (a) flush every guard whose variables
+   are bound — [is/2] results extend the bound set, which can ready
+   further guards — and (b) pick the positive literal with the most bound
+   arguments (ties: textual order). Guards and negated literals only ever
+   run with all read variables ground, exactly as [check_safety]
+   guaranteed for the textual order, so reordering preserves semantics:
+   ground guards are order-independent filters and negation reads a
+   strictly lower (already complete) stratum. *)
+let order_body ~delta_at body =
+  if List.exists (function Never -> true | _ -> false) body then [ Never ]
+  else begin
+    let rec flush_guards bound plan remaining =
+      let ready, rest = List.partition (guard_ready bound) remaining in
+      if ready = [] then (bound, plan, rest)
+      else
+        let bound =
+          List.fold_left
+            (fun b -> function Is (l, _) -> Iset.union b (vset l) | _ -> b)
+            bound ready
+        in
+        flush_guards bound (plan @ ready) rest
+    in
+    let rec go bound plan remaining =
+      let bound, plan, remaining = flush_guards bound plan remaining in
+      if remaining = [] then plan
+      else
+        let best =
+          List.fold_left
+            (fun best lit ->
+              match lit with
+              | Pos (_, _, atom) -> (
+                  let c = bound_arg_count bound atom in
+                  match best with
+                  | Some (bc, _) when bc >= c -> best
+                  | _ -> Some (c, lit))
+              | _ -> best)
+            None remaining
+        in
+        match best with
+        | Some (_, (Pos (_, _, atom) as lit)) ->
+            go
+              (Iset.union bound (vset atom))
+              (plan @ [ lit ])
+              (remove_first lit remaining)
+        | _ ->
+            (* unreachable for safety-checked bodies; keep textual order *)
+            plan @ remaining
+    in
+    match delta_at with
+    | None -> go Iset.empty [] body
+    | Some i -> (
+        match
+          List.find_opt
+            (function Pos (j, _, _) -> j = i | _ -> false)
+            body
+        with
+        | Some (Pos (_, _, atom) as lit) ->
+            go (vset atom) [ lit ] (remove_first lit body)
+        | _ -> go Iset.empty [] body)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* evaluation                                                          *)
 
 type fixpoint = {
-  rels : (Rel.t, Term_set.t) Hashtbl.t;
+  rels : (Rel.t, Relation.t) Hashtbl.t;
   refine : refine;
   passes : int;
   firings : int;
   n_strata : int;
 }
 
-let run ?(strategy = Semi_naive) ?(ignore = Prelude.predicates)
-    ?(refine = fun _ -> None) ?(max_iterations = 10_000)
-    ?(max_facts = 1_000_000) db =
+let run ?(strategy = Semi_naive) ?(indexing = true)
+    ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
+    ?(max_iterations = 10_000) ?(max_facts = 1_000_000) db =
   let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
-  let rels : (Rel.t, Term_set.t) Hashtbl.t = Hashtbl.create 64 in
+  let rels : (Rel.t, Relation.t) Hashtbl.t = Hashtbl.create 64 in
   let total = ref 0 in
-  let get rel = Option.value ~default:Term_set.empty (Hashtbl.find_opt rels rel) in
+  let get rel =
+    match Hashtbl.find_opt rels rel with
+    | Some r -> r
+    | None ->
+        let r = Relation.create () in
+        Hashtbl.add rels rel r;
+        r
+  in
+  (* dedup-inserting a hash-consed copy keeps every stored fact canonical,
+     so later membership tests mostly resolve on physical equality *)
   let add rel t =
-    let s = get rel in
-    if Term_set.mem t s then false
-    else begin
-      Hashtbl.replace rels rel (Term_set.add t s);
+    let t = Term.hcons t in
+    if Relation.add (get rel) t then begin
       incr total;
       if !total > max_facts then failwith "Bottom_up.run: fact bound hit";
-      true
+      Some t
     end
+    else None
   in
-  List.iter (fun (rel, t) -> let _seen : bool = add rel t in ()) facts;
+  List.iter (fun (rel, t) -> Stdlib.ignore (add rel t)) facts;
+  (* body plans: with indexing on, a greedy bound-count order per rule
+     plus one per delta position; the scan baseline keeps textual order *)
+  let planned =
+    List.map
+      (fun r ->
+        if indexing then
+          ( r,
+            order_body ~delta_at:None r.body,
+            Array.init (Array.length r.pos_rels) (fun i ->
+                order_body ~delta_at:(Some i) r.body) )
+        else (r, r.body, Array.make (Array.length r.pos_rels) r.body))
+      rules
+  in
   let passes = ref 0 and firings = ref 0 in
   let tick () =
     incr passes;
     if !passes > max_iterations then failwith "Bottom_up.run: iteration bound hit"
   in
-  (* evaluate one rule body left to right; [delta_at] aims one positive
+  (* evaluate one rule body along its plan; [delta_at] aims one positive
      join position at the previous pass's delta instead of the full
-     relation *)
-  let eval_rule ~delta_at ~delta_set rule ~emit =
+     relation. Each positive literal is matched by the cheapest available
+     access path: O(1) membership when the in-flowing substitution
+     grounds it, an index probe on its ground argument positions, and a
+     full scan only when nothing is bound (or indexing is off). *)
+  let eval_rule ~delta_at ~delta rule plan ~emit =
     incr firings;
     let rec go subst lits =
       match lits with
       | [] -> emit rule.head_rel (Subst.apply subst rule.head)
       | Pos (i, rel, atom) :: rest -> (
-          let set =
-            match delta_at with Some j when j = i -> delta_set | _ -> get rel
+          let each fact =
+            match Unify.unify subst atom fact with
+            | Some s -> go s rest
+            | None -> ()
           in
-          let g = Subst.apply subst atom in
-          if Term.is_ground g then begin
-            if Term_set.mem g set then go subst rest
-          end
-          else
-            Term_set.iter
-              (fun fact ->
-                match Unify.unify subst atom fact with
-                | Some s -> go s rest
-                | None -> ())
-              set)
+          match delta_at with
+          | Some j when j = i -> (
+              let g = Subst.apply subst atom in
+              if Term.is_ground g then begin
+                if List.exists (Term.equal g) delta then go subst rest
+              end
+              else List.iter each delta)
+          | _ ->
+              let r = get rel in
+              let g = Subst.apply subst atom in
+              if Term.is_ground g then begin
+                if Relation.mem r g then go subst rest
+              end
+              else begin
+                let candidates =
+                  if not indexing then `Scan
+                  else
+                    match g with
+                    | Term.App (_, args) -> (
+                        let rev_positions, _ =
+                          List.fold_left
+                            (fun (acc, i) arg ->
+                              ( (if Term.is_ground arg then i :: acc else acc),
+                                i + 1 ))
+                            ([], 0) args
+                        in
+                        match List.rev rev_positions with
+                        | [] -> `Scan
+                        | positions -> `Probe (Relation.probe r positions args))
+                    | _ -> `Scan
+                in
+                match candidates with
+                | `Scan -> Relation.iter each r
+                | `Probe l -> List.iter each l
+              end)
       | Neg (rel, atom) :: rest ->
-          if not (Term_set.mem (Subst.apply subst atom) (get rel)) then
+          if not (Relation.mem (get rel) (Subst.apply subst atom)) then
             go subst rest
       | Cmp (op, a, b) :: rest -> (
           match (Arith.eval subst a, Arith.eval subst b) with
@@ -437,32 +659,32 @@ let run ?(strategy = Semi_naive) ?(ignore = Prelude.predicates)
               | None -> ()))
       | Never :: _ -> ()
     in
-    go Subst.empty rule.body
+    go Subst.empty plan
   in
   let by_stratum = Array.make (max n_strata 1) [] in
   List.iter
-    (fun r ->
+    (fun ((r, _, _) as entry) ->
       let s = stratum_of r.head_rel in
-      by_stratum.(s) <- r :: by_stratum.(s))
-    rules;
+      by_stratum.(s) <- entry :: by_stratum.(s))
+    planned;
   Array.iteri (fun i rs -> by_stratum.(i) <- List.rev rs) by_stratum;
   Array.iter
     (fun srules ->
       if srules <> [] then begin
         let new_facts = ref Rel_map.empty in
         let emit rel t =
-          if add rel t then
-            new_facts :=
-              Rel_map.update rel
-                (function
-                  | None -> Some (Term_set.singleton t)
-                  | Some s -> Some (Term_set.add t s))
-                !new_facts
+          match add rel t with
+          | None -> ()
+          | Some t ->
+              new_facts :=
+                Rel_map.update rel
+                  (function None -> Some [ t ] | Some l -> Some (t :: l))
+                  !new_facts
         in
         (* pass 1: every rule of the stratum against the full relations *)
         tick ();
         List.iter
-          (fun r -> eval_rule ~delta_at:None ~delta_set:Term_set.empty r ~emit)
+          (fun (r, plan, _) -> eval_rule ~delta_at:None ~delta:[] r plan ~emit)
           srules;
         let deltas = ref !new_facts in
         while not (Rel_map.is_empty !deltas) do
@@ -471,17 +693,18 @@ let run ?(strategy = Semi_naive) ?(ignore = Prelude.predicates)
           (match strategy with
           | Naive ->
               List.iter
-                (fun r ->
-                  eval_rule ~delta_at:None ~delta_set:Term_set.empty r ~emit)
+                (fun (r, plan, _) ->
+                  eval_rule ~delta_at:None ~delta:[] r plan ~emit)
                 srules
           | Semi_naive ->
               List.iter
-                (fun r ->
+                (fun (r, _, delta_plans) ->
                   Array.iteri
                     (fun i rel ->
                       match Rel_map.find_opt rel !deltas with
-                      | Some d when not (Term_set.is_empty d) ->
-                          eval_rule ~delta_at:(Some i) ~delta_set:d r ~emit
+                      | Some (_ :: _ as d) ->
+                          eval_rule ~delta_at:(Some i) ~delta:d r
+                            delta_plans.(i) ~emit
                       | _ -> ())
                     r.pos_rels)
                 srules);
@@ -494,7 +717,7 @@ let run ?(strategy = Semi_naive) ?(ignore = Prelude.predicates)
 (* ------------------------------------------------------------------ *)
 
 let facts fp =
-  Hashtbl.fold (fun _ set acc -> Term_set.elements set @ acc) fp.rels []
+  Hashtbl.fold (fun _ r acc -> Relation.elements r @ acc) fp.rels []
   |> List.sort Term.compare
 
 let rel_of_ground fp t =
@@ -517,7 +740,7 @@ let holds fp t =
   | Some rel -> (
       match Hashtbl.find_opt fp.rels rel with
       | None -> false
-      | Some set -> Term_set.mem t set)
+      | Some r -> Relation.mem r t)
 
 let facts_matching fp goal =
   match Term.functor_of goal with
@@ -527,19 +750,58 @@ let facts_matching fp goal =
       | Some rel -> (
           match Hashtbl.find_opt fp.rels rel with
           | None -> []
-          | Some set -> Term_set.elements set)
+          | Some r -> List.sort Term.compare (Relation.elements r))
       | None ->
           (* refined predicate queried with a variable at the refining
              argument: union over the predicate's refined relations *)
           Hashtbl.fold
-            (fun (r : Rel.t) set acc ->
+            (fun (r : Rel.t) rel acc ->
               if String.equal r.Rel.name name && r.Rel.arity = arity then
-                Term_set.elements set @ acc
+                Relation.elements rel @ acc
               else acc)
             fp.rels []
           |> List.sort Term.compare)
 
-let count fp = Hashtbl.fold (fun _ set acc -> acc + Term_set.cardinal set) fp.rels 0
+(* Candidates for a goal by the cheapest access path: membership for a
+   ground goal, an index probe on the goal's ground argument positions
+   for a half-bound goal, the whole relation otherwise. The result is a
+   superset of the facts unifiable with [goal] (exactly the bucket of
+   facts agreeing with the goal's ground arguments) and is unsorted. *)
+let probe fp goal =
+  match Term.functor_of goal with
+  | None -> []
+  | Some (name, arity) ->
+      let candidates (r : Relation.t) =
+        if Term.is_ground goal then if Relation.mem r goal then [ goal ] else []
+        else
+          match goal with
+          | Term.App (_, args) -> (
+              let rev_positions, _ =
+                List.fold_left
+                  (fun (acc, i) arg ->
+                    ((if Term.is_ground arg then i :: acc else acc), i + 1))
+                  ([], 0) args
+              in
+              match List.rev rev_positions with
+              | [] -> Relation.elements r
+              | positions -> Relation.probe r positions args)
+          | _ -> Relation.elements r
+      in
+      (match rel_of_ground fp goal with
+      | Some rel -> (
+          match Hashtbl.find_opt fp.rels rel with
+          | None -> []
+          | Some r -> candidates r)
+      | None ->
+          Hashtbl.fold
+            (fun (r : Rel.t) rel acc ->
+              if String.equal r.Rel.name name && r.Rel.arity = arity then
+                candidates rel @ acc
+              else acc)
+            fp.rels [])
+
+let count fp =
+  Hashtbl.fold (fun _ r acc -> acc + Relation.cardinal r) fp.rels 0
 let iterations fp = fp.passes
 let rule_firings fp = fp.firings
 let strata_count fp = fp.n_strata

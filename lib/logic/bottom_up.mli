@@ -12,8 +12,16 @@
       one positive body literal is matched against that {e delta} rather
       than the full relation — the classic Datalog optimisation.
 
-    Facts are stored in per-relation indexes rather than one flat set, so
-    a body literal only ever joins against its own predicate's facts.
+    Facts are stored per relation in hash sets of hash-consed terms
+    (O(1) expected membership; see {!Term.hash} and {!Term.hcons}), so a
+    body literal only ever joins against its own predicate's facts.
+    Joins are index-driven: each rule body is reordered by a greedy
+    sideways-information-passing plan (most bound arguments first, delta
+    literal leading under semi-naive evaluation), and every positive
+    literal with at least one ground argument probes a lazily built hash
+    index on those argument positions instead of scanning the relation.
+    [run ~indexing:false] disables both the plans and the probes — the
+    scan baseline the [engine-bu] benchmarks measure against.
 
     Three uses: materialising the consequences of a requirements base (all
     realised facts at once, independent of query order — see
@@ -58,6 +66,7 @@ val supported : ?ignore:(string * int) list -> ?refine:refine -> Database.t -> b
 
 val run :
   ?strategy:strategy ->
+  ?indexing:bool ->
   ?ignore:(string * int) list ->
   ?refine:refine ->
   ?max_iterations:int ->
@@ -68,7 +77,11 @@ val run :
     strategy {!Semi_naive}; default bounds: 10_000 passes, 1_000_000
     facts — exceeding either raises [Failure], which only unsafe
     function-symbol recursion can trigger). Raises {!Unsupported} with
-    the {!classify} reason when the database leaves the fragment. *)
+    the {!classify} reason when the database leaves the fragment.
+    [indexing] (default [true]) controls the join machinery: when off,
+    bodies evaluate in textual order and positive literals scan their
+    whole relation — the measured-against baseline, semantically
+    identical to the indexed path. *)
 
 val facts : fixpoint -> Term.t list
 (** All derived ground atoms, sorted in the standard order of terms. *)
@@ -81,6 +94,15 @@ val facts_matching : fixpoint -> Term.t -> Term.t list
     constant at the refinement position when possible; the union of the
     predicate's refined relations when that argument is a variable),
     sorted. The goal itself is not unified against them — callers filter. *)
+
+val probe : fixpoint -> Term.t -> Term.t list
+(** Candidate facts for a possibly non-ground goal, narrowed by the
+    cheapest access path: a membership test when the goal is ground, a
+    hash-index probe on the goal's ground argument positions when it is
+    half-bound, and the stored relation(s) otherwise. Always a superset
+    of the facts unifiable with the goal — callers still unify/filter —
+    and unsorted (unlike {!facts_matching}). [Gdp_core.Query]'s
+    materialised mode answers through this instead of scanning. *)
 
 val count : fixpoint -> int
 

@@ -231,22 +231,26 @@ let retract db c =
   let fa = head_functor c in
   match Sm.find_opt fa db.preds with
   | None -> false
-  | Some p ->
-      (* entries are stored newest-first; the first match in assertion
-         order is therefore the matching entry with the LARGEST index. *)
-      let target = ref (-1) in
-      List.iteri
-        (fun i e -> if variant_clause e.clause c then target := i)
-        p.entries;
-      if !target < 0 then false
-      else begin
-        (match List.nth_opt p.entries !target with
-        | Some e -> bucket_remove p e
-        | None -> ());
-        p.entries <- List.filteri (fun i _ -> i <> !target) p.entries;
-        p.count <- p.count - 1;
-        true
-      end
+  | Some p -> (
+      (* entries are stored newest-first; the first match in clause order
+         is therefore the LAST matching entry of the list. One
+         tail-recursive pass finds it and keeps the pieces needed to
+         splice it out without re-traversing. *)
+      let rec scan acc found = function
+        | [] -> found
+        | e :: rest ->
+            let found =
+              if variant_clause e.clause c then Some (e, acc, rest) else found
+            in
+            scan (e :: acc) found rest
+      in
+      match scan [] None p.entries with
+      | None -> false
+      | Some (e, rev_prefix, rest) ->
+          bucket_remove p e;
+          p.entries <- List.rev_append rev_prefix rest;
+          p.count <- p.count - 1;
+          true)
 
 let retract_all db fa = db.preds <- Sm.remove fa db.preds
 let fact db h = assertz db { head = h; body = [] }
@@ -261,12 +265,16 @@ let compatible gk ck =
   | Kapp (f, n), Kapp (g, m) -> String.equal f g && n = m
   | (Katom _ | Kint _ | Kfloat _ | Kstr _ | Kapp _), _ -> false
 
-(* merge two descending-seq entry lists into one descending-seq list *)
-let rec merge_desc a b =
-  match (a, b) with
-  | [], l | l, [] -> l
-  | x :: xs, y :: ys ->
-      if x.seq > y.seq then x :: merge_desc xs b else y :: merge_desc a ys
+(* merge two descending-seq entry lists into one descending-seq list;
+   tail-recursive so a large bucket cannot overflow the stack *)
+let merge_desc a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], l | l, [] -> List.rev_append acc l
+    | x :: xs, y :: ys ->
+        if x.seq > y.seq then go (x :: acc) xs b else go (y :: acc) a ys
+  in
+  go [] a b
 
 let clauses db goal =
   match Term.functor_of goal with

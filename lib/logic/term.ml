@@ -59,7 +59,12 @@ let as_list t =
   in
   go [] t
 
+(* Physical equality first: facts stored by the bottom-up engine are
+   hash-consed (see {!hcons}), so equal subterms are usually shared and
+   the deep walk is skipped. *)
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Var v, Var w -> v.id = w.id
   | Atom x, Atom y -> String.equal x y
@@ -72,6 +77,66 @@ let rec equal a b =
       && List.for_all2 equal xs ys
   | (Var _ | Atom _ | Int _ | Float _ | Str _ | App _), _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Structural hashing and hash-consing.
+
+   [hash] folds the whole term (no [Hashtbl.hash] depth cutoff, which
+   would collide every deep fact onto few buckets) and is consistent with
+   [equal]/[compare]: equal terms hash equally. Variables hash by [id],
+   matching [equal]'s id-only variable equality. *)
+
+let fold_hash h x = (h * 0x01000193) lxor (x land max_int)
+
+let rec hash_into h t =
+  match t with
+  | Var v -> fold_hash (fold_hash h 1) v.id
+  | Float f -> fold_hash (fold_hash h 2) (Hashtbl.hash f)
+  | Int n -> fold_hash (fold_hash h 3) n
+  | Atom s -> fold_hash (fold_hash h 4) (Hashtbl.hash s)
+  | Str s -> fold_hash (fold_hash h 5) (Hashtbl.hash s)
+  | App (f, args) ->
+      let h = fold_hash (fold_hash h 6) (Hashtbl.hash f) in
+      List.fold_left hash_into h args
+
+let hash t = hash_into 0x811c9dc5 t land max_int
+
+(* Maximal sharing through a weak set: [hcons t] returns the canonical
+   physically-unique representative of [t]'s equivalence class, consing
+   bottom-up so shared subterms are single objects. Node-level equality
+   compares children with [==] (they are canonical already); variables
+   share only per record so a variable's printing name is never swapped
+   for another equal-id spelling. Weak storage lets the GC reclaim
+   representatives no live relation still references. *)
+module Hset = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b =
+    match (a, b) with
+    | Var v, Var w -> v == w
+    | Atom x, Atom y -> String.equal x y
+    | Int x, Int y -> x = y
+    | Float x, Float y ->
+        Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | Str x, Str y -> String.equal x y
+    | App (f, xs), App (g, ys) ->
+        String.equal f g
+        && List.length xs = List.length ys
+        && List.for_all2 ( == ) xs ys
+    | (Var _ | Atom _ | Int _ | Float _ | Str _ | App _), _ -> false
+
+  let hash = hash
+end)
+
+let hcons_table = Hset.create 4096
+
+let rec hcons t =
+  match t with
+  | Var _ | Atom _ | Int _ | Float _ | Str _ -> Hset.merge hcons_table t
+  | App (f, args) ->
+      let args' = List.map hcons args in
+      let t' = if List.for_all2 ( == ) args args' then t else App (f, args') in
+      Hset.merge hcons_table t'
+
 (* Standard order of terms: Var < Float < Int < Atom < Str < App. *)
 let rank = function
   | Var _ -> 0
@@ -82,19 +147,21 @@ let rank = function
   | App _ -> 5
 
 let rec compare a b =
-  match (a, b) with
-  | Var v, Var w -> Int.compare v.id w.id
-  | Float x, Float y -> Float.compare x y
-  | Int x, Int y -> Int.compare x y
-  | Atom x, Atom y -> String.compare x y
-  | Str x, Str y -> String.compare x y
-  | App (f, xs), App (g, ys) ->
-      let c = Int.compare (List.length xs) (List.length ys) in
-      if c <> 0 then c
-      else
-        let c = String.compare f g in
-        if c <> 0 then c else List.compare compare xs ys
-  | _ -> Int.compare (rank a) (rank b)
+  if a == b then 0
+  else
+    match (a, b) with
+    | Var v, Var w -> Int.compare v.id w.id
+    | Float x, Float y -> Float.compare x y
+    | Int x, Int y -> Int.compare x y
+    | Atom x, Atom y -> String.compare x y
+    | Str x, Str y -> String.compare x y
+    | App (f, xs), App (g, ys) ->
+        let c = Int.compare (List.length xs) (List.length ys) in
+        if c <> 0 then c
+        else
+          let c = String.compare f g in
+          if c <> 0 then c else List.compare compare xs ys
+    | _ -> Int.compare (rank a) (rank b)
 
 let rec rename lookup fresh t =
   match t with

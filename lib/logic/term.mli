@@ -69,7 +69,24 @@ val variant : t -> t -> bool
 
 val compare : t -> t -> int
 (** A total *standard order of terms*: [Var < Float < Int < Atom < Str <
-    App], variables by id, compounds by arity, then name, then arguments. *)
+    App], variables by id, compounds by arity, then name, then arguments.
+    Physically equal terms short-circuit to [0]. *)
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal} and {!compare}:
+    [compare a b = 0] implies [hash a = hash b]. Unlike [Hashtbl.hash]
+    there is no depth cutoff, so deep ground facts spread over buckets
+    instead of colliding; variables hash by [id] only, matching {!equal}.
+    Non-negative. *)
+
+val hcons : t -> t
+(** [hcons t] is the canonical, maximally shared representative of [t]:
+    [equal t (hcons t)] always, and [hcons a == hcons b] whenever
+    [equal a b] (for variables, per shared [var] record). Canonical terms
+    make the physical-equality fast paths of {!equal}/{!compare} hit on
+    every shared subterm, so set membership and tuple dedup in the
+    bottom-up engine are cheap even for deep terms. Representatives are
+    held weakly: the GC reclaims what no live index still references. *)
 
 val rename : (int -> var option) -> (var -> t) -> t -> t
 (** [rename lookup fresh t] replaces every variable [v] of [t] by

@@ -121,7 +121,7 @@ reachable from n1:
   $ gdprs check dl.gdp --materialize
   world view: {w}
   meta view:  {}
-  materialised: 18 facts, 2 strata, 5 passes
+  materialised: 18 facts, 2 strata, 4 passes
   INCONSISTENT: 1 violation(s)
     w: ERROR(flagged_reachable, n3)
   [1]

@@ -1,8 +1,9 @@
 (* Differential testing: on the stratified Datalog fragment the top-down
-   SLDNF engine and both bottom-up strategies (the naive reference and
-   the semi-naive default) must derive exactly the same ground atoms —
-   including negation as failure over lower strata and ground arithmetic
-   guards. *)
+   SLDNF engine and every bottom-up configuration — the naive reference,
+   the semi-naive default with index-driven reordered joins, and the
+   semi-naive scan baseline ([~indexing:false]) — must derive exactly
+   the same ground atoms, including negation as failure over lower
+   strata and ground arithmetic guards. *)
 
 open Gdp_logic
 
@@ -128,15 +129,19 @@ let test_delta_refiring () =
 
 (* Probe every ground atom of the (finite) Herbrand base over the user
    predicates: top-down provability must coincide with bottom-up
-   membership, and the two bottom-up strategies must compute the same
-   fixpoint. Ground probes with the ancestor loop check keep each SLD
-   search finite; prelude predicates are skipped (the fixpoint ignores
-   their clauses, and e.g. [forall] succeeds vacuously top-down). *)
+   membership, and every bottom-up configuration — naive, semi-naive with
+   index-driven reordered joins (the default), and semi-naive restricted
+   to textual-order full scans — must compute the same fixpoint. Ground
+   probes with the ancestor loop check keep each SLD search finite;
+   prelude predicates are skipped (the fixpoint ignores their clauses,
+   and e.g. [forall] succeeds vacuously top-down). *)
 let agree ?(constants = [ "a"; "b"; "c" ]) db =
   let fp = Bottom_up.run db in
   let fp_naive = Bottom_up.run ~strategy:Bottom_up.Naive db in
+  let fp_scan = Bottom_up.run ~indexing:false db in
   let opts = { Solve.default_options with loop_check = true } in
   List.equal Term.equal (Bottom_up.facts fp) (Bottom_up.facts fp_naive)
+  && List.equal Term.equal (Bottom_up.facts fp) (Bottom_up.facts fp_scan)
   && (* every bottom-up consequence (including atoms outside the constant
         base) is provable top-down *)
   List.for_all
@@ -291,6 +296,36 @@ let prop_differential_stratified =
     (fun src ->
       agree ~constants:[ "a"; "b"; "c"; "d" ] (engine_db_of src))
 
+(* [Bottom_up.probe] narrows candidates through the argument indexes; on
+   any goal shape the unifiable subset must coincide with what filtering
+   the goal's whole (sorted) relation yields. *)
+let test_probe_consistency () =
+  let db =
+    db_of
+      "e(a, b). e(b, c). e(c, d). e(a, d).\n\
+       p(X, Y) :- e(X, Y). p(X, Y) :- e(X, Z), p(Z, Y)."
+  in
+  let fp = Bottom_up.run db in
+  let unifiable goal facts =
+    List.filter (fun f -> Unify.unify Subst.empty goal f <> None) facts
+    |> List.sort Term.compare
+  in
+  List.iter
+    (fun goal_src ->
+      let goal = Reader.term goal_src in
+      Alcotest.(check (list string))
+        goal_src
+        (List.map Term.to_string (unifiable goal (Bottom_up.facts_matching fp goal)))
+        (List.map Term.to_string (unifiable goal (Bottom_up.probe fp goal))))
+    [
+      "p(a, X)" (* bound first argument: probes the index on position 0 *);
+      "p(X, d)" (* bound second argument *);
+      "p(a, d)" (* ground: membership *);
+      "p(X, Y)" (* open: falls back to the full relation *);
+      "p(X, X)" (* repeated variable: superset is filtered by unification *);
+      "q(X)" (* unknown predicate: empty either way *);
+    ]
+
 let tests =
   [
     Alcotest.test_case "fixpoint basics" `Quick test_bottom_up_basics;
@@ -302,6 +337,8 @@ let tests =
     Alcotest.test_case "semi-naive delta re-firing" `Quick test_delta_refiring;
     Alcotest.test_case "differential: fixed programs" `Quick
       test_differential_fixed_programs;
+    Alcotest.test_case "probe matches filtered relation" `Quick
+      test_probe_consistency;
     QCheck_alcotest.to_alcotest prop_differential;
     QCheck_alcotest.to_alcotest prop_differential_stratified;
   ]

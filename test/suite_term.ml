@@ -161,6 +161,33 @@ let prop_list_roundtrip =
       | Some l' -> List.length l = List.length l' && List.for_all2 Term.equal l l'
       | None -> false)
 
+(* A structurally equal deep copy sharing no nodes with the original —
+   the adversarial input for hash consistency and hash-consing, since
+   the physical-equality fast paths can never fire on it. *)
+let rec clone (t : Term.t) =
+  match t with
+  | Term.Var _ | Term.Atom _ | Term.Int _ | Term.Float _ -> t
+  | Term.Str s -> Term.Str (String.init (String.length s) (String.get s))
+  | Term.App (f, args) ->
+      Term.App (String.init (String.length f) (String.get f), List.map clone args)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"compare a b = 0 implies hash a = hash b" ~count:500
+    (QCheck.pair arb_term arb_term)
+    (fun (a, b) ->
+      (Term.compare a b <> 0 || Term.hash a = Term.hash b)
+      && Term.hash a = Term.hash (clone a))
+
+let prop_hcons_canonical =
+  QCheck.Test.make
+    ~name:"hcons maps structurally equal terms to one representative"
+    ~count:500 arb_term
+    (fun t ->
+      let c = clone t in
+      Term.equal (Term.hcons t) t
+      && Term.hcons t == Term.hcons c
+      && Term.hash (Term.hcons t) = Term.hash t)
+
 let tests =
   [
     Alcotest.test_case "app identifies atoms" `Quick test_app_identifies_atoms;
@@ -180,4 +207,6 @@ let tests =
     QCheck_alcotest.to_alcotest prop_compare_total;
     QCheck_alcotest.to_alcotest prop_compare_equal_consistent;
     QCheck_alcotest.to_alcotest prop_list_roundtrip;
+    QCheck_alcotest.to_alcotest prop_hash_consistent;
+    QCheck_alcotest.to_alcotest prop_hcons_canonical;
   ]
