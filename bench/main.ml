@@ -871,6 +871,7 @@ type bu_row = {
   br_indexed_ms : float;
   br_indexed_firings : int;
   br_agree : bool;
+  br_stats : Gdp_logic.Bottom_up.stats;  (** of the indexed run *)
 }
 
 let bu_measure db scale =
@@ -891,6 +892,7 @@ let bu_measure db scale =
       Bottom_up.count scan_fp = Bottom_up.count idx_fp
       && List.equal Term.equal (Bottom_up.facts scan_fp)
            (Bottom_up.facts idx_fp);
+    br_stats = Bottom_up.stats idx_fp;
   }
 
 let bu_speedup r = r.br_scan_ms /. Float.max 0.01 r.br_indexed_ms
@@ -971,12 +973,27 @@ let bench_json ?(small = false) () =
           row "  %8d %10d %10.1f %10.1f %7.1fx  %s\n" r.br_scale r.br_facts
             r.br_scan_ms r.br_indexed_ms (bu_speedup r)
             (if r.br_agree then "yes" else "DISAGREE");
+          let s = r.br_stats in
+          let stratum_ms =
+            s.Gdp_logic.Bottom_up.bu_strata_stats
+            |> List.map (fun st ->
+                   Printf.sprintf "%.3f" st.Gdp_logic.Bottom_up.st_ms)
+            |> String.concat ", "
+          in
           add
             "        { \"scale\": %d, \"facts\": %d, \"passes\": %d, \
              \"scan_ms\": %.3f, \"scan_firings\": %d, \"indexed_ms\": %.3f, \
-             \"indexed_firings\": %d, \"speedup\": %.2f, \"agree\": %b }%s\n"
+             \"indexed_firings\": %d, \"speedup\": %.2f, \"agree\": %b, \
+             \"strata\": %d, \"probes\": %d, \"scans\": %d, \
+             \"membership_tests\": %d, \"hcons_hit_rate\": %.4f, \
+             \"stratum_ms\": [%s] }%s\n"
             r.br_scale r.br_facts r.br_passes r.br_scan_ms r.br_scan_firings
             r.br_indexed_ms r.br_indexed_firings (bu_speedup r) r.br_agree
+            s.Gdp_logic.Bottom_up.bu_strata s.Gdp_logic.Bottom_up.bu_index_probes
+            s.Gdp_logic.Bottom_up.bu_full_scans
+            s.Gdp_logic.Bottom_up.bu_membership_tests
+            (Gdp_logic.Bottom_up.hcons_hit_rate s)
+            stratum_ms
             (if si < n_sizes - 1 then "," else ""))
         sizes;
       add "      ]\n    }%s\n" (if wi < n_workloads - 1 then "," else ""))

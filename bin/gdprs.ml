@@ -1,11 +1,13 @@
 (* gdprs — command-line front end for GDP requirements specifications.
 
    Subcommands:
-     check  FILE            parse, elaborate, report consistency
-     query  FILE PATTERN    run a fact-pattern query
-     ask    FILE GOAL       run a raw engine goal
-     render FILE ...        rasterize a predicate layer to PPM/ASCII
-     info   FILE            inventory of the specification *)
+     check   FILE           parse, elaborate, report consistency
+     query   FILE PATTERN   run a fact-pattern query
+     ask     FILE GOAL      run a raw engine goal
+     profile FILE GOAL      run a goal with telemetry: profile tree,
+                            port counters, optional Chrome trace JSON
+     render  FILE ...       rasterize a predicate layer to PPM/ASCII
+     info    FILE           inventory of the specification *)
 
 open Cmdliner
 open Gdp_core
@@ -41,6 +43,18 @@ let materialize_arg =
 let with_materialize q materialize =
   if materialize then Query.with_mode q Query.Materialized else q
 
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print engine statistics after the answer: per-predicate \
+                 call/exit/redo/fail port counters for the top-down engine \
+                 and per-stratum fixpoint metrics when materialised.")
+
+let enable_telemetry result =
+  result.Gdp_lang.Elaborate.spec.Spec.telemetry <- true
+
+let print_stats q = Format.printf "-- stats --@.%a@." Query.pp_stats q
+
 let handle_errors f =
   try f () with
   | Gdp_lang.Elaborate.Error msg | Gdp_lang.Parser.Error msg ->
@@ -52,16 +66,21 @@ let handle_errors f =
   | Gdp_logic.Bottom_up.Unsupported msg ->
       Printf.eprintf "error: not materializable: %s\n" msg;
       exit 2
-  | Gdp_logic.Solve.Depth_exhausted ->
-      Printf.eprintf "error: inference depth exhausted (try simpler queries or fewer meta-models)\n";
+  | Gdp_logic.Solve.Depth_exhausted { depth; goal } ->
+      Printf.eprintf
+        "error: inference depth %d exhausted while proving %s (try simpler \
+         queries or fewer meta-models)\n"
+        depth
+        (Gdp_logic.Term.to_string goal);
       exit 3
 
 (* ---- check ---- *)
 
 let check_cmd =
-  let run file view models metas materialize =
+  let run file view models metas materialize stats =
     handle_errors (fun () ->
         let result = load file in
+        if stats then enable_telemetry result;
         let q = with_materialize (build_query result view models metas) materialize in
         Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
         Printf.printf "meta view:  {%s}\n" (String.concat ", " (Query.meta_view q));
@@ -72,18 +91,23 @@ let check_cmd =
             (Gdp_logic.Bottom_up.strata_count fp)
             (Gdp_logic.Bottom_up.iterations fp)
         end;
-        match Query.violations q with
-        | [] ->
-            print_endline "consistent: no constraint violations";
-            0
-        | viols ->
-            Printf.printf "INCONSISTENT: %d violation(s)\n" (List.length viols);
-            List.iter (fun v -> Format.printf "  %a@." Query.pp_violation v) viols;
-            1)
+        let code =
+          match Query.violations q with
+          | [] ->
+              print_endline "consistent: no constraint violations";
+              0
+          | viols ->
+              Printf.printf "INCONSISTENT: %d violation(s)\n" (List.length viols);
+              List.iter (fun v -> Format.printf "  %a@." Query.pp_violation v) viols;
+              1
+        in
+        if stats then print_stats q;
+        code)
   in
   let doc = "Check a specification's consistency under a world view (§III-E)." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg
+          $ stats_arg)
 
 (* ---- query ---- *)
 
@@ -95,23 +119,28 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Maximum answers.")
   in
-  let run file view models metas pattern limit materialize =
+  let run file view models metas pattern limit materialize stats =
     handle_errors (fun () ->
         let result = load file in
+        if stats then enable_telemetry result;
         let q = with_materialize (build_query result view models metas) materialize in
         let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
-        match Query.solutions ~limit q pat with
-        | [] ->
-            print_endline "not provable (open world: undefined)";
-            1
-        | sols ->
-            List.iter (fun f -> Format.printf "%a@." Gfact.pp f) sols;
-            0)
+        let code =
+          match Query.solutions ~limit q pat with
+          | [] ->
+              print_endline "not provable (open world: undefined)";
+              1
+          | sols ->
+              List.iter (fun f -> Format.printf "%a@." Gfact.pp f) sols;
+              0
+        in
+        if stats then print_stats q;
+        code)
   in
   let doc = "Enumerate the provable instantiations of a fact pattern." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
-          $ limit_arg $ materialize_arg)
+          $ limit_arg $ materialize_arg $ stats_arg)
 
 (* ---- ask ---- *)
 
@@ -120,30 +149,88 @@ let ask_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"Raw engine goal over the reified vocabulary (holds/6, acc/7, builtins).")
   in
-  let run file view models metas goal =
+  let run file view models metas goal stats =
     handle_errors (fun () ->
         let result = load file in
+        if stats then enable_telemetry result;
         let q = build_query result view models metas in
-        match Query.ask_all ~limit:20 q goal with
-        | [] ->
-            print_endline "no";
-            1
-        | [ [] ] ->
-            print_endline "yes";
-            0
-        | answers ->
-            List.iter
-              (fun bindings ->
-                bindings
-                |> List.map (fun (n, t) ->
-                       Printf.sprintf "%s = %s" n (Gdp_logic.Term.to_string t))
-                |> String.concat ", " |> print_endline)
-              answers;
-            0)
+        let code =
+          match Query.ask_all ~limit:20 q goal with
+          | [] ->
+              print_endline "no";
+              1
+          | [ [] ] ->
+              print_endline "yes";
+              0
+          | answers ->
+              List.iter
+                (fun bindings ->
+                  bindings
+                  |> List.map (fun (n, t) ->
+                         Printf.sprintf "%s = %s" n (Gdp_logic.Term.to_string t))
+                  |> String.concat ", " |> print_endline)
+                answers;
+              0
+        in
+        if stats then print_stats q;
+        code)
   in
   let doc = "Run a raw engine goal against the compiled database." in
   Cmd.v (Cmd.info "ask" ~doc)
-    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
+          $ stats_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let goal_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"GOAL"
+             ~doc:"Raw engine goal over the reified vocabulary (holds/6, \
+                   acc/7, builtins); every answer is drained.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the run as Chrome trace-event JSON, loadable in \
+                   chrome://tracing or Perfetto.")
+  in
+  let run file view models metas goal materialize trace_out =
+    handle_errors (fun () ->
+        let result = load file in
+        enable_telemetry result;
+        let q =
+          with_materialize (build_query result view models metas) materialize
+        in
+        if materialize then Stdlib.ignore (Query.materialization q);
+        let answers = Query.ask_all q goal in
+        let tracer = Query.tracer q in
+        Gdp_obs.Tracer.finish tracer;
+        Printf.printf "answers: %d\n" (List.length answers);
+        (* each user-predicate Call port opened exactly one "solve" span *)
+        (match Query.solve_stats q with
+        | Some s ->
+            Printf.printf "solve spans: %d (call ports: %d)\n"
+              (Gdp_obs.Tracer.span_count ~cat:"solve" tracer)
+              (Gdp_logic.Solve.total_calls s)
+        | None -> ());
+        print_stats q;
+        Format.printf "-- profile --@.%a@." Gdp_obs.Export.pp_profile tracer;
+        (match trace_out with
+        | Some path ->
+            let n = Gdp_obs.Export.write_chrome_trace tracer path in
+            Printf.printf "wrote %s (%d events)\n" path n
+        | None -> ());
+        0)
+  in
+  let doc =
+    "Run a goal with full engine telemetry: a profile tree of the recorded \
+     spans, four-port counters per predicate, fixpoint metrics under \
+     $(b,--materialize), and optionally a Chrome trace."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
+          $ materialize_arg $ trace_out_arg)
 
 (* ---- render ---- *)
 
@@ -302,6 +389,7 @@ let main =
   let doc = "formal specification of geographic data processing requirements" in
   let info = Cmd.info "gdprs" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ check_cmd; query_cmd; ask_cmd; render_cmd; lint_cmd; explain_cmd; info_cmd ]
+    [ check_cmd; query_cmd; ask_cmd; profile_cmd; render_cmd; lint_cmd;
+      explain_cmd; info_cmd ]
 
 let () = exit (Cmd.eval' main)

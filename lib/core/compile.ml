@@ -98,7 +98,9 @@ let emit_model spec db ~propagate (md : Spec.model_def) =
     md.Spec.rules;
   List.iter (fun r -> assert_clause db (rule_clause ~model r)) md.Spec.constraints
 
-let compile ?world_view ?(meta_view = []) spec =
+let compile ?world_view ?(meta_view = []) ?(tracer = Gdp_obs.Tracer.disabled)
+    spec =
+  Gdp_obs.Tracer.with_span tracer ~cat:"compile" "compile" @@ fun () ->
   let world_view =
     match world_view with Some wv -> wv | None -> Spec.default_world_view spec
   in

@@ -18,8 +18,15 @@ type t = private {
       (** true when an active meta-model requires the ancestor loop check *)
 }
 
-val compile : ?world_view:string list -> ?meta_view:string list -> Spec.t -> t
-(** Defaults: all declared models, empty meta-view. Raises
+val compile :
+  ?world_view:string list ->
+  ?meta_view:string list ->
+  ?tracer:Gdp_obs.Tracer.t ->
+  Spec.t ->
+  t
+(** Defaults: all declared models, empty meta-view, disabled tracer
+    (when enabled the whole compilation is recorded as one
+    ["compile"]-category span). Raises
     [Invalid_argument] on names that are not declared. The database
     contains, in order: generator facts ([model/1], [pred/3], [obj/1],
     [space/1], [tspace/1], [region/1]), each model's basic facts

@@ -5,12 +5,21 @@ type engine_mode = Top_down | Materialized
 type t = {
   compiled : Compile.t;
   options : Solve.options;
+  tracer : Gdp_obs.Tracer.t;
+  solve_stats : Solve.stats option;
   mode : engine_mode;
   mutable fp : Bottom_up.fixpoint option;
       (** lazily computed, shared by the [with_mode] copies of this query *)
 }
 
-let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode
+let tracer_for ?tracer (spec : Spec.t) =
+  match tracer with
+  | Some tr -> tr
+  | None ->
+      if spec.Spec.telemetry then Gdp_obs.Tracer.create ()
+      else Gdp_obs.Tracer.disabled
+
+let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode ?tracer
     (compiled : Compile.t) =
   let mode =
     match mode with
@@ -18,6 +27,11 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode
     | None ->
         if compiled.Compile.spec.Spec.prefer_materialized then Materialized
         else Top_down
+  in
+  let tracer = tracer_for ?tracer compiled.Compile.spec in
+  let solve_stats =
+    if Gdp_obs.Tracer.enabled tracer then Some (Solve.create_stats ())
+    else None
   in
   {
     compiled;
@@ -27,14 +41,19 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode
         max_depth;
         on_depth;
         loop_check = compiled.Compile.needs_loop_check;
+        stats = solve_stats;
+        tracer;
       };
+    tracer;
+    solve_stats;
     mode;
     fp = None;
   }
 
-let create ?world_view ?meta_view ?max_depth ?on_depth ?mode spec =
-  of_compiled ?max_depth ?on_depth ?mode
-    (Compile.compile ?world_view ?meta_view spec)
+let create ?world_view ?meta_view ?max_depth ?on_depth ?mode ?tracer spec =
+  let tracer = tracer_for ?tracer spec in
+  of_compiled ?max_depth ?on_depth ?mode ~tracer
+    (Compile.compile ?world_view ?meta_view ~tracer spec)
 
 let spec q = q.compiled.Compile.spec
 let db q = q.compiled.Compile.db
@@ -50,9 +69,18 @@ let materialization q =
   match q.fp with
   | Some fp -> fp
   | None ->
-      let fp = Bottom_up.run ~refine:Compile.datalog_refine (db q) in
+      let fp =
+        Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "materialize"
+          (fun () ->
+            Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
+              (db q))
+      in
       q.fp <- Some fp;
       fp
+
+let tracer q = q.tracer
+let solve_stats q = q.solve_stats
+let op_span q name fn = Gdp_obs.Tracer.with_span q.tracer ~cat:"query" name fn
 
 let take limit l =
   match limit with
@@ -60,6 +88,7 @@ let take limit l =
   | Some n -> List.filteri (fun i _ -> i < n) l
 
 let holds q pattern =
+  op_span q "holds" @@ fun () ->
   let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
   match q.mode with
   | Top_down -> Solve.succeeds ~options:q.options (db q) [ goal ]
@@ -85,6 +114,7 @@ let dedupe_by key l =
     l
 
 let solutions ?limit q pattern =
+  op_span q "solutions" @@ fun () ->
   let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
   match q.mode with
   | Top_down ->
@@ -104,6 +134,7 @@ let solutions ?limit q pattern =
       |> take limit
 
 let accuracy q pattern =
+  op_span q "accuracy" @@ fun () ->
   let a = Term.var "A" in
   let goal = Gfact.to_acc_max ~default_model:Names.default_model pattern a in
   match Solve.first ~options:q.options (db q) [ goal ] with
@@ -115,6 +146,7 @@ let accuracy q pattern =
       | _ -> None)
 
 let accuracies ?limit q pattern =
+  op_span q "accuracies" @@ fun () ->
   let a = Term.var "A" in
   let hgoal = Gfact.to_holds ~default_model:Names.default_model pattern in
   let goal = Gfact.to_acc_max ~default_model:Names.default_model pattern a in
@@ -141,6 +173,7 @@ let decode_violation_parts model values objects =
   | _ -> None
 
 let violations ?limit q =
+  op_span q "violations" @@ fun () ->
   let m = Term.var "M"
   and vs = Term.var "Vs"
   and os = Term.var "Os"
@@ -207,7 +240,9 @@ let explain q pattern =
   |> Option.map (fun proof ->
          Format.asprintf "%a" (Explain.pp ~pp_goal:pp_reified) proof)
 
-let ask q src = Solve.succeeds ~options:q.options (db q) (Reader.goals src)
+let ask q src =
+  op_span q "ask" @@ fun () ->
+  Solve.succeeds ~options:q.options (db q) (Reader.goals src)
 
 let named_vars goals =
   List.concat_map Term.vars goals
@@ -223,9 +258,37 @@ let named_vars goals =
   |> List.rev
 
 let ask_all ?limit q src =
+  op_span q "ask_all" @@ fun () ->
   let goals = Reader.goals src in
   Solve.all ~options:q.options ?limit (db q) goals
   |> List.map (fun s -> Subst.restrict (named_vars goals) s)
+
+let pp_stats ppf q =
+  Format.fprintf ppf "@[<v>engine: %s@,"
+    (match q.mode with
+    | Top_down -> "top-down"
+    | Materialized -> "materialized");
+  (match q.solve_stats with
+  | None -> ()
+  | Some s ->
+      (match Solve.stats_ports s with
+      | [] -> ()
+      | ports ->
+          Format.fprintf ppf "%-24s %8s %8s %8s %8s@," "predicate" "call"
+            "exit" "redo" "fail";
+          List.iter
+            (fun ((name, arity), (pc : Solve.port_counts)) ->
+              Format.fprintf ppf "%-24s %8d %8d %8d %8d@,"
+                (Printf.sprintf "%s/%d" name arity)
+                pc.Solve.calls pc.Solve.exits pc.Solve.redos pc.Solve.fails)
+            ports);
+      Format.fprintf ppf
+        "unifications: %d  loop prunes: %d  deepest call: %d@,"
+        s.Solve.unifications s.Solve.loop_prunes s.Solve.deepest_call);
+  (match q.fp with
+  | Some fp -> Bottom_up.pp_stats ppf (Bottom_up.stats fp)
+  | None -> ());
+  Format.fprintf ppf "@]"
 
 let pp_violation ppf v =
   Format.fprintf ppf "%s: ERROR(%s%a)%a" v.v_model v.v_tag

@@ -25,6 +25,7 @@ val create :
   ?max_depth:int ->
   ?on_depth:[ `Fail | `Raise ] ->
   ?mode:engine_mode ->
+  ?tracer:Gdp_obs.Tracer.t ->
   Spec.t ->
   t
 (** Compile and wrap. The engine's ancestor loop check is enabled
@@ -32,12 +33,17 @@ val create :
     [max_depth = 100_000], [on_depth = `Raise] (a blown budget surfaces as
     {!Gdp_logic.Solve.Depth_exhausted} rather than silent failure);
     [mode] follows [spec.Spec.prefer_materialized] (normally
-    {!Top_down}). *)
+    {!Top_down}); [tracer] defaults to a fresh enabled tracer when
+    [spec.Spec.telemetry] is set and the disabled tracer otherwise. An
+    enabled tracer also switches on {!Gdp_logic.Solve.stats} collection
+    (see {!solve_stats}) and spans around compilation, each query
+    operation and the engines' internals. *)
 
 val of_compiled :
   ?max_depth:int ->
   ?on_depth:[ `Fail | `Raise ] ->
   ?mode:engine_mode ->
+  ?tracer:Gdp_obs.Tracer.t ->
   Compile.t ->
   t
 
@@ -128,5 +134,21 @@ val ask : t -> string -> bool
 
 val ask_all :
   ?limit:int -> t -> string -> (string * Term.t) list list
+
+val tracer : t -> Gdp_obs.Tracer.t
+(** The telemetry sink this query reports into (possibly disabled). Call
+    {!Gdp_obs.Tracer.finish} before exporting — an abandoned SLDNF answer
+    stream can leave spans open. *)
+
+val solve_stats : t -> Gdp_logic.Solve.stats option
+(** Four-port / unification / loop-prune counters accumulated by the
+    top-down engine across every operation run through this query —
+    [Some] exactly when the query's tracer is enabled. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** Per-predicate port-counter table plus, once {!materialization} has
+    run, the fixpoint's {!Gdp_logic.Bottom_up.pp_stats}. Deterministic
+    for a deterministic query sequence (no timings) — the CLI [--stats]
+    flag prints exactly this. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -42,6 +42,7 @@ type t = {
   mutable meta_models : meta_model list;
   mutable extra_builtins : ((string * int) * Database.builtin) list;
   mutable prefer_materialized : bool;
+  mutable telemetry : bool;
 }
 
 let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
@@ -60,6 +61,7 @@ let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
       meta_models = [];
       extra_builtins = [];
       prefer_materialized = false;
+      telemetry = false;
     }
   in
   spec.models <-

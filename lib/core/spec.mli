@@ -74,6 +74,12 @@ type t = {
           materialised engine mode instead of top-down SLDNF — only
           meaningful for specifications inside the stratified Datalog
           fragment (see {!Query.materializable}) *)
+  mutable telemetry : bool;
+      (** when true, {!Query.create} attaches an enabled
+          {!Gdp_obs.Tracer.t} to every query it builds (spans for
+          compilation, each query operation, every SLDNF predicate call
+          and every fixpoint stratum/pass), retrievable via
+          {!Query.tracer} — the switch behind [gdprs profile] *)
 }
 
 val create : ?coord:Gdp_space.Coord.t -> ?now:float -> unit -> t

@@ -525,17 +525,42 @@ let order_body ~delta_at body =
 (* ------------------------------------------------------------------ *)
 (* evaluation                                                          *)
 
+type stratum_stats = {
+  st_stratum : int;
+  st_rules : int;
+  st_passes : int;
+  st_firings : int;
+  st_derived : int;
+  st_max_delta : int;
+  st_ms : float;
+}
+
+type stats = {
+  bu_passes : int;
+  bu_firings : int;
+  bu_strata : int;
+  bu_facts : int;
+  bu_index_probes : int;
+  bu_full_scans : int;
+  bu_membership_tests : int;
+  bu_hcons_hits : int;
+  bu_hcons_misses : int;
+  bu_strata_stats : stratum_stats list;
+}
+
 type fixpoint = {
   rels : (Rel.t, Relation.t) Hashtbl.t;
   refine : refine;
   passes : int;
   firings : int;
   n_strata : int;
+  run_stats : stats;
 }
 
 let run ?(strategy = Semi_naive) ?(indexing = true)
     ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
-    ?(max_iterations = 10_000) ?(max_facts = 1_000_000) db =
+    ?(max_iterations = 10_000) ?(max_facts = 1_000_000)
+    ?(tracer = Gdp_obs.Tracer.disabled) db =
   let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
   let rels : (Rel.t, Relation.t) Hashtbl.t = Hashtbl.create 64 in
   let total = ref 0 in
@@ -547,10 +572,14 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
         Hashtbl.add rels rel r;
         r
   in
+  let hcons_hits = ref 0 and hcons_misses = ref 0 in
   (* dedup-inserting a hash-consed copy keeps every stored fact canonical,
      so later membership tests mostly resolve on physical equality *)
   let add rel t =
-    let t = Term.hcons t in
+    let h = Term.hcons t in
+    (* [hcons t == t] means [t] became the canonical copy: a table miss *)
+    if h == t then incr hcons_misses else incr hcons_hits;
+    let t = h in
     if Relation.add (get rel) t then begin
       incr total;
       if !total > max_facts then failwith "Bottom_up.run: fact bound hit";
@@ -573,6 +602,7 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
       rules
   in
   let passes = ref 0 and firings = ref 0 in
+  let probes = ref 0 and scans = ref 0 and members = ref 0 in
   let tick () =
     incr passes;
     if !passes > max_iterations then failwith "Bottom_up.run: iteration bound hit"
@@ -598,6 +628,7 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
           | Some j when j = i -> (
               let g = Subst.apply subst atom in
               if Term.is_ground g then begin
+                incr members;
                 if List.exists (Term.equal g) delta then go subst rest
               end
               else List.iter each delta)
@@ -605,6 +636,7 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
               let r = get rel in
               let g = Subst.apply subst atom in
               if Term.is_ground g then begin
+                incr members;
                 if Relation.mem r g then go subst rest
               end
               else begin
@@ -626,8 +658,12 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
                     | _ -> `Scan
                 in
                 match candidates with
-                | `Scan -> Relation.iter each r
-                | `Probe l -> List.iter each l
+                | `Scan ->
+                    incr scans;
+                    Relation.iter each r
+                | `Probe l ->
+                    incr probes;
+                    List.iter each l
               end)
       | Neg (rel, atom) :: rest ->
           if not (Relation.mem (get rel) (Subst.apply subst atom)) then
@@ -668,9 +704,19 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
       by_stratum.(s) <- entry :: by_stratum.(s))
     planned;
   Array.iteri (fun i rs -> by_stratum.(i) <- List.rev rs) by_stratum;
-  Array.iter
-    (fun srules ->
+  let stratum_acc = ref [] in
+  let run_frame = Gdp_obs.Tracer.begin_span tracer ~cat:"fixpoint" "bottom_up.run" in
+  Array.iteri
+    (fun si srules ->
       if srules <> [] then begin
+        let t_start = Gdp_obs.Tracer.now_ns () in
+        let passes0 = !passes and firings0 = !firings and total0 = !total in
+        let max_delta = ref 0 in
+        let s_frame =
+          Gdp_obs.Tracer.begin_span tracer ~cat:"fixpoint"
+            ~args:[ ("rules", Gdp_obs.Tracer.Int (List.length srules)) ]
+            ("stratum " ^ string_of_int si)
+        in
         let new_facts = ref Rel_map.empty in
         let emit rel t =
           match add rel t with
@@ -683,36 +729,95 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
         in
         (* pass 1: every rule of the stratum against the full relations *)
         tick ();
-        List.iter
-          (fun (r, plan, _) -> eval_rule ~delta_at:None ~delta:[] r plan ~emit)
-          srules;
+        Gdp_obs.Tracer.with_span tracer ~cat:"fixpoint"
+          ~args:[ ("kind", Gdp_obs.Tracer.Str "full") ]
+          "pass"
+          (fun () ->
+            List.iter
+              (fun (r, plan, _) ->
+                eval_rule ~delta_at:None ~delta:[] r plan ~emit)
+              srules);
         let deltas = ref !new_facts in
         while not (Rel_map.is_empty !deltas) do
           tick ();
+          let dsize =
+            Rel_map.fold (fun _ l acc -> acc + List.length l) !deltas 0
+          in
+          if dsize > !max_delta then max_delta := dsize;
           new_facts := Rel_map.empty;
-          (match strategy with
-          | Naive ->
-              List.iter
-                (fun (r, plan, _) ->
-                  eval_rule ~delta_at:None ~delta:[] r plan ~emit)
-                srules
-          | Semi_naive ->
-              List.iter
-                (fun (r, _, delta_plans) ->
-                  Array.iteri
-                    (fun i rel ->
-                      match Rel_map.find_opt rel !deltas with
-                      | Some (_ :: _ as d) ->
-                          eval_rule ~delta_at:(Some i) ~delta:d r
-                            delta_plans.(i) ~emit
-                      | _ -> ())
-                    r.pos_rels)
-                srules);
+          Gdp_obs.Tracer.with_span tracer ~cat:"fixpoint"
+            ~args:[ ("delta", Gdp_obs.Tracer.Int dsize) ]
+            "pass"
+            (fun () ->
+              match strategy with
+              | Naive ->
+                  List.iter
+                    (fun (r, plan, _) ->
+                      eval_rule ~delta_at:None ~delta:[] r plan ~emit)
+                    srules
+              | Semi_naive ->
+                  List.iter
+                    (fun (r, _, delta_plans) ->
+                      Array.iteri
+                        (fun i rel ->
+                          match Rel_map.find_opt rel !deltas with
+                          | Some (_ :: _ as d) ->
+                              eval_rule ~delta_at:(Some i) ~delta:d r
+                                delta_plans.(i) ~emit
+                          | _ -> ())
+                        r.pos_rels)
+                    srules);
           deltas := !new_facts
-        done
+        done;
+        let derived = !total - total0 in
+        Gdp_obs.Tracer.end_span tracer s_frame
+          ~args:
+            [
+              ("passes", Gdp_obs.Tracer.Int (!passes - passes0));
+              ("derived", Gdp_obs.Tracer.Int derived);
+            ];
+        let ms =
+          Int64.to_float (Int64.sub (Gdp_obs.Tracer.now_ns ()) t_start) /. 1e6
+        in
+        stratum_acc :=
+          {
+            st_stratum = si;
+            st_rules = List.length srules;
+            st_passes = !passes - passes0;
+            st_firings = !firings - firings0;
+            st_derived = derived;
+            st_max_delta = !max_delta;
+            st_ms = ms;
+          }
+          :: !stratum_acc
       end)
     by_stratum;
-  { rels; refine; passes = !passes; firings = !firings; n_strata }
+  Gdp_obs.Tracer.end_span tracer run_frame;
+  if Gdp_obs.Tracer.enabled tracer then begin
+    let set n v = Gdp_obs.Tracer.set tracer n (float_of_int v) in
+    set "bu.facts" !total;
+    set "bu.passes" !passes;
+    set "bu.firings" !firings;
+    set "bu.index_probes" !probes;
+    set "bu.full_scans" !scans;
+    set "bu.hcons_hits" !hcons_hits;
+    set "bu.hcons_misses" !hcons_misses
+  end;
+  let run_stats =
+    {
+      bu_passes = !passes;
+      bu_firings = !firings;
+      bu_strata = n_strata;
+      bu_facts = !total;
+      bu_index_probes = !probes;
+      bu_full_scans = !scans;
+      bu_membership_tests = !members;
+      bu_hcons_hits = !hcons_hits;
+      bu_hcons_misses = !hcons_misses;
+      bu_strata_stats = List.rev !stratum_acc;
+    }
+  in
+  { rels; refine; passes = !passes; firings = !firings; n_strata; run_stats }
 
 (* ------------------------------------------------------------------ *)
 
@@ -805,3 +910,26 @@ let count fp =
 let iterations fp = fp.passes
 let rule_firings fp = fp.firings
 let strata_count fp = fp.n_strata
+let stats fp = fp.run_stats
+
+let hcons_hit_rate s =
+  let n = s.bu_hcons_hits + s.bu_hcons_misses in
+  if n = 0 then 0.0 else float_of_int s.bu_hcons_hits /. float_of_int n
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>passes: %d  firings: %d  strata: %d  facts: %d@,\
+     index probes: %d  full scans: %d  membership tests: %d@,\
+     hcons: %d hits / %d misses (%.1f%% hit rate)@,"
+    s.bu_passes s.bu_firings s.bu_strata s.bu_facts s.bu_index_probes
+    s.bu_full_scans s.bu_membership_tests s.bu_hcons_hits s.bu_hcons_misses
+    (100.0 *. hcons_hit_rate s);
+  List.iter
+    (fun st ->
+      Format.fprintf ppf
+        "stratum %d: %d rules, %d passes, %d firings, %d derived, max delta \
+         %d@,"
+        st.st_stratum st.st_rules st.st_passes st.st_firings st.st_derived
+        st.st_max_delta)
+    s.bu_strata_stats;
+  Format.fprintf ppf "@]"

@@ -64,6 +64,35 @@ val classify :
 val supported : ?ignore:(string * int) list -> ?refine:refine -> Database.t -> bool
 (** [classify db = Ok ()]. *)
 
+type stratum_stats = {
+  st_stratum : int;  (** stratum number, 0-based, dependency order *)
+  st_rules : int;
+  st_passes : int;
+  st_firings : int;
+  st_derived : int;  (** new facts this stratum added *)
+  st_max_delta : int;
+      (** largest delta (new facts carried into a semi-naive pass) *)
+  st_ms : float;  (** wall-clock milliseconds (monotonic) *)
+}
+
+type stats = {
+  bu_passes : int;
+  bu_firings : int;
+  bu_strata : int;
+  bu_facts : int;  (** facts stored, initial and derived *)
+  bu_index_probes : int;
+      (** positive-literal matches answered by a hash-index probe *)
+  bu_full_scans : int;
+      (** positive-literal matches that scanned the whole relation *)
+  bu_membership_tests : int;
+      (** positive-literal matches on a fully ground goal: O(1) membership *)
+  bu_hcons_hits : int;
+      (** derived terms already interned — structurally equal to a stored
+          fact, deduplicated by physical equality *)
+  bu_hcons_misses : int;  (** derived terms interned fresh *)
+  bu_strata_stats : stratum_stats list;  (** non-empty strata, in order *)
+}
+
 val run :
   ?strategy:strategy ->
   ?indexing:bool ->
@@ -71,6 +100,7 @@ val run :
   ?refine:refine ->
   ?max_iterations:int ->
   ?max_facts:int ->
+  ?tracer:Gdp_obs.Tracer.t ->
   Database.t ->
   fixpoint
 (** Evaluate strata in dependency order to the least fixpoint (default
@@ -81,7 +111,11 @@ val run :
     [indexing] (default [true]) controls the join machinery: when off,
     bodies evaluate in textual order and positive literals scan their
     whole relation — the measured-against baseline, semantically
-    identical to the indexed path. *)
+    identical to the indexed path. [tracer] (default disabled) records
+    one ["fixpoint"]-category span for the whole run, one per non-empty
+    stratum (with rule/pass/derived-fact counts as span arguments) and
+    one per pass (with the delta size), plus final [bu.*] counter
+    samples — see {!Gdp_obs.Tracer}. *)
 
 val facts : fixpoint -> Term.t list
 (** All derived ground atoms, sorted in the standard order of terms. *)
@@ -118,3 +152,15 @@ val rule_firings : fixpoint -> int
 val strata_count : fixpoint -> int
 (** Number of strata the program was split into (1 for pure positive
     programs with a single recursive component family). *)
+
+val stats : fixpoint -> stats
+(** Everything the run measured. Counter fields are deterministic for a
+    given database and options; only {!stratum_stats.st_ms} varies. *)
+
+val hcons_hit_rate : stats -> float
+(** [bu_hcons_hits / (bu_hcons_hits + bu_hcons_misses)], 0 when no term
+    was interned. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line summary. Deliberately omits the per-stratum timings so the
+    output is deterministic (CLI [--stats] is cram-tested). *)

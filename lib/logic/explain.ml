@@ -82,7 +82,13 @@ and prove_user st depth subst goal =
   | None ->
       if depth <= 0 then
         match st.opts.Solve.on_depth with
-        | `Raise -> raise Solve.Depth_exhausted
+        | `Raise ->
+            raise
+              (Solve.Depth_exhausted
+                 {
+                   depth = st.opts.Solve.max_depth;
+                   goal = Subst.apply subst goal;
+                 })
         | `Fail -> Seq.empty
       else if
         st.opts.Solve.loop_check

@@ -1,4 +1,48 @@
-type event = Call of int * Term.t | Exit of int * Term.t | Fail of int * Term.t
+type event =
+  | Call of int * Term.t
+  | Exit of int * Term.t
+  | Redo of int * Term.t
+  | Fail of int * Term.t
+
+type port_counts = {
+  mutable calls : int;
+  mutable exits : int;
+  mutable redos : int;
+  mutable fails : int;
+}
+
+type stats = {
+  per_pred : (string * int, port_counts) Hashtbl.t;
+  mutable unifications : int;
+  mutable loop_prunes : int;
+  mutable deepest_call : int;
+}
+
+let create_stats () =
+  {
+    per_pred = Hashtbl.create 32;
+    unifications = 0;
+    loop_prunes = 0;
+    deepest_call = 0;
+  }
+
+let port_counts stats fa =
+  match Hashtbl.find_opt stats.per_pred fa with
+  | Some pc -> pc
+  | None ->
+      let pc = { calls = 0; exits = 0; redos = 0; fails = 0 } in
+      Hashtbl.add stats.per_pred fa pc;
+      pc
+
+let stats_ports stats =
+  Hashtbl.fold
+    (fun (name, arity) pc acc -> ((name, arity), pc) :: acc)
+    stats.per_pred []
+  |> List.sort (fun ((a, m), _) ((b, n), _) ->
+         match String.compare a b with 0 -> Int.compare m n | c -> c)
+
+let total_calls stats =
+  Hashtbl.fold (fun _ pc acc -> acc + pc.calls) stats.per_pred 0
 
 type options = {
   max_depth : int;
@@ -6,9 +50,11 @@ type options = {
   loop_check : bool;
   on_depth : [ `Fail | `Raise ];
   trace : (event -> unit) option;
+  stats : stats option;
+  tracer : Gdp_obs.Tracer.t;
 }
 
-exception Depth_exhausted
+exception Depth_exhausted of { depth : int; goal : Term.t }
 
 let default_options =
   {
@@ -17,9 +63,16 @@ let default_options =
     loop_check = false;
     on_depth = `Raise;
     trace = None;
+    stats = None;
+    tracer = Gdp_obs.Tracer.disabled;
   }
 
-type state = { opts : options; db : Database.t; ancestors : Term.t list }
+type state = {
+  opts : options;
+  db : Database.t;
+  ancestors : Term.t list;
+  observed : bool;
+}
 
 let emit st ev = match st.opts.trace with None -> () | Some f -> f ev
 
@@ -64,6 +117,122 @@ let rec solve_goal st depth subst (goal : Term.t) : Subst.t Seq.t =
       solve_goal st depth subst called
   | Term.Atom _ | Term.App _ -> solve_user st depth subst goal
 
+(* Clause resolution shared by the plain and observed paths. [applied] is
+   the goal under the current substitution; resolving bindings before
+   consulting the clause index lets a body goal whose variables were
+   instantiated by the head unification still benefit from keyed lookup. *)
+and expand st depth subst goal applied =
+  let st' =
+    if st.opts.loop_check then { st with ancestors = applied :: st.ancestors }
+    else st
+  in
+  let candidates = Database.clauses st.db applied in
+  let try_clause clause =
+    let { Database.head; body } = Database.rename_clause clause in
+    (match st.opts.stats with
+    | Some s -> s.unifications <- s.unifications + 1
+    | None -> ());
+    match Unify.unify ~occurs_check:st.opts.occurs_check subst goal head with
+    | None -> Seq.empty
+    | Some subst' ->
+        let rec conj s = function
+          | [] -> Seq.return s
+          | g :: rest ->
+              Seq.concat_map
+                (fun s' -> conj s' rest)
+                (solve_goal st' (depth - 1) s g)
+        in
+        conj subst' body
+  in
+  Seq.concat_map try_clause (List.to_seq candidates)
+
+and solve_user_plain st depth subst goal =
+  if depth <= 0 then
+    match st.opts.on_depth with
+    | `Raise ->
+        raise
+          (Depth_exhausted
+             { depth = st.opts.max_depth; goal = Subst.apply subst goal })
+    | `Fail -> Seq.empty
+  else
+    let applied = Subst.apply subst goal in
+    if
+      st.opts.loop_check
+      (* up to renaming: recursive expansions freshen variable ids, so
+         exact equality would never prune a non-ground loop *)
+      && List.exists (Term.variant applied) st.ancestors
+    then Seq.empty
+    else expand st depth subst goal applied
+
+(* Full four-port box model. One Call port per user-predicate goal, one
+   tracer span opened alongside it; the span closes at the Fail port (or,
+   for an answer stream abandoned by committed choice, at
+   [Gdp_obs.Tracer.finish]) — so the span count always matches the sum of
+   the per-predicate call counters. *)
+and solve_user_observed st depth subst goal fa =
+  let applied = Subst.apply subst goal in
+  let cd = st.opts.max_depth - depth in
+  emit st (Call (cd, applied));
+  let pc =
+    match st.opts.stats with
+    | None -> None
+    | Some s ->
+        if cd > s.deepest_call then s.deepest_call <- cd;
+        let pc = port_counts s fa in
+        pc.calls <- pc.calls + 1;
+        Some pc
+  in
+  let span =
+    Gdp_obs.Tracer.begin_span st.opts.tracer ~cat:"solve"
+      ~args:[ ("depth", Gdp_obs.Tracer.Int cd) ]
+      (fst fa ^ "/" ^ string_of_int (snd fa))
+  in
+  let fail_port () =
+    emit st (Fail (cd, applied));
+    (match pc with Some pc -> pc.fails <- pc.fails + 1 | None -> ());
+    Gdp_obs.Tracer.end_span st.opts.tracer span
+  in
+  if depth <= 0 then
+    match st.opts.on_depth with
+    | `Raise ->
+        Gdp_obs.Tracer.end_span st.opts.tracer span;
+        raise (Depth_exhausted { depth = st.opts.max_depth; goal = applied })
+    | `Fail ->
+        fail_port ();
+        Seq.empty
+  else if st.opts.loop_check && List.exists (Term.variant applied) st.ancestors
+  then begin
+    (match st.opts.stats with
+    | Some s -> s.loop_prunes <- s.loop_prunes + 1
+    | None -> ());
+    fail_port ();
+    Seq.empty
+  end
+  else begin
+    let results = expand st depth subst goal applied in
+    (* Exit on each solution, Redo when the stream is re-entered for the
+       next one, Fail exactly once when it is exhausted. *)
+    let fail_emitted = ref false in
+    let rec wrap ~redo seq () =
+      if redo then begin
+        emit st (Redo (cd, applied));
+        match pc with Some pc -> pc.redos <- pc.redos + 1 | None -> ()
+      end;
+      match seq () with
+      | Seq.Nil ->
+          if not !fail_emitted then begin
+            fail_emitted := true;
+            fail_port ()
+          end;
+          Seq.Nil
+      | Seq.Cons (s, rest) ->
+          emit st (Exit (cd, Subst.apply s goal));
+          (match pc with Some pc -> pc.exits <- pc.exits + 1 | None -> ());
+          Seq.Cons (s, wrap ~redo:true rest)
+    in
+    wrap ~redo:false results
+  end
+
 and solve_user st depth subst goal =
   let fa =
     match Term.functor_of goal with Some fa -> fa | None -> assert false
@@ -76,65 +245,18 @@ and solve_user st depth subst goal =
       let args = match goal with Term.App (_, args) -> args | _ -> [] in
       builtin ctx subst args
   | None ->
-      emit st (Call (depth, Subst.apply subst goal));
-      if depth <= 0 then
-        match st.opts.on_depth with `Raise -> raise Depth_exhausted | `Fail -> Seq.empty
-      else if
-        st.opts.loop_check
-        &&
-        (* up to renaming: recursive expansions freshen variable ids, so
-           exact equality would never prune a non-ground loop *)
-        let g = Subst.apply subst goal in
-        List.exists (Term.variant g) st.ancestors
-      then Seq.empty
-      else begin
-        let st' =
-          if st.opts.loop_check then
-            { st with ancestors = Subst.apply subst goal :: st.ancestors }
-          else st
-        in
-        (* resolve bindings before consulting the clause index, so a body
-           goal whose variables were instantiated by the head unification
-           still benefits from keyed lookup *)
-        let candidates = Database.clauses st.db (Subst.apply subst goal) in
-        let try_clause clause =
-          let { Database.head; body } = Database.rename_clause clause in
-          match Unify.unify ~occurs_check:st.opts.occurs_check subst goal head with
-          | None -> Seq.empty
-          | Some subst' ->
-              let rec conj s = function
-                | [] -> Seq.return s
-                | g :: rest ->
-                    Seq.concat_map
-                      (fun s' -> conj s' rest)
-                      (solve_goal st' (depth - 1) s g)
-              in
-              conj subst' body
-        in
-        let results = Seq.concat_map try_clause (List.to_seq candidates) in
-        let traced =
-          match st.opts.trace with
-          | None -> results
-          | Some _ ->
-              let exhausted = ref false in
-              Seq.append
-                (Seq.map
-                   (fun s ->
-                     emit st (Exit (depth, Subst.apply s goal));
-                     s)
-                   results)
-                (fun () ->
-                  if not !exhausted then begin
-                    exhausted := true;
-                    emit st (Fail (depth, Subst.apply subst goal))
-                  end;
-                  Seq.Nil)
-        in
-        traced
-      end
+      if st.observed then solve_user_observed st depth subst goal fa
+      else solve_user_plain st depth subst goal
+
+let make_state options db =
+  let observed =
+    options.trace <> None || options.stats <> None
+    || Gdp_obs.Tracer.enabled options.tracer
+  in
+  { opts = options; db; ancestors = []; observed }
 
 let solve ?(options = default_options) db goals =
-  let st = { opts = options; db; ancestors = [] } in
+  let st = make_state options db in
   let rec conj s = function
     | [] -> Seq.return s
     | g :: rest ->

@@ -10,9 +10,44 @@
     and then among database clauses. *)
 
 type event =
-  | Call of int * Term.t  (** depth, goal — entering a goal *)
+  | Call of int * Term.t  (** call depth, goal — entering a goal *)
   | Exit of int * Term.t  (** a solution was produced for the goal *)
+  | Redo of int * Term.t
+      (** backtracking re-entered the goal's answer stream for the next
+          solution *)
   | Fail of int * Term.t  (** the goal's solution stream is exhausted *)
+
+(** The four ports of the classic Prolog box model, per user predicate.
+    The integer carried by each event is the call depth (0 at the top
+    level). An answer stream abandoned by committed choice (['->'/2],
+    [not/1], or a caller that stops consuming) never reaches its Fail
+    port, exactly as a cut discards choice points in Prolog. *)
+
+type port_counts = {
+  mutable calls : int;
+  mutable exits : int;
+  mutable redos : int;
+  mutable fails : int;
+}
+
+type stats = {
+  per_pred : (string * int, port_counts) Hashtbl.t;
+      (** keyed by (name, arity) *)
+  mutable unifications : int;
+      (** head-unification attempts (clause resolutions tried) *)
+  mutable loop_prunes : int;
+      (** goals failed by the ancestor loop check *)
+  mutable deepest_call : int;  (** maximum call depth reached *)
+}
+
+val create_stats : unit -> stats
+
+val stats_ports : stats -> ((string * int) * port_counts) list
+(** Per-predicate port counters sorted by (name, arity). *)
+
+val total_calls : stats -> int
+(** Sum of the per-predicate call counters — equals the number of
+    ["solve"]-category tracer spans when a tracer is attached. *)
 
 type options = {
   max_depth : int;
@@ -33,12 +68,23 @@ type options = {
           (Prolog-like incompleteness, silent) or raise {!Depth_exhausted}
           so the caller can distinguish "unprovable" from "gave up" *)
   trace : (event -> unit) option;
+  stats : stats option;
+      (** when set, port/unification/loop-prune counters are accumulated
+          into the record as the search runs *)
+  tracer : Gdp_obs.Tracer.t;
+      (** when enabled, every user-predicate call opens a ["solve"]
+          category span named [pred/arity], closed at its Fail port (or by
+          {!Gdp_obs.Tracer.finish} for abandoned streams) *)
 }
 
-exception Depth_exhausted
+exception Depth_exhausted of { depth : int; goal : Term.t }
+(** Raised under [on_depth = `Raise] when the resolution budget runs out;
+    carries the configured budget and the goal (under the substitution at
+    the time) whose expansion exhausted it. *)
 
 val default_options : options
-(** [max_depth = 100_000], no occurs check, loop check off, [`Raise]. *)
+(** [max_depth = 100_000], no occurs check, loop check off, [`Raise],
+    no trace, no stats, disabled tracer. *)
 
 val solve : ?options:options -> Database.t -> Term.t list -> Subst.t Seq.t
 (** Lazy stream of answer substitutions for the conjunction of goals. *)

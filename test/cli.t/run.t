@@ -151,3 +151,118 @@ predicates) are rejected with the offending clause:
   meta view:  {}
   error: not materializable: holds/6[open_road]: library predicate forall/2 outside the Datalog fragment
   [2]
+
+Telemetry: `--stats` appends engine counters (the four-port table for
+the top-down engine, fixpoint metrics for the materialised one) to any
+check/query/ask run:
+
+  $ gdprs query dl.gdp 'reach(n1, X)' --stats
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+  -- stats --
+  engine: top-down
+  predicate                    call     exit     redo     fail
+  holds/6                        12       12       12       12
+  unifications: 14  loop prunes: 0  deepest call: 4
+  
+  $ gdprs check dl.gdp --materialize --stats
+  world view: {w}
+  meta view:  {}
+  materialised: 18 facts, 2 strata, 4 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n3)
+  -- stats --
+  engine: materialized
+  unifications: 0  loop prunes: 0  deepest call: 0
+  passes: 4  firings: 6  strata: 2  facts: 18
+  index probes: 13  full scans: 0  membership tests: 6
+  hcons: 21 hits / 1 misses (95.5% hit rate)
+  stratum 0: 3 rules, 2 passes, 5 firings, 7 derived, max delta 7
+  stratum 1: 1 rules, 2 passes, 1 firings, 2 derived, max delta 2
+  
+  [1]
+
+`gdprs profile` runs one goal with the tracer enabled, prints the span
+tree and counter table, and can export a Chrome trace-event JSON (load
+it in chrome://tracing or Perfetto). Timings are normalised here; the
+span and port counts are exact:
+
+  $ gdprs profile dl.gdp 'holds(M, reach, Vs, [n1, X], S, T)' --trace-out trace.json | sed -E 's/ +[0-9]+\.[0-9]+ms/ _ms/g'
+  answers: 3
+  solve spans: 12 (call ports: 12)
+  -- stats --
+  engine: top-down
+  predicate                    call     exit     redo     fail
+  holds/6                        12       12       12       12
+  unifications: 14  loop prunes: 0  deepest call: 4
+  
+  -- profile --
+       total       self   count  name
+   _ms _ms       1  compile
+   _ms _ms       1  ask_all
+   _ms _ms       1    holds/6
+   _ms _ms       2      holds/6
+   _ms _ms       1        holds/6
+   _ms _ms       2          holds/6
+   _ms _ms       1            holds/6
+   _ms _ms       2              holds/6
+   _ms _ms       1                holds/6
+   _ms _ms       2                  holds/6
+  
+  wrote trace.json (14 events)
+  $ head -c 15 trace.json
+  {"traceEvents":
+  $ gdprs profile dl.gdp 'holds(M, reach, Vs, [n1, X], S, T)' --materialize | sed -E 's/ +[0-9]+\.[0-9]+ms/ _ms/g'
+  answers: 3
+  solve spans: 12 (call ports: 12)
+  -- stats --
+  engine: materialized
+  predicate                    call     exit     redo     fail
+  holds/6                        12       12       12       12
+  unifications: 14  loop prunes: 0  deepest call: 4
+  passes: 4  firings: 6  strata: 2  facts: 18
+  index probes: 13  full scans: 0  membership tests: 6
+  hcons: 21 hits / 1 misses (95.5% hit rate)
+  stratum 0: 3 rules, 2 passes, 5 firings, 7 derived, max delta 7
+  stratum 1: 1 rules, 2 passes, 1 firings, 2 derived, max delta 2
+  
+  -- profile --
+       total       self   count  name
+   _ms _ms       1  compile
+   _ms _ms       1  materialize
+   _ms _ms       1    bottom_up.run
+   _ms _ms       1      stratum 0
+   _ms _ms       2        pass
+   _ms _ms       1      stratum 1
+   _ms _ms       2        pass
+   _ms _ms       1  ask_all
+   _ms _ms       1    holds/6
+   _ms _ms       2      holds/6
+   _ms _ms       1        holds/6
+   _ms _ms       2          holds/6
+   _ms _ms       1            holds/6
+   _ms _ms       2              holds/6
+   _ms _ms       1                holds/6
+   _ms _ms       2                  holds/6
+  counters:
+    bu.facts                     18
+    bu.firings                   6
+    bu.full_scans                0
+    bu.hcons_hits                21
+    bu.hcons_misses              1
+    bu.index_probes              13
+    bu.passes                    4
+  
+
+A goal that blows the depth budget reports the configured limit and the
+goal it was proving:
+
+  $ cat > deep.gdp <<'END'
+  > objects a.
+  > fact base(a).
+  > rule spin(X) <- spin(X).
+  > END
+  $ gdprs profile deep.gdp 'holds(M, spin, Vs, [a], S, T)'
+  error: inference depth 100000 exhausted while proving holds(w, spin, nil, [a], nospace, notime) (try simpler queries or fewer meta-models)
+  [3]

@@ -7,6 +7,7 @@ let () =
       ("database", Suite_database.tests);
       ("reader", Suite_reader.tests);
       ("solve", Suite_solve.tests);
+      ("obs", Suite_obs.tests);
       ("engine-props", Suite_engine_props.tests);
       ("fuzzy", Suite_fuzzy.tests);
       ("temporal", Suite_temporal.tests);

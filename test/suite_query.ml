@@ -182,8 +182,11 @@ let test_depth_options () =
       needs_loop_check = false;
     };
   let q = Query.create spec ~meta_view:[ "looper" ] ~max_depth:200 in
-  Alcotest.check_raises "depth exhaustion raises" Solve.Depth_exhausted (fun () ->
-      ignore (Query.holds q (Gfact.make "nothing" ~objects:[ a "x" ])));
+  (try
+     ignore (Query.holds q (Gfact.make "nothing" ~objects:[ a "x" ]));
+     Alcotest.fail "expected Depth_exhausted"
+   with Solve.Depth_exhausted { depth; goal = _ } ->
+     Alcotest.(check int) "carries the configured budget" 200 depth);
   let q2 = Query.create spec ~meta_view:[ "looper" ] ~max_depth:200 ~on_depth:`Fail in
   Alcotest.(check bool) "fail mode" false
     (Query.holds q2 (Gfact.make "nothing" ~objects:[ a "x" ]))

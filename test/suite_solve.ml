@@ -172,8 +172,13 @@ let test_depth_limit () =
   let db = Engine.create () in
   Engine.consult db "loop(X) :- loop(X).";
   let opts = { Solve.default_options with max_depth = 100 } in
-  Alcotest.check_raises "raises by default" Solve.Depth_exhausted (fun () ->
-      ignore (Engine.ask ~options:opts db "loop(1)"));
+  (try
+     ignore (Engine.ask ~options:opts db "loop(1)");
+     Alcotest.fail "expected Depth_exhausted"
+   with Solve.Depth_exhausted { depth; goal } ->
+     Alcotest.(check int) "carries the configured budget" 100 depth;
+     Alcotest.(check string) "carries the exhausted goal" "loop(1)"
+       (Term.to_string goal));
   let opts = { opts with on_depth = `Fail } in
   Alcotest.(check bool) "fails when configured" false
     (Engine.ask ~options:opts db "loop(1)")
@@ -194,16 +199,18 @@ let test_solution_laziness () =
 
 let test_trace_events () =
   let db = family_db () in
-  let calls = ref 0 and exits = ref 0 and fails = ref 0 in
+  let calls = ref 0 and exits = ref 0 and redos = ref 0 and fails = ref 0 in
   let trace = function
     | Solve.Call _ -> incr calls
     | Solve.Exit _ -> incr exits
+    | Solve.Redo _ -> incr redos
     | Solve.Fail _ -> incr fails
   in
   let opts = { Solve.default_options with trace = Some trace } in
   ignore (Solve.all ~options:opts db (Reader.goals "parent(tom, X)"));
   Alcotest.(check bool) "saw calls" true (!calls > 0);
   Alcotest.(check bool) "saw exits" true (!exits >= 2);
+  Alcotest.(check bool) "saw redo on backtracking" true (!redos >= 1);
   Alcotest.(check bool) "saw final fail" true (!fails >= 1)
 
 let test_count_and_first () =
