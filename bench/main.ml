@@ -826,7 +826,48 @@ type bu_workload = {
   bu_console_sizes : int list;  (* naive + scan + indexed + top-down probes *)
   bu_json_sizes : int list;  (* scan + indexed only: scales past naive *)
   bu_json_small : int list;  (* CI smoke scales *)
+  bu_script : int -> Gdp_logic.Bottom_up.update list;
+      (* engine-incr update script at a given scale *)
 }
+
+(* Per-workload update scripts for the engine-incr series: mostly fresh
+   facts asserted and then retracted again (net-neutral round trips that
+   exercise both the insertion deltas and DRed), plus retract/re-assert
+   round trips on seeded base facts so deletion runs against real
+   derivation chains — and, for census, capital flips that force the
+   negation stratum to recompute. *)
+let incr_script_roads n =
+  let node i = a (Printf.sprintf "n%d" i) in
+  let rng = W.Rng.create 21L in
+  (* growth only: fresh shortcuts accumulating into the closure. A
+     deletion on a dense reachability closure is DRed's worst case — the
+     fact's whole derivation cone is over-deleted and then rederived
+     from the surviving alternate paths — so the deletion story is
+     measured on the census and terrain scripts, where the cones are
+     bounded, and roads measures the monotone live-growth case. *)
+  List.init 24 (fun _ ->
+      `Assert (T.app "link" [ node (W.Rng.int rng n); node (W.Rng.int rng n) ]))
+
+let incr_script_census n =
+  List.concat
+    (List.init 5 (fun k ->
+         let s = 3 * k mod n in
+         let f = T.app "capital" [ a (Printf.sprintf "c%d_1" s) ] in
+         [ `Assert f; `Retract f ]))
+
+let incr_script_terrain n =
+  let name i j = a (Printf.sprintf "t%d_%d" i j) in
+  let rng = W.Rng.create 22L in
+  List.concat
+    (List.init 8 (fun _ ->
+         let f =
+           T.app "adj"
+             [
+               name (W.Rng.int rng n) (W.Rng.int rng n);
+               name (W.Rng.int rng n) (W.Rng.int rng n);
+             ]
+         in
+         [ `Assert f; `Retract f ]))
 
 let bu_workloads =
   [
@@ -838,6 +879,7 @@ let bu_workloads =
       bu_console_sizes = [ 16; 32; 64 ];
       bu_json_sizes = [ 40; 160; 640 ];
       bu_json_small = [ 16; 64 ];
+      bu_script = incr_script_roads;
     };
     {
       bu_name = "census-negation";
@@ -847,6 +889,7 @@ let bu_workloads =
       bu_console_sizes = [ 100; 200; 400 ];
       bu_json_sizes = [ 400; 1600; 3200 ];
       bu_json_small = [ 100; 400 ];
+      bu_script = incr_script_census;
     };
     {
       bu_name = "terrain-flows";
@@ -856,6 +899,7 @@ let bu_workloads =
       bu_console_sizes = [ 4; 6; 8 ];
       bu_json_sizes = [ 6; 10; 14 ];
       bu_json_small = [ 4; 8 ];
+      bu_script = incr_script_terrain;
     };
   ]
 
@@ -943,6 +987,88 @@ let engine_bu () =
         w.bu_console_sizes)
     bu_workloads
 
+(* ------------------------------------- engine-incr: view maintenance *)
+
+(* One incremental-vs-recompute measurement: the same update script is
+   applied one fact at a time to a live fixpoint (Bottom_up.apply:
+   semi-naive deltas + DRed) and, against a second identically seeded
+   database, by mutating the base and re-running the whole fixpoint from
+   scratch after every step — the cost a system without view maintenance
+   pays. The two must end on identical fact sets. *)
+type incr_row = {
+  ir_scale : int;
+  ir_facts : int;  (* facts in the maintained store after the script *)
+  ir_updates : int;
+  ir_incr_ms : float;
+  ir_recompute_ms : float;
+  ir_agree : bool;
+  ir_stats : Gdp_logic.Bottom_up.incr_stats;
+}
+
+let incr_measure w scale =
+  let open Gdp_logic in
+  let script = w.bu_script scale in
+  let live = w.bu_db scale in
+  let mirror = w.bu_db scale in
+  (* same seed, identical base *)
+  let fp = Bottom_up.run live in
+  let incr_ms, () =
+    time_ms (fun () -> List.iter (fun u -> Bottom_up.apply fp [ u ]) script)
+  in
+  let apply_mirror u =
+    match u with
+    | `Assert t ->
+        if not (Database.has_fact mirror t) then Database.fact mirror t
+    | `Retract t ->
+        (* the workload builders may seed duplicate unit clauses; drop
+           them all so the clause store matches the fixpoint's set view *)
+        while Database.retract_fact mirror t do
+          ()
+        done
+  in
+  let recompute_ms, last_fp =
+    time_ms (fun () ->
+        List.fold_left
+          (fun _ u ->
+            apply_mirror u;
+            Some (Bottom_up.run mirror))
+          None script)
+  in
+  let agree =
+    match last_fp with
+    | Some fresh ->
+        List.equal Term.equal (Bottom_up.facts fp) (Bottom_up.facts fresh)
+    | None -> true
+  in
+  {
+    ir_scale = scale;
+    ir_facts = Bottom_up.count fp;
+    ir_updates = List.length script;
+    ir_incr_ms = incr_ms;
+    ir_recompute_ms = recompute_ms;
+    ir_agree = agree;
+    ir_stats = Bottom_up.incr_stats fp;
+  }
+
+let incr_speedup r = r.ir_recompute_ms /. Float.max 0.001 r.ir_incr_ms
+
+let engine_incr () =
+  List.iter
+    (fun w ->
+      section
+        (Printf.sprintf "engine-incr %s — incremental maintenance vs recompute"
+           w.bu_name);
+      row "  %8s %8s %8s %10s %14s %8s  %s\n" "scale" "facts" "updates"
+        "incr_ms" "recompute_ms" "speedup" "agree";
+      List.iter
+        (fun scale ->
+          let r = incr_measure w scale in
+          row "  %8d %8d %8d %10.2f %14.2f %7.1fx  %s\n" r.ir_scale r.ir_facts
+            r.ir_updates r.ir_incr_ms r.ir_recompute_ms (incr_speedup r)
+            (if r.ir_agree then "yes" else "DISAGREE"))
+        w.bu_console_sizes)
+    bu_workloads
+
 (* ------------------------------------------------- json: perf tracking *)
 
 (* `bench/main.exe -- json [small]` re-runs the engine-bu workloads as
@@ -998,6 +1124,41 @@ let bench_json ?(small = false) () =
         sizes;
       add "      ]\n    }%s\n" (if wi < n_workloads - 1 then "," else ""))
     bu_workloads;
+  add "  ],\n";
+  (* the incremental-maintenance trajectory rides in its own top-level
+     key so consumers of "series" see the same shape as before *)
+  add "  \"incr_series\": [\n";
+  List.iteri
+    (fun wi w ->
+      let sizes = if small then w.bu_json_small else w.bu_json_sizes in
+      section (Printf.sprintf "json engine-incr %s" w.bu_name);
+      row "  %8s %8s %8s %10s %14s %8s  %s\n" "scale" "facts" "updates"
+        "incr_ms" "recompute_ms" "speedup" "agree";
+      add "    {\n      \"name\": %S,\n      \"rows\": [\n" w.bu_name;
+      let n_sizes = List.length sizes in
+      List.iteri
+        (fun si scale ->
+          let r = incr_measure w scale in
+          row "  %8d %8d %8d %10.2f %14.2f %7.1fx  %s\n" r.ir_scale r.ir_facts
+            r.ir_updates r.ir_incr_ms r.ir_recompute_ms (incr_speedup r)
+            (if r.ir_agree then "yes" else "DISAGREE");
+          let i = r.ir_stats in
+          add
+            "        { \"scale\": %d, \"facts\": %d, \"updates\": %d, \
+             \"incremental_ms\": %.3f, \"recompute_ms\": %.3f, \
+             \"speedup\": %.2f, \"agree\": %b, \"inserted\": %d, \
+             \"deleted\": %d, \"overdeleted\": %d, \"rederived\": %d, \
+             \"strata_recomputed\": %d }%s\n"
+            r.ir_scale r.ir_facts r.ir_updates r.ir_incr_ms r.ir_recompute_ms
+            (incr_speedup r) r.ir_agree i.Gdp_logic.Bottom_up.upd_inserted
+            i.Gdp_logic.Bottom_up.upd_deleted
+            i.Gdp_logic.Bottom_up.upd_overdeleted
+            i.Gdp_logic.Bottom_up.upd_rederived
+            i.Gdp_logic.Bottom_up.upd_strata_recomputed
+            (if si < n_sizes - 1 then "," else ""))
+        sizes;
+      add "      ]\n    }%s\n" (if wi < n_workloads - 1 then "," else ""))
+    bu_workloads;
   add "  ]\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);
@@ -1019,13 +1180,15 @@ let () =
       List.iter (fun (_, f) -> f ()) reports;
       ablation ();
       micro ();
-      engine_bu ()
+      engine_bu ();
+      engine_incr ()
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) reports
   | [ "micro" ] ->
       micro ();
       engine_bu ()
   | [ "ablation" ] -> ablation ()
   | [ "engine-bu" ] -> engine_bu ()
+  | [ "engine-incr" ] -> engine_incr ()
   | [ "json" ] -> bench_json ()
   | [ "json"; "small" ] -> bench_json ~small:true ()
   | names ->
@@ -1036,10 +1199,11 @@ let () =
           | None when name = "micro" -> micro ()
           | None when name = "ablation" -> ablation ()
           | None when name = "engine-bu" -> engine_bu ()
+          | None when name = "engine-incr" -> engine_incr ()
           | None ->
               Printf.eprintf
                 "unknown experiment %s (e1..e12, report, ablation, micro, \
-                 engine-bu, json [small])\n"
+                 engine-bu, engine-incr, json [small])\n"
                 name;
               exit 2)
         names

@@ -2,6 +2,8 @@
 
    Subcommands:
      check   FILE           parse, elaborate, report consistency
+     update  FILE --script UPDATES
+                            apply an assert/retract script to the live base
      query   FILE PATTERN   run a fact-pattern query
      ask     FILE GOAL      run a raw engine goal
      profile FILE GOAL      run a goal with telemetry: profile tree,
@@ -108,6 +110,109 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg
           $ stats_arg)
+
+(* ---- update ---- *)
+
+let update_cmd =
+  let script_arg =
+    Arg.(required & opt (some file) None
+         & info [ "script" ] ~docv:"UPDATES"
+             ~doc:"Update script: one $(b,assert FACT) or $(b,retract FACT) \
+                   per line (the fact syntax of $(b,query) patterns, ground); \
+                   blank lines and $(b,#) comments are skipped.")
+  in
+  let read_lines path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  let parse_script path =
+    read_lines path
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter_map (fun (lineno, line) ->
+           if line = "" || line.[0] = '#' then None
+           else
+             let op, rest =
+               match String.index_opt line ' ' with
+               | Some i ->
+                   ( String.sub line 0 i,
+                     String.trim
+                       (String.sub line i (String.length line - i)) )
+               | None -> (line, "")
+             in
+             let pat () =
+               Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact rest)
+             in
+             match op with
+             | "assert" -> Some (`Assert (pat ()))
+             | "retract" -> Some (`Retract (pat ()))
+             | _ ->
+                 invalid_arg
+                   (Printf.sprintf
+                      "%s:%d: expected 'assert FACT' or 'retract FACT'" path
+                      lineno))
+  in
+  let run file view models metas script materialize stats =
+    handle_errors (fun () ->
+        let result = load file in
+        if stats then enable_telemetry result;
+        let q =
+          with_materialize (build_query result view models metas) materialize
+        in
+        Printf.printf "world view: {%s}\n"
+          (String.concat ", " (Query.world_view q));
+        Printf.printf "meta view:  {%s}\n"
+          (String.concat ", " (Query.meta_view q));
+        (* materialise before the script runs: the fixpoint is then
+           repaired incrementally by each update, never rebuilt *)
+        if materialize then Stdlib.ignore (Query.materialization q);
+        let ops = parse_script script in
+        List.iter (fun u -> Stdlib.ignore (Query.update q [ u ])) ops;
+        let asserts =
+          List.length
+            (List.filter (function `Assert _ -> true | `Retract _ -> false) ops)
+        in
+        Printf.printf "applied %d update(s): %d asserted, %d retracted\n"
+          (List.length ops) asserts
+          (List.length ops - asserts);
+        if materialize then begin
+          let fp = Query.materialization q in
+          Printf.printf "materialised: %d facts, %d strata, %d passes\n"
+            (Gdp_logic.Bottom_up.count fp)
+            (Gdp_logic.Bottom_up.strata_count fp)
+            (Gdp_logic.Bottom_up.iterations fp)
+        end;
+        let code =
+          match Query.violations q with
+          | [] ->
+              print_endline "consistent: no constraint violations";
+              0
+          | viols ->
+              Printf.printf "INCONSISTENT: %d violation(s)\n"
+                (List.length viols);
+              List.iter
+                (fun v -> Format.printf "  %a@." Query.pp_violation v)
+                viols;
+              1
+        in
+        if stats then print_stats q;
+        code)
+  in
+  let doc =
+    "Apply an assert/retract script to the compiled base, then re-check \
+     consistency. Under $(b,--materialize) the bottom-up fixpoint is \
+     maintained incrementally (semi-naive deltas for assertions, \
+     delete-and-rederive for retractions) rather than recomputed; \
+     $(b,--stats) shows the maintenance counters."
+  in
+  Cmd.v (Cmd.info "update" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ script_arg
+          $ materialize_arg $ stats_arg)
 
 (* ---- query ---- *)
 
@@ -389,7 +494,7 @@ let main =
   let doc = "formal specification of geographic data processing requirements" in
   let info = Cmd.info "gdprs" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ check_cmd; query_cmd; ask_cmd; profile_cmd; render_cmd; lint_cmd;
-      explain_cmd; info_cmd ]
+    [ check_cmd; update_cmd; query_cmd; ask_cmd; profile_cmd; render_cmd;
+      lint_cmd; explain_cmd; info_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -147,6 +147,21 @@ let compile ?world_view ?(meta_view = []) ?(tracer = Gdp_obs.Tracer.disabled)
       metas
   in
   List.iter (emit_model spec db ~propagate) models;
+  (* replay the specification's update log so a fresh compilation agrees
+     with a database maintained incrementally through Query.update *)
+  List.iter
+    (fun u ->
+      let t =
+        Gfact.to_holds ~default_model:Names.default_model
+          (match u with `Assert f | `Retract f -> f)
+      in
+      match u with
+      | `Assert _ -> if not (Database.has_fact db t) then Database.fact db t
+      | `Retract _ ->
+          while Database.retract_fact db t do
+            ()
+          done)
+    (Spec.update_log spec);
   List.iter
     (fun (m : Spec.meta_model) ->
       List.iter (fun c -> assert_clause db c) m.Spec.meta_clauses)

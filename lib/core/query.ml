@@ -8,8 +8,11 @@ type t = {
   tracer : Gdp_obs.Tracer.t;
   solve_stats : Solve.stats option;
   mode : engine_mode;
-  mutable fp : Bottom_up.fixpoint option;
-      (** lazily computed, shared by the [with_mode] copies of this query *)
+  fp : Bottom_up.fixpoint option ref;
+      (** lazily computed; the ref (not just its content) is shared by the
+          [with_mode] copies of this query, so materialising — or
+          incrementally maintaining, see {!update} — through one copy is
+          visible to all of them *)
 }
 
 let tracer_for ?tracer (spec : Spec.t) =
@@ -47,7 +50,7 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode ?tracer
     tracer;
     solve_stats;
     mode;
-    fp = None;
+    fp = ref None;
   }
 
 let create ?world_view ?meta_view ?max_depth ?on_depth ?mode ?tracer spec =
@@ -66,7 +69,7 @@ let materializable q =
   Bottom_up.classify ~refine:Compile.datalog_refine (db q)
 
 let materialization q =
-  match q.fp with
+  match !(q.fp) with
   | Some fp -> fp
   | None ->
       let fp =
@@ -75,8 +78,48 @@ let materialization q =
             Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
               (db q))
       in
-      q.fp <- Some fp;
+      q.fp := Some fp;
       fp
+
+let update q (updates : Spec.update list) =
+  Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "update" @@ fun () ->
+  (* validate the whole batch before touching anything, so a bad entry
+     cannot leave the database and the cached fixpoint disagreeing *)
+  let resolved =
+    List.map
+      (fun u ->
+        let f = match u with `Assert f | `Retract f -> f in
+        if not (Gfact.is_ground f) then
+          invalid_arg "Query.update: facts must be ground";
+        (match f.Gfact.pred with
+        | Term.Atom _ -> ()
+        | _ -> invalid_arg "Query.update: the predicate must be a constant");
+        (u, Gfact.to_holds ~default_model:Names.default_model f))
+      updates
+  in
+  let database = db q in
+  List.iter
+    (fun (u, t) ->
+      match u with
+      | `Assert _ ->
+          (* keep the clause store duplicate-free so one retraction
+             undoes one assertion, mirroring the fixpoint's set view *)
+          if not (Database.has_fact database t) then Database.fact database t
+      | `Retract _ ->
+          while Database.retract_fact database t do
+            ()
+          done)
+    resolved;
+  (match !(q.fp) with
+  | None -> () (* nothing materialised yet: the next run sees the new base *)
+  | Some fp ->
+      Bottom_up.apply fp
+        (List.map
+           (fun (u, t) ->
+             match u with `Assert _ -> `Assert t | `Retract _ -> `Retract t)
+           resolved));
+  List.iter (fun u -> Spec.log_update (spec q) u) updates;
+  q
 
 let tracer q = q.tracer
 let solve_stats q = q.solve_stats
@@ -285,7 +328,7 @@ let pp_stats ppf q =
       Format.fprintf ppf
         "unifications: %d  loop prunes: %d  deepest call: %d@,"
         s.Solve.unifications s.Solve.loop_prunes s.Solve.deepest_call);
-  (match q.fp with
+  (match !(q.fp) with
   | Some fp -> Bottom_up.pp_stats ppf (Bottom_up.stats fp)
   | None -> ());
   Format.fprintf ppf "@]"

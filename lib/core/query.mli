@@ -50,8 +50,9 @@ val of_compiled :
 val mode : t -> engine_mode
 
 val with_mode : t -> engine_mode -> t
-(** Same compiled database, different answering strategy. The cached
-    fixpoint (if already computed) is shared. *)
+(** Same compiled database, different answering strategy. The fixpoint
+    cache cell is shared, not copied: materialising through either copy —
+    and later {!update}s through either copy — are seen by both. *)
 
 val materializable : t -> (unit, string) result
 (** Whether the compiled database lies in the stratified Datalog fragment
@@ -111,6 +112,23 @@ val violations : ?limit:int -> t -> violation list
     mode: proofs and accuracy maximisation need the SLDNF machinery. *)
 
 val consistent : t -> bool
+
+val update : t -> Spec.update list -> t
+(** Apply a batch of ground basic-fact assertions / retractions to the
+    live query, in order, and return the (same, mutated) query for
+    chaining. Three stores are kept coherent: the compiled database (one
+    duplicate-free unit clause per asserted fact, so top-down answers
+    change immediately), the cached bottom-up fixpoint if
+    {!materialization} has run (repaired incrementally —
+    {!Gdp_logic.Bottom_up.apply}, never recomputed from scratch; a
+    fixpoint materialised later starts from the updated database), and
+    the specification's update log ({!Spec.log_update}, so a fresh
+    {!create} from the same spec agrees). Because the cache cell is
+    shared, every {!with_mode} copy of this query sees the update.
+    Raises [Invalid_argument] on non-ground facts or non-constant
+    predicates — validated before anything is touched. Retracting an
+    absent fact is a no-op; asserting a fact rules already derive marks
+    it basic (it then survives losing its derivations). *)
 
 val explain : t -> Gfact.t -> string option
 (** A human-readable derivation of the first proof of the pattern (the

@@ -28,6 +28,8 @@ type meta_model = {
   needs_loop_check : bool;
 }
 
+type update = [ `Assert of Gfact.t | `Retract of Gfact.t ]
+
 type t = {
   mutable objects : string list;
   mutable signatures : signature list;
@@ -43,6 +45,7 @@ type t = {
   mutable extra_builtins : ((string * int) * Database.builtin) list;
   mutable prefer_materialized : bool;
   mutable telemetry : bool;
+  mutable updates : update list; (* newest first; update_log reverses *)
 }
 
 let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
@@ -62,6 +65,7 @@ let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
       extra_builtins = [];
       prefer_materialized = false;
       telemetry = false;
+      updates = [];
     }
   in
   spec.models <-
@@ -267,3 +271,6 @@ let add_meta_model spec mm =
   if find_meta_model spec mm.meta_name <> None then
     invalid_arg (Printf.sprintf "Spec: duplicate meta-model %s" mm.meta_name);
   spec.meta_models <- spec.meta_models @ [ mm ]
+
+let log_update spec (u : update) = spec.updates <- u :: spec.updates
+let update_log spec = List.rev spec.updates

@@ -52,6 +52,10 @@ type meta_model = {
           the ancestor loop check on *)
 }
 
+type update = [ `Assert of Gfact.t | `Retract of Gfact.t ]
+(** One post-compilation change to a model's asserted base — the unit of
+    the specification's update log (see {!log_update}). *)
+
 type t = {
   mutable objects : string list;
   mutable signatures : signature list;
@@ -80,6 +84,8 @@ type t = {
           compilation, each query operation, every SLDNF predicate call
           and every fixpoint stratum/pass), retrievable via
           {!Query.tracer} — the switch behind [gdprs profile] *)
+  mutable updates : update list;
+      (** the update log, newest first — read it through {!update_log} *)
 }
 
 val create : ?coord:Gdp_space.Coord.t -> ?now:float -> unit -> t
@@ -150,3 +156,15 @@ val model_names : t -> string list
 
 val default_world_view : t -> string list
 (** All declared models — the maximal world view. *)
+
+(** {1 Update log}
+
+    {!Query.update} records every base change it applies here, so a
+    later fresh {!Compile.compile} of the same specification replays the
+    log and agrees with the incrementally maintained database. The log
+    deliberately does not rewrite {!model_def.facts}: the declared base
+    and the applied updates stay separately inspectable. *)
+
+val log_update : t -> update -> unit
+val update_log : t -> update list
+(** Chronological (oldest first). *)

@@ -76,6 +76,38 @@ module Relation = struct
       true
     end
 
+  (* Physical deletion for incremental maintenance: drop [t] from the
+     hash set, compact the insertion-order array (later scans stay
+     deterministic) and evict it from every built index bucket. *)
+  let remove r t =
+    if not (Term_tbl.mem r.facts t) then false
+    else begin
+      Term_tbl.remove r.facts t;
+      let j = ref 0 in
+      for i = 0 to r.n - 1 do
+        let x = Array.unsafe_get r.arr i in
+        if not (Term.equal x t) then begin
+          r.arr.(!j) <- x;
+          incr j
+        end
+      done;
+      for i = !j to r.n - 1 do
+        r.arr.(i) <- dummy
+      done;
+      r.n <- !j;
+      List.iter
+        (fun (positions, idx) ->
+          let k = key_at positions (args_of t) in
+          match Term_tbl.find_opt idx k with
+          | None -> ()
+          | Some bucket -> (
+              match List.filter (fun f -> not (Term.equal f t)) bucket with
+              | [] -> Term_tbl.remove idx k
+              | bucket -> Term_tbl.replace idx k bucket))
+        r.indexes;
+      true
+    end
+
   (* Facts whose arguments at [positions] equal the corresponding (ground)
      arguments of [args] — a superset check is not needed: unification
      of a ground subterm succeeds only on structural equality, so the
@@ -535,6 +567,19 @@ type stratum_stats = {
   st_ms : float;
 }
 
+type incr_stats = {
+  upd_batches : int;
+  upd_asserts : int;
+  upd_retracts : int;
+  upd_noops : int;
+  upd_inserted : int;
+  upd_deleted : int;
+  upd_overdeleted : int;
+  upd_rederived : int;
+  upd_strata_visited : int;
+  upd_strata_recomputed : int;
+}
+
 type stats = {
   bu_passes : int;
   bu_firings : int;
@@ -546,234 +591,375 @@ type stats = {
   bu_hcons_hits : int;
   bu_hcons_misses : int;
   bu_strata_stats : stratum_stats list;
+  bu_incr : incr_stats;
 }
 
+
+(* Internal mutable counter state. [run] and the incremental maintenance
+   entry points ({!apply}) share these, so {!stats} is cumulative over the
+   fixpoint's whole life — exactly what `--stats` after an update script
+   should report. *)
+type counters = {
+  mutable c_facts : int;  (* facts currently stored (inserts - deletes) *)
+  mutable c_passes : int;
+  mutable c_firings : int;
+  mutable c_probes : int;
+  mutable c_scans : int;
+  mutable c_members : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+}
+
+type istate = {
+  mutable i_batches : int;
+  mutable i_asserts : int;
+  mutable i_retracts : int;
+  mutable i_noops : int;
+  mutable i_inserted : int;
+  mutable i_deleted : int;
+  mutable i_overdeleted : int;
+  mutable i_rederived : int;
+  mutable i_visited : int;
+  mutable i_recomputed : int;
+}
+
+(* A rule with its precomputed join plans: one full-relation plan and one
+   delta-aimed plan per positive body position. *)
+type planned = { rule : rule; plan : lit list; delta_plans : lit list array }
+
+(* The maintained state: everything [run] needed transiently is kept so
+   {!apply} can continue evaluating — the per-stratum rule plans, the
+   stratum map, the set of asserted (extensional) facts distinguished
+   from derived ones, and the evaluation options the fixpoint was built
+   under (updates must propagate with the same strategy/indexing or the
+   differential guarantees vanish). *)
 type fixpoint = {
   rels : (Rel.t, Relation.t) Hashtbl.t;
   refine : refine;
-  passes : int;
-  firings : int;
+  ignore_preds : (string * int) list;
+  base : Rel.t Term_tbl.t;  (* asserted ground facts -> their relation *)
+  by_stratum : planned list array;
+  stratum_of : Rel.t -> int;  (* total: unknown relations map to 0 *)
   n_strata : int;
-  run_stats : stats;
+  strategy : strategy;
+  indexing : bool;
+  max_iterations : int;
+  max_facts : int;
+  tracer : Gdp_obs.Tracer.t;
+  ctr : counters;
+  mutable strata_stats : stratum_stats list;
+  incr : istate;
 }
+
+let record rel t m =
+  Rel_map.update rel (function None -> Some [ t ] | Some l -> Some (t :: l)) m
+
+let get fp rel =
+  match Hashtbl.find_opt fp.rels rel with
+  | Some r -> r
+  | None ->
+      let r = Relation.create () in
+      Hashtbl.add fp.rels rel r;
+      r
+
+(* dedup-inserting a hash-consed copy keeps every stored fact canonical,
+   so later membership tests mostly resolve on physical equality *)
+let add fp rel t =
+  let h = Term.hcons t in
+  (* [hcons t == t] means [t] became the canonical copy: a table miss *)
+  if h == t then fp.ctr.c_misses <- fp.ctr.c_misses + 1
+  else fp.ctr.c_hits <- fp.ctr.c_hits + 1;
+  let t = h in
+  if Relation.add (get fp rel) t then begin
+    fp.ctr.c_facts <- fp.ctr.c_facts + 1;
+    if fp.ctr.c_facts > fp.max_facts then
+      failwith "Bottom_up.run: fact bound hit";
+    Some t
+  end
+  else None
+
+(* [budget_from] is the pass counter at the start of the current
+   operation (initial run or one update batch): the iteration bound is
+   per operation, not cumulative over the fixpoint's life. *)
+let tick fp ~budget_from =
+  fp.ctr.c_passes <- fp.ctr.c_passes + 1;
+  if fp.ctr.c_passes - budget_from > fp.max_iterations then
+    failwith "Bottom_up.run: iteration bound hit"
+
+(* evaluate one rule body along its plan; [delta_at] aims one positive
+   join position at the previous pass's delta instead of the full
+   relation. Each positive literal is matched by the cheapest available
+   access path: O(1) membership when the in-flowing substitution
+   grounds it, an index probe on its ground argument positions, and a
+   full scan only when nothing is bound (or indexing is off).
+
+   [ghosts], used only by DRed over-deletion, extends every positive
+   literal's relation with the facts physically deleted earlier in the
+   same update batch: over-deletion must evaluate against (a superset
+   of) the pre-deletion state, and the union of the current store with
+   the batch's ghosts is exactly that superset. [subst0], used only by
+   rederivation, starts the body evaluation from a substitution that
+   already grounds the head. *)
+let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ~delta_at ~delta rule plan
+    ~emit =
+  fp.ctr.c_firings <- fp.ctr.c_firings + 1;
+  let ghost_facts rel =
+    match ghosts with
+    | None -> []
+    | Some g -> Option.value ~default:[] (Rel_map.find_opt rel !g)
+  in
+  let rec go subst lits =
+    match lits with
+    | [] -> emit rule.head_rel (Subst.apply subst rule.head)
+    | Pos (i, rel, atom) :: rest -> (
+        let each fact =
+          match Unify.unify subst atom fact with
+          | Some s -> go s rest
+          | None -> ()
+        in
+        match delta_at with
+        | Some j when j = i -> (
+            let g = Subst.apply subst atom in
+            if Term.is_ground g then begin
+              fp.ctr.c_members <- fp.ctr.c_members + 1;
+              if List.exists (Term.equal g) delta then go subst rest
+            end
+            else List.iter each delta)
+        | _ ->
+            let r = get fp rel in
+            let gfacts = ghost_facts rel in
+            let g = Subst.apply subst atom in
+            if Term.is_ground g then begin
+              fp.ctr.c_members <- fp.ctr.c_members + 1;
+              if Relation.mem r g || List.exists (Term.equal g) gfacts then
+                go subst rest
+            end
+            else begin
+              let candidates =
+                if not fp.indexing then `Scan
+                else
+                  match g with
+                  | Term.App (_, args) -> (
+                      let rev_positions, _ =
+                        List.fold_left
+                          (fun (acc, i) arg ->
+                            ( (if Term.is_ground arg then i :: acc else acc),
+                              i + 1 ))
+                          ([], 0) args
+                      in
+                      match List.rev rev_positions with
+                      | [] -> `Scan
+                      | positions -> `Probe (Relation.probe r positions args))
+                  | _ -> `Scan
+              in
+              (match candidates with
+              | `Scan ->
+                  fp.ctr.c_scans <- fp.ctr.c_scans + 1;
+                  Relation.iter each r
+              | `Probe l ->
+                  fp.ctr.c_probes <- fp.ctr.c_probes + 1;
+                  List.iter each l);
+              if gfacts <> [] then List.iter each gfacts
+            end)
+    | Neg (rel, atom) :: rest ->
+        if not (Relation.mem (get fp rel) (Subst.apply subst atom)) then
+          go subst rest
+    | Cmp (op, a, b) :: rest -> (
+        match (Arith.eval subst a, Arith.eval subst b) with
+        | exception Arith.Error _ -> ()
+        | x, y ->
+            let c = Arith.compare_num x y in
+            let ok =
+              match op with
+              | "<" -> c < 0
+              | ">" -> c > 0
+              | "=<" -> c <= 0
+              | ">=" -> c >= 0
+              | "=:=" -> c = 0
+              | _ -> c <> 0
+            in
+            if ok then go subst rest)
+    | Eq (want_eq, a, b) :: rest ->
+        if Term.equal (Subst.apply subst a) (Subst.apply subst b) = want_eq
+        then go subst rest
+    | Is (l, r) :: rest -> (
+        match Arith.eval subst r with
+        | exception Arith.Error _ -> ()
+        | n -> (
+            match Unify.unify subst l (Arith.to_term n) with
+            | Some s -> go s rest
+            | None -> ()))
+    | Never :: _ -> ()
+  in
+  go subst0 plan
+
+(* Saturate one stratum. [`Full] starts with a pass firing every rule
+   against the full relations (the initial run and stratum recompute);
+   [`Deltas m] starts semi-naive propagation from facts already stored
+   (incremental insertion). With [guard] set, the loop stops as soon as
+   no rule of the stratum reads a delta relation — the incremental path
+   skips the trailing empty pass the initial run deliberately keeps (its
+   pass counts are pinned by the cram tests). Returns every fact this
+   call added, per relation, and the largest delta carried. *)
+let saturate fp ~budget_from ~guard srules start =
+  let added = ref Rel_map.empty in
+  let new_facts = ref Rel_map.empty in
+  let emit rel t =
+    match add fp rel t with
+    | None -> ()
+    | Some t ->
+        new_facts := record rel t !new_facts;
+        added := record rel t !added
+  in
+  let full_pass () =
+    List.iter
+      (fun p -> eval_rule fp ~delta_at:None ~delta:[] p.rule p.plan ~emit)
+      srules
+  in
+  let max_delta = ref 0 in
+  (match start with
+  | `Full ->
+      tick fp ~budget_from;
+      Gdp_obs.Tracer.with_span fp.tracer ~cat:"fixpoint"
+        ~args:[ ("kind", Gdp_obs.Tracer.Str "full") ]
+        "pass" full_pass
+  | `Deltas m -> new_facts := m);
+  let reads m =
+    List.exists
+      (fun p -> Array.exists (fun rel -> Rel_map.mem rel m) p.rule.pos_rels)
+      srules
+  in
+  let deltas = ref !new_facts in
+  while (not (Rel_map.is_empty !deltas)) && ((not guard) || reads !deltas) do
+    tick fp ~budget_from;
+    let dsize = Rel_map.fold (fun _ l acc -> acc + List.length l) !deltas 0 in
+    if dsize > !max_delta then max_delta := dsize;
+    new_facts := Rel_map.empty;
+    Gdp_obs.Tracer.with_span fp.tracer ~cat:"fixpoint"
+      ~args:[ ("delta", Gdp_obs.Tracer.Int dsize) ]
+      "pass"
+      (fun () ->
+        match fp.strategy with
+        | Naive -> full_pass ()
+        | Semi_naive ->
+            List.iter
+              (fun p ->
+                Array.iteri
+                  (fun i rel ->
+                    match Rel_map.find_opt rel !deltas with
+                    | Some (_ :: _ as d) ->
+                        eval_rule fp ~delta_at:(Some i) ~delta:d p.rule
+                          p.delta_plans.(i) ~emit
+                    | _ -> ())
+                  p.rule.pos_rels)
+              srules);
+    deltas := !new_facts
+  done;
+  (!added, !max_delta)
 
 let run ?(strategy = Semi_naive) ?(indexing = true)
     ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
     ?(max_iterations = 10_000) ?(max_facts = 1_000_000)
     ?(tracer = Gdp_obs.Tracer.disabled) db =
   let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
-  let rels : (Rel.t, Relation.t) Hashtbl.t = Hashtbl.create 64 in
-  let total = ref 0 in
-  let get rel =
-    match Hashtbl.find_opt rels rel with
-    | Some r -> r
-    | None ->
-        let r = Relation.create () in
-        Hashtbl.add rels rel r;
-        r
-  in
-  let hcons_hits = ref 0 and hcons_misses = ref 0 in
-  (* dedup-inserting a hash-consed copy keeps every stored fact canonical,
-     so later membership tests mostly resolve on physical equality *)
-  let add rel t =
-    let h = Term.hcons t in
-    (* [hcons t == t] means [t] became the canonical copy: a table miss *)
-    if h == t then incr hcons_misses else incr hcons_hits;
-    let t = h in
-    if Relation.add (get rel) t then begin
-      incr total;
-      if !total > max_facts then failwith "Bottom_up.run: fact bound hit";
-      Some t
-    end
-    else None
-  in
-  List.iter (fun (rel, t) -> Stdlib.ignore (add rel t)) facts;
   (* body plans: with indexing on, a greedy bound-count order per rule
      plus one per delta position; the scan baseline keeps textual order *)
   let planned =
     List.map
       (fun r ->
         if indexing then
-          ( r,
-            order_body ~delta_at:None r.body,
-            Array.init (Array.length r.pos_rels) (fun i ->
-                order_body ~delta_at:(Some i) r.body) )
-        else (r, r.body, Array.make (Array.length r.pos_rels) r.body))
+          {
+            rule = r;
+            plan = order_body ~delta_at:None r.body;
+            delta_plans =
+              Array.init (Array.length r.pos_rels) (fun i ->
+                  order_body ~delta_at:(Some i) r.body);
+          }
+        else
+          {
+            rule = r;
+            plan = r.body;
+            delta_plans = Array.make (Array.length r.pos_rels) r.body;
+          })
       rules
-  in
-  let passes = ref 0 and firings = ref 0 in
-  let probes = ref 0 and scans = ref 0 and members = ref 0 in
-  let tick () =
-    incr passes;
-    if !passes > max_iterations then failwith "Bottom_up.run: iteration bound hit"
-  in
-  (* evaluate one rule body along its plan; [delta_at] aims one positive
-     join position at the previous pass's delta instead of the full
-     relation. Each positive literal is matched by the cheapest available
-     access path: O(1) membership when the in-flowing substitution
-     grounds it, an index probe on its ground argument positions, and a
-     full scan only when nothing is bound (or indexing is off). *)
-  let eval_rule ~delta_at ~delta rule plan ~emit =
-    incr firings;
-    let rec go subst lits =
-      match lits with
-      | [] -> emit rule.head_rel (Subst.apply subst rule.head)
-      | Pos (i, rel, atom) :: rest -> (
-          let each fact =
-            match Unify.unify subst atom fact with
-            | Some s -> go s rest
-            | None -> ()
-          in
-          match delta_at with
-          | Some j when j = i -> (
-              let g = Subst.apply subst atom in
-              if Term.is_ground g then begin
-                incr members;
-                if List.exists (Term.equal g) delta then go subst rest
-              end
-              else List.iter each delta)
-          | _ ->
-              let r = get rel in
-              let g = Subst.apply subst atom in
-              if Term.is_ground g then begin
-                incr members;
-                if Relation.mem r g then go subst rest
-              end
-              else begin
-                let candidates =
-                  if not indexing then `Scan
-                  else
-                    match g with
-                    | Term.App (_, args) -> (
-                        let rev_positions, _ =
-                          List.fold_left
-                            (fun (acc, i) arg ->
-                              ( (if Term.is_ground arg then i :: acc else acc),
-                                i + 1 ))
-                            ([], 0) args
-                        in
-                        match List.rev rev_positions with
-                        | [] -> `Scan
-                        | positions -> `Probe (Relation.probe r positions args))
-                    | _ -> `Scan
-                in
-                match candidates with
-                | `Scan ->
-                    incr scans;
-                    Relation.iter each r
-                | `Probe l ->
-                    incr probes;
-                    List.iter each l
-              end)
-      | Neg (rel, atom) :: rest ->
-          if not (Relation.mem (get rel) (Subst.apply subst atom)) then
-            go subst rest
-      | Cmp (op, a, b) :: rest -> (
-          match (Arith.eval subst a, Arith.eval subst b) with
-          | exception Arith.Error _ -> ()
-          | x, y ->
-              let c = Arith.compare_num x y in
-              let ok =
-                match op with
-                | "<" -> c < 0
-                | ">" -> c > 0
-                | "=<" -> c <= 0
-                | ">=" -> c >= 0
-                | "=:=" -> c = 0
-                | _ -> c <> 0
-              in
-              if ok then go subst rest)
-      | Eq (want_eq, a, b) :: rest ->
-          if Term.equal (Subst.apply subst a) (Subst.apply subst b) = want_eq
-          then go subst rest
-      | Is (l, r) :: rest -> (
-          match Arith.eval subst r with
-          | exception Arith.Error _ -> ()
-          | n -> (
-              match Unify.unify subst l (Arith.to_term n) with
-              | Some s -> go s rest
-              | None -> ()))
-      | Never :: _ -> ()
-    in
-    go Subst.empty plan
   in
   let by_stratum = Array.make (max n_strata 1) [] in
   List.iter
-    (fun ((r, _, _) as entry) ->
-      let s = stratum_of r.head_rel in
-      by_stratum.(s) <- entry :: by_stratum.(s))
+    (fun p ->
+      let s = stratum_of p.rule.head_rel in
+      by_stratum.(s) <- p :: by_stratum.(s))
     planned;
   Array.iteri (fun i rs -> by_stratum.(i) <- List.rev rs) by_stratum;
+  let fp =
+    {
+      rels = Hashtbl.create 64;
+      refine;
+      ignore_preds = ignore;
+      base = Term_tbl.create 64;
+      by_stratum;
+      stratum_of =
+        (fun rel -> match stratum_of rel with s -> s | exception Not_found -> 0);
+      n_strata;
+      strategy;
+      indexing;
+      max_iterations;
+      max_facts;
+      tracer;
+      ctr =
+        {
+          c_facts = 0;
+          c_passes = 0;
+          c_firings = 0;
+          c_probes = 0;
+          c_scans = 0;
+          c_members = 0;
+          c_hits = 0;
+          c_misses = 0;
+        };
+      strata_stats = [];
+      incr =
+        {
+          i_batches = 0;
+          i_asserts = 0;
+          i_retracts = 0;
+          i_noops = 0;
+          i_inserted = 0;
+          i_deleted = 0;
+          i_overdeleted = 0;
+          i_rederived = 0;
+          i_visited = 0;
+          i_recomputed = 0;
+        };
+    }
+  in
+  List.iter
+    (fun (rel, t) ->
+      match add fp rel t with
+      | Some t -> Term_tbl.replace fp.base t rel
+      | None -> Term_tbl.replace fp.base (Term.hcons t) rel)
+    facts;
   let stratum_acc = ref [] in
-  let run_frame = Gdp_obs.Tracer.begin_span tracer ~cat:"fixpoint" "bottom_up.run" in
+  let run_frame =
+    Gdp_obs.Tracer.begin_span tracer ~cat:"fixpoint" "bottom_up.run"
+  in
   Array.iteri
     (fun si srules ->
       if srules <> [] then begin
         let t_start = Gdp_obs.Tracer.now_ns () in
-        let passes0 = !passes and firings0 = !firings and total0 = !total in
-        let max_delta = ref 0 in
+        let passes0 = fp.ctr.c_passes
+        and firings0 = fp.ctr.c_firings
+        and total0 = fp.ctr.c_facts in
         let s_frame =
           Gdp_obs.Tracer.begin_span tracer ~cat:"fixpoint"
             ~args:[ ("rules", Gdp_obs.Tracer.Int (List.length srules)) ]
             ("stratum " ^ string_of_int si)
         in
-        let new_facts = ref Rel_map.empty in
-        let emit rel t =
-          match add rel t with
-          | None -> ()
-          | Some t ->
-              new_facts :=
-                Rel_map.update rel
-                  (function None -> Some [ t ] | Some l -> Some (t :: l))
-                  !new_facts
-        in
-        (* pass 1: every rule of the stratum against the full relations *)
-        tick ();
-        Gdp_obs.Tracer.with_span tracer ~cat:"fixpoint"
-          ~args:[ ("kind", Gdp_obs.Tracer.Str "full") ]
-          "pass"
-          (fun () ->
-            List.iter
-              (fun (r, plan, _) ->
-                eval_rule ~delta_at:None ~delta:[] r plan ~emit)
-              srules);
-        let deltas = ref !new_facts in
-        while not (Rel_map.is_empty !deltas) do
-          tick ();
-          let dsize =
-            Rel_map.fold (fun _ l acc -> acc + List.length l) !deltas 0
-          in
-          if dsize > !max_delta then max_delta := dsize;
-          new_facts := Rel_map.empty;
-          Gdp_obs.Tracer.with_span tracer ~cat:"fixpoint"
-            ~args:[ ("delta", Gdp_obs.Tracer.Int dsize) ]
-            "pass"
-            (fun () ->
-              match strategy with
-              | Naive ->
-                  List.iter
-                    (fun (r, plan, _) ->
-                      eval_rule ~delta_at:None ~delta:[] r plan ~emit)
-                    srules
-              | Semi_naive ->
-                  List.iter
-                    (fun (r, _, delta_plans) ->
-                      Array.iteri
-                        (fun i rel ->
-                          match Rel_map.find_opt rel !deltas with
-                          | Some (_ :: _ as d) ->
-                              eval_rule ~delta_at:(Some i) ~delta:d r
-                                delta_plans.(i) ~emit
-                          | _ -> ())
-                        r.pos_rels)
-                    srules);
-          deltas := !new_facts
-        done;
-        let derived = !total - total0 in
+        let _, max_delta = saturate fp ~budget_from:0 ~guard:false srules `Full in
+        let derived = fp.ctr.c_facts - total0 in
         Gdp_obs.Tracer.end_span tracer s_frame
           ~args:
             [
-              ("passes", Gdp_obs.Tracer.Int (!passes - passes0));
+              ("passes", Gdp_obs.Tracer.Int (fp.ctr.c_passes - passes0));
               ("derived", Gdp_obs.Tracer.Int derived);
             ];
         let ms =
@@ -783,41 +969,28 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
           {
             st_stratum = si;
             st_rules = List.length srules;
-            st_passes = !passes - passes0;
-            st_firings = !firings - firings0;
+            st_passes = fp.ctr.c_passes - passes0;
+            st_firings = fp.ctr.c_firings - firings0;
             st_derived = derived;
-            st_max_delta = !max_delta;
+            st_max_delta = max_delta;
             st_ms = ms;
           }
           :: !stratum_acc
       end)
-    by_stratum;
+    fp.by_stratum;
   Gdp_obs.Tracer.end_span tracer run_frame;
   if Gdp_obs.Tracer.enabled tracer then begin
     let set n v = Gdp_obs.Tracer.set tracer n (float_of_int v) in
-    set "bu.facts" !total;
-    set "bu.passes" !passes;
-    set "bu.firings" !firings;
-    set "bu.index_probes" !probes;
-    set "bu.full_scans" !scans;
-    set "bu.hcons_hits" !hcons_hits;
-    set "bu.hcons_misses" !hcons_misses
+    set "bu.facts" fp.ctr.c_facts;
+    set "bu.passes" fp.ctr.c_passes;
+    set "bu.firings" fp.ctr.c_firings;
+    set "bu.index_probes" fp.ctr.c_probes;
+    set "bu.full_scans" fp.ctr.c_scans;
+    set "bu.hcons_hits" fp.ctr.c_hits;
+    set "bu.hcons_misses" fp.ctr.c_misses
   end;
-  let run_stats =
-    {
-      bu_passes = !passes;
-      bu_firings = !firings;
-      bu_strata = n_strata;
-      bu_facts = !total;
-      bu_index_probes = !probes;
-      bu_full_scans = !scans;
-      bu_membership_tests = !members;
-      bu_hcons_hits = !hcons_hits;
-      bu_hcons_misses = !hcons_misses;
-      bu_strata_stats = List.rev !stratum_acc;
-    }
-  in
-  { rels; refine; passes = !passes; firings = !firings; n_strata; run_stats }
+  fp.strata_stats <- List.rev !stratum_acc;
+  fp
 
 (* ------------------------------------------------------------------ *)
 
@@ -907,10 +1080,39 @@ let probe fp goal =
 
 let count fp =
   Hashtbl.fold (fun _ r acc -> acc + Relation.cardinal r) fp.rels 0
-let iterations fp = fp.passes
-let rule_firings fp = fp.firings
+
+let iterations fp = fp.ctr.c_passes
+let rule_firings fp = fp.ctr.c_firings
 let strata_count fp = fp.n_strata
-let stats fp = fp.run_stats
+
+let incr_stats fp =
+  {
+    upd_batches = fp.incr.i_batches;
+    upd_asserts = fp.incr.i_asserts;
+    upd_retracts = fp.incr.i_retracts;
+    upd_noops = fp.incr.i_noops;
+    upd_inserted = fp.incr.i_inserted;
+    upd_deleted = fp.incr.i_deleted;
+    upd_overdeleted = fp.incr.i_overdeleted;
+    upd_rederived = fp.incr.i_rederived;
+    upd_strata_visited = fp.incr.i_visited;
+    upd_strata_recomputed = fp.incr.i_recomputed;
+  }
+
+let stats fp =
+  {
+    bu_passes = fp.ctr.c_passes;
+    bu_firings = fp.ctr.c_firings;
+    bu_strata = fp.n_strata;
+    bu_facts = fp.ctr.c_facts;
+    bu_index_probes = fp.ctr.c_probes;
+    bu_full_scans = fp.ctr.c_scans;
+    bu_membership_tests = fp.ctr.c_members;
+    bu_hcons_hits = fp.ctr.c_hits;
+    bu_hcons_misses = fp.ctr.c_misses;
+    bu_strata_stats = fp.strata_stats;
+    bu_incr = incr_stats fp;
+  }
 
 let hcons_hit_rate s =
   let n = s.bu_hcons_hits + s.bu_hcons_misses in
@@ -932,4 +1134,366 @@ let pp_stats ppf s =
         st.st_stratum st.st_rules st.st_passes st.st_firings st.st_derived
         st.st_max_delta)
     s.bu_strata_stats;
+  if s.bu_incr.upd_batches > 0 then begin
+    let i = s.bu_incr in
+    Format.fprintf ppf
+      "updates: %d batches (%d asserts, %d retracts, %d no-ops)@,\
+       maintenance: %d inserted, %d deleted, %d over-deleted, %d rederived@,\
+       maintenance strata: %d visited, %d recomputed@,"
+      i.upd_batches i.upd_asserts i.upd_retracts i.upd_noops i.upd_inserted
+      i.upd_deleted i.upd_overdeleted i.upd_rederived i.upd_strata_visited
+      i.upd_strata_recomputed
+  end;
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* incremental maintenance: semi-naive insertion deltas + DRed
+   (delete-and-rederive) deletions, per stratum in dependency order;
+   any stratum that negates a changed relation is recomputed outright   *)
+
+type update = [ `Assert of Term.t | `Retract of Term.t ]
+
+(* One stratum, incrementally. Preconditions: no rule of the stratum
+   negates a relation changed by this batch (the caller routed those to
+   {!recompute_stratum}), lower strata are already final, [ghosts] holds
+   every fact physically deleted so far this batch. [seeds_a]/[seeds_d]
+   are the net base assertions/retractions landing on this stratum's
+   relations; [lower_adds]/[lower_dels] the net derived changes from
+   lower strata. Returns the stratum's own net (additions, deletions). *)
+let incremental_stratum fp ~budget_from srules ~seeds_a ~seeds_d ~ghosts
+    ~lower_adds ~lower_dels =
+  (* presence at batch start, recorded the first time a fact is touched:
+     the final net change is (recorded, current) presence disagreeing *)
+  let before : (Rel.t * bool) Term_tbl.t = Term_tbl.create 16 in
+  let note rel t was =
+    if not (Term_tbl.mem before t) then Term_tbl.replace before t (rel, was)
+  in
+  (* 1. asserted base facts go in first: rederivation below must see them *)
+  let seed_added =
+    List.filter_map
+      (fun (rel, t) ->
+        match add fp rel t with
+        | Some t ->
+            note rel t false;
+            Some (rel, t)
+        | None -> None)
+      seeds_a
+  in
+  (* 2. DRed over-deletion: mark the retracted base facts and every fact
+     a rule of this stratum derives from a deleted fact, evaluating
+     non-delta literals against current-store ∪ ghosts (a superset of
+     the pre-deletion state, so over-deletion is a superset of the facts
+     that lost a derivation — rederivation is exact and repairs any
+     over-kill). *)
+  let marked = Term_tbl.create 16 in
+  List.iter
+    (fun (rel, t) ->
+      if Relation.mem (get fp rel) t then Term_tbl.replace marked t rel)
+    seeds_d;
+  let deltas0 =
+    List.fold_left
+      (fun m (rel, t) -> if Term_tbl.mem marked t then record rel t m else m)
+      lower_dels seeds_d
+  in
+  let reads m =
+    List.exists
+      (fun p -> Array.exists (fun rel -> Rel_map.mem rel m) p.rule.pos_rels)
+      srules
+  in
+  let fresh = ref [] in
+  let mark rel t =
+    if (not (Term_tbl.mem marked t)) && Relation.mem (get fp rel) t then begin
+      Term_tbl.replace marked t rel;
+      fp.incr.i_overdeleted <- fp.incr.i_overdeleted + 1;
+      fresh := (rel, t) :: !fresh
+    end
+  in
+  let deltas = ref deltas0 in
+  while (not (Rel_map.is_empty !deltas)) && reads !deltas do
+    tick fp ~budget_from;
+    fresh := [];
+    List.iter
+      (fun p ->
+        Array.iteri
+          (fun i rel ->
+            match Rel_map.find_opt rel !deltas with
+            | Some (_ :: _ as d) ->
+                eval_rule fp ~ghosts ~delta_at:(Some i) ~delta:d p.rule
+                  p.delta_plans.(i) ~emit:mark
+            | _ -> ())
+          p.rule.pos_rels)
+      srules;
+    deltas :=
+      List.fold_left (fun m (rel, t) -> record rel t m) Rel_map.empty !fresh
+  done;
+  (* 3. physically remove everything marked *)
+  let removed = ref [] in
+  Term_tbl.iter
+    (fun t rel ->
+      if Relation.remove (get fp rel) t then begin
+        fp.ctr.c_facts <- fp.ctr.c_facts - 1;
+        note rel t true;
+        removed := (rel, t) :: !removed
+      end)
+    marked;
+  (* 4. rederive: a removed fact survives if it is still asserted, or
+     some rule of this stratum derives it from the remaining facts.
+     Iterated to a fixpoint so chains of mutually supporting facts are
+     reinstated in dependency order. *)
+  let derivable rel t =
+    Term_tbl.mem fp.base t
+    || (let exception Found in
+        List.exists
+          (fun p ->
+            Rel.compare p.rule.head_rel rel = 0
+            &&
+            match Unify.unify Subst.empty p.rule.head t with
+            | None -> false
+            | Some s -> (
+                try
+                  eval_rule fp ~subst0:s ~delta_at:None ~delta:[] p.rule p.plan
+                    ~emit:(fun _ h ->
+                      if Term.equal h t then raise_notrace Found);
+                  false
+                with Found -> true))
+          srules)
+  in
+  let pending = ref !removed and progress = ref true in
+  while !progress do
+    progress := false;
+    pending :=
+      List.filter
+        (fun (rel, t) ->
+          if derivable rel t then begin
+            Stdlib.ignore (add fp rel t);
+            fp.incr.i_rederived <- fp.incr.i_rederived + 1;
+            progress := true;
+            false
+          end
+          else true)
+        !pending
+  done;
+  (* 5. insertion propagation: semi-naive from the asserted facts plus
+     the additions lower strata produced (all already stored) *)
+  let ins_deltas =
+    List.fold_left (fun m (rel, t) -> record rel t m) lower_adds seed_added
+  in
+  let sat_added =
+    if Rel_map.is_empty ins_deltas then Rel_map.empty
+    else fst (saturate fp ~budget_from ~guard:true srules (`Deltas ins_deltas))
+  in
+  Rel_map.iter (fun rel l -> List.iter (fun t -> note rel t false) l) sat_added;
+  (* 6. net the batch-start snapshot against the current store *)
+  let net_adds = ref [] and net_dels = ref [] in
+  Term_tbl.iter
+    (fun t (rel, was) ->
+      let now = Relation.mem (get fp rel) t in
+      match (was, now) with
+      | false, true ->
+          fp.incr.i_inserted <- fp.incr.i_inserted + 1;
+          net_adds := (rel, t) :: !net_adds
+      | true, false ->
+          fp.incr.i_deleted <- fp.incr.i_deleted + 1;
+          net_dels := (rel, t) :: !net_dels
+      | _ -> ())
+    before;
+  (!net_adds, !net_dels)
+
+(* Full recomputation of one stratum, used whenever one of its rules
+   negates a relation this batch changed: deletions below can create
+   derivations here and insertions below can destroy them, so delta
+   propagation alone is not sound. Head relations are cleared, re-seeded
+   from the asserted facts and saturated from scratch against the
+   (already final) lower strata; the old/new difference is the net
+   change handed to higher strata. *)
+let recompute_stratum fp ~budget_from srules ~seeds_a ~seeds_d =
+  fp.incr.i_recomputed <- fp.incr.i_recomputed + 1;
+  let head_rels =
+    List.sort_uniq Rel.compare (List.map (fun p -> p.rule.head_rel) srules)
+  in
+  let is_head rel = List.exists (fun h -> Rel.compare h rel = 0) head_rels in
+  let net_adds = ref [] and net_dels = ref [] in
+  (* seeds on relations no rule of the stratum derives: plain updates *)
+  List.iter
+    (fun (rel, t) ->
+      if not (is_head rel) then
+        match add fp rel t with
+        | Some t -> net_adds := (rel, t) :: !net_adds
+        | None -> ())
+    seeds_a;
+  List.iter
+    (fun (rel, t) ->
+      if (not (is_head rel)) && Relation.remove (get fp rel) t then begin
+        fp.ctr.c_facts <- fp.ctr.c_facts - 1;
+        net_dels := (rel, t) :: !net_dels
+      end)
+    seeds_d;
+  let old =
+    List.map
+      (fun rel ->
+        let r = get fp rel in
+        fp.ctr.c_facts <- fp.ctr.c_facts - Relation.cardinal r;
+        Hashtbl.replace fp.rels rel (Relation.create ());
+        (rel, r))
+      head_rels
+  in
+  Term_tbl.iter
+    (fun t rel -> if is_head rel then Stdlib.ignore (add fp rel t))
+    fp.base;
+  Stdlib.ignore (saturate fp ~budget_from ~guard:false srules `Full);
+  List.iter
+    (fun (rel, r_old) ->
+      let r_new = get fp rel in
+      Relation.iter
+        (fun t ->
+          if not (Relation.mem r_old t) then net_adds := (rel, t) :: !net_adds)
+        r_new;
+      Relation.iter
+        (fun t ->
+          if not (Relation.mem r_new t) then net_dels := (rel, t) :: !net_dels)
+        r_old)
+    old;
+  fp.incr.i_inserted <- fp.incr.i_inserted + List.length !net_adds;
+  fp.incr.i_deleted <- fp.incr.i_deleted + List.length !net_dels;
+  (!net_adds, !net_dels)
+
+let apply fp (updates : update list) =
+  let inc = fp.incr in
+  let budget_from = fp.ctr.c_passes in
+  let ins0 = inc.i_inserted and del0 = inc.i_deleted in
+  inc.i_batches <- inc.i_batches + 1;
+  let frame =
+    Gdp_obs.Tracer.begin_span fp.tracer ~cat:"fixpoint"
+      ~args:[ ("updates", Gdp_obs.Tracer.Int (List.length updates)) ]
+      "bu.incr.apply"
+  in
+  (* replay the script against the base-fact table: per fact, only the
+     net effect matters (assert-then-retract is a no-op), and the seeds
+     handed to each stratum are those net changes *)
+  let touched = Term_tbl.create 16 in
+  List.iter
+    (fun u ->
+      let asserted, t =
+        match u with `Assert t -> (true, t) | `Retract t -> (false, t)
+      in
+      if not (Term.is_ground t) then
+        unsupported "update: %s is not a ground fact" (Term.to_string t);
+      let t = Term.hcons t in
+      (match Term.functor_of t with
+      | None ->
+          unsupported "update: %s is not a predicate atom" (Term.to_string t)
+      | Some (name, arity) when List.mem (name, arity) fp.ignore_preds ->
+          unsupported "update: %s/%d is a library predicate" name arity
+      | Some _ -> ());
+      let rel = rel_of ~refine:fp.refine ~what:"update" t in
+      if asserted then inc.i_asserts <- inc.i_asserts + 1
+      else inc.i_retracts <- inc.i_retracts + 1;
+      if not (Term_tbl.mem touched t) then
+        Term_tbl.replace touched t (rel, Term_tbl.mem fp.base t);
+      if asserted then Term_tbl.replace fp.base t rel
+      else Term_tbl.remove fp.base t)
+    updates;
+  let ns = Array.length fp.by_stratum in
+  let adds_at = Array.make ns [] and dels_at = Array.make ns [] in
+  Term_tbl.iter
+    (fun t (rel, was) ->
+      let now = Term_tbl.mem fp.base t in
+      let si = min (max 0 (fp.stratum_of rel)) (ns - 1) in
+      match (was, now) with
+      | false, true -> adds_at.(si) <- (rel, t) :: adds_at.(si)
+      | true, false -> dels_at.(si) <- (rel, t) :: dels_at.(si)
+      | _ -> inc.i_noops <- inc.i_noops + 1)
+    touched;
+  (* strata low to high, carrying the accumulated net additions and
+     deletions: every stratum's rules may read relations from any lower
+     stratum, so the delta maps only ever grow *)
+  let ghosts = ref Rel_map.empty in
+  let changed : (Rel.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let add_delta = ref Rel_map.empty and del_delta = ref Rel_map.empty in
+  for si = 0 to ns - 1 do
+    let srules = fp.by_stratum.(si) in
+    let seeds_a = adds_at.(si) and seeds_d = dels_at.(si) in
+    let negated_changed =
+      List.exists
+        (fun p ->
+          List.exists
+            (function Neg (rel, _) -> Hashtbl.mem changed rel | _ -> false)
+            p.rule.body)
+        srules
+    in
+    let reads_deltas =
+      List.exists
+        (fun p ->
+          Array.exists
+            (fun rel ->
+              Rel_map.mem rel !add_delta || Rel_map.mem rel !del_delta)
+            p.rule.pos_rels)
+        srules
+    in
+    if seeds_a <> [] || seeds_d <> [] || negated_changed || reads_deltas
+    then begin
+      inc.i_visited <- inc.i_visited + 1;
+      let s_frame =
+        Gdp_obs.Tracer.begin_span fp.tracer ~cat:"fixpoint"
+          ~args:
+            [
+              ( "mode",
+                Gdp_obs.Tracer.Str
+                  (if negated_changed then "recompute" else "incremental") );
+            ]
+          ("bu.incr.stratum " ^ string_of_int si)
+      in
+      let net_adds, net_dels =
+        if negated_changed then
+          recompute_stratum fp ~budget_from srules ~seeds_a ~seeds_d
+        else
+          incremental_stratum fp ~budget_from srules ~seeds_a ~seeds_d ~ghosts
+            ~lower_adds:!add_delta ~lower_dels:!del_delta
+      in
+      List.iter
+        (fun (rel, t) ->
+          Hashtbl.replace changed rel ();
+          add_delta := record rel t !add_delta)
+        net_adds;
+      List.iter
+        (fun (rel, t) ->
+          Hashtbl.replace changed rel ();
+          del_delta := record rel t !del_delta;
+          ghosts := record rel t !ghosts)
+        net_dels;
+      Gdp_obs.Tracer.end_span fp.tracer s_frame
+        ~args:
+          [
+            ("added", Gdp_obs.Tracer.Int (List.length net_adds));
+            ("deleted", Gdp_obs.Tracer.Int (List.length net_dels));
+          ]
+    end
+  done;
+  Gdp_obs.Tracer.end_span fp.tracer frame
+    ~args:
+      [
+        ("inserted", Gdp_obs.Tracer.Int (inc.i_inserted - ins0));
+        ("deleted", Gdp_obs.Tracer.Int (inc.i_deleted - del0));
+      ];
+  if Gdp_obs.Tracer.enabled fp.tracer then begin
+    Gdp_obs.Tracer.add fp.tracer "bu.incr.batches" 1;
+    let set n v = Gdp_obs.Tracer.set fp.tracer n (float_of_int v) in
+    set "bu.incr.inserted" inc.i_inserted;
+    set "bu.incr.deleted" inc.i_deleted;
+    set "bu.incr.overdeleted" inc.i_overdeleted;
+    set "bu.incr.rederived" inc.i_rederived;
+    set "bu.incr.strata_recomputed" inc.i_recomputed;
+    set "bu.facts" fp.ctr.c_facts;
+    set "bu.passes" fp.ctr.c_passes;
+    set "bu.firings" fp.ctr.c_firings
+  end
+
+let assert_fact fp t =
+  let was = Term.is_ground t && Term_tbl.mem fp.base (Term.hcons t) in
+  apply fp [ `Assert t ];
+  not was
+
+let retract_fact fp t =
+  let was = Term.is_ground t && Term_tbl.mem fp.base (Term.hcons t) in
+  apply fp [ `Retract t ];
+  was

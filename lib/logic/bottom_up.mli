@@ -75,6 +75,24 @@ type stratum_stats = {
   st_ms : float;  (** wall-clock milliseconds (monotonic) *)
 }
 
+type incr_stats = {
+  upd_batches : int;  (** {!apply} calls (each {!assert_fact} is one) *)
+  upd_asserts : int;  (** [`Assert] script entries seen *)
+  upd_retracts : int;  (** [`Retract] script entries seen *)
+  upd_noops : int;
+      (** script entries whose net effect on the asserted base was nil *)
+  upd_inserted : int;  (** net facts the maintained store gained *)
+  upd_deleted : int;  (** net facts the maintained store lost *)
+  upd_overdeleted : int;
+      (** facts DRed marked as possibly losing a derivation *)
+  upd_rederived : int;
+      (** over-deleted facts reinstated by the rederivation step *)
+  upd_strata_visited : int;  (** strata any update batch propagated into *)
+  upd_strata_recomputed : int;
+      (** strata re-run from scratch because a negated input changed *)
+}
+(** Cumulative incremental-maintenance counters, all deterministic. *)
+
 type stats = {
   bu_passes : int;
   bu_firings : int;
@@ -91,6 +109,7 @@ type stats = {
           fact, deduplicated by physical equality *)
   bu_hcons_misses : int;  (** derived terms interned fresh *)
   bu_strata_stats : stratum_stats list;  (** non-empty strata, in order *)
+  bu_incr : incr_stats;  (** all zeros until the first {!apply} *)
 }
 
 val run :
@@ -154,8 +173,14 @@ val strata_count : fixpoint -> int
     programs with a single recursive component family). *)
 
 val stats : fixpoint -> stats
-(** Everything the run measured. Counter fields are deterministic for a
-    given database and options; only {!stratum_stats.st_ms} varies. *)
+(** Everything the fixpoint measured, cumulative over the initial run
+    and every later {!apply}. Counter fields are deterministic for a
+    given database, options and update history; only
+    {!stratum_stats.st_ms} varies. *)
+
+val incr_stats : fixpoint -> incr_stats
+(** The incremental-maintenance counters alone (same data as
+    [(stats fp).bu_incr]). *)
 
 val hcons_hit_rate : stats -> float
 (** [bu_hcons_hits / (bu_hcons_hits + bu_hcons_misses)], 0 when no term
@@ -163,4 +188,47 @@ val hcons_hit_rate : stats -> float
 
 val pp_stats : Format.formatter -> stats -> unit
 (** Multi-line summary. Deliberately omits the per-stratum timings so the
-    output is deterministic (CLI [--stats] is cram-tested). *)
+    output is deterministic (CLI [--stats] is cram-tested). The
+    maintenance counter block is printed only after the first update
+    batch, so un-updated fixpoints render exactly as before. *)
+
+(** {1 Incremental maintenance}
+
+    A fixpoint returned by {!run} is a live view: asserted (extensional)
+    facts can be added and removed after the fact, and the derived
+    consequences are repaired in place instead of recomputing the whole
+    base. Additions propagate through the same semi-naive delta passes
+    the initial run used, restricted to the strata whose relations
+    changed. Deletions use DRed (delete-and-rederive): per stratum, the
+    consequences of every deleted fact are over-deleted by running the
+    delta passes against the pre-deletion state, then each over-deleted
+    fact is rederived from the surviving facts (or its own base
+    assertion) — exact, so over-deletion may safely over-approximate.
+    Stratified negation stays correct because any stratum with a negated
+    literal over a changed relation is re-run from scratch against the
+    (already repaired) lower strata. After every update the store is
+    exactly what {!run} on the updated database would build — the
+    invariant [test/suite_incremental.ml] checks differentially. *)
+
+type update = [ `Assert of Term.t | `Retract of Term.t ]
+
+val apply : fixpoint -> update list -> unit
+(** Apply one batch of updates to the asserted base, in script order —
+    per fact only the net effect matters (assert-then-retract in one
+    batch is a no-op) — then repair the derived consequences. Facts must
+    be ground atoms of non-library predicates (with a constant at the
+    refining position when their predicate is refined); anything else
+    raises {!Unsupported} — the base replay up to the offending entry
+    may already have been applied, so callers should validate scripts
+    first or discard the fixpoint on error. Retracting a fact that was
+    never asserted, or one only ever derived by rules, is a no-op;
+    asserting a fact that rules already derive marks it extensional (it
+    then survives losing its rule derivations) without changing the
+    store. Shares {!run}'s iteration/fact bounds per batch. *)
+
+val assert_fact : fixpoint -> Term.t -> bool
+(** [apply fp [`Assert t]]; [true] iff [t] was not already asserted
+    (the asserted base grew — the derived store may or may not have). *)
+
+val retract_fact : fixpoint -> Term.t -> bool
+(** [apply fp [`Retract t]]; [true] iff [t] had been asserted. *)

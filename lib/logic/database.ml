@@ -254,6 +254,19 @@ let retract db c =
 
 let retract_all db fa = db.preds <- Sm.remove fa db.preds
 let fact db h = assertz db { head = h; body = [] }
+let retract_fact db h = retract db { head = h; body = [] }
+
+let has_fact db h =
+  match Term.functor_of h with
+  | None -> false
+  | Some fa -> (
+      match Sm.find_opt fa db.preds with
+      | None -> false
+      | Some p ->
+          List.exists
+            (fun e ->
+              e.clause.body = [] && variant_clause e.clause { head = h; body = [] })
+            p.entries)
 
 let compatible gk ck =
   match (gk, ck) with

@@ -38,6 +38,16 @@ val retract_all : t -> string * int -> unit
 val fact : t -> Term.t -> unit
 (** [fact db h] is [assertz db { head = h; body = [] }]. *)
 
+val retract_fact : t -> Term.t -> bool
+(** [retract db { head; body = [] }]: remove the first stored unit clause
+    whose head is a variant of [head]. The database-side half of an
+    incremental base update (see [Bottom_up.retract_fact]). *)
+
+val has_fact : t -> Term.t -> bool
+(** Whether a unit clause with a head variant of the given (normally
+    ground) term is stored. Lets update paths keep the clause store
+    duplicate-free so assert/retract stay symmetric. *)
+
 val set_index_args : t -> string * int -> int list -> unit
 (** [set_index_args db (name, arity) positions] selects the argument
     positions (0-based) forming the predicate's composite clause-index

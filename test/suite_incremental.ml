@@ -1,0 +1,311 @@
+(* Incremental view maintenance, tested differentially: after every step
+   of a random assert/retract script the incrementally maintained
+   fixpoint ([Bottom_up.apply] — semi-naive insertion deltas, DRed
+   deletions, stratum recompute under changed negated inputs) must hold
+   exactly the facts a from-scratch [Bottom_up.run] computes on the
+   identically mutated database. Checked for every engine configuration:
+   semi-naive with indexed joins (the default), naive, and the
+   [~indexing:false] scan baseline. Plus directed unit tests for the
+   DRed edge cases and the maintenance counters. *)
+
+open Gdp_logic
+
+let engine_db_of src =
+  let db = Engine.create () in
+  Engine.consult db src;
+  db
+
+let term = Reader.term
+let facts_of fp = List.map Term.to_string (Bottom_up.facts fp)
+
+(* ------------------------------------------------------------------ *)
+(* the differential update-script harness                              *)
+
+(* One script step: [(true, f)] asserts the fact [f], [(false, f)]
+   retracts it. Targets cover base relations (edges, nodes, values),
+   facts that collide with rule-derived relations (so relations become
+   mixed extensional/intensional and retraction meets alternate
+   derivations), and negation-derived relations (so stratum recompute
+   fires), plus the occasional brand-new predicate. *)
+type op = bool * string
+
+let op_to_string (asserted, f) =
+  (if asserted then "assert " else "retract ") ^ f
+
+(* Random stratified program in the harness fragment: an edge relation
+   with transitive closure, a negation layer (sometimes two deep) and
+   optional arithmetic guards — the same shape the engine-props suite
+   uses, with the fact lines deduplicated so one retraction empties the
+   corresponding base fact entirely (the fixpoint's base set has set
+   semantics; a duplicated unit clause would break the mirror). *)
+let gen_case =
+  let open QCheck.Gen in
+  let const = oneofl [ "a"; "b"; "c"; "d" ] in
+  let gen_program =
+    let* n_edges = int_range 3 6 in
+    let* edges =
+      list_size (return n_edges)
+        (map2 (fun x y -> Printf.sprintf "e(%s, %s)." x y) const const)
+    in
+    let nodes = List.map (Printf.sprintf "node(%s).") [ "a"; "b"; "c" ] in
+    let* vals =
+      list_size (return 3)
+        (map2
+           (fun c n -> Printf.sprintf "val(%s, %d)." c n)
+           const (int_range 0 5))
+    in
+    let reach = [ "r(X, Y) :- e(X, Y)."; "r(X, Y) :- e(X, Z), r(Z, Y)." ] in
+    let* hub =
+      oneofl
+        [
+          "hub(X) :- e(X, Y).";
+          "hub(X) :- r(X, X).";
+          "hub(X) :- r(X, Y), r(Y, X).";
+        ]
+    in
+    let iso = "iso(X) :- node(X), \\+ hub(X)." in
+    let* second_layer =
+      oneofl [ []; [ "plain(X) :- node(X), \\+ iso(X)." ] ]
+    in
+    let* guards =
+      oneofl
+        [
+          [];
+          [ "big(X) :- val(X, N), N >= 3." ];
+          [
+            "big(X) :- val(X, N), N >= 3.";
+            "small(X) :- node(X), \\+ big(X).";
+          ];
+        ]
+    in
+    return
+      (String.concat "\n"
+         (List.sort_uniq compare (edges @ nodes @ vals)
+         @ reach @ [ hub; iso ] @ second_layer @ guards))
+  in
+  let gen_op =
+    let* asserted = bool in
+    let* fact =
+      frequency
+        [
+          (4, map2 (Printf.sprintf "e(%s, %s)") const const);
+          (1, map (Printf.sprintf "node(%s)") const);
+          (2, map2 (fun c n -> Printf.sprintf "val(%s, %d)" c n) const
+                (int_range 0 5));
+          (2, map2 (Printf.sprintf "r(%s, %s)") const const);
+          (1, map (Printf.sprintf "hub(%s)") const);
+          (1, map (Printf.sprintf "iso(%s)") const);
+          (1, map (Printf.sprintf "fresh(%s)") const);
+        ]
+    in
+    return (asserted, fact)
+  in
+  let* src = gen_program in
+  let* n_steps = int_range 1 30 in
+  let* script = list_size (return n_steps) gen_op in
+  return (src, script)
+
+let print_case (src, script) =
+  src ^ "\n-- script --\n" ^ String.concat "\n" (List.map op_to_string script)
+
+(* Shrink the script only (dropping steps keeps the case well-formed);
+   a failure then minimises to the shortest breaking update sequence. *)
+let arb_case =
+  QCheck.make gen_case ~print:print_case ~shrink:(fun (src, script) ->
+      QCheck.Iter.map (fun s -> (src, s)) (QCheck.Shrink.list script))
+
+(* After every step: the maintained fixpoint must equal a from-scratch
+   run over the mutated database. The database mirror is gated on what
+   the fixpoint reports — [assert_fact]/[retract_fact] return whether
+   the asserted base actually changed, and the clause store must stay
+   in lockstep (no duplicate unit clauses, no phantom retractions). *)
+let agree_after_script ~strategy ~indexing (src, script) =
+  let db = engine_db_of src in
+  let fp = Bottom_up.run ~strategy ~indexing db in
+  List.for_all
+    (fun (asserted, fact_src) ->
+      let t = term fact_src in
+      (if asserted then begin
+         if Bottom_up.assert_fact fp t then Database.fact db t
+       end
+       else if Bottom_up.retract_fact fp t then
+         Stdlib.ignore (Database.retract_fact db t));
+      let fresh = Bottom_up.run ~strategy ~indexing db in
+      List.equal Term.equal (Bottom_up.facts fp) (Bottom_up.facts fresh))
+    script
+
+let prop_config name strategy indexing =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "incremental maintenance tracks from-scratch runs (%s)" name)
+    ~count:310 arb_case
+    (agree_after_script ~strategy ~indexing)
+
+let prop_semi_naive = prop_config "semi-naive, indexed" Bottom_up.Semi_naive true
+let prop_naive = prop_config "naive" Bottom_up.Naive true
+let prop_scan = prop_config "semi-naive, scans" Bottom_up.Semi_naive false
+
+(* Batched scripts must agree with single-fact application: apply the
+   whole script as one [Bottom_up.apply] batch and compare against the
+   from-scratch run on the final database. *)
+let prop_batched =
+  QCheck.Test.make
+    ~name:"one-batch apply agrees with from-scratch on the final base"
+    ~count:150 arb_case
+    (fun (src, script) ->
+      let db = engine_db_of src in
+      let fp = Bottom_up.run db in
+      let updates =
+        List.map
+          (fun (asserted, f) ->
+            let t = term f in
+            if asserted then `Assert t else `Retract t)
+          script
+      in
+      Bottom_up.apply fp updates;
+      (* mirror the script's net effect on the clause store *)
+      List.iter
+        (fun (asserted, f) ->
+          let t = term f in
+          if asserted then begin
+            if not (Database.has_fact db t) then Database.fact db t
+          end
+          else Stdlib.ignore (Database.retract_fact db t))
+        script;
+      let fresh = Bottom_up.run db in
+      List.equal Term.equal (Bottom_up.facts fp) (Bottom_up.facts fresh))
+
+(* ------------------------------------------------------------------ *)
+(* DRed edge cases                                                     *)
+
+let test_alternate_derivation () =
+  let db = engine_db_of "a(1). b(1). p(X) :- a(X). p(X) :- b(X)." in
+  let fp = Bottom_up.run db in
+  Alcotest.(check bool) "retract reports a base change" true
+    (Bottom_up.retract_fact fp (term "a(1)"));
+  Alcotest.(check bool) "a(1) gone" false (Bottom_up.holds fp (term "a(1)"));
+  Alcotest.(check bool) "p(1) survives via b(1)" true
+    (Bottom_up.holds fp (term "p(1)"));
+  let i = Bottom_up.incr_stats fp in
+  Alcotest.(check bool) "p(1) was over-deleted" true
+    (i.Bottom_up.upd_overdeleted >= 1);
+  Alcotest.(check bool) "p(1) was rederived" true
+    (i.Bottom_up.upd_rederived >= 1)
+
+let test_negation_flip_on_emptied_relation () =
+  let db = engine_db_of "b(1). b(2). g(1). bad(X) :- b(X), \\+ g(X)." in
+  let fp = Bottom_up.run db in
+  Alcotest.(check bool) "bad(2) initially" true
+    (Bottom_up.holds fp (term "bad(2)"));
+  Alcotest.(check bool) "not bad(1) initially" false
+    (Bottom_up.holds fp (term "bad(1)"));
+  (* retracting g(1) empties g entirely: bad(1), derived through the
+     negation in the higher stratum, must appear *)
+  Stdlib.ignore (Bottom_up.retract_fact fp (term "g(1)"));
+  Alcotest.(check bool) "bad(1) flips on" true
+    (Bottom_up.holds fp (term "bad(1)"));
+  let i = Bottom_up.incr_stats fp in
+  Alcotest.(check bool) "negation stratum recomputed" true
+    (i.Bottom_up.upd_strata_recomputed >= 1);
+  (* and the reverse: asserting g(2) kills bad(2) *)
+  Stdlib.ignore (Bottom_up.assert_fact fp (term "g(2)"));
+  Alcotest.(check bool) "bad(2) flips off" false
+    (Bottom_up.holds fp (term "bad(2)"));
+  Alcotest.(check bool) "bad(1) still on" true
+    (Bottom_up.holds fp (term "bad(1)"))
+
+let test_noop_updates () =
+  let db = engine_db_of "a(1). p(X) :- a(X)." in
+  let fp = Bottom_up.run db in
+  let before = facts_of fp in
+  (* retracting a fact that was never asserted is a no-op *)
+  Alcotest.(check bool) "retract of absent fact reports false" false
+    (Bottom_up.retract_fact fp (term "a(9)"));
+  Alcotest.(check (list string)) "store unchanged" before (facts_of fp);
+  (* retracting a derived-only fact is a no-op: p(1) has no base entry *)
+  Alcotest.(check bool) "retract of derived-only fact reports false" false
+    (Bottom_up.retract_fact fp (term "p(1)"));
+  Alcotest.(check (list string)) "derived fact stays" before (facts_of fp);
+  (* re-asserting a derived fact grows the base but not the store *)
+  Alcotest.(check bool) "assert of derived fact reports a base change" true
+    (Bottom_up.assert_fact fp (term "p(1)"));
+  Alcotest.(check (list string)) "store still unchanged" before (facts_of fp);
+  (* ... and makes it survive losing its rule derivation *)
+  Stdlib.ignore (Bottom_up.retract_fact fp (term "a(1)"));
+  Alcotest.(check bool) "asserted p(1) survives losing a(1)" true
+    (Bottom_up.holds fp (term "p(1)"));
+  Alcotest.(check bool) "a(1) gone" false (Bottom_up.holds fp (term "a(1)"))
+
+let test_assert_retract_roundtrip () =
+  let db =
+    engine_db_of
+      "e(a, b). e(b, c). r(X, Y) :- e(X, Y). r(X, Y) :- e(X, Z), r(Z, Y)."
+  in
+  let fp = Bottom_up.run db in
+  let before = facts_of fp in
+  Stdlib.ignore (Bottom_up.assert_fact fp (term "e(c, a)"));
+  Alcotest.(check bool) "closure extended" true
+    (Bottom_up.holds fp (term "r(a, a)"));
+  Stdlib.ignore (Bottom_up.retract_fact fp (term "e(c, a)"));
+  Alcotest.(check (list string)) "round-trips to the original fixpoint"
+    before (facts_of fp);
+  let i = Bottom_up.incr_stats fp in
+  Alcotest.(check int) "two batches" 2 i.Bottom_up.upd_batches;
+  Alcotest.(check int) "one assert" 1 i.Bottom_up.upd_asserts;
+  Alcotest.(check int) "one retract" 1 i.Bottom_up.upd_retracts;
+  Alcotest.(check bool) "insertions counted" true (i.Bottom_up.upd_inserted >= 1);
+  Alcotest.(check bool) "deletions counted" true (i.Bottom_up.upd_deleted >= 1);
+  (* assert-then-retract inside ONE batch nets out before propagation *)
+  let ins0 = i.Bottom_up.upd_inserted in
+  Bottom_up.apply fp [ `Assert (term "e(c, d)"); `Retract (term "e(c, d)") ];
+  let i = Bottom_up.incr_stats fp in
+  Alcotest.(check int) "netted batch propagates nothing" ins0
+    i.Bottom_up.upd_inserted;
+  Alcotest.(check bool) "netted batch counts a no-op" true
+    (i.Bottom_up.upd_noops >= 1);
+  Alcotest.(check (list string)) "store untouched" before (facts_of fp)
+
+let test_update_rejects_non_ground () =
+  let db = engine_db_of "a(1)." in
+  let fp = Bottom_up.run db in
+  (match Bottom_up.apply fp [ `Assert (term "a(X)") ] with
+  | exception Bottom_up.Unsupported _ -> ()
+  | () -> Alcotest.fail "non-ground assert accepted");
+  match Bottom_up.apply fp [ `Retract (term "forall(x, y)") ] with
+  | exception Bottom_up.Unsupported _ -> ()
+  | () -> Alcotest.fail "library-predicate update accepted"
+
+let test_stats_cumulative () =
+  let db = engine_db_of "e(a, b). r(X, Y) :- e(X, Y)." in
+  let fp = Bottom_up.run db in
+  let s0 = Bottom_up.stats fp in
+  Alcotest.(check int) "no update counters before updates" 0
+    s0.Bottom_up.bu_incr.Bottom_up.upd_batches;
+  Stdlib.ignore (Bottom_up.assert_fact fp (term "e(b, c)"));
+  let s1 = Bottom_up.stats fp in
+  Alcotest.(check bool) "passes grow with maintenance" true
+    (s1.Bottom_up.bu_passes > s0.Bottom_up.bu_passes);
+  Alcotest.(check int) "facts track the store" (Bottom_up.count fp)
+    s1.Bottom_up.bu_facts;
+  Alcotest.(check int) "one batch recorded" 1
+    s1.Bottom_up.bu_incr.Bottom_up.upd_batches
+
+let tests =
+  [
+    Alcotest.test_case "alternate derivation survives retraction" `Quick
+      test_alternate_derivation;
+    Alcotest.test_case "emptied relation flips negation above" `Quick
+      test_negation_flip_on_emptied_relation;
+    Alcotest.test_case "no-op updates" `Quick test_noop_updates;
+    Alcotest.test_case "assert/retract round-trip" `Quick
+      test_assert_retract_roundtrip;
+    Alcotest.test_case "invalid updates rejected" `Quick
+      test_update_rejects_non_ground;
+    Alcotest.test_case "stats stay cumulative and consistent" `Quick
+      test_stats_cumulative;
+    QCheck_alcotest.to_alcotest prop_semi_naive;
+    QCheck_alcotest.to_alcotest prop_naive;
+    QCheck_alcotest.to_alcotest prop_scan;
+    QCheck_alcotest.to_alcotest prop_batched;
+  ]
