@@ -25,8 +25,9 @@ module W = Gdp_workload
 let a = T.atom
 let v = T.var
 
-let section title = Printf.printf "\n==== %s ====\n" title
-let row fmt = Printf.printf fmt
+(* flush per line so long runs stay observable through a pipe *)
+let section title = Printf.printf "\n==== %s ====\n%!" title
+let row fmt = Printf.ksprintf (fun s -> print_string s; flush stdout) fmt
 
 (* wall-clock of a thunk, in milliseconds, off the monotonic clock
    (Sys.time would report CPU time; the micro benches use bechamel below) *)
@@ -828,6 +829,19 @@ type bu_workload = {
   bu_json_small : int list;  (* CI smoke scales *)
   bu_script : int -> Gdp_logic.Bottom_up.update list;
       (* engine-incr update script at a given scale *)
+  bu_point : int -> Gdp_logic.Term.t;
+      (* point goal for the engine-magic series, per scale. For the
+         right-recursive reach closure, binding the SECOND argument keeps
+         the magic set at the query constant (binding the first would
+         propagate magic facts across every reachable node); the target
+         is the backbone's last node so the top-down leg can also prove
+         each answer by marching forward instead of exhausting the
+         forward cone. The terrain goal binds the FIRST argument: its
+         magic set is the downhill cone of one cell, the classic
+         "descendants of a node" restriction. *)
+  bu_point_doc : string;
+      (* display form of the point goal (Term.to_string would leak fresh
+         variable ids into the JSON) *)
 }
 
 (* Per-workload update scripts for the engine-incr series: mostly fresh
@@ -880,6 +894,9 @@ let bu_workloads =
       bu_json_sizes = [ 40; 160; 640 ];
       bu_json_small = [ 16; 64 ];
       bu_script = incr_script_roads;
+      bu_point =
+        (fun n -> T.app "reach" [ v "X"; a (Printf.sprintf "n%d" (n - 1)) ]);
+      bu_point_doc = "reach(X, n<scale-1>)";
     };
     {
       bu_name = "census-negation";
@@ -890,6 +907,8 @@ let bu_workloads =
       bu_json_sizes = [ 400; 1600; 3200 ];
       bu_json_small = [ 100; 400 ];
       bu_script = incr_script_census;
+      bu_point = (fun _ -> T.app "state_without_capital" [ a "s0" ]);
+      bu_point_doc = "state_without_capital(s0)";
     };
     {
       bu_name = "terrain-flows";
@@ -900,6 +919,10 @@ let bu_workloads =
       bu_json_sizes = [ 6; 10; 14 ];
       bu_json_small = [ 4; 8 ];
       bu_script = incr_script_terrain;
+      bu_point =
+        (fun n ->
+          T.app "flows" [ a (Printf.sprintf "t%d_%d" (n / 2) (n / 2)); v "B" ]);
+      bu_point_doc = "flows(t<scale/2>_<scale/2>, B)";
     };
   ]
 
@@ -1069,6 +1092,142 @@ let engine_incr () =
         w.bu_console_sizes)
     bu_workloads
 
+(* ---------------------------------- engine-magic: goal-directed eval *)
+
+(* One magic-vs-full-vs-top-down measurement on a point goal. "Derived"
+   counts are IDB tuples of the *original* program only, so the magic
+   column pays for its magic$ guard tuples separately (mr_magic_aux) and
+   the goal-direction claim is not flattered by copied base facts. The
+   top-down column proves every answer of the full fixpoint with the
+   ancestor loop check on, as in engine-bu. *)
+type magic_row = {
+  mr_scale : int;
+  mr_full_ms : float;
+  mr_full_derived : int;
+  mr_magic_ms : float;  (* rewrite + seeded fixpoint, together *)
+  mr_magic_derived : int;
+  mr_magic_aux : int;  (* magic$ guard tuples, seeds included *)
+  mr_topdown_ms : float;
+  mr_topdown_probes : int;  (* sampled answers re-proved by SLD *)
+  mr_answers : int;
+  mr_agree : bool;
+  mr_fallback_strata : int;
+  mr_full_fallback : bool;
+}
+
+let idb_preds db =
+  let open Gdp_logic in
+  Database.predicates db
+  |> List.filter (fun key ->
+         List.exists
+           (fun (c : Database.clause) -> c.Database.body <> [])
+           (Database.all_clauses db key))
+  |> List.map fst
+
+let count_facts pred_names fp =
+  Gdp_logic.Bottom_up.facts fp
+  |> List.filter (fun t ->
+         match Gdp_logic.Term.functor_of t with
+         | Some (name, _) -> List.mem name pred_names
+         | None -> false)
+  |> List.length
+
+let magic_measure w scale =
+  let open Gdp_logic in
+  let db = w.bu_db scale in
+  let idb = idb_preds db in
+  let goal = w.bu_point scale in
+  let full_ms, full_fp = time_ms (fun () -> Bottom_up.run db) in
+  let magic_ms, (magic_fp, info) =
+    time_ms (fun () ->
+        let rewritten, info = Magic.rewrite ~goal db in
+        (Bottom_up.run ~seed:info.Magic.seeds rewritten, info))
+  in
+  let answers fp =
+    (* probe narrows to the goal's bucket; it does not unify — filter *)
+    Bottom_up.probe fp goal
+    |> List.filter (fun fact -> Unify.unify Subst.empty goal fact <> None)
+    |> List.sort Term.compare
+  in
+  let full_answers = answers full_fp in
+  let magic_answers = answers magic_fp in
+  let full_derived = count_facts idb full_fp in
+  let topdown_options = { Solve.default_options with Solve.loop_check = true } in
+  (* The magic-vs-full comparison is exact over every answer; the SLD leg
+     is a deterministic sample — each ground probe costs O(path) clause
+     expansions with an O(depth) ancestor scan apiece.  On the dense cyclic
+     closures (the road grids grow random shortcut links that point either
+     way) SLDNF enumerates simple paths, so past ~50k derived tuples even a
+     handful of probes dwarfs both fixpoints — that blow-up is the point of
+     the magic experiment, not a useful control, so the leg only runs where
+     top-down search is feasible and reports how many probes it took. *)
+  let td_targets =
+    if full_derived > 50_000 then []
+    else
+      let n = List.length full_answers in
+      let k = 24 in
+      if n <= k then full_answers
+      else
+        let stride = n / k in
+        List.filteri (fun i _ -> i mod stride = 0 || i = n - 1) full_answers
+  in
+  let td_ms, td_ok =
+    time_ms (fun () ->
+        List.for_all
+          (fun f -> Solve.succeeds ~options:topdown_options db [ f ])
+          td_targets)
+  in
+  let magic_aux =
+    Bottom_up.facts magic_fp
+    |> List.filter (fun t ->
+           match Term.functor_of t with
+           | Some (name, _) ->
+               String.length name >= 6 && String.equal (String.sub name 0 6) "magic$"
+           | None -> false)
+    |> List.length
+  in
+  {
+    mr_scale = scale;
+    mr_full_ms = full_ms;
+    mr_full_derived = full_derived;
+    mr_magic_ms = magic_ms;
+    mr_magic_derived = count_facts idb magic_fp;
+    mr_magic_aux = magic_aux;
+    mr_topdown_ms = td_ms;
+    mr_topdown_probes = List.length td_targets;
+    mr_answers = List.length full_answers;
+    mr_agree = List.equal Term.equal full_answers magic_answers && td_ok;
+    mr_fallback_strata = info.Magic.fallback_strata;
+    mr_full_fallback = info.Magic.full_fallback;
+  }
+
+let magic_ratio r =
+  float_of_int r.mr_magic_derived /. float_of_int (max 1 r.mr_full_derived)
+
+let engine_magic () =
+  List.iter
+    (fun w ->
+      section
+        (Printf.sprintf "engine-magic %s — goal-directed vs full vs top-down"
+           w.bu_name);
+      row "  %8s %10s %10s %10s %10s %6s %8s %11s %8s  %s\n" "scale" "full_ms"
+        "full_idb" "magic_ms" "magic_idb" "aux" "ratio" "topdown_ms" "answers"
+        "agree";
+      List.iter
+        (fun scale ->
+          let r = magic_measure w scale in
+          row "  %8d %10.1f %10d %10.1f %10d %6d %7.1f%% %11.1f %8d  %s%s\n"
+            r.mr_scale r.mr_full_ms r.mr_full_derived r.mr_magic_ms
+            r.mr_magic_derived r.mr_magic_aux
+            (100.0 *. magic_ratio r)
+            r.mr_topdown_ms r.mr_answers
+            (if r.mr_agree then "yes" else "DISAGREE")
+            (if r.mr_fallback_strata > 0 then
+               Printf.sprintf "  (fallback strata: %d)" r.mr_fallback_strata
+             else ""))
+        w.bu_console_sizes)
+    bu_workloads
+
 (* ------------------------------------------------- json: perf tracking *)
 
 (* `bench/main.exe -- json [small]` re-runs the engine-bu workloads as
@@ -1159,6 +1318,41 @@ let bench_json ?(small = false) () =
         sizes;
       add "      ]\n    }%s\n" (if wi < n_workloads - 1 then "," else ""))
     bu_workloads;
+  add "  ],\n";
+  (* goal-directed evaluation: the magic-set rewrite against the full
+     fixpoint and a top-down probe on the same point goal *)
+  add "  \"magic_series\": [\n";
+  List.iteri
+    (fun wi w ->
+      let sizes = if small then w.bu_json_small else w.bu_json_sizes in
+      section (Printf.sprintf "json engine-magic %s" w.bu_name);
+      row "  %8s %10s %10s %10s %10s %6s %8s  %s\n" "scale" "full_ms"
+        "full_idb" "magic_ms" "magic_idb" "aux" "ratio" "agree";
+      add "    {\n      \"name\": %S,\n      \"goal\": %S,\n      \"rows\": [\n"
+        w.bu_name w.bu_point_doc;
+      let n_sizes = List.length sizes in
+      List.iteri
+        (fun si scale ->
+          let r = magic_measure w scale in
+          row "  %8d %10.1f %10d %10.1f %10d %6d %7.1f%%  %s\n" r.mr_scale
+            r.mr_full_ms r.mr_full_derived r.mr_magic_ms r.mr_magic_derived
+            r.mr_magic_aux
+            (100.0 *. magic_ratio r)
+            (if r.mr_agree then "yes" else "DISAGREE");
+          add
+            "        { \"scale\": %d, \"full_ms\": %.3f, \"full_derived\": \
+             %d, \"magic_ms\": %.3f, \"magic_derived\": %d, \"magic_aux\": \
+             %d, \"ratio\": %.4f, \"topdown_ms\": %.3f, \"topdown_probes\": \
+             %d, \"answers\": %d, \"agree\": %b, \"fallback_strata\": %d, \
+             \"full_fallback\": %b }%s\n"
+            r.mr_scale r.mr_full_ms r.mr_full_derived r.mr_magic_ms
+            r.mr_magic_derived r.mr_magic_aux (magic_ratio r) r.mr_topdown_ms
+            r.mr_topdown_probes r.mr_answers r.mr_agree r.mr_fallback_strata
+            r.mr_full_fallback
+            (if si < n_sizes - 1 then "," else ""))
+        sizes;
+      add "      ]\n    }%s\n" (if wi < n_workloads - 1 then "," else ""))
+    bu_workloads;
   add "  ]\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);
@@ -1181,7 +1375,8 @@ let () =
       ablation ();
       micro ();
       engine_bu ();
-      engine_incr ()
+      engine_incr ();
+      engine_magic ()
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) reports
   | [ "micro" ] ->
       micro ();
@@ -1189,6 +1384,7 @@ let () =
   | [ "ablation" ] -> ablation ()
   | [ "engine-bu" ] -> engine_bu ()
   | [ "engine-incr" ] -> engine_incr ()
+  | [ "engine-magic" ] -> engine_magic ()
   | [ "json" ] -> bench_json ()
   | [ "json"; "small" ] -> bench_json ~small:true ()
   | names ->
@@ -1200,10 +1396,11 @@ let () =
           | None when name = "ablation" -> ablation ()
           | None when name = "engine-bu" -> engine_bu ()
           | None when name = "engine-incr" -> engine_incr ()
+          | None when name = "engine-magic" -> engine_magic ()
           | None ->
               Printf.eprintf
                 "unknown experiment %s (e1..e12, report, ablation, micro, \
-                 engine-bu, engine-incr, json [small])\n"
+                 engine-bu, engine-incr, engine-magic, json [small])\n"
                 name;
               exit 2)
         names

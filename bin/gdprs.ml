@@ -45,6 +45,23 @@ let materialize_arg =
 let with_materialize q materialize =
   if materialize then Query.with_mode q Query.Materialized else q
 
+let magic_arg =
+  Arg.(value & flag
+       & info [ "magic" ]
+           ~doc:"Goal-directed bottom-up evaluation: rewrite the base with \
+                 magic sets for this goal (adorned rules guarded by magic \
+                 predicates, seeded from the goal's bound arguments) and \
+                 derive only the portion of the fixpoint the goal can \
+                 observe. Same Datalog-fragment restriction as \
+                 $(b,--materialize); the two flags are mutually exclusive.")
+
+let with_engine q ~materialize ~magic =
+  match (materialize, magic) with
+  | true, true -> invalid_arg "--magic and --materialize are mutually exclusive"
+  | true, false -> Query.with_mode q Query.Materialized
+  | false, true -> Query.with_mode q Query.Magic
+  | false, false -> q
+
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
@@ -224,11 +241,13 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Maximum answers.")
   in
-  let run file view models metas pattern limit materialize stats =
+  let run file view models metas pattern limit materialize magic stats =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
-        let q = with_materialize (build_query result view models metas) materialize in
+        let q =
+          with_engine (build_query result view models metas) ~materialize ~magic
+        in
         let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
         let code =
           match Query.solutions ~limit q pat with
@@ -245,7 +264,7 @@ let query_cmd =
   let doc = "Enumerate the provable instantiations of a fact pattern." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
-          $ limit_arg $ materialize_arg $ stats_arg)
+          $ limit_arg $ materialize_arg $ magic_arg $ stats_arg)
 
 (* ---- ask ---- *)
 
@@ -254,11 +273,14 @@ let ask_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"Raw engine goal over the reified vocabulary (holds/6, acc/7, builtins).")
   in
-  let run file view models metas goal stats =
+  let run file view models metas goal magic stats =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
-        let q = build_query result view models metas in
+        let q =
+          with_engine (build_query result view models metas) ~materialize:false
+            ~magic
+        in
         let code =
           match Query.ask_all ~limit:20 q goal with
           | [] ->
@@ -283,7 +305,7 @@ let ask_cmd =
   let doc = "Run a raw engine goal against the compiled database." in
   Cmd.v (Cmd.info "ask" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ stats_arg)
+          $ magic_arg $ stats_arg)
 
 (* ---- profile ---- *)
 

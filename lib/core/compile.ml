@@ -182,3 +182,6 @@ let datalog_refine : Bottom_up.refine =
      || (String.equal name Names.acc_max && arity = 7)
   then Some 1
   else None
+
+let magic_rewrite ?tracer ~goal db =
+  Magic.rewrite ~refine:datalog_refine ?tracer ~goal db

@@ -50,3 +50,14 @@ val datalog_refine : Gdp_logic.Bottom_up.refine
     {!Gdp_logic.Bottom_up} stratifies a compiled specification predicate
     by predicate. Pass to [Bottom_up.classify] / [Bottom_up.run] whenever
     the database came from {!compile}. *)
+
+val magic_rewrite :
+  ?tracer:Gdp_obs.Tracer.t ->
+  goal:Gdp_logic.Term.t ->
+  Gdp_logic.Database.t ->
+  Gdp_logic.Database.t * Gdp_logic.Magic.info
+(** {!Gdp_logic.Magic.rewrite} specialised to compiled databases: the
+    refinement is {!datalog_refine}, so the goal's user-predicate
+    constant (argument 1 of [holds/6]) selects the relevant refined
+    relations. Raises {!Gdp_logic.Bottom_up.Unsupported} outside the
+    Datalog fragment. *)

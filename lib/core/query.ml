@@ -1,6 +1,6 @@
 open Gdp_logic
 
-type engine_mode = Top_down | Materialized
+type engine_mode = Top_down | Materialized | Magic
 
 type t = {
   compiled : Compile.t;
@@ -13,6 +13,11 @@ type t = {
           [with_mode] copies of this query, so materialising — or
           incrementally maintaining, see {!update} — through one copy is
           visible to all of them *)
+  magic : (Term.t * Bottom_up.fixpoint * Gdp_logic.Magic.info) option ref;
+      (** last magic-set evaluation, keyed by its goal; shared across
+          [with_mode] copies like [fp], and invalidated (not repaired) by
+          {!update} — the magic seeds depend on the goal, not the base,
+          so a stale fixpoint would silently miss new derivations *)
 }
 
 let tracer_for ?tracer (spec : Spec.t) =
@@ -28,7 +33,8 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode ?tracer
     match mode with
     | Some m -> m
     | None ->
-        if compiled.Compile.spec.Spec.prefer_materialized then Materialized
+        if compiled.Compile.spec.Spec.prefer_magic then Magic
+        else if compiled.Compile.spec.Spec.prefer_materialized then Materialized
         else Top_down
   in
   let tracer = tracer_for ?tracer compiled.Compile.spec in
@@ -51,6 +57,7 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode ?tracer
     solve_stats;
     mode;
     fp = ref None;
+    magic = ref None;
   }
 
 let create ?world_view ?meta_view ?max_depth ?on_depth ?mode ?tracer spec =
@@ -80,6 +87,29 @@ let materialization q =
       in
       q.fp := Some fp;
       fp
+
+(* Goal-directed evaluation: rewrite the base for [goal] (magic sets),
+   run the bottom-up engine over the rewritten program seeded with the
+   goal's bound arguments, and cache the result keyed by the goal term.
+   The cache only hits on the exact same goal (variable identities
+   included) — conservative, but never stale across distinct goals. *)
+let magic_materialization q goal =
+  match !(q.magic) with
+  | Some (g, fp, info) when Term.compare g goal = 0 -> (fp, info)
+  | _ ->
+      let result =
+        Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "magic" (fun () ->
+            let rewritten, info = Compile.magic_rewrite ~tracer:q.tracer ~goal (db q) in
+            let fp =
+              Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
+                ~seed:info.Magic.seeds rewritten
+            in
+            (fp, info))
+      in
+      q.magic := Some (goal, fst result, snd result);
+      result
+
+let magic_info q = Option.map (fun (_, _, i) -> i) !(q.magic)
 
 let update q (updates : Spec.update list) =
   Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "update" @@ fun () ->
@@ -118,6 +148,10 @@ let update q (updates : Spec.update list) =
            (fun (u, t) ->
              match u with `Assert _ -> `Assert t | `Retract _ -> `Retract t)
            resolved));
+  (* a magic fixpoint is goal-specific and cheap to rebuild: drop it so
+     the next magic query re-seeds from the updated base instead of
+     answering from stale derivations *)
+  q.magic := None;
   List.iter (fun u -> Spec.log_update (spec q) u) updates;
   q
 
@@ -135,8 +169,12 @@ let holds q pattern =
   let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
   match q.mode with
   | Top_down -> Solve.succeeds ~options:q.options (db q) [ goal ]
-  | Materialized ->
-      let fp = materialization q in
+  | Materialized | Magic ->
+      let fp =
+        match q.mode with
+        | Magic -> fst (magic_materialization q goal)
+        | _ -> materialization q
+      in
       if Term.is_ground goal then Bottom_up.holds fp goal
       else
         List.exists
@@ -165,11 +203,15 @@ let solutions ?limit q pattern =
       |> List.filter_map (fun s -> Gfact.of_holds (Subst.apply s goal))
       |> dedupe_by (fun f ->
              Term.to_string (Gfact.to_holds ~default_model:Names.default_model f))
-  | Materialized ->
+  | Materialized | Magic ->
       (* probe the fixpoint's argument indexes with the goal's ground
          positions, then sort the (narrowed) candidates so answers keep
          the standard order a full sorted scan used to produce *)
-      let fp = materialization q in
+      let fp =
+        match q.mode with
+        | Magic -> fst (magic_materialization q goal)
+        | _ -> materialization q
+      in
       Bottom_up.probe fp goal
       |> List.filter (fun fact -> Unify.unify Subst.empty goal fact <> None)
       |> List.sort Term.compare
@@ -234,8 +276,12 @@ let violations ?limit q =
                (Term.as_list (Subst.apply subst vs))
                (Term.as_list (Subst.apply subst os)))
       |> List.sort_uniq compare
-  | Materialized ->
-      let fp = materialization q in
+  | Materialized | Magic ->
+      let fp =
+        match q.mode with
+        | Magic -> fst (magic_materialization q goal)
+        | _ -> materialization q
+      in
       Bottom_up.probe fp goal
       |> List.filter_map (fun fact ->
              match fact with
@@ -283,9 +329,28 @@ let explain q pattern =
   |> Option.map (fun proof ->
          Format.asprintf "%a" (Explain.pp ~pp_goal:pp_reified) proof)
 
+(* Raw goals in magic mode: a single atomic goal is answered from its
+   goal-directed fixpoint; anything else (conjunctions, control) stays
+   outside the rewrite's input language. *)
+let magic_goal goals =
+  match goals with
+  | [ goal ] -> goal
+  | _ ->
+      raise
+        (Bottom_up.Unsupported
+           "magic: ask takes a single atomic goal (no conjunctions)")
+
 let ask q src =
   op_span q "ask" @@ fun () ->
-  Solve.succeeds ~options:q.options (db q) (Reader.goals src)
+  let goals = Reader.goals src in
+  match q.mode with
+  | Magic ->
+      let goal = magic_goal goals in
+      let fp, _ = magic_materialization q goal in
+      List.exists
+        (fun fact -> Unify.unify Subst.empty goal fact <> None)
+        (Bottom_up.probe fp goal)
+  | Top_down | Materialized -> Solve.succeeds ~options:q.options (db q) goals
 
 let named_vars goals =
   List.concat_map Term.vars goals
@@ -303,14 +368,26 @@ let named_vars goals =
 let ask_all ?limit q src =
   op_span q "ask_all" @@ fun () ->
   let goals = Reader.goals src in
-  Solve.all ~options:q.options ?limit (db q) goals
-  |> List.map (fun s -> Subst.restrict (named_vars goals) s)
+  match q.mode with
+  | Magic ->
+      let goal = magic_goal goals in
+      let fp, _ = magic_materialization q goal in
+      Bottom_up.probe fp goal
+      |> List.filter_map (fun fact -> Unify.unify Subst.empty goal fact)
+      |> List.sort (fun a b ->
+             Term.compare (Subst.apply a goal) (Subst.apply b goal))
+      |> List.map (fun s -> Subst.restrict (named_vars goals) s)
+      |> take limit
+  | Top_down | Materialized ->
+      Solve.all ~options:q.options ?limit (db q) goals
+      |> List.map (fun s -> Subst.restrict (named_vars goals) s)
 
 let pp_stats ppf q =
   Format.fprintf ppf "@[<v>engine: %s@,"
     (match q.mode with
     | Top_down -> "top-down"
-    | Materialized -> "materialized");
+    | Materialized -> "materialized"
+    | Magic -> "magic");
   (match q.solve_stats with
   | None -> ()
   | Some s ->
@@ -330,6 +407,21 @@ let pp_stats ppf q =
         s.Solve.unifications s.Solve.loop_prunes s.Solve.deepest_call);
   (match !(q.fp) with
   | Some fp -> Bottom_up.pp_stats ppf (Bottom_up.stats fp)
+  | None -> ());
+  (match !(q.magic) with
+  | Some (_, fp, (info : Magic.info)) ->
+      Format.fprintf ppf
+        "magic: %d adornments  %d magic rules  %d guarded  %d copied  %d \
+         dropped  %d seeds@,"
+        (List.length info.Magic.adorned)
+        info.Magic.magic_rules info.Magic.guarded_rules info.Magic.copied_rules
+        info.Magic.dropped_rules
+        (List.length info.Magic.seeds);
+      Format.fprintf ppf "magic fallback: %d predicates  %d strata%s@,"
+        (List.length info.Magic.fallback_preds)
+        info.Magic.fallback_strata
+        (if info.Magic.full_fallback then "  (full fallback)" else "");
+      Bottom_up.pp_stats ppf (Bottom_up.stats fp)
   | None -> ());
   Format.fprintf ppf "@]"
 

@@ -18,6 +18,13 @@ type engine_mode =
           cached — the right choice for whole-base questions
           ({!violations}, broad {!solutions}) over specifications inside
           the Datalog fragment *)
+  | Magic
+      (** goal-directed bottom-up: the database is rewritten per goal with
+          {!Gdp_logic.Magic.rewrite} and only the portion of the model the
+          goal can observe is derived — the right choice for point queries
+          over large materializable bases. The last (goal, fixpoint) pair
+          is cached and dropped on {!update}. Same fragment restriction as
+          {!Materialized}. *)
 
 val create :
   ?world_view:string list ->
@@ -32,7 +39,8 @@ val create :
     automatically when an active meta-model requires it. Defaults:
     [max_depth = 100_000], [on_depth = `Raise] (a blown budget surfaces as
     {!Gdp_logic.Solve.Depth_exhausted} rather than silent failure);
-    [mode] follows [spec.Spec.prefer_materialized] (normally
+    [mode] follows [spec.Spec.prefer_magic] then
+    [spec.Spec.prefer_materialized] (normally
     {!Top_down}); [tracer] defaults to a fresh enabled tracer when
     [spec.Spec.telemetry] is set and the disabled tracer otherwise. An
     enabled tracer also switches on {!Gdp_logic.Solve.stats} collection
@@ -51,8 +59,9 @@ val mode : t -> engine_mode
 
 val with_mode : t -> engine_mode -> t
 (** Same compiled database, different answering strategy. The fixpoint
-    cache cell is shared, not copied: materialising through either copy —
-    and later {!update}s through either copy — are seen by both. *)
+    and magic cache cells are shared, not copied: materialising through
+    either copy — and later {!update}s through either copy — are seen by
+    both. *)
 
 val materializable : t -> (unit, string) result
 (** Whether the compiled database lies in the stratified Datalog fragment
@@ -65,6 +74,18 @@ val materialization : t -> Gdp_logic.Bottom_up.fixpoint
     then cached). Raises {!Gdp_logic.Bottom_up.Unsupported} when the
     database is outside the fragment — check {!materializable} first for
     a [result]. *)
+
+val magic_materialization :
+  t -> Term.t -> Gdp_logic.Bottom_up.fixpoint * Gdp_logic.Magic.info
+(** The goal-directed fixpoint for one reified goal (a [holds/6] /
+    [acc/7] atom): {!Compile.magic_rewrite} then a seeded
+    {!Gdp_logic.Bottom_up.run}. Cached for the exact same goal term;
+    {!update} invalidates the cache. Raises
+    {!Gdp_logic.Bottom_up.Unsupported} outside the fragment. *)
+
+val magic_info : t -> Gdp_logic.Magic.info option
+(** The rewrite summary of the cached magic evaluation, if any — the
+    source of the fallback counter printed by {!pp_stats}. *)
 
 val spec : t -> Spec.t
 val db : t -> Database.t
@@ -108,8 +129,11 @@ val violations : ?limit:int -> t -> violation list
     deduplicated. In {!Materialized} mode this is a scan of the
     fixpoint's [ERROR] relation — the natural whole-base sweep.
 
-    {!accuracy}, {!explain} and {!ask} always run top-down regardless of
-    mode: proofs and accuracy maximisation need the SLDNF machinery. *)
+    {!accuracy} and {!explain} always run top-down regardless of mode:
+    proofs and accuracy maximisation need the SLDNF machinery. {!ask} and
+    {!ask_all} run top-down in {!Top_down} and {!Materialized} modes; in
+    {!Magic} mode a single atomic goal is answered from its goal-directed
+    fixpoint (conjunctions raise {!Gdp_logic.Bottom_up.Unsupported}). *)
 
 val consistent : t -> bool
 
@@ -165,8 +189,10 @@ val solve_stats : t -> Gdp_logic.Solve.stats option
 
 val pp_stats : Format.formatter -> t -> unit
 (** Per-predicate port-counter table plus, once {!materialization} has
-    run, the fixpoint's {!Gdp_logic.Bottom_up.pp_stats}. Deterministic
-    for a deterministic query sequence (no timings) — the CLI [--stats]
-    flag prints exactly this. *)
+    run, the fixpoint's {!Gdp_logic.Bottom_up.pp_stats}; after a magic
+    evaluation, the rewrite summary (adornments, rule counts, seeds, the
+    negation-fallback counter) followed by the goal-directed fixpoint's
+    stats. Deterministic for a deterministic query sequence (no timings)
+    — the CLI [--stats] flag prints exactly this. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -44,6 +44,7 @@ type t = {
   mutable meta_models : meta_model list;
   mutable extra_builtins : ((string * int) * Database.builtin) list;
   mutable prefer_materialized : bool;
+  mutable prefer_magic : bool;
   mutable telemetry : bool;
   mutable updates : update list; (* newest first; update_log reverses *)
 }
@@ -64,6 +65,7 @@ let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
       meta_models = [];
       extra_builtins = [];
       prefer_materialized = false;
+      prefer_magic = false;
       telemetry = false;
       updates = [];
     }

@@ -860,8 +860,17 @@ let saturate fp ~budget_from ~guard srules start =
 let run ?(strategy = Semi_naive) ?(indexing = true)
     ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
     ?(max_iterations = 10_000) ?(max_facts = 1_000_000)
-    ?(tracer = Gdp_obs.Tracer.disabled) db =
+    ?(tracer = Gdp_obs.Tracer.disabled) ?(seed = []) db =
   let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
+  let facts =
+    facts
+    @ List.map
+        (fun t ->
+          if not (Term.is_ground t) then
+            unsupported "seed: non-ground seed fact %s" (Term.to_string t);
+          (rel_of ~refine ~what:"seed" t, t))
+        seed
+  in
   (* body plans: with indexing on, a greedy bound-count order per rule
      plus one per delta position; the scan baseline keeps textual order *)
   let planned =

@@ -120,6 +120,7 @@ val run :
   ?max_iterations:int ->
   ?max_facts:int ->
   ?tracer:Gdp_obs.Tracer.t ->
+  ?seed:Term.t list ->
   Database.t ->
   fixpoint
 (** Evaluate strata in dependency order to the least fixpoint (default
@@ -134,7 +135,10 @@ val run :
     one ["fixpoint"]-category span for the whole run, one per non-empty
     stratum (with rule/pass/derived-fact counts as span arguments) and
     one per pass (with the delta size), plus final [bu.*] counter
-    samples — see {!Gdp_obs.Tracer}. *)
+    samples — see {!Gdp_obs.Tracer}. [seed] (default empty) is a list of
+    extra ground facts injected into the base before the strata run —
+    the hook the magic-set rewrite ({!Magic}) uses to plant the query
+    seed; a non-ground or non-atomic seed raises {!Unsupported}. *)
 
 val facts : fixpoint -> Term.t list
 (** All derived ground atoms, sorted in the standard order of terms. *)

@@ -183,6 +183,77 @@ check/query/ask run:
   
   [1]
 
+Goal-directed (magic) evaluation: `--magic` rewrites the base around
+the query goal and runs the seeded fixpoint, so a point query derives
+only the goal's cone — here the constraint rule and the clear rule are
+dropped as irrelevant, and answers match the other engines:
+
+  $ gdprs query dl.gdp 'reach(n1, X)' --magic
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+  $ gdprs ask dl.gdp 'holds(w, reach, [], [n1, X], nospace, notime)' --magic
+  X = n2
+  X = n3
+  X = n4
+
+With --stats the rewrite summary (adornments, rule counts, seeds and
+the negation-fallback counter) precedes the goal-directed fixpoint's
+own metrics:
+
+  $ gdprs query dl.gdp 'reach(n1, X)' --magic --stats
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+  -- stats --
+  engine: magic
+  unifications: 0  loop prunes: 0  deepest call: 0
+  magic: 1 adornments  1 magic rules  2 guarded  0 copied  2 dropped  1 seeds
+  magic fallback: 0 predicates  0 strata
+  passes: 2  firings: 4  strata: 1  facts: 16
+  index probes: 12  full scans: 0  membership tests: 9
+  hcons: 21 hits / 1 misses (95.5% hit rate)
+  stratum 0: 3 rules, 2 passes, 4 firings, 6 derived, max delta 6
+  
+
+A predicate needed under negation cannot be magic-restricted — an
+absent fact must mean "false", not "not yet asked for" — so the rewrite
+evaluates it in full and counts the fallback:
+
+  $ cat > shore.gdp <<'END'
+  > objects c1, c2, c3.
+  > fact cell(c1).
+  > fact cell(c2).
+  > fact cell(c3).
+  > fact elevation(c1, 2).
+  > fact elevation(c2, 1).
+  > fact elevation(c3, 0).
+  > fact adj(c1, c2).
+  > fact adj(c2, c3).
+  > rule land(C) <- elevation(C, Z), Z > 0.
+  > rule water(D) <- cell(D), not land(D).
+  > rule shore(C) <- land(C), adj(C, D), water(D).
+  > END
+  $ gdprs query shore.gdp 'shore(c2)' --magic --stats
+  shore(c2)
+  -- stats --
+  engine: magic
+  unifications: 0  loop prunes: 0  deepest call: 0
+  magic: 2 adornments  1 magic rules  2 guarded  1 copied  0 dropped  1 seeds
+  magic fallback: 1 predicates  1 strata
+  passes: 5  firings: 6  strata: 2  facts: 18
+  index probes: 8  full scans: 0  membership tests: 8
+  hcons: 18 hits / 1 misses (94.7% hit rate)
+  stratum 0: 2 rules, 2 passes, 3 firings, 3 derived, max delta 3
+  stratum 1: 2 rules, 3 passes, 3 firings, 2 derived, max delta 1
+  
+
+The two bottom-up modes are mutually exclusive:
+
+  $ gdprs query dl.gdp 'reach(n1, X)' --magic --materialize
+  error: --magic and --materialize are mutually exclusive
+  [2]
+
 Live updates: `gdprs update` applies an assert/retract script to the
 compiled base and re-checks consistency. Under --materialize the
 fixpoint is computed before the script runs and then repaired in place:

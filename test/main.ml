@@ -9,6 +9,7 @@ let () =
       ("solve", Suite_solve.tests);
       ("obs", Suite_obs.tests);
       ("engine-props", Suite_engine_props.tests);
+      ("magic", Suite_magic.tests);
       ("incremental", Suite_incremental.tests);
       ("fuzzy", Suite_fuzzy.tests);
       ("temporal", Suite_temporal.tests);

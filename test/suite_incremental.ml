@@ -146,6 +146,47 @@ let prop_semi_naive = prop_config "semi-naive, indexed" Bottom_up.Semi_naive tru
 let prop_naive = prop_config "naive" Bottom_up.Naive true
 let prop_scan = prop_config "semi-naive, scans" Bottom_up.Semi_naive false
 
+(* Goal-directed evaluation over a changing base: after every script
+   step, rewriting the mutated database for a point goal and evaluating
+   the seeded fixpoint must yield exactly the answers a from-scratch
+   full materialisation gives for that goal. The rewrite keeps no state
+   across steps — a fresh rewrite per step is precisely what [Query]'s
+   magic-cache invalidation on update falls back to. *)
+let magic_goals = [ "r(a, X)"; "r(X, c)"; "hub(X)"; "iso(b)"; "e(a, X)" ]
+
+(* [Bottom_up.probe] narrows by index bucket but does not unify — filter,
+   then sort so answer sets compare as lists. *)
+let answers fp goal =
+  Bottom_up.probe fp goal
+  |> List.filter (fun fact -> Unify.unify Subst.empty goal fact <> None)
+  |> List.sort Term.compare
+
+let magic_agrees_after_script (src, script) =
+  let db = engine_db_of src in
+  let fp = Bottom_up.run db in
+  List.for_all
+    (fun (asserted, fact_src) ->
+      let t = term fact_src in
+      (if asserted then begin
+         if Bottom_up.assert_fact fp t then Database.fact db t
+       end
+       else if Bottom_up.retract_fact fp t then
+         Stdlib.ignore (Database.retract_fact db t));
+      let fresh = Bottom_up.run db in
+      List.for_all
+        (fun goal_src ->
+          let goal = term goal_src in
+          let rewritten, info = Magic.rewrite ~goal db in
+          let magic_fp = Bottom_up.run ~seed:info.Magic.seeds rewritten in
+          List.equal Term.equal (answers fresh goal) (answers magic_fp goal))
+        magic_goals)
+    script
+
+let prop_magic =
+  QCheck.Test.make
+    ~name:"goal-directed rewrite tracks the mutated base at every step"
+    ~count:120 arb_case magic_agrees_after_script
+
 (* Batched scripts must agree with single-fact application: apply the
    whole script as one [Bottom_up.apply] batch and compare against the
    from-scratch run on the final database. *)
@@ -307,5 +348,6 @@ let tests =
     QCheck_alcotest.to_alcotest prop_semi_naive;
     QCheck_alcotest.to_alcotest prop_naive;
     QCheck_alcotest.to_alcotest prop_scan;
+    QCheck_alcotest.to_alcotest prop_magic;
     QCheck_alcotest.to_alcotest prop_batched;
   ]
