@@ -69,8 +69,22 @@ let stats_arg =
                  call/exit/redo/fail port counters for the top-down engine \
                  and per-stratum fixpoint metrics when materialised.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Evaluate bottom-up fixpoints with $(docv) OCaml domains: \
+                 each semi-naive pass fans (rule × delta-partition) work \
+                 units over a domain pool and merges the derivations \
+                 deterministically. 1 (the default) is the sequential \
+                 engine; 0 autodetects the machine's core count. Only \
+                 meaningful with $(b,--materialize) or $(b,--magic); \
+                 top-down resolution is unaffected.")
+
 let enable_telemetry result =
   result.Gdp_lang.Elaborate.spec.Spec.telemetry <- true
+
+let set_jobs result jobs =
+  result.Gdp_lang.Elaborate.spec.Spec.jobs <- jobs
 
 let print_stats q = Format.printf "-- stats --@.%a@." Query.pp_stats q
 
@@ -96,10 +110,11 @@ let handle_errors f =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run file view models metas materialize stats =
+  let run file view models metas materialize stats jobs =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
+        set_jobs result jobs;
         let q = with_materialize (build_query result view models metas) materialize in
         Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
         Printf.printf "meta view:  {%s}\n" (String.concat ", " (Query.meta_view q));
@@ -126,7 +141,7 @@ let check_cmd =
   let doc = "Check a specification's consistency under a world view (§III-E)." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg
-          $ stats_arg)
+          $ stats_arg $ jobs_arg)
 
 (* ---- update ---- *)
 
@@ -174,10 +189,11 @@ let update_cmd =
                       "%s:%d: expected 'assert FACT' or 'retract FACT'" path
                       lineno))
   in
-  let run file view models metas script materialize stats =
+  let run file view models metas script materialize stats jobs =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
+        set_jobs result jobs;
         let q =
           with_materialize (build_query result view models metas) materialize
         in
@@ -229,7 +245,7 @@ let update_cmd =
   in
   Cmd.v (Cmd.info "update" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ script_arg
-          $ materialize_arg $ stats_arg)
+          $ materialize_arg $ stats_arg $ jobs_arg)
 
 (* ---- query ---- *)
 
@@ -241,10 +257,11 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Maximum answers.")
   in
-  let run file view models metas pattern limit materialize magic stats =
+  let run file view models metas pattern limit materialize magic stats jobs =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
+        set_jobs result jobs;
         let q =
           with_engine (build_query result view models metas) ~materialize ~magic
         in
@@ -264,7 +281,7 @@ let query_cmd =
   let doc = "Enumerate the provable instantiations of a fact pattern." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
-          $ limit_arg $ materialize_arg $ magic_arg $ stats_arg)
+          $ limit_arg $ materialize_arg $ magic_arg $ stats_arg $ jobs_arg)
 
 (* ---- ask ---- *)
 
@@ -273,10 +290,11 @@ let ask_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"Raw engine goal over the reified vocabulary (holds/6, acc/7, builtins).")
   in
-  let run file view models metas goal magic stats =
+  let run file view models metas goal magic stats jobs =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
+        set_jobs result jobs;
         let q =
           with_engine (build_query result view models metas) ~materialize:false
             ~magic
@@ -305,7 +323,7 @@ let ask_cmd =
   let doc = "Run a raw engine goal against the compiled database." in
   Cmd.v (Cmd.info "ask" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ magic_arg $ stats_arg)
+          $ magic_arg $ stats_arg $ jobs_arg)
 
 (* ---- profile ---- *)
 
@@ -322,10 +340,11 @@ let profile_cmd =
              ~doc:"Write the run as Chrome trace-event JSON, loadable in \
                    chrome://tracing or Perfetto.")
   in
-  let run file view models metas goal materialize trace_out =
+  let run file view models metas goal materialize trace_out jobs =
     handle_errors (fun () ->
         let result = load file in
         enable_telemetry result;
+        set_jobs result jobs;
         let q =
           with_materialize (build_query result view models metas) materialize
         in
@@ -357,7 +376,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ materialize_arg $ trace_out_arg)
+          $ materialize_arg $ trace_out_arg $ jobs_arg)
 
 (* ---- render ---- *)
 

@@ -8,6 +8,9 @@ type t = {
   tracer : Gdp_obs.Tracer.t;
   solve_stats : Solve.stats option;
   mode : engine_mode;
+  jobs : int;
+      (** parallelism of every bottom-up fixpoint this query materialises
+          (1 = sequential; top-down resolution ignores it) *)
   fp : Bottom_up.fixpoint option ref;
       (** lazily computed; the ref (not just its content) is shared by the
           [with_mode] copies of this query, so materialising — or
@@ -28,7 +31,10 @@ let tracer_for ?tracer (spec : Spec.t) =
       else Gdp_obs.Tracer.disabled
 
 let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode ?tracer
-    (compiled : Compile.t) =
+    ?jobs (compiled : Compile.t) =
+  let jobs =
+    match jobs with Some j -> j | None -> compiled.Compile.spec.Spec.jobs
+  in
   let mode =
     match mode with
     | Some m -> m
@@ -56,13 +62,14 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode ?tracer
     tracer;
     solve_stats;
     mode;
+    jobs;
     fp = ref None;
     magic = ref None;
   }
 
-let create ?world_view ?meta_view ?max_depth ?on_depth ?mode ?tracer spec =
+let create ?world_view ?meta_view ?max_depth ?on_depth ?mode ?tracer ?jobs spec =
   let tracer = tracer_for ?tracer spec in
-  of_compiled ?max_depth ?on_depth ?mode ~tracer
+  of_compiled ?max_depth ?on_depth ?mode ~tracer ?jobs
     (Compile.compile ?world_view ?meta_view ~tracer spec)
 
 let spec q = q.compiled.Compile.spec
@@ -83,7 +90,7 @@ let materialization q =
         Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "materialize"
           (fun () ->
             Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
-              (db q))
+              ~jobs:q.jobs (db q))
       in
       q.fp := Some fp;
       fp
@@ -102,7 +109,7 @@ let magic_materialization q goal =
             let rewritten, info = Compile.magic_rewrite ~tracer:q.tracer ~goal (db q) in
             let fp =
               Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
-                ~seed:info.Magic.seeds rewritten
+                ~jobs:q.jobs ~seed:info.Magic.seeds rewritten
             in
             (fp, info))
       in

@@ -46,6 +46,7 @@ type t = {
   mutable prefer_materialized : bool;
   mutable prefer_magic : bool;
   mutable telemetry : bool;
+  mutable jobs : int; (* bottom-up evaluation parallelism; 0 = autodetect *)
   mutable updates : update list; (* newest first; update_log reverses *)
 }
 
@@ -67,6 +68,7 @@ let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
       prefer_materialized = false;
       prefer_magic = false;
       telemetry = false;
+      jobs = 1;
       updates = [];
     }
   in

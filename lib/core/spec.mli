@@ -89,6 +89,12 @@ type t = {
           compilation, each query operation, every SLDNF predicate call
           and every fixpoint stratum/pass), retrievable via
           {!Query.tracer} — the switch behind [gdprs profile] *)
+  mutable jobs : int;
+      (** evaluation parallelism for the bottom-up engine: every
+          fixpoint {!Query} materialises runs with this many OCaml 5
+          domains ([1] = sequential, [0] = autodetect the core count) —
+          the setting behind [gdprs --jobs]. Top-down resolution is
+          unaffected. *)
   mutable updates : update list;
       (** the update log, newest first — read it through {!update_log} *)
 }

@@ -17,14 +17,25 @@ module Relation = struct
     facts : unit Term_tbl.t;
     mutable arr : Term.t array; (* slots [0, n) valid, insertion order *)
     mutable n : int;
-    mutable indexes : (int list * Term.t list Term_tbl.t) list;
+    indexes : (int list * Term.t list Term_tbl.t) list Atomic.t;
         (* bound argument positions (ascending) -> probe table *)
+    lock : Mutex.t;
+        (* serialises lazy index construction: during a parallel pass the
+           relation's facts are frozen (mutation happens only in the
+           single-threaded merge) but worker domains may race to build
+           the same missing index — see [index] *)
   }
 
   let dummy = Term.Atom ""
 
   let create () =
-    { facts = Term_tbl.create 64; arr = Array.make 16 dummy; n = 0; indexes = [] }
+    {
+      facts = Term_tbl.create 64;
+      arr = Array.make 16 dummy;
+      n = 0;
+      indexes = Atomic.make [];
+      lock = Mutex.create ();
+    }
 
   let mem r t = Term_tbl.mem r.facts t
   let cardinal r = r.n
@@ -49,14 +60,25 @@ module Relation = struct
     Term_tbl.replace idx k
       (fact :: Option.value ~default:[] (Term_tbl.find_opt idx k))
 
+  (* Double-checked under the relation's lock: the unlocked fast path
+     reads the (atomic, so release-published) index list, and a miss
+     retries inside the lock so concurrent workers build each index
+     exactly once. Sequentially the lock is always uncontended. *)
   let index r positions =
-    match List.assoc_opt positions r.indexes with
+    match List.assoc_opt positions (Atomic.get r.indexes) with
     | Some idx -> idx
     | None ->
-        let idx = Term_tbl.create (max 64 r.n) in
-        iter (fun fact -> index_insert idx (key_at positions (args_of fact)) fact) r;
-        r.indexes <- (positions, idx) :: r.indexes;
-        idx
+        Mutex.protect r.lock (fun () ->
+            match List.assoc_opt positions (Atomic.get r.indexes) with
+            | Some idx -> idx
+            | None ->
+                let idx = Term_tbl.create (max 64 r.n) in
+                iter
+                  (fun fact ->
+                    index_insert idx (key_at positions (args_of fact)) fact)
+                  r;
+                Atomic.set r.indexes ((positions, idx) :: Atomic.get r.indexes);
+                idx)
 
   let add r t =
     if Term_tbl.mem r.facts t then false
@@ -72,7 +94,7 @@ module Relation = struct
       List.iter
         (fun (positions, idx) ->
           index_insert idx (key_at positions (args_of t)) t)
-        r.indexes;
+        (Atomic.get r.indexes);
       true
     end
 
@@ -104,7 +126,7 @@ module Relation = struct
               match List.filter (fun f -> not (Term.equal f t)) bucket with
               | [] -> Term_tbl.remove idx k
               | bucket -> Term_tbl.replace idx k bucket))
-        r.indexes;
+        (Atomic.get r.indexes);
       true
     end
 
@@ -590,6 +612,8 @@ type stats = {
   bu_membership_tests : int;
   bu_hcons_hits : int;
   bu_hcons_misses : int;
+  bu_jobs : int;
+  bu_par_units : int;
   bu_strata_stats : stratum_stats list;
   bu_incr : incr_stats;
 }
@@ -608,7 +632,35 @@ type counters = {
   mutable c_members : int;
   mutable c_hits : int;
   mutable c_misses : int;
+  mutable c_par_units : int;  (* parallel work units executed *)
 }
+
+let new_counters () =
+  {
+    c_facts = 0;
+    c_passes = 0;
+    c_firings = 0;
+    c_probes = 0;
+    c_scans = 0;
+    c_members = 0;
+    c_hits = 0;
+    c_misses = 0;
+    c_par_units = 0;
+  }
+
+(* Fold a worker's private counters into the shared record — the merge
+   step does this once per work unit, in deterministic unit order, so
+   parallel telemetry is exact (sums of what each worker really did). *)
+let fold_counters ~into (w : counters) =
+  into.c_facts <- into.c_facts + w.c_facts;
+  into.c_passes <- into.c_passes + w.c_passes;
+  into.c_firings <- into.c_firings + w.c_firings;
+  into.c_probes <- into.c_probes + w.c_probes;
+  into.c_scans <- into.c_scans + w.c_scans;
+  into.c_members <- into.c_members + w.c_members;
+  into.c_hits <- into.c_hits + w.c_hits;
+  into.c_misses <- into.c_misses + w.c_misses;
+  into.c_par_units <- into.c_par_units + w.c_par_units
 
 type istate = {
   mutable i_batches : int;
@@ -624,8 +676,16 @@ type istate = {
 }
 
 (* A rule with its precomputed join plans: one full-relation plan and one
-   delta-aimed plan per positive body position. *)
-type planned = { rule : rule; plan : lit list; delta_plans : lit list array }
+   delta-aimed plan per positive body position. [delta_keys.(i)] is the
+   argument position of positive literal [i] the parallel driver
+   partitions the delta on — the first join-key position (first argument
+   sharing a variable with the rest of the rule). *)
+type planned = {
+  rule : rule;
+  plan : lit list;
+  delta_plans : lit list array;
+  delta_keys : int array;
+}
 
 (* The maintained state: everything [run] needed transiently is kept so
    {!apply} can continue evaluating — the per-stratum rule plans, the
@@ -646,10 +706,18 @@ type fixpoint = {
   max_iterations : int;
   max_facts : int;
   tracer : Gdp_obs.Tracer.t;
+  mutable jobs : int;  (* parallelism; 1 = the untouched sequential path *)
   ctr : counters;
   mutable strata_stats : stratum_stats list;
   incr : istate;
 }
+
+(* Guards the merge step's re-canonicalization of worker-derived facts
+   into {!Term.hcons}'s global table. The merge is single-threaded (all
+   workers are quiescent at the pass barrier), so the lock is
+   uncontended; it exists to keep the global-table discipline explicit
+   should another coordinator ever share the process. *)
+let hcons_merge_lock = Mutex.create ()
 
 let record rel t m =
   Rel_map.update rel (function None -> Some [ t ] | Some l -> Some (t :: l)) m
@@ -699,10 +767,13 @@ let tick fp ~budget_from =
    of) the pre-deletion state, and the union of the current store with
    the batch's ghosts is exactly that superset. [subst0], used only by
    rederivation, starts the body evaluation from a substitution that
-   already grounds the head. *)
-let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ~delta_at ~delta rule plan
+   already grounds the head. [ctr], used by the parallel driver, routes
+   the access-path counters into a per-worker record folded at merge;
+   it defaults to the fixpoint's shared counters. *)
+let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ~delta_at ~delta rule plan
     ~emit =
-  fp.ctr.c_firings <- fp.ctr.c_firings + 1;
+  let ctr = match ctr with Some c -> c | None -> fp.ctr in
+  ctr.c_firings <- ctr.c_firings + 1;
   let ghost_facts rel =
     match ghosts with
     | None -> []
@@ -721,7 +792,7 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ~delta_at ~delta rule plan
         | Some j when j = i -> (
             let g = Subst.apply subst atom in
             if Term.is_ground g then begin
-              fp.ctr.c_members <- fp.ctr.c_members + 1;
+              ctr.c_members <- ctr.c_members + 1;
               if List.exists (Term.equal g) delta then go subst rest
             end
             else List.iter each delta)
@@ -730,7 +801,7 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ~delta_at ~delta rule plan
             let gfacts = ghost_facts rel in
             let g = Subst.apply subst atom in
             if Term.is_ground g then begin
-              fp.ctr.c_members <- fp.ctr.c_members + 1;
+              ctr.c_members <- ctr.c_members + 1;
               if Relation.mem r g || List.exists (Term.equal g) gfacts then
                 go subst rest
             end
@@ -754,10 +825,10 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ~delta_at ~delta rule plan
               in
               (match candidates with
               | `Scan ->
-                  fp.ctr.c_scans <- fp.ctr.c_scans + 1;
+                  ctr.c_scans <- ctr.c_scans + 1;
                   Relation.iter each r
               | `Probe l ->
-                  fp.ctr.c_probes <- fp.ctr.c_probes + 1;
+                  ctr.c_probes <- ctr.c_probes + 1;
                   List.iter each l);
               if gfacts <> [] then List.iter each gfacts
             end)
@@ -793,6 +864,155 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ~delta_at ~delta rule plan
   in
   go subst0 plan
 
+(* ------------------------------------------------------------------ *)
+(* parallel within-stratum evaluation: fan out (rule × delta-partition)
+   work units over a domain pool, collect per-worker derivation buffers,
+   and merge them single-threaded in canonical sorted order. Workers
+   only read the (frozen-for-the-pass) store and write their own unit's
+   buffer, so the pass needs no locks beyond lazy index construction;
+   determinism holds because unit decomposition, counter folding order
+   and the sorted merge are all independent of scheduling.              *)
+
+(* The partition key of delta position [i]: the first argument of the
+   delta literal that shares a variable with the rest of the rule (head
+   included) — the first join-key position. Falls back to argument 0
+   for literals that join on nothing (pure generators). *)
+let delta_key_pos rule i =
+  match
+    List.find_map
+      (function Pos (j, _, atom) when j = i -> Some atom | _ -> None)
+      rule.body
+  with
+  | Some (Term.App (_, args)) ->
+      let others =
+        List.fold_left
+          (fun acc lit ->
+            match lit with
+            | Pos (j, _, _) when j = i -> acc
+            | Pos (_, _, a) | Neg (_, a) -> Iset.union acc (vset a)
+            | Cmp (_, a, b) | Eq (_, a, b) ->
+                Iset.union acc (Iset.union (vset a) (vset b))
+            | Is (l, r) -> Iset.union acc (Iset.union (vset l) (vset r))
+            | Never -> acc)
+          (vset rule.head) rule.body
+      in
+      let rec first k = function
+        | [] -> 0
+        | a :: rest ->
+            if Iset.exists (fun v -> Iset.mem v others) (vset a) then k
+            else first (k + 1) rest
+      in
+      first 0 args
+  | _ -> 0
+
+(* Split [facts] into [parts] buckets by the hash of the subterm at the
+   partition key position, preserving relative order within a bucket.
+   Purely a function of the facts, never of the schedule. *)
+let partition_delta ~key_pos ~parts facts =
+  let buckets = Array.make parts [] in
+  List.iter
+    (fun fact ->
+      let sub =
+        match fact with
+        | Term.App (_, args) -> (
+            match List.nth_opt args key_pos with Some a -> a | None -> fact)
+        | _ -> fact
+      in
+      let b = Term.hash sub mod parts in
+      buckets.(b) <- fact :: buckets.(b))
+    facts;
+  Array.map List.rev buckets
+
+(* One work unit: a rule plan aimed at one slice of one delta relation
+   ([wu_delta_at = None] fires the full-relation plan — the stratum's
+   opening pass). The buffer holds structurally deduplicated facts the
+   unit derived that were not in the store when the pass began, interned
+   through the worker's domain-local table ({!Term.hcons_local}). *)
+type work_unit = {
+  wu_planned : planned;
+  wu_delta_at : int option;
+  wu_delta : Term.t list;
+  wu_ctr : counters;
+  mutable wu_out : (Rel.t * Term.t) list; (* newest first *)
+}
+
+let exec_unit fp u =
+  u.wu_ctr.c_par_units <- u.wu_ctr.c_par_units + 1;
+  let seen = Term_tbl.create 32 in
+  let emit rel t =
+    let t = Term.hcons_local t in
+    if not (Term_tbl.mem seen t) then begin
+      Term_tbl.replace seen t ();
+      let stored =
+        match Hashtbl.find_opt fp.rels rel with
+        | Some r -> Relation.mem r t
+        | None -> false
+      in
+      if not stored then u.wu_out <- (rel, t) :: u.wu_out
+    end
+  in
+  let plan =
+    match u.wu_delta_at with
+    | None -> u.wu_planned.plan
+    | Some i -> u.wu_planned.delta_plans.(i)
+  in
+  eval_rule fp ~ctr:u.wu_ctr ~delta_at:u.wu_delta_at ~delta:u.wu_delta
+    u.wu_planned.rule plan ~emit
+
+(* One parallel pass over [srules]. [deltas = None] is the full opening
+   pass (one unit per rule); [Some m] is a semi-naive pass fanning each
+   (rule, delta position) out over hash partitions of its delta. The
+   per-unit buffers are concatenated, sorted into the standard order of
+   terms, re-canonicalized into the global intern table and inserted
+   through [emit] — one single-threaded merge, so store insertion order
+   is canonical and independent of worker scheduling. *)
+let parallel_pass fp srules ~deltas ~emit =
+  let unit_of planned delta_at delta =
+    {
+      wu_planned = planned;
+      wu_delta_at = delta_at;
+      wu_delta = delta;
+      wu_ctr = new_counters ();
+      wu_out = [];
+    }
+  in
+  let units =
+    match deltas with
+    | None -> List.map (fun p -> unit_of p None []) srules
+    | Some m ->
+        List.concat_map
+          (fun p ->
+            List.concat
+              (Array.to_list
+                 (Array.mapi
+                    (fun i rel ->
+                      match Rel_map.find_opt rel m with
+                      | Some (_ :: _ as d) ->
+                          let parts =
+                            partition_delta ~key_pos:p.delta_keys.(i)
+                              ~parts:fp.jobs d
+                          in
+                          Array.to_list parts
+                          |> List.filter_map (fun slice ->
+                                 if slice = [] then None
+                                 else Some (unit_of p (Some i) slice))
+                      | _ -> [])
+                    p.rule.pos_rels)))
+          srules
+  in
+  if units <> [] then begin
+    let pool = Pool.shared ~jobs:fp.jobs in
+    Pool.run_all pool
+      (Array.of_list (List.map (fun u () -> exec_unit fp u) units));
+    List.iter (fun u -> fold_counters ~into:fp.ctr u.wu_ctr) units;
+    let derived =
+      List.concat_map (fun u -> List.rev u.wu_out) units
+      |> List.sort_uniq (fun (_, a) (_, b) -> Term.compare a b)
+    in
+    Mutex.protect hcons_merge_lock (fun () ->
+        List.iter (fun (rel, t) -> emit rel t) derived)
+  end
+
 (* Saturate one stratum. [`Full] starts with a pass firing every rule
    against the full relations (the initial run and stratum recompute);
    [`Deltas m] starts semi-naive propagation from facts already stored
@@ -811,10 +1031,13 @@ let saturate fp ~budget_from ~guard srules start =
         new_facts := record rel t !new_facts;
         added := record rel t !added
   in
+  let parallel = fp.jobs > 1 in
   let full_pass () =
-    List.iter
-      (fun p -> eval_rule fp ~delta_at:None ~delta:[] p.rule p.plan ~emit)
-      srules
+    if parallel then parallel_pass fp srules ~deltas:None ~emit
+    else
+      List.iter
+        (fun p -> eval_rule fp ~delta_at:None ~delta:[] p.rule p.plan ~emit)
+        srules
   in
   let max_delta = ref 0 in
   (match start with
@@ -842,17 +1065,19 @@ let saturate fp ~budget_from ~guard srules start =
         match fp.strategy with
         | Naive -> full_pass ()
         | Semi_naive ->
-            List.iter
-              (fun p ->
-                Array.iteri
-                  (fun i rel ->
-                    match Rel_map.find_opt rel !deltas with
-                    | Some (_ :: _ as d) ->
-                        eval_rule fp ~delta_at:(Some i) ~delta:d p.rule
-                          p.delta_plans.(i) ~emit
-                    | _ -> ())
-                  p.rule.pos_rels)
-              srules);
+            if parallel then parallel_pass fp srules ~deltas:(Some !deltas) ~emit
+            else
+              List.iter
+                (fun p ->
+                  Array.iteri
+                    (fun i rel ->
+                      match Rel_map.find_opt rel !deltas with
+                      | Some (_ :: _ as d) ->
+                          eval_rule fp ~delta_at:(Some i) ~delta:d p.rule
+                            p.delta_plans.(i) ~emit
+                      | _ -> ())
+                    p.rule.pos_rels)
+                srules);
     deltas := !new_facts
   done;
   (!added, !max_delta)
@@ -860,15 +1085,25 @@ let saturate fp ~budget_from ~guard srules start =
 let run ?(strategy = Semi_naive) ?(indexing = true)
     ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
     ?(max_iterations = 10_000) ?(max_facts = 1_000_000)
-    ?(tracer = Gdp_obs.Tracer.disabled) ?(seed = []) db =
+    ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1) ?(seed = []) db =
+  let jobs = Pool.resolve_jobs jobs in
   let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
+  (* net the seeds like {!apply} nets a batch: a seed structurally equal
+     to a parsed fact, or repeated in the seed list, lands in the store
+     (and the counters) exactly once *)
+  let seen = Term_tbl.create (max 64 (List.length seed)) in
+  List.iter (fun (_, t) -> Term_tbl.replace seen t ()) facts;
   let facts =
     facts
-    @ List.map
+    @ List.filter_map
         (fun t ->
           if not (Term.is_ground t) then
             unsupported "seed: non-ground seed fact %s" (Term.to_string t);
-          (rel_of ~refine ~what:"seed" t, t))
+          if Term_tbl.mem seen t then None
+          else begin
+            Term_tbl.replace seen t ();
+            Some (rel_of ~refine ~what:"seed" t, t)
+          end)
         seed
   in
   (* body plans: with indexing on, a greedy bound-count order per rule
@@ -876,6 +1111,9 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
   let planned =
     List.map
       (fun r ->
+        let delta_keys =
+          Array.init (Array.length r.pos_rels) (delta_key_pos r)
+        in
         if indexing then
           {
             rule = r;
@@ -883,12 +1121,14 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
             delta_plans =
               Array.init (Array.length r.pos_rels) (fun i ->
                   order_body ~delta_at:(Some i) r.body);
+            delta_keys;
           }
         else
           {
             rule = r;
             plan = r.body;
             delta_plans = Array.make (Array.length r.pos_rels) r.body;
+            delta_keys;
           })
       rules
   in
@@ -914,17 +1154,8 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
       max_iterations;
       max_facts;
       tracer;
-      ctr =
-        {
-          c_facts = 0;
-          c_passes = 0;
-          c_firings = 0;
-          c_probes = 0;
-          c_scans = 0;
-          c_members = 0;
-          c_hits = 0;
-          c_misses = 0;
-        };
+      jobs;
+      ctr = new_counters ();
       strata_stats = [];
       incr =
         {
@@ -941,6 +1172,17 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
         };
     }
   in
+  (* every relation a rule can read or write exists up front: worker
+     domains may then resolve relations concurrently through a read-only
+     [Hashtbl.find_opt] — [get] never mutates the table mid-pass *)
+  List.iter
+    (fun p ->
+      Stdlib.ignore (get fp p.rule.head_rel);
+      Array.iter (fun rel -> Stdlib.ignore (get fp rel)) p.rule.pos_rels;
+      List.iter
+        (function Neg (rel, _) -> Stdlib.ignore (get fp rel) | _ -> ())
+        p.rule.body)
+    planned;
   List.iter
     (fun (rel, t) ->
       match add fp rel t with
@@ -996,7 +1238,11 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
     set "bu.index_probes" fp.ctr.c_probes;
     set "bu.full_scans" fp.ctr.c_scans;
     set "bu.hcons_hits" fp.ctr.c_hits;
-    set "bu.hcons_misses" fp.ctr.c_misses
+    set "bu.hcons_misses" fp.ctr.c_misses;
+    if fp.jobs > 1 then begin
+      set "bu.jobs" fp.jobs;
+      set "bu.par_units" fp.ctr.c_par_units
+    end
   end;
   fp.strata_stats <- List.rev !stratum_acc;
   fp
@@ -1119,6 +1365,8 @@ let stats fp =
     bu_membership_tests = fp.ctr.c_members;
     bu_hcons_hits = fp.ctr.c_hits;
     bu_hcons_misses = fp.ctr.c_misses;
+    bu_jobs = fp.jobs;
+    bu_par_units = fp.ctr.c_par_units;
     bu_strata_stats = fp.strata_stats;
     bu_incr = incr_stats fp;
   }
@@ -1135,6 +1383,9 @@ let pp_stats ppf s =
     s.bu_passes s.bu_firings s.bu_strata s.bu_facts s.bu_index_probes
     s.bu_full_scans s.bu_membership_tests s.bu_hcons_hits s.bu_hcons_misses
     (100.0 *. hcons_hit_rate s);
+  if s.bu_jobs > 1 then
+    Format.fprintf ppf "parallel: %d jobs, %d work units@," s.bu_jobs
+      s.bu_par_units;
   List.iter
     (fun st ->
       Format.fprintf ppf
@@ -1366,7 +1617,13 @@ let recompute_stratum fp ~budget_from srules ~seeds_a ~seeds_d =
   fp.incr.i_deleted <- fp.incr.i_deleted + List.length !net_dels;
   (!net_adds, !net_dels)
 
-let apply fp (updates : update list) =
+let apply ?jobs fp (updates : update list) =
+  (* an explicit [jobs] re-pins the fixpoint's parallelism for this and
+     every later batch; the default keeps what {!run} chose. The
+     insertion-propagation saturates below go parallel with it; DRed
+     over-deletion and rederivation stay sequential (they interleave
+     evaluation with store mutation). *)
+  (match jobs with Some j -> fp.jobs <- Pool.resolve_jobs j | None -> ());
   let inc = fp.incr in
   let budget_from = fp.ctr.c_passes in
   let ins0 = inc.i_inserted and del0 = inc.i_deleted in

@@ -108,6 +108,10 @@ type stats = {
       (** derived terms already interned — structurally equal to a stored
           fact, deduplicated by physical equality *)
   bu_hcons_misses : int;  (** derived terms interned fresh *)
+  bu_jobs : int;  (** evaluation parallelism (1 = sequential engine) *)
+  bu_par_units : int;
+      (** parallel work units — (rule × delta-partition) fan-out tasks —
+          executed across all passes; 0 on the sequential path *)
   bu_strata_stats : stratum_stats list;  (** non-empty strata, in order *)
   bu_incr : incr_stats;  (** all zeros until the first {!apply} *)
 }
@@ -120,6 +124,7 @@ val run :
   ?max_iterations:int ->
   ?max_facts:int ->
   ?tracer:Gdp_obs.Tracer.t ->
+  ?jobs:int ->
   ?seed:Term.t list ->
   Database.t ->
   fixpoint
@@ -135,10 +140,22 @@ val run :
     one ["fixpoint"]-category span for the whole run, one per non-empty
     stratum (with rule/pass/derived-fact counts as span arguments) and
     one per pass (with the delta size), plus final [bu.*] counter
-    samples — see {!Gdp_obs.Tracer}. [seed] (default empty) is a list of
+    samples — see {!Gdp_obs.Tracer}. [jobs] (default 1) sets the
+    evaluation parallelism: with [jobs > 1] every within-stratum pass
+    fans (rule × delta-partition) work units — the delta relation hash-
+    partitioned on each rule's first join-key position — over a shared
+    pool of OCaml 5 domains ({!Pool}), merging the per-worker derivation
+    buffers single-threaded in the standard order of terms, so the
+    derived fact set is identical to the sequential engine's and every
+    run with the same [jobs] is bit-deterministic (pass/firing counts
+    may differ from [jobs = 1], which keeps the sequential pass
+    structure untouched); [jobs = 0] autodetects the machine's core
+    count ({!Pool.auto_jobs}). [seed] (default empty) is a list of
     extra ground facts injected into the base before the strata run —
     the hook the magic-set rewrite ({!Magic}) uses to plant the query
-    seed; a non-ground or non-atomic seed raises {!Unsupported}. *)
+    seed; a non-ground or non-atomic seed raises {!Unsupported}.
+    Seeds are netted against the parsed facts and each other: a seed
+    already present, or repeated, counts once. *)
 
 val facts : fixpoint -> Term.t list
 (** All derived ground atoms, sorted in the standard order of terms. *)
@@ -216,7 +233,7 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type update = [ `Assert of Term.t | `Retract of Term.t ]
 
-val apply : fixpoint -> update list -> unit
+val apply : ?jobs:int -> fixpoint -> update list -> unit
 (** Apply one batch of updates to the asserted base, in script order —
     per fact only the net effect matters (assert-then-retract in one
     batch is a no-op) — then repair the derived consequences. Facts must
@@ -228,7 +245,11 @@ val apply : fixpoint -> update list -> unit
     never asserted, or one only ever derived by rules, is a no-op;
     asserting a fact that rules already derive marks it extensional (it
     then survives losing its rule derivations) without changing the
-    store. Shares {!run}'s iteration/fact bounds per batch. *)
+    store. Shares {!run}'s iteration/fact bounds per batch. [jobs]
+    (optional) re-pins the fixpoint's evaluation parallelism for this
+    and later batches; by default the setting {!run} chose is kept.
+    Insertion propagation parallelises like the initial run; DRed
+    over-deletion and rederivation always run sequentially. *)
 
 val assert_fact : fixpoint -> Term.t -> bool
 (** [apply fp [`Assert t]]; [true] iff [t] was not already asserted

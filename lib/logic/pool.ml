@@ -1,0 +1,144 @@
+(* A small reusable pool of worker domains for the bottom-up engine's
+   parallel passes (see Bottom_up). The pool owns [jobs - 1] persistent
+   domains so repeated fixpoint runs never pay domain start-up again;
+   the caller of {!run_all} is the remaining worker and helps drain the
+   queue, so a pool of size [jobs] really applies [jobs]-way
+   parallelism. All coordination goes through one mutex and two
+   condition variables — task hand-off is coarse on purpose: the engine
+   submits a few dozen work units per pass, each worth many joins, so
+   queue contention is noise. *)
+
+type t = {
+  jobs : int;  (* parallelism including the calling domain *)
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was queued, or the pool is stopping *)
+  idle : Condition.t;  (* pending tasks dropped to zero *)
+  mutable queue : (unit -> unit) list;
+  mutable pending : int;  (* tasks queued or still running *)
+  mutable stop : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable domains : unit Domain.t list;
+}
+
+let auto_jobs () = Domain.recommended_domain_count ()
+let resolve_jobs jobs = if jobs <= 0 then auto_jobs () else jobs
+
+(* Run one task, remembering the first failure: the barrier in
+   {!run_all} re-raises it in the calling domain once the whole batch
+   has drained, so a raising task never wedges the others mid-pass. *)
+let run_task p task =
+  (try task ()
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock p.mutex;
+     if p.failure = None then p.failure <- Some (e, bt);
+     Mutex.unlock p.mutex);
+  Mutex.lock p.mutex;
+  p.pending <- p.pending - 1;
+  if p.pending = 0 then Condition.broadcast p.idle;
+  Mutex.unlock p.mutex
+
+let rec worker p =
+  Mutex.lock p.mutex;
+  while p.queue = [] && not p.stop do
+    Condition.wait p.work p.mutex
+  done;
+  match p.queue with
+  | task :: rest ->
+      p.queue <- rest;
+      Mutex.unlock p.mutex;
+      run_task p task;
+      worker p
+  | [] ->
+      (* stopping with an empty queue: the domain retires *)
+      Mutex.unlock p.mutex
+
+let create ?(jobs = 0) () =
+  let jobs = resolve_jobs jobs in
+  let p =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = [];
+      pending = 0;
+      stop = false;
+      failure = None;
+      domains = [];
+    }
+  in
+  p.domains <-
+    List.init (max 0 (jobs - 1)) (fun _ -> Domain.spawn (fun () -> worker p));
+  p
+
+let size p = p.jobs
+
+let shutdown p =
+  Mutex.lock p.mutex;
+  p.stop <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join p.domains;
+  p.domains <- []
+
+let run_all p tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if p.jobs <= 1 || n = 1 || p.domains = [] then
+    Array.iter (fun task -> task ()) tasks
+  else begin
+    Mutex.lock p.mutex;
+    p.failure <- None;
+    p.pending <- n;
+    p.queue <- Array.to_list tasks;
+    Condition.broadcast p.work;
+    Mutex.unlock p.mutex;
+    let rec help () =
+      Mutex.lock p.mutex;
+      match p.queue with
+      | task :: rest ->
+          p.queue <- rest;
+          Mutex.unlock p.mutex;
+          run_task p task;
+          help ()
+      | [] ->
+          while p.pending > 0 do
+            Condition.wait p.idle p.mutex
+          done;
+          Mutex.unlock p.mutex
+    in
+    help ();
+    match p.failure with
+    | Some (e, bt) ->
+        p.failure <- None;
+        Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* One long-lived pool per requested size, shared by every fixpoint in
+   the process: fixpoints are created by the thousand in the test
+   suites, and domains are too expensive (and too finite — the runtime
+   caps live domains) to spawn per run. The registry is torn down at
+   exit so no domain is left blocked in [Condition.wait] when the
+   runtime shuts down. *)
+let shared_mutex = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let cleanup_registered = ref false
+
+let shared ~jobs =
+  let jobs = resolve_jobs jobs in
+  Mutex.protect shared_mutex (fun () ->
+      if not !cleanup_registered then begin
+        cleanup_registered := true;
+        at_exit (fun () ->
+            Mutex.protect shared_mutex (fun () ->
+                Hashtbl.iter (fun _ p -> shutdown p) shared_pools;
+                Hashtbl.reset shared_pools))
+      end;
+      match Hashtbl.find_opt shared_pools jobs with
+      | Some p -> p
+      | None ->
+          let p = create ~jobs () in
+          Hashtbl.add shared_pools jobs p;
+          p)

@@ -1,0 +1,44 @@
+(** A small reusable pool of worker domains (OCaml 5 [Domain]s) behind
+    the bottom-up engine's parallel fixpoint passes.
+
+    A pool of size [jobs] holds [jobs - 1] persistent worker domains;
+    the domain calling {!run_all} acts as the last worker, so the pool
+    applies exactly [jobs]-way parallelism with no idle coordinator.
+    Workers persist across calls — repeated fixpoint runs reuse them
+    instead of paying [Domain.spawn] per run. *)
+
+type t
+
+val auto_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the machine's available
+    parallelism as the runtime sees it. *)
+
+val resolve_jobs : int -> int
+(** [resolve_jobs j] is [j] when positive and {!auto_jobs} otherwise —
+    the interpretation every [?jobs] parameter of the engine stack and
+    the [gdprs --jobs] flag share ([0] means autodetect). *)
+
+val create : ?jobs:int -> unit -> t
+(** Fresh pool of [resolve_jobs jobs] total workers (default: autodetect).
+    [jobs <= 1] spawns no domains — {!run_all} then runs inline. *)
+
+val size : t -> int
+(** Total parallelism, calling domain included. *)
+
+val run_all : t -> (unit -> unit) array -> unit
+(** Execute every task, in any order, across the pool's workers and the
+    calling domain; return once all have finished (a barrier). Tasks
+    must not call {!run_all} on the same pool. If any task raises, the
+    first failure is re-raised in the caller after the whole batch has
+    drained. With a single task, a pool of size 1, or one already shut
+    down, the tasks run inline in the calling domain, in order. *)
+
+val shutdown : t -> unit
+(** Retire the worker domains (blocking until they exit). Only call
+    when no {!run_all} is in flight. The pool stays usable afterwards —
+    {!run_all} just runs inline. *)
+
+val shared : jobs:int -> t
+(** The process-wide pool for [resolve_jobs jobs] workers, created on
+    first use and reused for every later request of the same size.
+    Shared pools are shut down automatically at process exit. *)

@@ -41,7 +41,7 @@ val list : t list -> t
     ["cons"/2] cells ending in the atom ["nil"]. *)
 
 val fresh_id : unit -> int
-(** A globally unique variable id (thread-unsafe counter). *)
+(** A globally unique variable id (atomic counter, safe across domains). *)
 
 (** {1 Inspection} *)
 
@@ -86,7 +86,16 @@ val hcons : t -> t
     make the physical-equality fast paths of {!equal}/{!compare} hit on
     every shared subterm, so set membership and tuple dedup in the
     bottom-up engine are cheap even for deep terms. Representatives are
-    held weakly: the GC reclaims what no live index still references. *)
+    held weakly: the GC reclaims what no live index still references.
+    The intern table is global and {b not} domain-safe: only one domain
+    (in the engine, the fixpoint coordinator) may call [hcons]. *)
+
+val hcons_local : t -> t
+(** Like {!hcons} but interning into a table private to the calling
+    domain — the parallel fixpoint workers' intern path ({!Pool}). The
+    result is canonical {e within the domain} only: terms interned by
+    different domains are structurally equal, not physically, so
+    cross-domain comparison falls back to {!equal}'s deep walk. *)
 
 val rename : (int -> var option) -> (var -> t) -> t -> t
 (** [rename lookup fresh t] replaces every variable [v] of [t] by

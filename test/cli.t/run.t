@@ -183,6 +183,40 @@ check/query/ask run:
   
   [1]
 
+Parallel evaluation: `--jobs N` runs every bottom-up fixpoint over N
+OCaml domains — each semi-naive pass fans (rule × delta-partition)
+work units over a shared domain pool and merges the per-worker
+derivations deterministically, so the fact set (and the violation)
+match the sequential run exactly. Passes are synchronous under
+parallel evaluation (no within-pass cascading), so the pass/firing
+counters differ from `--jobs 1` but are stable for a given N:
+
+  $ gdprs check dl.gdp --materialize --jobs 2 --stats
+  world view: {w}
+  meta view:  {}
+  materialised: 18 facts, 2 strata, 6 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n3)
+  -- stats --
+  engine: materialized
+  unifications: 0  loop prunes: 0  deepest call: 0
+  passes: 6  firings: 14  strata: 2  facts: 18
+  index probes: 13  full scans: 0  membership tests: 3
+  hcons: 17 hits / 1 misses (94.4% hit rate)
+  parallel: 2 jobs, 14 work units
+  stratum 0: 3 rules, 4 passes, 13 firings, 7 derived, max delta 3
+  stratum 1: 1 rules, 2 passes, 1 firings, 2 derived, max delta 2
+  
+  [1]
+  $ gdprs query dl.gdp 'reach(n1, X)' --materialize --jobs 2
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+  $ gdprs query dl.gdp 'reach(n1, X)' --magic --jobs 2
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+
 Goal-directed (magic) evaluation: `--magic` rewrites the base around
 the query goal and runs the seeded fixpoint, so a point query derives
 only the goal's cone — here the constraint rule and the clear rule are

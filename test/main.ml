@@ -11,6 +11,7 @@ let () =
       ("engine-props", Suite_engine_props.tests);
       ("magic", Suite_magic.tests);
       ("incremental", Suite_incremental.tests);
+      ("parallel", Suite_parallel.tests);
       ("fuzzy", Suite_fuzzy.tests);
       ("temporal", Suite_temporal.tests);
       ("space", Suite_space.tests);
