@@ -80,6 +80,37 @@ let jobs_arg =
                  meaningful with $(b,--materialize) or $(b,--magic); \
                  top-down resolution is unaffected.")
 
+(* shared by check, ask, update and profile *)
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the run as Chrome trace-event JSON, loadable in \
+                 chrome://tracing or Perfetto. Implies telemetry.")
+
+let write_trace q trace_out =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      let tracer = Query.tracer q in
+      Gdp_obs.Tracer.finish tracer;
+      let n = Gdp_obs.Export.write_chrome_trace tracer path in
+      Printf.printf "wrote %s (%d events)\n" path n
+
+let explain_violations_arg =
+  Arg.(value & opt int 0
+       & info [ "explain-violations" ] ~docv:"N"
+           ~doc:"After an inconsistent verdict, print a derivation tree for \
+                 up to $(docv) ERROR facts — reconstructed from the \
+                 fixpoint's recorded lineage under $(b,--materialize), \
+                 proved top-down otherwise.")
+
+let print_violation_proofs q n =
+  if n > 0 then
+    Query.violation_proofs ~limit:n q
+    |> List.iter (fun (v, proof) ->
+           Format.printf "why %a:@.%a@." Query.pp_violation v
+             (Gdp_logic.Explain.pp ~pp_goal:Query.pp_reified_term) proof)
+
 let enable_telemetry result =
   result.Gdp_lang.Elaborate.spec.Spec.telemetry <- true
 
@@ -110,10 +141,10 @@ let handle_errors f =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run file view models metas materialize stats jobs =
+  let run file view models metas materialize stats jobs explain_n trace_out =
     handle_errors (fun () ->
         let result = load file in
-        if stats then enable_telemetry result;
+        if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
         let q = with_materialize (build_query result view models metas) materialize in
         Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
@@ -133,15 +164,17 @@ let check_cmd =
           | viols ->
               Printf.printf "INCONSISTENT: %d violation(s)\n" (List.length viols);
               List.iter (fun v -> Format.printf "  %a@." Query.pp_violation v) viols;
+              print_violation_proofs q explain_n;
               1
         in
         if stats then print_stats q;
+        write_trace q trace_out;
         code)
   in
   let doc = "Check a specification's consistency under a world view (§III-E)." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg
-          $ stats_arg $ jobs_arg)
+          $ stats_arg $ jobs_arg $ explain_violations_arg $ trace_out_arg)
 
 (* ---- update ---- *)
 
@@ -189,10 +222,11 @@ let update_cmd =
                       "%s:%d: expected 'assert FACT' or 'retract FACT'" path
                       lineno))
   in
-  let run file view models metas script materialize stats jobs =
+  let run file view models metas script materialize stats jobs explain_n
+      trace_out =
     handle_errors (fun () ->
         let result = load file in
-        if stats then enable_telemetry result;
+        if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
         let q =
           with_materialize (build_query result view models metas) materialize
@@ -231,9 +265,11 @@ let update_cmd =
               List.iter
                 (fun v -> Format.printf "  %a@." Query.pp_violation v)
                 viols;
+              print_violation_proofs q explain_n;
               1
         in
         if stats then print_stats q;
+        write_trace q trace_out;
         code)
   in
   let doc =
@@ -245,7 +281,8 @@ let update_cmd =
   in
   Cmd.v (Cmd.info "update" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ script_arg
-          $ materialize_arg $ stats_arg $ jobs_arg)
+          $ materialize_arg $ stats_arg $ jobs_arg $ explain_violations_arg
+          $ trace_out_arg)
 
 (* ---- query ---- *)
 
@@ -290,10 +327,10 @@ let ask_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"Raw engine goal over the reified vocabulary (holds/6, acc/7, builtins).")
   in
-  let run file view models metas goal magic stats jobs =
+  let run file view models metas goal magic stats jobs trace_out =
     handle_errors (fun () ->
         let result = load file in
-        if stats then enable_telemetry result;
+        if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
         let q =
           with_engine (build_query result view models metas) ~materialize:false
@@ -318,12 +355,13 @@ let ask_cmd =
               0
         in
         if stats then print_stats q;
+        write_trace q trace_out;
         code)
   in
   let doc = "Run a raw engine goal against the compiled database." in
   Cmd.v (Cmd.info "ask" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ magic_arg $ stats_arg $ jobs_arg)
+          $ magic_arg $ stats_arg $ jobs_arg $ trace_out_arg)
 
 (* ---- profile ---- *)
 
@@ -333,12 +371,6 @@ let profile_cmd =
          & info [] ~docv:"GOAL"
              ~doc:"Raw engine goal over the reified vocabulary (holds/6, \
                    acc/7, builtins); every answer is drained.")
-  in
-  let trace_out_arg =
-    Arg.(value & opt (some string) None
-         & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Write the run as Chrome trace-event JSON, loadable in \
-                   chrome://tracing or Perfetto.")
   in
   let run file view models metas goal materialize trace_out jobs =
     handle_errors (fun () ->
@@ -362,11 +394,7 @@ let profile_cmd =
         | None -> ());
         print_stats q;
         Format.printf "-- profile --@.%a@." Gdp_obs.Export.pp_profile tracer;
-        (match trace_out with
-        | Some path ->
-            let n = Gdp_obs.Export.write_chrome_trace tracer path in
-            Printf.printf "wrote %s (%d events)\n" path n
-        | None -> ());
+        write_trace q trace_out;
         0)
   in
   let doc =
@@ -465,32 +493,56 @@ let explain_cmd =
   let dot_arg =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit the derivation as GraphViz DOT.")
   in
-  let run file view models metas pattern dot =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the derivation as a provenance-graph JSON object \
+                   (root id, nodes with kind and label, conclusion-to-premise \
+                   edges).")
+  in
+  let run file view models metas pattern dot json materialize magic stats jobs =
     handle_errors (fun () ->
+        if dot && json then
+          invalid_arg "--dot and --json are mutually exclusive";
         let result = load file in
-        let q = build_query result view models metas in
+        if stats then enable_telemetry result;
+        set_jobs result jobs;
+        let q =
+          with_engine (build_query result view models metas) ~materialize ~magic
+        in
         let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
-        if dot then
+        let code =
           match Query.explain_proof q pat with
           | Some proof ->
-              print_string
-                (Gdp_logic.Explain.to_dot ~pp_goal:Query.pp_reified_term proof);
+              if dot then
+                print_string
+                  (Gdp_logic.Explain.to_dot ~pp_goal:Query.pp_reified_term proof)
+              else if json then
+                print_string
+                  (Gdp_logic.Explain.to_json ~pp_goal:Query.pp_reified_term
+                     proof)
+              else
+                Format.printf "%a"
+                  (Gdp_logic.Explain.pp ~pp_goal:Query.pp_reified_term)
+                  proof;
               0
           | None ->
               print_endline "not provable (open world: undefined)";
               1
-        else
-          match Query.explain q pat with
-          | Some derivation ->
-              print_string derivation;
-              0
-          | None ->
-              print_endline "not provable (open world: undefined)";
-              1)
+        in
+        if stats then print_stats q;
+        code)
   in
-  let doc = "Show the derivation tree of a provable fact (requirements evidence)." in
+  let doc =
+    "Show the derivation tree of a provable fact (requirements evidence). \
+     Top-down SLDNF proof by default; under $(b,--materialize) or \
+     $(b,--magic) the tree is reconstructed from the bottom-up fixpoint's \
+     recorded lineage — the engine that derived the fact explains it."
+  in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg $ dot_arg)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
+          $ dot_arg $ json_arg $ materialize_arg $ magic_arg $ stats_arg
+          $ jobs_arg)
 
 (* ---- info ---- *)
 

@@ -90,7 +90,7 @@ let materialization q =
         Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "materialize"
           (fun () ->
             Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
-              ~jobs:q.jobs (db q))
+              ~jobs:q.jobs ~lineage:(spec q).Spec.provenance (db q))
       in
       q.fp := Some fp;
       fp
@@ -109,7 +109,8 @@ let magic_materialization q goal =
             let rewritten, info = Compile.magic_rewrite ~tracer:q.tracer ~goal (db q) in
             let fp =
               Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
-                ~jobs:q.jobs ~seed:info.Magic.seeds rewritten
+                ~jobs:q.jobs ~lineage:(spec q).Spec.provenance
+                ~seed:info.Magic.seeds rewritten
             in
             (fp, info))
       in
@@ -301,6 +302,70 @@ let violations ?limit q =
 
 let consistent q = violations ~limit:1 q = []
 
+let decode_violation fact =
+  match fact with
+  | Term.App (_, [ model; Term.Atom p; vs; os; _; _ ])
+    when String.equal p Names.error_pred ->
+      decode_violation_parts model (Term.as_list vs) (Term.as_list os)
+  | _ -> None
+
+let violation_proofs ?limit q =
+  op_span q "violation_proofs" @@ fun () ->
+  let m = Term.var "M"
+  and vs = Term.var "Vs"
+  and os = Term.var "Os"
+  and s = Term.var "S"
+  and tm = Term.var "T" in
+  let goal =
+    Term.app Names.holds [ m; Term.atom Names.error_pred; vs; os; s; tm ]
+  in
+  match q.mode with
+  | Top_down ->
+      (* one proof per distinct ERROR fact, first-derivation order *)
+      let seen = Hashtbl.create 16 in
+      let rec collect acc n seq =
+        if match limit with Some l -> n >= l | None -> false then
+          List.rev acc
+        else
+          match Seq.uncons seq with
+          | None -> List.rev acc
+          | Some ((subst, proofs), rest) -> (
+              let fact = Subst.apply subst goal in
+              match (decode_violation fact, proofs) with
+              | Some v, [ proof ] ->
+                  let k = Term.to_string fact in
+                  if Hashtbl.mem seen k then collect acc n rest
+                  else begin
+                    Hashtbl.add seen k ();
+                    collect ((v, proof) :: acc) (n + 1) rest
+                  end
+              | _ -> collect acc n rest)
+      in
+      collect [] 0 (Explain.prove ~options:q.options (db q) [ goal ])
+  | Materialized | Magic ->
+      let fp, strip =
+        match q.mode with
+        | Magic ->
+            let fp, _ = magic_materialization q goal in
+            (fp, Magic.strip_proof)
+        | _ -> (materialization q, fun p -> p)
+      in
+      Bottom_up.probe fp goal
+      |> List.filter (fun fact -> decode_violation fact <> None)
+      |> List.sort Term.compare
+      |> take limit
+      |> List.filter_map (fun fact ->
+             match decode_violation fact with
+             | None -> None
+             | Some v -> (
+                 match Bottom_up.proof fp fact with
+                 | Some p -> Some (v, strip p)
+                 | None -> (
+                     (* lineage off: one targeted top-down proof *)
+                     match Explain.first ~options:q.options (db q) [ fact ] with
+                     | Some (_, [ p ]) -> Some (v, p)
+                     | _ -> None)))
+
 let rec pp_reified ppf (t : Term.t) =
   match Gfact.of_holds t with
   | Some f -> Gfact.pp ppf f
@@ -325,11 +390,39 @@ let rec pp_reified ppf (t : Term.t) =
 
 let pp_reified_term = pp_reified
 
+(* The fixpoint an explanation should come from in the current mode,
+   paired with the post-processing its proofs need (magic-mode trees are
+   stripped of the rewrite's magic$ guard premises). *)
+let explain_fixpoint q goal =
+  match q.mode with
+  | Top_down -> None
+  | Materialized -> Some (materialization q, fun p -> p)
+  | Magic -> Some (fst (magic_materialization q goal), Magic.strip_proof)
+
 let explain_proof q pattern =
+  op_span q "explain" @@ fun () ->
   let goal = Gfact.to_holds ~default_model:Names.default_model pattern in
-  match Explain.first ~options:q.options (db q) [ goal ] with
-  | Some (_, [ proof ]) -> Some proof
-  | Some (_, _) | None -> None
+  let top_down () =
+    match Explain.first ~options:q.options (db q) [ goal ] with
+    | Some (_, [ proof ]) -> Some proof
+    | Some (_, _) | None -> None
+  in
+  match explain_fixpoint q goal with
+  | Some (fp, strip) when Bottom_up.lineage_enabled fp ->
+      (* a non-ground pattern explains its first stored instance, in the
+         standard order of terms — the same answer a sorted solutions
+         scan leads with *)
+      let target =
+        if Term.is_ground goal then
+          if Bottom_up.holds fp goal then Some goal else None
+        else
+          Bottom_up.probe fp goal
+          |> List.filter (fun fact -> Unify.unify Subst.empty goal fact <> None)
+          |> List.sort Term.compare
+          |> function [] -> None | t :: _ -> Some t
+      in
+      Option.bind target (fun t -> Option.map strip (Bottom_up.proof fp t))
+  | Some _ | None -> top_down ()
 
 let explain q pattern =
   explain_proof q pattern

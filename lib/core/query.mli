@@ -135,13 +135,26 @@ val violations : ?limit:int -> t -> violation list
     deduplicated. In {!Materialized} mode this is a scan of the
     fixpoint's [ERROR] relation — the natural whole-base sweep.
 
-    {!accuracy} and {!explain} always run top-down regardless of mode:
-    proofs and accuracy maximisation need the SLDNF machinery. {!ask} and
+    {!accuracy} always runs top-down regardless of mode: accuracy
+    maximisation needs the SLDNF machinery. {!explain} answers from the
+    fixpoint's recorded lineage in {!Materialized} and {!Magic} modes
+    (see {!explain_proof}). {!ask} and
     {!ask_all} run top-down in {!Top_down} and {!Materialized} modes; in
     {!Magic} mode a single atomic goal is answered from its goal-directed
     fixpoint (conjunctions raise {!Gdp_logic.Bottom_up.Unsupported}). *)
 
 val consistent : t -> bool
+
+val violation_proofs :
+  ?limit:int -> t -> (violation * Gdp_logic.Explain.proof) list
+(** {!violations} paired with a derivation tree per [ERROR] fact — the
+    "why is this world view inconsistent?" evidence (§III-C). In
+    {!Materialized} and {!Magic} modes the trees are reconstructed from
+    the fixpoint's lineage (standard order of terms, [limit] applied
+    after sorting); in {!Top_down} mode each distinct violation carries
+    its first SLDNF proof, in first-derivation order. With
+    [spec.Spec.provenance] off, fixpoint modes fall back to one targeted
+    top-down proof per violation. *)
 
 val update : t -> Spec.update list -> t
 (** Apply a batch of ground basic-fact assertions / retractions to the
@@ -168,7 +181,19 @@ val explain : t -> Gfact.t -> string option
     pattern is not provable. *)
 
 val explain_proof : t -> Gfact.t -> Gdp_logic.Explain.proof option
-(** The raw proof tree, for programmatic inspection. *)
+(** The raw proof tree, for programmatic inspection. In {!Top_down}
+    mode — and whenever [spec.Spec.provenance] is off — the tree is the
+    first SLDNF proof ({!Gdp_logic.Explain.first}). In {!Materialized}
+    and {!Magic} modes with provenance on (the default) the tree is
+    reconstructed from the answering fixpoint's lineage
+    ({!Gdp_logic.Bottom_up.proof}) without invoking SLDNF: derived
+    tuples expand through their recorded witnesses, base facts bottom
+    out as [Fact] leaves, negated and guard steps appear as [Naf] /
+    [Builtin] leaves, and magic-mode trees are stripped of the
+    rewrite's [magic$…] guard premises
+    ({!Gdp_logic.Magic.strip_proof}). A non-ground pattern explains its
+    first stored instance in the standard order of terms — which may
+    differ from the instance top-down search finds first. *)
 
 val pp_reified_term : Format.formatter -> Term.t -> unit
 (** Render a reified [holds/6] / [acc/7] term back in fact notation

@@ -47,6 +47,8 @@ type t = {
   mutable prefer_magic : bool;
   mutable telemetry : bool;
   mutable jobs : int; (* bottom-up evaluation parallelism; 0 = autodetect *)
+  mutable provenance : bool;
+      (* record why-provenance in materialised fixpoints (lineage) *)
   mutable updates : update list; (* newest first; update_log reverses *)
 }
 
@@ -69,6 +71,7 @@ let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
       prefer_magic = false;
       telemetry = false;
       jobs = 1;
+      provenance = true;
       updates = [];
     }
   in

@@ -182,11 +182,24 @@ type lit =
   | Never  (** fail/false in the body: the rule can never fire *)
 
 type rule = {
+  id : int;  (** stable rule identifier, parse order; -1 until numbered *)
   head : Term.t;
   head_rel : Rel.t;
   body : lit list;
   pos_rels : Rel.t array;  (** relation at each positive join position *)
 }
+
+(* Why-provenance: one witness per derived tuple — the rule that first
+   produced it and the instantiated body, in textual order. Positive
+   steps name supporting tuples (hash-consed, so they alias the stored
+   facts); negated and builtin guards are kept as ground goal instances
+   for the proof tree's [Naf]/[Builtin] leaves. *)
+type wstep =
+  | Wfact of Term.t  (** supporting positive body tuple *)
+  | Wnaf of Term.t  (** negated literal instance that had no proof *)
+  | Wguard of Term.t  (** arithmetic / equality guard instance *)
+
+type witness = { w_rule : int; w_steps : wstep list }
 
 let control_functors = [ ","; ";"; "->"; "call"; "="; "\\=" ]
 let cmp_ops = [ "<"; ">"; "=<"; ">="; "=:="; "=\\=" ]
@@ -339,7 +352,7 @@ let parse_clause db ~ignore ~refine (c : Database.clause) =
           List.iter
             (function Pos (i, rel, _) -> pos_rels.(i) <- rel | _ -> ())
             body;
-          Some (`Rule { head = c.Database.head; head_rel; body; pos_rels })
+          Some (`Rule { id = -1; head = c.Database.head; head_rel; body; pos_rels })
         end
       end
 
@@ -473,7 +486,8 @@ let prepare db ~ignore ~refine =
       | Some (`Fact (rel, t)) -> facts := (rel, t) :: !facts
       | Some (`Rule r) -> rules := r :: !rules)
     (all_clauses db);
-  let facts = List.rev !facts and rules = List.rev !rules in
+  let facts = List.rev !facts
+  and rules = List.mapi (fun i r -> { r with id = i }) (List.rev !rules) in
   let stratum_of, n_strata = compute_strata rules (List.map fst facts) in
   (facts, rules, stratum_of, n_strata)
 
@@ -602,6 +616,25 @@ type incr_stats = {
   upd_strata_recomputed : int;
 }
 
+type prov_stats = {
+  prov_tracked : int;
+  prov_bytes : int;
+  prov_refreshed : int;
+  prov_reconstructs : int;
+  prov_max_depth : int;
+  prov_max_size : int;
+}
+
+let no_prov_stats =
+  {
+    prov_tracked = 0;
+    prov_bytes = 0;
+    prov_refreshed = 0;
+    prov_reconstructs = 0;
+    prov_max_depth = 0;
+    prov_max_size = 0;
+  }
+
 type stats = {
   bu_passes : int;
   bu_firings : int;
@@ -614,6 +647,8 @@ type stats = {
   bu_hcons_misses : int;
   bu_jobs : int;
   bu_par_units : int;
+  bu_lineage : bool;
+  bu_prov : prov_stats;
   bu_strata_stats : stratum_stats list;
   bu_incr : incr_stats;
 }
@@ -661,6 +696,17 @@ let fold_counters ~into (w : counters) =
   into.c_hits <- into.c_hits + w.c_hits;
   into.c_misses <- into.c_misses + w.c_misses;
   into.c_par_units <- into.c_par_units + w.c_par_units
+
+(* Mutable lineage state: the witness table plus the reconstruction
+   counters {!pp_stats} reports. Present exactly when the fixpoint was
+   run with [~lineage:true]. *)
+type pstate = {
+  ptbl : witness Term_tbl.t;  (* derived tuple -> its recorded witness *)
+  mutable p_refreshed : int;  (* witnesses refreshed by DRed rederivation *)
+  mutable p_reconstructs : int;
+  mutable p_max_depth : int;
+  mutable p_max_size : int;
+}
 
 type istate = {
   mutable i_batches : int;
@@ -710,6 +756,7 @@ type fixpoint = {
   ctr : counters;
   mutable strata_stats : stratum_stats list;
   incr : istate;
+  lineage : pstate option;  (* the why-provenance sidecar, opt-in *)
 }
 
 (* Guards the merge step's re-canonicalization of worker-derived facts
@@ -746,6 +793,65 @@ let add fp rel t =
   end
   else None
 
+(* The witness of one firing: the rule's body in textual order under the
+   final substitution. Step terms are hash-consed, so positive steps are
+   physically the stored supporting tuples and the store's memory is
+   shared rather than duplicated. Only ever called single-threaded (the
+   sequential driver, the parallel merge, DRed rederivation). *)
+let witness_of rule subst =
+  let app t = Term.hcons (Subst.apply subst t) in
+  let steps =
+    List.filter_map
+      (function
+        | Pos (_, _, atom) -> Some (Wfact (app atom))
+        | Neg (_, atom) -> Some (Wnaf (app atom))
+        | Cmp (op, a, b) -> Some (Wguard (app (Term.App (op, [ a; b ]))))
+        | Eq (true, a, b) -> Some (Wguard (app (Term.App ("==", [ a; b ]))))
+        | Eq (false, a, b) -> Some (Wguard (app (Term.App ("\\==", [ a; b ]))))
+        | Is (l, r) -> Some (Wguard (app (Term.App ("is", [ l; r ]))))
+        | Never -> None)
+      rule.body
+  in
+  { w_rule = rule.id; w_steps = steps }
+
+(* first derivation wins: a tuple's witness is recorded once and only
+   replaced by the explicit refresh paths (DRed rederivation, stratum
+   recompute after a witness drop) *)
+let record_witness fp rule stored subst =
+  match fp.lineage with
+  | None -> ()
+  | Some ps ->
+      if not (Term_tbl.mem ps.ptbl stored) then
+        Term_tbl.replace ps.ptbl stored (witness_of rule subst)
+
+let drop_witness fp t =
+  match fp.lineage with
+  | None -> ()
+  | Some ps -> Term_tbl.remove ps.ptbl t
+
+(* Structural node count of a term; the store hcons-shares witness terms
+   with the fact store, so this over-approximates the marginal footprint
+   but tracks the logical size of what a serialised export would carry. *)
+let rec term_nodes = function
+  | Term.App (_, args) -> List.fold_left (fun n a -> n + term_nodes a) 1 args
+  | _ -> 1
+
+(* (tracked tuples, approximate witness bytes): one word for the rule id
+   plus per step a tag word and the step term's nodes, 8 bytes a word *)
+let prov_footprint ps =
+  Term_tbl.fold
+    (fun key w (n, b) ->
+      let wb =
+        List.fold_left
+          (fun acc s ->
+            acc
+            + 1
+            + term_nodes (match s with Wfact t | Wnaf t | Wguard t -> t))
+          (1 + term_nodes key) w.w_steps
+      in
+      (n + 1, b + (8 * wb)))
+    ps.ptbl (0, 0)
+
 (* [budget_from] is the pass counter at the start of the current
    operation (initial run or one update batch): the iteration bound is
    per operation, not cumulative over the fixpoint's life. *)
@@ -769,9 +875,16 @@ let tick fp ~budget_from =
    rederivation, starts the body evaluation from a substitution that
    already grounds the head. [ctr], used by the parallel driver, routes
    the access-path counters into a per-worker record folded at merge;
-   it defaults to the fixpoint's shared counters. *)
-let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ~delta_at ~delta rule plan
-    ~emit =
+   it defaults to the fixpoint's shared counters.
+
+   [emit] returns the stored canonical term when the derived head was a
+   fresh insertion, [None] otherwise; with [capture] set (the sequential
+   drivers, when lineage is on) each fresh insertion records its witness
+   from the firing substitution. [on_derive], used by {!find_witness},
+   replaces [emit] entirely: the caller observes (head, substitution)
+   pairs without touching the store. *)
+let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ?(capture = false)
+    ?on_derive ~delta_at ~delta rule plan ~emit =
   let ctr = match ctr with Some c -> c | None -> fp.ctr in
   ctr.c_firings <- ctr.c_firings + 1;
   let ghost_facts rel =
@@ -781,7 +894,14 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ~delta_at ~delta rule plan
   in
   let rec go subst lits =
     match lits with
-    | [] -> emit rule.head_rel (Subst.apply subst rule.head)
+    | [] -> (
+        let head = Subst.apply subst rule.head in
+        match on_derive with
+        | Some f -> f head subst
+        | None -> (
+            match emit rule.head_rel head with
+            | Some stored -> if capture then record_witness fp rule stored subst
+            | None -> ()))
     | Pos (i, rel, atom) :: rest -> (
         let each fact =
           match Unify.unify subst atom fact with
@@ -863,6 +983,36 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ~delta_at ~delta rule plan
     | Never :: _ -> ()
   in
   go subst0 plan
+
+(* Deterministic derivability check with optional witness capture: the
+   first rule in rule order whose body (under the plan's enumeration
+   order) rederives [t] from the current store. Returns [Some w] when
+   derivable ([w = Some witness] only under [capture]), [None] when no
+   rule of [srules] produces [t]. Shared by DRed rederivation (which
+   routes firings into the fixpoint's counters, exactly as before) and
+   by the parallel merge's witness capture (which passes a scratch
+   counter record so lineage never perturbs the deterministic stats). *)
+exception Found_witness of witness option
+
+let find_witness fp ?ctr ~capture srules rel t =
+  try
+    List.iter
+      (fun p ->
+        if Rel.compare p.rule.head_rel rel = 0 then
+          match Unify.unify Subst.empty p.rule.head t with
+          | None -> ()
+          | Some s ->
+              eval_rule fp ?ctr ~subst0:s ~delta_at:None ~delta:[] p.rule p.plan
+                ~emit:(fun _ _ -> None)
+                ~on_derive:(fun h subst ->
+                  if Term.equal h t then
+                    raise_notrace
+                      (Found_witness
+                         (if capture then Some (witness_of p.rule subst)
+                          else None))))
+      srules;
+    None
+  with Found_witness w -> Some w
 
 (* ------------------------------------------------------------------ *)
 (* parallel within-stratum evaluation: fan out (rule × delta-partition)
@@ -949,7 +1099,8 @@ let exec_unit fp u =
         | None -> false
       in
       if not stored then u.wu_out <- (rel, t) :: u.wu_out
-    end
+    end;
+    None
   in
   let plan =
     match u.wu_delta_at with
@@ -1009,8 +1160,34 @@ let parallel_pass fp srules ~deltas ~emit =
       List.concat_map (fun u -> List.rev u.wu_out) units
       |> List.sort_uniq (fun (_, a) (_, b) -> Term.compare a b)
     in
+    (* lineage under [jobs > 1]: the witness is chosen in canonical merge
+       order — facts are inserted in the standard order of terms, and
+       each fresh fact's witness is recomputed against the store *before*
+       its own insertion (so a tuple can never support itself, and the
+       support DAG stays acyclic by insertion-order induction). The store
+       content at each merge step depends only on the per-pass derived
+       set, never on the partitioning, so every [jobs > 1] value yields
+       the identical lineage. The scratch counter record keeps the
+       deterministic stats identical to a lineage-off run. *)
+    let scratch = if fp.lineage = None then None else Some (new_counters ()) in
     Mutex.protect hcons_merge_lock (fun () ->
-        List.iter (fun (rel, t) -> emit rel t) derived)
+        List.iter
+          (fun (rel, t) ->
+            let w =
+              match (fp.lineage, scratch) with
+              | Some ps, Some ctr when not (Relation.mem (get fp rel) t) ->
+                  if Term_tbl.mem ps.ptbl t then None
+                  else
+                    Option.join (find_witness fp ~ctr ~capture:true srules rel t)
+              | _ -> None
+            in
+            match emit rel t with
+            | Some stored -> (
+                match (fp.lineage, w) with
+                | Some ps, Some w -> Term_tbl.replace ps.ptbl stored w
+                | _ -> ())
+            | None -> ())
+          derived)
   end
 
 (* Saturate one stratum. [`Full] starts with a pass firing every rule
@@ -1026,17 +1203,20 @@ let saturate fp ~budget_from ~guard srules start =
   let new_facts = ref Rel_map.empty in
   let emit rel t =
     match add fp rel t with
-    | None -> ()
+    | None -> None
     | Some t ->
         new_facts := record rel t !new_facts;
-        added := record rel t !added
+        added := record rel t !added;
+        Some t
   in
   let parallel = fp.jobs > 1 in
+  let capture = fp.lineage <> None in
   let full_pass () =
     if parallel then parallel_pass fp srules ~deltas:None ~emit
     else
       List.iter
-        (fun p -> eval_rule fp ~delta_at:None ~delta:[] p.rule p.plan ~emit)
+        (fun p ->
+          eval_rule fp ~capture ~delta_at:None ~delta:[] p.rule p.plan ~emit)
         srules
   in
   let max_delta = ref 0 in
@@ -1073,8 +1253,8 @@ let saturate fp ~budget_from ~guard srules start =
                     (fun i rel ->
                       match Rel_map.find_opt rel !deltas with
                       | Some (_ :: _ as d) ->
-                          eval_rule fp ~delta_at:(Some i) ~delta:d p.rule
-                            p.delta_plans.(i) ~emit
+                          eval_rule fp ~capture ~delta_at:(Some i) ~delta:d
+                            p.rule p.delta_plans.(i) ~emit
                       | _ -> ())
                     p.rule.pos_rels)
                 srules);
@@ -1085,7 +1265,8 @@ let saturate fp ~budget_from ~guard srules start =
 let run ?(strategy = Semi_naive) ?(indexing = true)
     ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
     ?(max_iterations = 10_000) ?(max_facts = 1_000_000)
-    ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1) ?(seed = []) db =
+    ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1) ?(lineage = false)
+    ?(seed = []) db =
   let jobs = Pool.resolve_jobs jobs in
   let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
   (* net the seeds like {!apply} nets a batch: a seed structurally equal
@@ -1170,6 +1351,17 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
           i_visited = 0;
           i_recomputed = 0;
         };
+      lineage =
+        (if lineage then
+           Some
+             {
+               ptbl = Term_tbl.create 256;
+               p_refreshed = 0;
+               p_reconstructs = 0;
+               p_max_depth = 0;
+               p_max_size = 0;
+             }
+         else None);
     }
   in
   (* every relation a rule can read or write exists up front: worker
@@ -1242,7 +1434,13 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
     if fp.jobs > 1 then begin
       set "bu.jobs" fp.jobs;
       set "bu.par_units" fp.ctr.c_par_units
-    end
+    end;
+    match fp.lineage with
+    | Some ps ->
+        let tracked, bytes = prov_footprint ps in
+        set "prov.tracked" tracked;
+        set "prov.bytes" bytes
+    | None -> ()
   end;
   fp.strata_stats <- List.rev !stratum_acc;
   fp
@@ -1369,6 +1567,20 @@ let stats fp =
     bu_par_units = fp.ctr.c_par_units;
     bu_strata_stats = fp.strata_stats;
     bu_incr = incr_stats fp;
+    bu_lineage = fp.lineage <> None;
+    bu_prov =
+      (match fp.lineage with
+      | None -> no_prov_stats
+      | Some ps ->
+          let tracked, bytes = prov_footprint ps in
+          {
+            prov_tracked = tracked;
+            prov_bytes = bytes;
+            prov_refreshed = ps.p_refreshed;
+            prov_reconstructs = ps.p_reconstructs;
+            prov_max_depth = ps.p_max_depth;
+            prov_max_size = ps.p_max_size;
+          });
   }
 
 let hcons_hit_rate s =
@@ -1403,6 +1615,16 @@ let pp_stats ppf s =
       i.upd_batches i.upd_asserts i.upd_retracts i.upd_noops i.upd_inserted
       i.upd_deleted i.upd_overdeleted i.upd_rederived i.upd_strata_visited
       i.upd_strata_recomputed
+  end;
+  if s.bu_lineage then begin
+    let p = s.bu_prov in
+    Format.fprintf ppf
+      "provenance: %d tuples tracked, %d witness bytes, %d refreshed@,"
+      p.prov_tracked p.prov_bytes p.prov_refreshed;
+    if p.prov_reconstructs > 0 then
+      Format.fprintf ppf
+        "provenance: %d reconstructs (max depth %d, max size %d)@,"
+        p.prov_reconstructs p.prov_max_depth p.prov_max_size
   end;
   Format.fprintf ppf "@]"
 
@@ -1466,7 +1688,8 @@ let incremental_stratum fp ~budget_from srules ~seeds_a ~seeds_d ~ghosts
       Term_tbl.replace marked t rel;
       fp.incr.i_overdeleted <- fp.incr.i_overdeleted + 1;
       fresh := (rel, t) :: !fresh
-    end
+    end;
+    None
   in
   let deltas = ref deltas0 in
   while (not (Rel_map.is_empty !deltas)) && reads !deltas do
@@ -1492,6 +1715,7 @@ let incremental_stratum fp ~budget_from srules ~seeds_a ~seeds_d ~ghosts
     (fun t rel ->
       if Relation.remove (get fp rel) t then begin
         fp.ctr.c_facts <- fp.ctr.c_facts - 1;
+        drop_witness fp t;
         note rel t true;
         removed := (rel, t) :: !removed
       end)
@@ -1499,38 +1723,33 @@ let incremental_stratum fp ~budget_from srules ~seeds_a ~seeds_d ~ghosts
   (* 4. rederive: a removed fact survives if it is still asserted, or
      some rule of this stratum derives it from the remaining facts.
      Iterated to a fixpoint so chains of mutually supporting facts are
-     reinstated in dependency order. *)
-  let derivable rel t =
-    Term_tbl.mem fp.base t
-    || (let exception Found in
-        List.exists
-          (fun p ->
-            Rel.compare p.rule.head_rel rel = 0
-            &&
-            match Unify.unify Subst.empty p.rule.head t with
-            | None -> false
-            | Some s -> (
-                try
-                  eval_rule fp ~subst0:s ~delta_at:None ~delta:[] p.rule p.plan
-                    ~emit:(fun _ h ->
-                      if Term.equal h t then raise_notrace Found);
-                  false
-                with Found -> true))
-          srules)
-  in
+     reinstated in dependency order. With lineage on, the surviving
+     derivation found here becomes the fact's refreshed witness — its
+     old witness was dropped with the physical removal above, so every
+     surviving tuple's lineage is valid against the post-batch store. *)
+  let capture = fp.lineage <> None in
   let pending = ref !removed and progress = ref true in
   while !progress do
     progress := false;
     pending :=
       List.filter
         (fun (rel, t) ->
-          if derivable rel t then begin
+          let reinstate w_opt =
             Stdlib.ignore (add fp rel t);
+            (match (fp.lineage, w_opt) with
+            | Some ps, Some w ->
+                Term_tbl.replace ps.ptbl t w;
+                ps.p_refreshed <- ps.p_refreshed + 1
+            | _ -> ());
             fp.incr.i_rederived <- fp.incr.i_rederived + 1;
             progress := true;
             false
-          end
-          else true)
+          in
+          if Term_tbl.mem fp.base t then reinstate None
+          else
+            match find_witness fp ~capture srules rel t with
+            | Some w_opt -> reinstate w_opt
+            | None -> true)
         !pending
   done;
   (* 5. insertion propagation: semi-naive from the asserted facts plus
@@ -1585,6 +1804,7 @@ let recompute_stratum fp ~budget_from srules ~seeds_a ~seeds_d =
     (fun (rel, t) ->
       if (not (is_head rel)) && Relation.remove (get fp rel) t then begin
         fp.ctr.c_facts <- fp.ctr.c_facts - 1;
+        drop_witness fp t;
         net_dels := (rel, t) :: !net_dels
       end)
     seeds_d;
@@ -1593,6 +1813,7 @@ let recompute_stratum fp ~budget_from srules ~seeds_a ~seeds_d =
       (fun rel ->
         let r = get fp rel in
         fp.ctr.c_facts <- fp.ctr.c_facts - Relation.cardinal r;
+        Relation.iter (drop_witness fp) r;
         Hashtbl.replace fp.rels rel (Relation.create ());
         (rel, r))
       head_rels
@@ -1751,7 +1972,14 @@ let apply ?jobs fp (updates : update list) =
     set "bu.incr.strata_recomputed" inc.i_recomputed;
     set "bu.facts" fp.ctr.c_facts;
     set "bu.passes" fp.ctr.c_passes;
-    set "bu.firings" fp.ctr.c_firings
+    set "bu.firings" fp.ctr.c_firings;
+    match fp.lineage with
+    | Some ps ->
+        let tracked, bytes = prov_footprint ps in
+        set "prov.tracked" tracked;
+        set "prov.bytes" bytes;
+        set "prov.refreshed" ps.p_refreshed
+    | None -> ()
   end
 
 let assert_fact fp t =
@@ -1763,3 +1991,66 @@ let retract_fact fp t =
   let was = Term.is_ground t && Term_tbl.mem fp.base (Term.hcons t) in
   apply fp [ `Retract t ];
   was
+
+(* ------------------------------------------------------------------ *)
+(* why-provenance: witness lookup and proof reconstruction *)
+
+let lineage_enabled fp = fp.lineage <> None
+
+let witness fp t =
+  match fp.lineage with
+  | None -> None
+  | Some ps -> (
+      match Term_tbl.find_opt ps.ptbl (Term.hcons t) with
+      | None -> None
+      | Some w -> Some (w.w_rule, w.w_steps))
+
+let proof fp t =
+  match fp.lineage with
+  | None -> None
+  | Some ps ->
+      let t = Term.hcons t in
+      if not (holds fp t) then None
+      else begin
+        let frame =
+          Gdp_obs.Tracer.begin_span fp.tracer ~cat:"provenance"
+            "prov.reconstruct"
+        in
+        (* witness supports always predate the facts they support, so the
+           recorded lineage is a DAG; the visiting set is defence in depth
+           against a corrupt store — a repeated goal degrades to a leaf
+           instead of diverging *)
+        let visiting = Term_tbl.create 16 in
+        let rec build goal =
+          if Term_tbl.mem visiting goal then Explain.Fact goal
+          else
+            match Term_tbl.find_opt ps.ptbl goal with
+            | None -> Explain.Fact goal
+            | Some w ->
+                Term_tbl.replace visiting goal ();
+                let premises =
+                  List.map
+                    (function
+                      | Wfact u -> build u
+                      | Wnaf u -> Explain.Naf u
+                      | Wguard u -> Explain.Builtin u)
+                    w.w_steps
+                in
+                Term_tbl.remove visiting goal;
+                Explain.Rule { goal; premises }
+        in
+        let p = build t in
+        let sz = Explain.size p and dp = Explain.depth p in
+        ps.p_reconstructs <- ps.p_reconstructs + 1;
+        if dp > ps.p_max_depth then ps.p_max_depth <- dp;
+        if sz > ps.p_max_size then ps.p_max_size <- sz;
+        Gdp_obs.Tracer.end_span fp.tracer frame
+          ~args:
+            [
+              ("size", Gdp_obs.Tracer.Int sz);
+              ("depth", Gdp_obs.Tracer.Int dp);
+            ];
+        if Gdp_obs.Tracer.enabled fp.tracer then
+          Gdp_obs.Tracer.add fp.tracer "prov.reconstructs" 1;
+        Some p
+      end

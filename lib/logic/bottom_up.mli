@@ -93,6 +93,22 @@ type incr_stats = {
 }
 (** Cumulative incremental-maintenance counters, all deterministic. *)
 
+type prov_stats = {
+  prov_tracked : int;  (** derived tuples with a recorded witness *)
+  prov_bytes : int;
+      (** approximate witness-store footprint: 8 bytes per structural
+          node over every (head, rule id, step terms) record. Witness
+          terms are hash-consed against the fact store, so the real
+          marginal footprint is lower; a serialised export carries this
+          much. *)
+  prov_refreshed : int;
+      (** witnesses re-captured for facts surviving a DRed rederivation *)
+  prov_reconstructs : int;  (** {!proof} calls that returned a tree *)
+  prov_max_depth : int;  (** deepest reconstructed proof *)
+  prov_max_size : int;  (** largest reconstructed proof (nodes) *)
+}
+(** Lineage-store counters; all zeros while lineage is off. *)
+
 type stats = {
   bu_passes : int;
   bu_firings : int;
@@ -112,6 +128,8 @@ type stats = {
   bu_par_units : int;
       (** parallel work units — (rule × delta-partition) fan-out tasks —
           executed across all passes; 0 on the sequential path *)
+  bu_lineage : bool;  (** whether this fixpoint records lineage *)
+  bu_prov : prov_stats;  (** all zeros when lineage is off *)
   bu_strata_stats : stratum_stats list;  (** non-empty strata, in order *)
   bu_incr : incr_stats;  (** all zeros until the first {!apply} *)
 }
@@ -125,6 +143,7 @@ val run :
   ?max_facts:int ->
   ?tracer:Gdp_obs.Tracer.t ->
   ?jobs:int ->
+  ?lineage:bool ->
   ?seed:Term.t list ->
   Database.t ->
   fixpoint
@@ -155,7 +174,12 @@ val run :
     the hook the magic-set rewrite ({!Magic}) uses to plant the query
     seed; a non-ground or non-atomic seed raises {!Unsupported}.
     Seeds are netted against the parsed facts and each other: a seed
-    already present, or repeated, counts once. *)
+    already present, or repeated, counts once. [lineage] (default
+    [false]) turns on the why-provenance sidecar: every derived tuple
+    records one witness at its first derivation — see the
+    {{!section:provenance} provenance section}. Lineage never changes
+    what is derived, the pass structure, or any counter in {!stats}
+    other than the [bu_prov] block. *)
 
 val facts : fixpoint -> Term.t list
 (** All derived ground atoms, sorted in the standard order of terms. *)
@@ -211,7 +235,8 @@ val pp_stats : Format.formatter -> stats -> unit
 (** Multi-line summary. Deliberately omits the per-stratum timings so the
     output is deterministic (CLI [--stats] is cram-tested). The
     maintenance counter block is printed only after the first update
-    batch, so un-updated fixpoints render exactly as before. *)
+    batch, and the provenance block only when lineage is on, so
+    un-instrumented fixpoints render exactly as before. *)
 
 (** {1 Incremental maintenance}
 
@@ -249,7 +274,13 @@ val apply : ?jobs:int -> fixpoint -> update list -> unit
     (optional) re-pins the fixpoint's evaluation parallelism for this
     and later batches; by default the setting {!run} chose is kept.
     Insertion propagation parallelises like the initial run; DRed
-    over-deletion and rederivation always run sequentially. *)
+    over-deletion and rederivation always run sequentially. With
+    lineage on, witnesses stay coherent across the batch: witnesses of
+    deleted facts are dropped, facts reinstated by rederivation get the
+    surviving derivation as a fresh witness (counted in
+    [prov_refreshed]), and strata recomputed outright re-capture from
+    scratch — after every batch each witness's supports are again facts
+    of the store. *)
 
 val assert_fact : fixpoint -> Term.t -> bool
 (** [apply fp [`Assert t]]; [true] iff [t] was not already asserted
@@ -257,3 +288,45 @@ val assert_fact : fixpoint -> Term.t -> bool
 
 val retract_fact : fixpoint -> Term.t -> bool
 (** [apply fp [`Retract t]]; [true] iff [t] had been asserted. *)
+
+(** {1:provenance Why-provenance}
+
+    With [run ~lineage:true], the fixpoint keeps a sidecar store mapping
+    every {e derived} tuple to one witness: the rule that first produced
+    it plus that firing's instantiated body — supporting positive tuples,
+    negated literals that had no proof, and satisfied arithmetic /
+    equality guards. Asserted base facts carry no witness (they are their
+    own evidence). Witness supports always predate the fact they support,
+    so the store is a DAG and {!proof} reconstruction terminates.
+
+    Under [jobs > 1] the witness is chosen in the canonical merge order
+    (each fresh tuple's witness is computed against the store {e before}
+    the tuple is inserted, while merging the per-pass derivations in the
+    standard order of terms), so for a given database every [jobs > 1]
+    run records the identical lineage regardless of the jobs count; the
+    [jobs = 1] engine keeps its own pass structure and may record a
+    different — equally valid — witness for the same tuple. *)
+
+type wstep =
+  | Wfact of Term.t  (** supporting positive body tuple *)
+  | Wnaf of Term.t  (** negated literal instance that had no proof *)
+  | Wguard of Term.t  (** arithmetic / equality guard instance *)
+      (** One instantiated body literal of a recorded witness. *)
+
+val lineage_enabled : fixpoint -> bool
+
+val witness : fixpoint -> Term.t -> (int * wstep list) option
+(** The recorded witness of a derived tuple: the deriving rule's id
+    (0-based position among the database's evaluable rules) and the
+    instantiated body steps. [None] when lineage is off, when the tuple
+    is not in the store, and for asserted base facts. *)
+
+val proof : fixpoint -> Term.t -> Explain.proof option
+(** Reconstruct a derivation tree for a stored ground atom by chasing
+    witnesses: derived tuples become [Rule] nodes over their supports,
+    base facts bottom out as [Fact] leaves, negated steps as [Naf]
+    leaves and guards as [Builtin] leaves — the same shapes
+    {!Explain.prove} returns, so printers and exporters apply unchanged.
+    [None] when lineage is off or the atom is not in the store. Updates
+    the [prov_reconstructs] / max depth / max size counters and, when
+    the tracer is live, emits a ["prov.reconstruct"] span. *)

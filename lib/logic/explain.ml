@@ -201,6 +201,60 @@ let to_dot ?(pp_goal = Term.pp) proof =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+let to_json ?(pp_goal = Term.pp) proof =
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let next = ref 0 in
+  let nodes = Buffer.create 256 and edges = Buffer.create 256 in
+  let n_edges = ref 0 in
+  let emit_node kind label =
+    let id = !next in
+    incr next;
+    if id > 0 then Buffer.add_char nodes ',';
+    Buffer.add_string nodes
+      (Printf.sprintf "\n    { \"id\": %d, \"kind\": \"%s\", \"label\": \"%s\" }"
+         id kind (escape label));
+    id
+  in
+  let emit_edge src dst =
+    if !n_edges > 0 then Buffer.add_char edges ',';
+    incr n_edges;
+    Buffer.add_string edges
+      (Printf.sprintf "\n    { \"from\": %d, \"to\": %d }" src dst)
+  in
+  let label g = Format.asprintf "%a" pp_goal g in
+  (* Branch nodes collapse into the taken alternative, as in {!to_dot}:
+     the graph records the derivation used, not the search. *)
+  let rec go p =
+    match p with
+    | Fact g -> emit_node "fact" (label g)
+    | Builtin g -> emit_node "builtin" (label g)
+    | Naf g -> emit_node "naf" (label g)
+    | Rule { goal; premises } ->
+        let id = emit_node "rule" (label goal) in
+        List.iter (fun premise -> emit_edge id (go premise)) premises;
+        id
+    | Branch { taken; _ } -> go taken
+  in
+  let root = go proof in
+  Printf.sprintf "{\n  \"root\": %d,\n  \"nodes\": [%s\n  ],\n  \"edges\": [%s%s\n}\n"
+    root (Buffer.contents nodes) (Buffer.contents edges)
+    (if !n_edges = 0 then "]" else "\n  ]")
+
 let pp ?(pp_goal = Term.pp) ppf proof =
   let rec go indent p =
     let pad = String.make (2 * indent) ' ' in

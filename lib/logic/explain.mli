@@ -42,3 +42,11 @@ val to_dot :
 (** GraphViz rendering of the derivation: one node per proof step, edges
     from conclusions to premises; facts are boxes, builtins are diamonds,
     negation leaves are dashed. *)
+
+val to_json :
+  ?pp_goal:(Format.formatter -> Term.t -> unit) -> proof -> string
+(** JSON rendering of the same graph {!to_dot} draws: an object with
+    ["root"] (node id), ["nodes"] (objects with ["id"], ["kind"] ∈
+    [fact], [rule], [builtin], [naf], and ["label"]) and ["edges"]
+    (["from"] conclusion to ["to"] premise). Branch nodes collapse into
+    the taken alternative, as in {!to_dot}. *)

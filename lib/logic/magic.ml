@@ -557,3 +557,26 @@ let rewrite ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
         ~dropped_rules:!dropped
         ~fallback:(Kset.inter fallback reachable)
         ~full_fallback
+
+let is_magic_atom t =
+  match Term.functor_of t with
+  | Some (name, _) ->
+      String.length name > 6 && String.equal (String.sub name 0 6) "magic$"
+  | None -> false
+
+let rec strip_proof (p : Explain.proof) : Explain.proof =
+  match p with
+  | Explain.Rule { goal; premises } ->
+      Explain.Rule
+        {
+          goal;
+          premises =
+            List.filter_map
+              (fun q ->
+                if is_magic_atom (Explain.goal_of q) then None
+                else Some (strip_proof q))
+              premises;
+        }
+  | Explain.Branch { goal; taken } ->
+      Explain.Branch { goal; taken = strip_proof taken }
+  | (Explain.Fact _ | Explain.Builtin _ | Explain.Naf _) as leaf -> leaf

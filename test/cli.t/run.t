@@ -180,6 +180,7 @@ check/query/ask run:
   hcons: 21 hits / 1 misses (95.5% hit rate)
   stratum 0: 3 rules, 2 passes, 5 firings, 7 derived, max delta 7
   stratum 1: 1 rules, 2 passes, 1 firings, 2 derived, max delta 2
+  provenance: 9 tuples tracked, 2224 witness bytes, 0 refreshed
   
   [1]
 
@@ -206,6 +207,7 @@ counters differ from `--jobs 1` but are stable for a given N:
   parallel: 2 jobs, 14 work units
   stratum 0: 3 rules, 4 passes, 13 firings, 7 derived, max delta 3
   stratum 1: 1 rules, 2 passes, 1 firings, 2 derived, max delta 2
+  provenance: 9 tuples tracked, 2224 witness bytes, 0 refreshed
   
   [1]
   $ gdprs query dl.gdp 'reach(n1, X)' --materialize --jobs 2
@@ -248,6 +250,7 @@ own metrics:
   index probes: 12  full scans: 0  membership tests: 9
   hcons: 21 hits / 1 misses (95.5% hit rate)
   stratum 0: 3 rules, 2 passes, 4 firings, 6 derived, max delta 6
+  provenance: 6 tuples tracked, 1776 witness bytes, 0 refreshed
   
 
 A predicate needed under negation cannot be magic-restricted — an
@@ -280,6 +283,7 @@ evaluates it in full and counts the fallback:
   hcons: 18 hits / 1 misses (94.7% hit rate)
   stratum 0: 2 rules, 2 passes, 3 firings, 3 derived, max delta 3
   stratum 1: 2 rules, 3 passes, 3 firings, 2 derived, max delta 1
+  provenance: 5 tuples tracked, 1488 witness bytes, 0 refreshed
   
 
 The two bottom-up modes are mutually exclusive:
@@ -331,6 +335,7 @@ restores from the surviving derivation through the new cycle:
   updates: 2 batches (1 asserts, 1 retracts, 0 no-ops)
   maintenance: 13 inserted, 2 deleted, 1 over-deleted, 0 rederived
   maintenance strata: 4 visited, 1 recomputed
+  provenance: 20 tuples tracked, 5248 witness bytes, 0 refreshed
   
 
 An update that introduces a violation flips the exit code, exactly like
@@ -401,6 +406,7 @@ span and port counts are exact:
   hcons: 21 hits / 1 misses (95.5% hit rate)
   stratum 0: 3 rules, 2 passes, 5 firings, 7 derived, max delta 7
   stratum 1: 1 rules, 2 passes, 1 firings, 2 derived, max delta 2
+  provenance: 9 tuples tracked, 2224 witness bytes, 0 refreshed
   
   -- profile --
        total       self   count  name
@@ -428,7 +434,166 @@ span and port counts are exact:
     bu.hcons_misses              1
     bu.index_probes              13
     bu.passes                    4
+    prov.bytes                   2224
+    prov.tracked                 9
   
+
+Explain from the fixpoint: under --materialize or --magic the
+derivation tree is reconstructed from the engine's recorded lineage —
+one witness (rule + instantiated body) per derived tuple, captured at
+first derivation — instead of re-running top-down search, so the
+engine that actually derived the fact is the one explaining it:
+
+  $ gdprs explain dl.gdp 'reach(n1, n4)' --materialize
+  reach(n1, n4)   [rule]
+    link(n1, n2)   [fact]
+    reach(n2, n4)   [rule]
+      link(n2, n3)   [fact]
+      reach(n3, n4)   [rule]
+        link(n3, n4)   [fact]
+
+Magic-mode proofs read in the original vocabulary — the rewrite's
+magic$ guard premises are stripped from the reconstructed tree:
+
+  $ gdprs explain dl.gdp 'reach(n1, n4)' --magic
+  reach(n1, n4)   [rule]
+    link(n1, n2)   [fact]
+    reach(n2, n4)   [rule]
+      link(n2, n3)   [fact]
+      reach(n3, n4)   [rule]
+        link(n3, n4)   [fact]
+
+Negation-as-failure steps recorded in the lineage come back as naf
+leaves, exactly as the top-down prover renders them:
+
+  $ gdprs explain dl.gdp 'clear(n1)' --materialize
+  clear(n1)   [rule]
+    link(n1, n2)   [fact]
+    not provable: flagged(n1)   [naf]
+
+--json exports the provenance graph (conclusion-to-premise edges):
+
+  $ gdprs explain dl.gdp 'clear(n1)' --materialize --json
+  {
+    "root": 0,
+    "nodes": [
+      { "id": 0, "kind": "rule", "label": "clear(n1)" },
+      { "id": 1, "kind": "fact", "label": "link(n1, n2)" },
+      { "id": 2, "kind": "naf", "label": "flagged(n1)" }
+    ],
+    "edges": [
+      { "from": 0, "to": 1 },
+      { "from": 0, "to": 2 }
+    ]
+  }
+
+`check --explain-violations N` prints a derivation tree per ERROR fact
+— the "why is this world view inconsistent" evidence (§III-C) —
+reconstructed from lineage under --materialize and proved top-down
+otherwise; both engines produce the same evidence here:
+
+  $ gdprs check dl.gdp --materialize --explain-violations 1
+  world view: {w}
+  meta view:  {}
+  materialised: 18 facts, 2 strata, 4 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n3)
+  why w: ERROR(flagged_reachable, n3):
+  'ERROR'{flagged_reachable, n3}()   [rule]
+    reach(n1, n3)   [rule]
+      link(n1, n2)   [fact]
+      reach(n2, n3)   [rule]
+        link(n2, n3)   [fact]
+    flagged(n3)   [fact]
+  
+  [1]
+
+
+  $ gdprs check dl.gdp --explain-violations 1
+  world view: {w}
+  meta view:  {}
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n3)
+  why w: ERROR(flagged_reachable, n3):
+  'ERROR'{flagged_reachable, n3}()   [rule]
+    reach(n1, n3)   [rule]
+      link(n1, n2)   [fact]
+      reach(n2, n3)   [rule]
+        link(n2, n3)   [fact]
+    flagged(n3)   [fact]
+  
+  [1]
+
+
+`update` takes the same flag, and the proofs come from the
+incrementally repaired fixpoint — DRed dropped the retracted support
+and the new violation's witness was captured by the insertion pass:
+
+  $ cat > reflag.txt <<'END'
+  > retract flagged(n3)
+  > assert flagged(n2)
+  > END
+  $ gdprs update dl.gdp --script reflag.txt --materialize --explain-violations 1
+  world view: {w}
+  meta view:  {}
+  applied 2 update(s): 1 asserted, 1 retracted
+  materialised: 18 facts, 2 strata, 10 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n2)
+  why w: ERROR(flagged_reachable, n2):
+  'ERROR'{flagged_reachable, n2}()   [rule]
+    reach(n1, n2)   [rule]
+      link(n1, n2)   [fact]
+    flagged(n2)   [fact]
+  
+  [1]
+
+
+Explain error paths: an unparsable pattern exits like other parse
+errors, an unprovable fact keeps the open-world exit code, and the
+engine/format flags are mutually exclusive:
+
+  $ gdprs explain dl.gdp 'reach('
+  error: 1:7: expected a value
+  [2]
+  $ gdprs explain dl.gdp 'reach(n4, n1)' --materialize
+  not provable (open world: undefined)
+  [1]
+  $ gdprs explain dl.gdp 'reach(n1, n2)' --magic --materialize
+  error: --magic and --materialize are mutually exclusive
+  [2]
+  $ gdprs explain dl.gdp 'reach(n1, n2)' --dot --json
+  error: --dot and --json are mutually exclusive
+  [2]
+
+--trace-out is available beyond profile: check, ask and update accept
+the same flag (implying telemetry) and write the same Chrome
+trace-event JSON:
+
+  $ gdprs check dl.gdp --materialize --trace-out check_trace.json
+  world view: {w}
+  meta view:  {}
+  materialised: 18 facts, 2 strata, 4 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n3)
+  wrote check_trace.json (19 events)
+  [1]
+  $ head -c 15 check_trace.json
+  {"traceEvents":
+  $ gdprs ask dl.gdp 'holds(w, reach, [], [n1, X], nospace, notime)' --trace-out ask_trace.json
+  X = n2
+  X = n3
+  X = n4
+  wrote ask_trace.json (14 events)
+  $ gdprs update dl.gdp --script reflag.txt --materialize --trace-out update_trace.json
+  world view: {w}
+  meta view:  {}
+  applied 2 update(s): 1 asserted, 1 retracted
+  materialised: 18 facts, 2 strata, 10 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n2)
+  wrote update_trace.json (56 events)
+  [1]
 
 A goal that blows the depth budget reports the configured limit and the
 goal it was proving:

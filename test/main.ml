@@ -9,6 +9,7 @@ let () =
       ("solve", Suite_solve.tests);
       ("obs", Suite_obs.tests);
       ("engine-props", Suite_engine_props.tests);
+      ("provenance", Suite_provenance.tests);
       ("magic", Suite_magic.tests);
       ("incremental", Suite_incremental.tests);
       ("parallel", Suite_parallel.tests);
