@@ -1391,6 +1391,203 @@ let engine_prov () =
         w.bu_console_sizes)
     bu_workloads
 
+(* --------------------------- engine-spatial: R-tree / grid joins *)
+
+(* Spatial self-join workloads: point-carrying EDB facts joined under a
+   region_mem or bounded pt_dist guard — exactly the joins the spatial
+   planner compiles to index probes. Each database is evaluated three
+   ways: the scan baseline (~spatial_indexing:false, every annotated
+   join through the hash/scan path), uniform-grid indexes, and the
+   default STR-packed R-trees. All three must derive identical fact
+   sets — the probes are pre-filters, the exact guard always re-checks.
+   The databases are raw engine bases like the other engine-* series;
+   the Spec only carries the region table and coordinate system the
+   spatial hooks read. *)
+
+let sp_spec ~regions =
+  let spec = Spec.create () in
+  List.iter (fun (name, r) -> Spec.declare_region spec name r) regions;
+  spec
+
+let sp_pos x y = Gfact.pos_term (Gdp_space.Point.make x y)
+
+(* n sites scattered over [0,100)²; near/2 is the classic bounded
+   self-join, quadratic under the scan baseline *)
+let sp_roads_db n =
+  let open Gdp_logic in
+  let db = Engine.create () in
+  let rng = W.Rng.create 31L in
+  for i = 0 to n - 1 do
+    let x = float_of_int (W.Rng.int rng 1000) /. 10.0
+    and y = float_of_int (W.Rng.int rng 1000) /. 10.0 in
+    Database.fact db (T.app "site" [ a (Printf.sprintf "s%d" i); sp_pos x y ])
+  done;
+  Engine.consult db
+    {|
+    near(A, B) :- site(A, P), site(B, Q), pt_dist(P, Q, D), D < 3.
+    |};
+  db
+
+(* n×n cell centres over the same [0,100)² window, so the basin circle
+   stays fixed while the point density grows with the scale *)
+let sp_terrain_db n =
+  let open Gdp_logic in
+  let db = Engine.create () in
+  let step = 100.0 /. float_of_int n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let x = (float_of_int i +. 0.5) *. step
+      and y = (float_of_int j +. 0.5) *. step in
+      Database.fact db (T.app "cell" [ a (Printf.sprintf "c%d_%d" i j); sp_pos x y ])
+    done
+  done;
+  Engine.consult db
+    {|
+    in_basin(C) :- cell(C, P), region_mem(basin, P).
+    soggy(A, B) :- cell(A, P), region_mem(basin, P), cell(B, Q), pt_dist(P, Q, D), D < 2.
+    |};
+  db
+
+(* n gauges along eight meandering south-to-north rivers: clustered
+   points (the realistic skew for an R-tree), linked when close *)
+let sp_hydro_db n =
+  let open Gdp_logic in
+  let db = Engine.create () in
+  let rng = W.Rng.create 41L in
+  let rivers = 8 in
+  let per = max 1 (n / rivers) in
+  for r = 0 to rivers - 1 do
+    let x = ref (float_of_int (W.Rng.int rng 1000) /. 10.0) in
+    for k = 0 to per - 1 do
+      x :=
+        Float.min 99.9
+          (Float.max 0.0
+             (!x +. (float_of_int (W.Rng.int rng 30 - 15) /. 10.0)));
+      let y = (float_of_int k +. 0.5) *. (100.0 /. float_of_int per) in
+      Database.fact db
+        (T.app "gauge" [ a (Printf.sprintf "g%d_%d" r k); sp_pos !x y ])
+    done
+  done;
+  Engine.consult db
+    {|
+    linked(A, B) :- gauge(A, P), gauge(B, Q), pt_dist(P, Q, D), D < 4.
+    flood_risk(A) :- gauge(A, P), region_mem(floodplain, P).
+    |};
+  db
+
+type sp_workload = {
+  sp_name : string;
+  sp_title : string;
+  sp_db : int -> Gdp_logic.Database.t;
+  sp_hints : Spec.t;  (* carries the regions the guards name *)
+  sp_cell : float;  (* uniform-grid cell size for the grid leg *)
+  sp_console_sizes : int list;
+  sp_json_sizes : int list;
+  sp_json_small : int list;
+}
+
+let sp_workloads =
+  [
+    {
+      sp_name = "roads-near";
+      sp_title = "engine-spatial roads — bounded pt_dist self-join over sites";
+      sp_db = sp_roads_db;
+      sp_hints = sp_spec ~regions:[];
+      sp_cell = 3.0;
+      sp_console_sizes = [ 160; 320; 640 ];
+      sp_json_sizes = [ 320; 640; 1280 ];
+      sp_json_small = [ 160; 640 ];
+    };
+    {
+      sp_name = "terrain-basin";
+      sp_title =
+        "engine-spatial terrain — region_mem filter + bounded pt_dist join";
+      sp_db = sp_terrain_db;
+      sp_hints =
+        sp_spec
+          ~regions:
+            [
+              ( "basin",
+                Gdp_space.Region.circle
+                  ~center:(Gdp_space.Point.make 50.0 50.0)
+                  ~radius:20.0 );
+            ];
+      sp_cell = 2.0;
+      sp_console_sizes = [ 16; 24; 32 ];
+      sp_json_sizes = [ 24; 32; 48 ];
+      sp_json_small = [ 16; 32 ];
+    };
+    {
+      sp_name = "hydro-gauges";
+      sp_title =
+        "engine-spatial hydro — clustered gauges, pt_dist links + floodplain";
+      sp_db = sp_hydro_db;
+      sp_hints =
+        sp_spec
+          ~regions:
+            [
+              ( "floodplain",
+                Gdp_space.Region.rect ~min_x:30.0 ~min_y:0.0 ~max_x:70.0
+                  ~max_y:100.0 );
+            ];
+      sp_cell = 4.0;
+      sp_console_sizes = [ 200; 400; 800 ];
+      sp_json_sizes = [ 400; 800; 1600 ];
+      sp_json_small = [ 200; 800 ];
+    };
+  ]
+
+type sp_row = {
+  xr_scale : int;
+  xr_facts : int;
+  xr_scan_ms : float;
+  xr_grid_ms : float;
+  xr_rtree_ms : float;
+  xr_probes : int;  (* of the R-tree run *)
+  xr_fallbacks : int;  (* spatial scans of the baseline run *)
+  xr_agree : bool;
+}
+
+let sp_measure w scale =
+  let open Gdp_logic in
+  let db = w.sp_db scale in
+  let rtree = Compile.spatial_hints w.sp_hints in
+  let grid = Compile.spatial_hints ~grid_cell:w.sp_cell w.sp_hints in
+  let scan_ms, scan_fp =
+    time_ms (fun () -> Bottom_up.run ~spatial:rtree ~spatial_indexing:false db)
+  in
+  let grid_ms, grid_fp = time_ms (fun () -> Bottom_up.run ~spatial:grid db) in
+  let rtree_ms, rtree_fp = time_ms (fun () -> Bottom_up.run ~spatial:rtree db) in
+  let same a b = List.equal Term.equal (Bottom_up.facts a) (Bottom_up.facts b) in
+  {
+    xr_scale = scale;
+    xr_facts = Bottom_up.count rtree_fp;
+    xr_scan_ms = scan_ms;
+    xr_grid_ms = grid_ms;
+    xr_rtree_ms = rtree_ms;
+    xr_probes = (Bottom_up.stats rtree_fp).Bottom_up.bu_spatial_probes;
+    xr_fallbacks = (Bottom_up.stats scan_fp).Bottom_up.bu_spatial_scans;
+    xr_agree = same scan_fp rtree_fp && same scan_fp grid_fp;
+  }
+
+let sp_speedup r = r.xr_scan_ms /. Float.max 0.01 r.xr_rtree_ms
+
+let engine_spatial () =
+  List.iter
+    (fun w ->
+      section w.sp_title;
+      row "  %8s %8s %10s %10s %10s %8s %8s %9s  %s\n" "scale" "facts"
+        "scan_ms" "grid_ms" "rtree_ms" "speedup" "probes" "fallbacks" "agree";
+      List.iter
+        (fun scale ->
+          let r = sp_measure w scale in
+          row "  %8d %8d %10.1f %10.1f %10.1f %7.1fx %8d %9d  %s\n" r.xr_scale
+            r.xr_facts r.xr_scan_ms r.xr_grid_ms r.xr_rtree_ms (sp_speedup r)
+            r.xr_probes r.xr_fallbacks
+            (if r.xr_agree then "yes" else "DISAGREE"))
+        w.sp_console_sizes)
+    sp_workloads
+
 (* ------------------------------------------------- json: perf tracking *)
 
 (* `bench/main.exe -- json [small]` re-runs the engine-bu workloads as
@@ -1594,6 +1791,35 @@ let bench_json ?(small = false) () =
         sizes;
       add "      ]\n    }%s\n" (if wi < n_workloads - 1 then "," else ""))
     bu_workloads;
+  add "  ],\n";
+  (* spatial-index joins: the scan baseline vs uniform-grid vs R-tree on
+     the same base; "agree" asserts all three derive identical models *)
+  add "  \"spatial_series\": [\n";
+  let n_sp = List.length sp_workloads in
+  List.iteri
+    (fun wi w ->
+      let sizes = if small then w.sp_json_small else w.sp_json_sizes in
+      section (Printf.sprintf "json %s" w.sp_title);
+      row "  %8s %8s %10s %10s %10s %8s  %s\n" "scale" "facts" "scan_ms"
+        "grid_ms" "rtree_ms" "speedup" "agree";
+      add "    {\n      \"name\": %S,\n      \"rows\": [\n" w.sp_name;
+      let n_sizes = List.length sizes in
+      List.iteri
+        (fun si scale ->
+          let r = sp_measure w scale in
+          row "  %8d %8d %10.1f %10.1f %10.1f %7.1fx  %s\n" r.xr_scale
+            r.xr_facts r.xr_scan_ms r.xr_grid_ms r.xr_rtree_ms (sp_speedup r)
+            (if r.xr_agree then "yes" else "DISAGREE");
+          add
+            "        { \"scale\": %d, \"facts\": %d, \"scan_ms\": %.3f, \
+             \"grid_ms\": %.3f, \"rtree_ms\": %.3f, \"speedup\": %.2f, \
+             \"probes\": %d, \"fallbacks\": %d, \"agree\": %b }%s\n"
+            r.xr_scale r.xr_facts r.xr_scan_ms r.xr_grid_ms r.xr_rtree_ms
+            (sp_speedup r) r.xr_probes r.xr_fallbacks r.xr_agree
+            (if si < n_sizes - 1 then "," else ""))
+        sizes;
+      add "      ]\n    }%s\n" (if wi < n_sp - 1 then "," else ""))
+    sp_workloads;
   add "  ]\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);
@@ -1619,7 +1845,8 @@ let () =
       engine_incr ();
       engine_magic ();
       engine_par ();
-      engine_prov ()
+      engine_prov ();
+      engine_spatial ()
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) reports
   | [ "micro" ] ->
       micro ();
@@ -1630,6 +1857,7 @@ let () =
   | [ "engine-magic" ] -> engine_magic ()
   | [ "engine-par" ] -> engine_par ()
   | [ "engine-prov" ] -> engine_prov ()
+  | [ "engine-spatial" ] -> engine_spatial ()
   | [ "json" ] -> bench_json ()
   | [ "json"; "small" ] -> bench_json ~small:true ()
   | names ->
@@ -1644,11 +1872,12 @@ let () =
           | None when name = "engine-magic" -> engine_magic ()
           | None when name = "engine-par" -> engine_par ()
           | None when name = "engine-prov" -> engine_prov ()
+          | None when name = "engine-spatial" -> engine_spatial ()
           | None ->
               Printf.eprintf
                 "unknown experiment %s (e1..e12, report, ablation, micro, \
                  engine-bu, engine-incr, engine-magic, engine-par, \
-                 engine-prov, json [small])\n"
+                 engine-prov, engine-spatial, json [small])\n"
                 name;
               exit 2)
         names

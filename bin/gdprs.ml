@@ -62,6 +62,16 @@ let with_engine q ~materialize ~magic =
   | false, true -> Query.with_mode q Query.Magic
   | false, false -> q
 
+let no_spatial_index_arg =
+  Arg.(value & flag
+       & info [ "no-spatial-index" ]
+           ~doc:"Disable spatial-index probes in bottom-up fixpoints: joins \
+                 guarded by $(b,region_mem) or a bounded $(b,pt_dist) take \
+                 the hash/scan baseline instead of R-tree range queries. The \
+                 derived model is identical; only the spatial counters in \
+                 $(b,--stats) move. Only meaningful with $(b,--materialize); \
+                 rejected with $(b,--magic).")
+
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
@@ -117,6 +127,12 @@ let enable_telemetry result =
 let set_jobs result jobs =
   result.Gdp_lang.Elaborate.spec.Spec.jobs <- jobs
 
+let set_spatial_indexing result ~no_spatial_index ~magic =
+  if no_spatial_index && magic then
+    invalid_arg "--no-spatial-index and --magic are mutually exclusive";
+  if no_spatial_index then
+    result.Gdp_lang.Elaborate.spec.Spec.spatial_indexing <- false
+
 let print_stats q = Format.printf "-- stats --@.%a@." Query.pp_stats q
 
 let handle_errors f =
@@ -141,11 +157,13 @@ let handle_errors f =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run file view models metas materialize stats jobs explain_n trace_out =
+  let run file view models metas materialize stats jobs no_spatial_index
+      explain_n trace_out =
     handle_errors (fun () ->
         let result = load file in
         if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
+        set_spatial_indexing result ~no_spatial_index ~magic:false;
         let q = with_materialize (build_query result view models metas) materialize in
         Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
         Printf.printf "meta view:  {%s}\n" (String.concat ", " (Query.meta_view q));
@@ -174,7 +192,8 @@ let check_cmd =
   let doc = "Check a specification's consistency under a world view (§III-E)." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg
-          $ stats_arg $ jobs_arg $ explain_violations_arg $ trace_out_arg)
+          $ stats_arg $ jobs_arg $ no_spatial_index_arg $ explain_violations_arg
+          $ trace_out_arg)
 
 (* ---- update ---- *)
 
@@ -222,12 +241,13 @@ let update_cmd =
                       "%s:%d: expected 'assert FACT' or 'retract FACT'" path
                       lineno))
   in
-  let run file view models metas script materialize stats jobs explain_n
-      trace_out =
+  let run file view models metas script materialize stats jobs no_spatial_index
+      explain_n trace_out =
     handle_errors (fun () ->
         let result = load file in
         if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
+        set_spatial_indexing result ~no_spatial_index ~magic:false;
         let q =
           with_materialize (build_query result view models metas) materialize
         in
@@ -281,8 +301,8 @@ let update_cmd =
   in
   Cmd.v (Cmd.info "update" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ script_arg
-          $ materialize_arg $ stats_arg $ jobs_arg $ explain_violations_arg
-          $ trace_out_arg)
+          $ materialize_arg $ stats_arg $ jobs_arg $ no_spatial_index_arg
+          $ explain_violations_arg $ trace_out_arg)
 
 (* ---- query ---- *)
 
@@ -294,11 +314,13 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Maximum answers.")
   in
-  let run file view models metas pattern limit materialize magic stats jobs =
+  let run file view models metas pattern limit materialize magic stats jobs
+      no_spatial_index =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
         set_jobs result jobs;
+        set_spatial_indexing result ~no_spatial_index ~magic;
         let q =
           with_engine (build_query result view models metas) ~materialize ~magic
         in
@@ -318,7 +340,8 @@ let query_cmd =
   let doc = "Enumerate the provable instantiations of a fact pattern." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
-          $ limit_arg $ materialize_arg $ magic_arg $ stats_arg $ jobs_arg)
+          $ limit_arg $ materialize_arg $ magic_arg $ stats_arg $ jobs_arg
+          $ no_spatial_index_arg)
 
 (* ---- ask ---- *)
 
@@ -327,11 +350,13 @@ let ask_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"Raw engine goal over the reified vocabulary (holds/6, acc/7, builtins).")
   in
-  let run file view models metas goal magic stats jobs trace_out =
+  let run file view models metas goal magic stats jobs no_spatial_index
+      trace_out =
     handle_errors (fun () ->
         let result = load file in
         if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
+        set_spatial_indexing result ~no_spatial_index ~magic;
         let q =
           with_engine (build_query result view models metas) ~materialize:false
             ~magic
@@ -361,7 +386,8 @@ let ask_cmd =
   let doc = "Run a raw engine goal against the compiled database." in
   Cmd.v (Cmd.info "ask" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ magic_arg $ stats_arg $ jobs_arg $ trace_out_arg)
+          $ magic_arg $ stats_arg $ jobs_arg $ no_spatial_index_arg
+          $ trace_out_arg)
 
 (* ---- profile ---- *)
 
@@ -372,11 +398,13 @@ let profile_cmd =
              ~doc:"Raw engine goal over the reified vocabulary (holds/6, \
                    acc/7, builtins); every answer is drained.")
   in
-  let run file view models metas goal materialize trace_out jobs =
+  let run file view models metas goal materialize trace_out jobs
+      no_spatial_index =
     handle_errors (fun () ->
         let result = load file in
         enable_telemetry result;
         set_jobs result jobs;
+        set_spatial_indexing result ~no_spatial_index ~magic:false;
         let q =
           with_materialize (build_query result view models metas) materialize
         in
@@ -404,7 +432,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ materialize_arg $ trace_out_arg $ jobs_arg)
+          $ materialize_arg $ trace_out_arg $ jobs_arg $ no_spatial_index_arg)
 
 (* ---- render ---- *)
 
@@ -500,13 +528,15 @@ let explain_cmd =
                    (root id, nodes with kind and label, conclusion-to-premise \
                    edges).")
   in
-  let run file view models metas pattern dot json materialize magic stats jobs =
+  let run file view models metas pattern dot json materialize magic stats jobs
+      no_spatial_index =
     handle_errors (fun () ->
         if dot && json then
           invalid_arg "--dot and --json are mutually exclusive";
         let result = load file in
         if stats then enable_telemetry result;
         set_jobs result jobs;
+        set_spatial_indexing result ~no_spatial_index ~magic;
         let q =
           with_engine (build_query result view models metas) ~materialize ~magic
         in
@@ -542,7 +572,7 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
           $ dot_arg $ json_arg $ materialize_arg $ magic_arg $ stats_arg
-          $ jobs_arg)
+          $ jobs_arg $ no_spatial_index_arg)
 
 (* ---- info ---- *)
 

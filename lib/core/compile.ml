@@ -183,5 +183,90 @@ let datalog_refine : Bottom_up.refine =
   then Some 1
   else None
 
+(* The four spatial builtins the bottom-up engine may evaluate natively:
+   each maps to the argument positions that must be bound before the
+   literal fires (its "inputs"). Everything spatial but deterministic in
+   its inputs qualifies; enumeration modes that need unbound inputs
+   (res_refines, res_canon with P1 free, ...) stay top-down-only. *)
+let spatial_ext = function
+  | "pt_dist", 3 -> Some [ 0; 1 ]
+  | "region_mem", 2 -> Some [ 0; 1 ]
+  | "region_reps", 3 -> Some [ 0; 1 ]
+  | "res_subcells", 4 -> Some [ 0; 1; 2 ]
+  | _ -> None
+
+(* Ground solutions of one whitelisted goal whose inputs are ground.
+   Each arm mirrors the corresponding Gdp_builtins entry exactly — same
+   argument readers ({!Gfact.pos_of_term}, [Spec.find_region],
+   [Spec.find_space]), same geometry calls — so the bottom-up model
+   agrees with top-down SLDNF literal by literal. *)
+let spatial_solve spec goal =
+  let module Res = Gdp_space.Resolution in
+  let point = Gfact.pos_of_term in
+  let space = function
+    | Term.Atom name -> Spec.find_space spec name
+    | _ -> None
+  in
+  match goal with
+  | Term.App ("pt_dist", [ p1; p2; _ ]) -> (
+      match (point p1, point p2) with
+      | Some a, Some b ->
+          let d = Term.float (Gdp_space.Coord.distance spec.Spec.coord a b) in
+          [ Term.app "pt_dist" [ p1; p2; d ] ]
+      | _ -> [])
+  | Term.App ("region_mem", [ name; p ]) -> (
+      match (name, point p) with
+      | Term.Atom n, Some pt -> (
+          match Spec.find_region spec n with
+          | Some region when Gdp_space.Region.mem pt region -> [ goal ]
+          | _ -> [])
+      | _ -> [])
+  | Term.App ("region_reps", [ r; name; _ ]) -> (
+      match (space r, name) with
+      | Some res, Term.Atom n -> (
+          match Spec.find_region spec n with
+          | None -> []
+          | Some region ->
+              List.map
+                (fun pt -> Term.app "region_reps" [ r; name; Gfact.pos_term pt ])
+                (Res.representatives res region))
+      | _ -> [])
+  | Term.App ("res_subcells", [ r2; r1; p; _ ]) -> (
+      match (space r2, space r1, point p) with
+      | Some fine, Some coarse, Some pt when Res.refines ~fine ~coarse ->
+          let reps = Res.subcell_representatives ~fine ~coarse pt in
+          [
+            Term.app "res_subcells"
+              [ r2; r1; p; Term.list (List.map Gfact.pos_term reps) ];
+          ]
+      | _ -> [])
+  | _ -> []
+
+let spatial_hints ?grid_cell spec : Bottom_up.spatial =
+  {
+    Bottom_up.sp_ext = spatial_ext;
+    sp_solve = spatial_solve spec;
+    sp_region_box =
+      (fun name ->
+        Option.bind (Spec.find_region spec name) Gdp_space.Spatial_index.box_of_region);
+    sp_point =
+      (fun t ->
+        (* relation arguments carry reified spatial terms, so accept a
+           point one [at(...)] constructor deep as well as bare pos/2-3 *)
+        let t =
+          match t with
+          | Term.App (f, [ p ]) when String.equal f Names.at -> p
+          | _ -> t
+        in
+        match Gfact.pos_of_term t with
+        | Some p -> Some (p.Gdp_space.Point.x, p.Gdp_space.Point.y)
+        | None -> None);
+    sp_boxable =
+      (match spec.Spec.coord with
+      | Gdp_space.Coord.Cartesian | Gdp_space.Coord.Utm _ -> true
+      | Gdp_space.Coord.Polar | Gdp_space.Coord.Geographic -> false);
+    sp_grid_cell = grid_cell;
+  }
+
 let magic_rewrite ?tracer ~goal db =
-  Magic.rewrite ~refine:datalog_refine ?tracer ~goal db
+  Magic.rewrite ~refine:datalog_refine ~spatial_ext ?tracer ~goal db

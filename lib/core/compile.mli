@@ -51,13 +51,29 @@ val datalog_refine : Gdp_logic.Bottom_up.refine
     by predicate. Pass to [Bottom_up.classify] / [Bottom_up.run] whenever
     the database came from {!compile}. *)
 
+val spatial_hints :
+  ?grid_cell:float -> Spec.t -> Gdp_logic.Bottom_up.spatial
+(** Spatial evaluation hooks for the bottom-up engine, specialised to
+    [spec]: whitelists [pt_dist/3], [region_mem/2], [region_reps/3] and
+    [res_subcells/4] as native body literals (solved with exactly the
+    top-down builtin semantics), exposes region bounding boxes and the
+    point reader (bare [pos/2-3] or one [at(...)] constructor deep) the
+    index probes need, and declares ±eps boxes sound only for
+    planar coordinate systems ([Cartesian]/[Utm] — geographic haversine
+    balls are not Chebyshev-bounded). [grid_cell] (default absent)
+    selects uniform-grid indexes of that cell size instead of STR-packed
+    R-trees. Pass to {!Gdp_logic.Bottom_up.run} as [~spatial] whenever
+    the database came from {!compile}. *)
+
 val magic_rewrite :
   ?tracer:Gdp_obs.Tracer.t ->
   goal:Gdp_logic.Term.t ->
   Gdp_logic.Database.t ->
   Gdp_logic.Database.t * Gdp_logic.Magic.info
 (** {!Gdp_logic.Magic.rewrite} specialised to compiled databases: the
-    refinement is {!datalog_refine}, so the goal's user-predicate
-    constant (argument 1 of [holds/6]) selects the relevant refined
-    relations. Raises {!Gdp_logic.Bottom_up.Unsupported} outside the
+    refinement is {!datalog_refine} (the goal's user-predicate constant —
+    argument 1 of [holds/6] — selects the relevant refined relations)
+    and the spatial whitelist is {!spatial_hints}'s [sp_ext], so
+    whitelisted spatial builtins pass through the rewrite as inert body
+    literals. Raises {!Gdp_logic.Bottom_up.Unsupported} outside the
     Datalog fragment. *)

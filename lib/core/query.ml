@@ -80,7 +80,9 @@ let mode q = q.mode
 let with_mode q mode = { q with mode }
 
 let materializable q =
-  Bottom_up.classify ~refine:Compile.datalog_refine (db q)
+  Bottom_up.classify ~refine:Compile.datalog_refine
+    ~spatial:(Compile.spatial_hints (spec q))
+    (db q)
 
 let materialization q =
   match !(q.fp) with
@@ -89,7 +91,9 @@ let materialization q =
       let fp =
         Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "materialize"
           (fun () ->
-            Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
+            Bottom_up.run ~refine:Compile.datalog_refine
+              ~spatial:(Compile.spatial_hints (spec q))
+              ~spatial_indexing:(spec q).Spec.spatial_indexing ~tracer:q.tracer
               ~jobs:q.jobs ~lineage:(spec q).Spec.provenance (db q))
       in
       q.fp := Some fp;
@@ -108,9 +112,12 @@ let magic_materialization q goal =
         Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "magic" (fun () ->
             let rewritten, info = Compile.magic_rewrite ~tracer:q.tracer ~goal (db q) in
             let fp =
-              Bottom_up.run ~refine:Compile.datalog_refine ~tracer:q.tracer
-                ~jobs:q.jobs ~lineage:(spec q).Spec.provenance
-                ~seed:info.Magic.seeds rewritten
+              Bottom_up.run ~refine:Compile.datalog_refine
+                ~spatial:(Compile.spatial_hints (spec q))
+                ~spatial_indexing:(spec q).Spec.spatial_indexing
+                ~tracer:q.tracer ~jobs:q.jobs
+                ~lineage:(spec q).Spec.provenance ~seed:info.Magic.seeds
+                rewritten
             in
             (fp, info))
       in

@@ -5,6 +5,8 @@ module Term_tbl = Hashtbl.Make (struct
   let hash = Term.hash
 end)
 
+module Sx = Gdp_space.Spatial_index
+
 (* A materialised relation: a hash set of hash-consed ground facts (O(1)
    expected membership, physical-equality fast paths on the stored
    terms), the facts in insertion order for deterministic scans, and
@@ -13,12 +15,25 @@ end)
    carrying exactly those subterms there; [eval_rule] probes the index of
    whichever positions the in-flowing substitution has made ground. *)
 module Relation = struct
+  (* A lazily built spatial index over one argument position: facts whose
+     argument there carries an extractable point live in the structure
+     keyed by their degenerate point box; the (normally empty) side list
+     holds the stragglers a probe must always also return — the probe is
+     a sound pre-filter, never a semantic filter. *)
+  type spat = {
+    s_point : Term.t -> (float * float) option;
+    s_idx : Term.t Sx.t;
+    mutable s_rest : Term.t list;
+  }
+
   type t = {
     facts : unit Term_tbl.t;
     mutable arr : Term.t array; (* slots [0, n) valid, insertion order *)
     mutable n : int;
     indexes : (int list * Term.t list Term_tbl.t) list Atomic.t;
         (* bound argument positions (ascending) -> probe table *)
+    spatials : (int * spat) list Atomic.t;
+        (* point-carrying argument position -> spatial index *)
     lock : Mutex.t;
         (* serialises lazy index construction: during a parallel pass the
            relation's facts are frozen (mutation happens only in the
@@ -34,6 +49,7 @@ module Relation = struct
       arr = Array.make 16 dummy;
       n = 0;
       indexes = Atomic.make [];
+      spatials = Atomic.make [];
       lock = Mutex.create ();
     }
 
@@ -80,6 +96,58 @@ module Relation = struct
                 Atomic.set r.indexes ((positions, idx) :: Atomic.get r.indexes);
                 idx)
 
+  let arg_at apos t =
+    match t with Term.App (_, args) -> List.nth_opt args apos | _ -> None
+
+  let spat_box sp apos t =
+    match arg_at apos t with
+    | None -> None
+    | Some a -> (
+        match sp.s_point a with
+        | None -> None
+        | Some (x, y) -> Some (Sx.point_box x y))
+
+  let spat_insert apos sp t =
+    match spat_box sp apos t with
+    | Some b -> Sx.insert sp.s_idx b t
+    | None -> sp.s_rest <- t :: sp.s_rest
+
+  (* Lazily built under the same double-checked discipline as [index]:
+     the facts are frozen during a parallel pass, so concurrent readers
+     racing on a missing spatial index build it exactly once. *)
+  let spatial_index r ~kind ~point apos =
+    match List.assoc_opt apos (Atomic.get r.spatials) with
+    | Some sp -> sp
+    | None ->
+        Mutex.protect r.lock (fun () ->
+            match List.assoc_opt apos (Atomic.get r.spatials) with
+            | Some sp -> sp
+            | None ->
+                let entries = ref [] and rest = ref [] in
+                iter
+                  (fun fact ->
+                    match arg_at apos fact with
+                    | Some a -> (
+                        match point a with
+                        | Some (x, y) ->
+                            entries := (Sx.point_box x y, fact) :: !entries
+                        | None -> rest := fact :: !rest)
+                    | None -> rest := fact :: !rest)
+                  r;
+                let sp =
+                  { s_point = point; s_idx = Sx.bulk kind !entries; s_rest = !rest }
+                in
+                Atomic.set r.spatials ((apos, sp) :: Atomic.get r.spatials);
+                sp)
+
+  (* Candidates for a box probe: everything indexed inside the box plus
+     the side list of facts without an extractable point — a superset of
+     the facts that can satisfy the spatial guard the planner proved the
+     box covers. *)
+  let spatial_probe r ~kind ~point apos qbox =
+    let sp = spatial_index r ~kind ~point apos in
+    (Sx.range sp.s_idx qbox, sp.s_rest)
+
   let add r t =
     if Term_tbl.mem r.facts t then false
     else begin
@@ -95,6 +163,7 @@ module Relation = struct
         (fun (positions, idx) ->
           index_insert idx (key_at positions (args_of t)) t)
         (Atomic.get r.indexes);
+      List.iter (fun (apos, sp) -> spat_insert apos sp t) (Atomic.get r.spatials);
       true
     end
 
@@ -127,6 +196,15 @@ module Relation = struct
               | [] -> Term_tbl.remove idx k
               | bucket -> Term_tbl.replace idx k bucket))
         (Atomic.get r.indexes);
+      List.iter
+        (fun (apos, sp) ->
+          match spat_box sp apos t with
+          | Some b ->
+              (* facts are hash-consed, so physical equality is exact *)
+              ignore (Sx.remove sp.s_idx b t)
+          | None ->
+              sp.s_rest <- List.filter (fun f -> not (Term.equal f t)) sp.s_rest)
+        (Atomic.get r.spatials);
       true
     end
 
@@ -171,6 +249,28 @@ end
 
 module Rel_map = Map.Make (Rel)
 
+(* Spatial builtin hooks, supplied by the compiler. [sp_ext] whitelists
+   builtins the engine may evaluate natively as [Ext] literals (returning
+   the argument positions that must be bound first); [sp_solve] runs one
+   ground-input instance and returns its ground solutions; the remaining
+   fields let the planner compile spatially guarded joins into index
+   probes: region bounding boxes by name, point extraction from pos/2-3
+   shaped arguments, whether the space's metric is covered by ±eps boxes
+   (cartesian-like coordinates only), and the preferred index structure
+   ([Some cell] for a uniform grid, [None] for the R-tree). *)
+type sprobe =
+  | Sp_within of Sx.box  (** bound region guard: probe its bounding box *)
+  | Sp_near of Term.t * float  (** pt_dist anchor term and distance bound *)
+
+type spatial = {
+  sp_ext : string * int -> int list option;
+  sp_solve : Term.t -> Term.t list;
+  sp_region_box : string -> Sx.box option;
+  sp_point : Term.t -> (float * float) option;
+  sp_boxable : bool;
+  sp_grid_cell : float option;
+}
+
 (* Body literals in textual order. Positive literals carry their join
    position so the semi-naive driver can aim the delta at one of them. *)
 type lit =
@@ -179,6 +279,13 @@ type lit =
   | Cmp of string * Term.t * Term.t  (** arithmetic comparison guard *)
   | Eq of bool * Term.t * Term.t  (** ground ==/2 (true) or \==/2 (false) *)
   | Is of Term.t * Term.t
+  | Ext of int list * Term.t
+      (** whitelisted spatial builtin: bound input positions, goal *)
+  | SPos of int * Rel.t * Term.t * int * sprobe
+      (** plan-only annotated [Pos]: before unifying, pre-filter the
+          relation through the spatial index over argument [apos] using
+          the box the probe implies — sound because the box covers every
+          tuple the downstream spatial guard can accept *)
   | Never  (** fail/false in the body: the rule can never fire *)
 
 type rule = {
@@ -226,11 +333,23 @@ let vset t =
     (fun s (v : Term.var) -> Iset.add v.Term.id s)
     Iset.empty (Term.vars t)
 
+(* Variables under the input argument positions of a spatial builtin. *)
+let ext_input_vars inputs atom =
+  match atom with
+  | Term.App (_, args) ->
+      List.fold_left
+        (fun s i ->
+          match List.nth_opt args i with
+          | Some a -> Iset.union s (vset a)
+          | None -> s)
+        Iset.empty inputs
+  | _ -> Iset.empty
+
 (* ------------------------------------------------------------------ *)
 (* classification: one pass deciding membership in the fragment, shared
    by [supported], [run] and the stratification error messages          *)
 
-let parse_body_goal db ~ignore ~refine ~ctx ~next_pos g =
+let parse_body_goal db ~ignore ~refine ~spatial ~ctx ~next_pos g =
   match g with
   | Term.Var _ -> unsupported "%s: unbound variable used as a body goal" ctx
   | Term.Int _ | Term.Float _ | Term.Str _ ->
@@ -282,13 +401,17 @@ let parse_body_goal db ~ignore ~refine ~ctx ~next_pos g =
       else if List.mem (name, arity) ignore then
         unsupported "%s: library predicate %s/%d outside the Datalog fragment"
           ctx name arity
-      else if Database.find_builtin db (name, arity) <> None then
-        unsupported "%s: builtin %s/%d" ctx name arity
-      else begin
-        let i = !next_pos in
-        incr next_pos;
-        Some (Pos (i, rel_of ~refine ~what:ctx g, g))
-      end)
+      else
+        match Option.bind spatial (fun sp -> sp.sp_ext (name, arity)) with
+        | Some inputs -> Some (Ext (inputs, g))
+        | None ->
+            if Database.find_builtin db (name, arity) <> None then
+              unsupported "%s: builtin %s/%d" ctx name arity
+            else begin
+              let i = !next_pos in
+              incr next_pos;
+              Some (Pos (i, rel_of ~refine ~what:ctx g, g))
+            end)
 
 (* Left-to-right boundness: guards and negated literals must be ground by
    the time evaluation reaches them, which the top-down engine also
@@ -318,13 +441,20 @@ let check_safety ~ctx head body =
                  variables with a preceding positive literal)" ctx
                 (Term.to_string atom);
             bound
+        | Ext (inputs, atom) ->
+            if not (Iset.subset (ext_input_vars inputs atom) bound) then
+              unsupported
+                "%s: spatial builtin %s needs its input arguments bound by a \
+                 preceding positive literal" ctx (Term.to_string atom);
+            Iset.union bound (vset atom)
+        | SPos (_, _, atom, _, _) -> Iset.union bound (vset atom)
         | Never -> bound)
       Iset.empty body
   in
   if not (Iset.subset (vset head) bound) then
     unsupported "%s: head variable not bound by the body" ctx
 
-let parse_clause db ~ignore ~refine (c : Database.clause) =
+let parse_clause db ~ignore ~refine ~spatial (c : Database.clause) =
   match Term.functor_of c.Database.head with
   | None ->
       unsupported "clause head %s is not a predicate atom"
@@ -344,7 +474,7 @@ let parse_clause db ~ignore ~refine (c : Database.clause) =
           let next_pos = ref 0 in
           let body =
             List.filter_map
-              (parse_body_goal db ~ignore ~refine ~ctx ~next_pos)
+              (parse_body_goal db ~ignore ~refine ~spatial ~ctx ~next_pos)
               c.Database.body
           in
           check_safety ~ctx c.Database.head body;
@@ -381,7 +511,10 @@ let compute_strata rules fact_rels =
           | Neg (rel, _) ->
               add_node rel;
               add_edge r.head_rel rel true
-          | Cmp _ | Eq _ | Is _ | Never -> ())
+          | SPos (_, rel, _, _, _) ->
+              add_node rel;
+              add_edge r.head_rel rel false
+          | Cmp _ | Eq _ | Is _ | Ext _ | Never -> ())
         r.body)
     rules;
   let out v = Option.value ~default:[] (Hashtbl.find_opt edges v) in
@@ -477,11 +610,11 @@ let compute_strata rules fact_rels =
 let all_clauses db =
   List.concat_map (fun fa -> Database.all_clauses db fa) (Database.predicates db)
 
-let prepare db ~ignore ~refine =
+let prepare db ~ignore ~refine ~spatial =
   let facts = ref [] and rules = ref [] in
   List.iter
     (fun c ->
-      match parse_clause db ~ignore ~refine c with
+      match parse_clause db ~ignore ~refine ~spatial c with
       | None -> ()
       | Some (`Fact (rel, t)) -> facts := (rel, t) :: !facts
       | Some (`Rule r) -> rules := r :: !rules)
@@ -491,25 +624,29 @@ let prepare db ~ignore ~refine =
   let stratum_of, n_strata = compute_strata rules (List.map fst facts) in
   (facts, rules, stratum_of, n_strata)
 
-let classify ?(ignore = Prelude.predicates) ?(refine = fun _ -> None) db =
-  match prepare db ~ignore ~refine with
+let classify ?(ignore = Prelude.predicates) ?(refine = fun _ -> None) ?spatial db
+    =
+  match prepare db ~ignore ~refine ~spatial with
   | _ -> Ok ()
   | exception Unsupported reason -> Error reason
 
-let supported ?ignore ?refine db =
-  match classify ?ignore ?refine db with Ok () -> true | Error _ -> false
+let supported ?ignore ?refine ?spatial db =
+  match classify ?ignore ?refine ?spatial db with Ok () -> true | Error _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* join planning: a greedy sideways-information-passing order            *)
 
-(* A guard is ready once every variable it reads is bound. *)
+(* A guard is ready once every variable it reads is bound. A spatial
+   builtin is ready once its input arguments are: it then acts as a
+   generator for its output arguments, extending the bound set. *)
 let guard_ready bound = function
   | Cmp (_, a, b) | Eq (_, a, b) ->
       Iset.subset (Iset.union (vset a) (vset b)) bound
   | Is (_, r) -> Iset.subset (vset r) bound
   | Neg (_, atom) -> Iset.subset (vset atom) bound
+  | Ext (inputs, atom) -> Iset.subset (ext_input_vars inputs atom) bound
   | Never -> true
-  | Pos _ -> false
+  | Pos _ | SPos _ -> false
 
 (* How many arguments of [atom] the bindings in [bound] make ground —
    the number of index positions a probe on this literal could use. *)
@@ -546,7 +683,10 @@ let order_body ~delta_at body =
       else
         let bound =
           List.fold_left
-            (fun b -> function Is (l, _) -> Iset.union b (vset l) | _ -> b)
+            (fun b -> function
+              | Is (l, _) -> Iset.union b (vset l)
+              | Ext (_, atom) -> Iset.union b (vset atom)
+              | _ -> b)
             bound ready
         in
         flush_guards bound (plan @ ready) rest
@@ -589,6 +729,98 @@ let order_body ~delta_at body =
             go (vset atom) [ lit ] (remove_first lit body)
         | _ -> go Iset.empty [] body)
   end
+
+(* ------------------------------------------------------------------ *)
+(* spatial plan annotation: a join whose fresh point variable is
+   constrained later in the plan by a region-membership guard or a
+   bounded-distance guard becomes a spatial index probe. The guard stays
+   in the plan — the probe box covers everything the guard can accept
+   (the region's bounding box; the ±eps box around the anchor, sound
+   only when the space's metric balls fit in Chebyshev boxes), so the
+   probe is a pre-filter, never a replacement for the exact test.       *)
+
+let num_const = function
+  | Term.Int n -> Some (float_of_int n)
+  | Term.Float f -> Some f
+  | _ -> None
+
+let annotate_spatial sp plan =
+  (* argument positions of [atom] holding a fresh variable, bare or
+     one constructor deep (the reified [at(P)] shape) *)
+  let var_candidates bound atom =
+    match atom with
+    | Term.App (_, args) ->
+        List.mapi
+          (fun j a ->
+            match a with
+            | Term.Var v when not (Iset.mem v.Term.id bound) ->
+                Some (j, v.Term.id)
+            | Term.App (_, [ Term.Var v ]) when not (Iset.mem v.Term.id bound)
+              ->
+                Some (j, v.Term.id)
+            | _ -> None)
+          args
+        |> List.filter_map Fun.id
+    | _ -> []
+  in
+  (* an upper bound on variable [d] appearing later in the plan *)
+  let dist_bound d rest =
+    List.find_map
+      (function
+        | Cmp (("<" | "=<"), Term.Var v, c) when v.Term.id = d -> num_const c
+        | Cmp ((">" | ">="), c, Term.Var v) when v.Term.id = d -> num_const c
+        | _ -> None)
+      rest
+  in
+  let probe_for bound rest (j, vid) =
+    List.find_map
+      (function
+        | Ext (_, Term.App ("region_mem", [ Term.Atom name; Term.Var p ]))
+          when p.Term.id = vid -> (
+            match sp.sp_region_box name with
+            | Some b -> Some (j, Sp_within b)
+            | None -> None)
+        | Ext (_, Term.App ("pt_dist", [ a; b; Term.Var d ]))
+          when sp.sp_boxable && not (Iset.mem d.Term.id bound) -> (
+            let anchor =
+              match (a, b) with
+              | Term.Var p, other when p.Term.id = vid -> Some other
+              | other, Term.Var p when p.Term.id = vid -> Some other
+              | _ -> None
+            in
+            match anchor with
+            | Some other when Iset.subset (vset other) bound -> (
+                match dist_bound d.Term.id rest with
+                | Some eps when eps >= 0.0 -> Some (j, Sp_near (other, eps))
+                | _ -> None)
+            | _ -> None)
+        | _ -> None)
+      rest
+  in
+  let rec walk bound acc = function
+    | [] -> List.rev acc
+    | lit :: rest ->
+        let lit =
+          match lit with
+          | Pos (i, rel, atom) -> (
+              match
+                List.find_map (probe_for bound rest)
+                  (var_candidates bound atom)
+              with
+              | Some (apos, probe) -> SPos (i, rel, atom, apos, probe)
+              | None -> lit)
+          | l -> l
+        in
+        let bound =
+          match lit with
+          | Pos (_, _, atom) | SPos (_, _, atom, _, _) | Ext (_, atom) ->
+              Iset.union bound (vset atom)
+          | Is (l, _) -> Iset.union bound (vset l)
+          | _ -> bound
+        in
+        walk bound (lit :: acc) rest
+  in
+  walk Iset.empty [] plan
 
 (* ------------------------------------------------------------------ *)
 (* evaluation                                                          *)
@@ -643,6 +875,8 @@ type stats = {
   bu_index_probes : int;
   bu_full_scans : int;
   bu_membership_tests : int;
+  bu_spatial_probes : int;
+  bu_spatial_scans : int;
   bu_hcons_hits : int;
   bu_hcons_misses : int;
   bu_jobs : int;
@@ -665,6 +899,8 @@ type counters = {
   mutable c_probes : int;
   mutable c_scans : int;
   mutable c_members : int;
+  mutable c_sprobes : int;  (* spatial index probes *)
+  mutable c_sscans : int;  (* spatial joins that fell back to a scan *)
   mutable c_hits : int;
   mutable c_misses : int;
   mutable c_par_units : int;  (* parallel work units executed *)
@@ -678,6 +914,8 @@ let new_counters () =
     c_probes = 0;
     c_scans = 0;
     c_members = 0;
+    c_sprobes = 0;
+    c_sscans = 0;
     c_hits = 0;
     c_misses = 0;
     c_par_units = 0;
@@ -693,6 +931,8 @@ let fold_counters ~into (w : counters) =
   into.c_probes <- into.c_probes + w.c_probes;
   into.c_scans <- into.c_scans + w.c_scans;
   into.c_members <- into.c_members + w.c_members;
+  into.c_sprobes <- into.c_sprobes + w.c_sprobes;
+  into.c_sscans <- into.c_sscans + w.c_sscans;
   into.c_hits <- into.c_hits + w.c_hits;
   into.c_misses <- into.c_misses + w.c_misses;
   into.c_par_units <- into.c_par_units + w.c_par_units
@@ -749,6 +989,8 @@ type fixpoint = {
   n_strata : int;
   strategy : strategy;
   indexing : bool;
+  spatial : spatial option;  (* compiler-supplied spatial builtin hooks *)
+  spatial_indexing : bool;  (* compile guarded joins to index probes *)
   max_iterations : int;
   max_facts : int;
   tracer : Gdp_obs.Tracer.t;
@@ -809,6 +1051,8 @@ let witness_of rule subst =
         | Eq (true, a, b) -> Some (Wguard (app (Term.App ("==", [ a; b ]))))
         | Eq (false, a, b) -> Some (Wguard (app (Term.App ("\\==", [ a; b ]))))
         | Is (l, r) -> Some (Wguard (app (Term.App ("is", [ l; r ]))))
+        | Ext (_, atom) -> Some (Wguard (app atom))
+        | SPos (_, _, atom, _, _) -> Some (Wfact (app atom))
         | Never -> None)
       rule.body
   in
@@ -892,6 +1136,24 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ?(capture = false)
     | None -> []
     | Some g -> Option.value ~default:[] (Rel_map.find_opt rel !g)
   in
+  (* hash access path for a partially ground atom: probe the index over
+     its ground argument positions, scan when nothing is bound *)
+  let hash_candidates r g =
+    if not fp.indexing then `Scan
+    else
+      match g with
+      | Term.App (_, args) -> (
+          let rev_positions, _ =
+            List.fold_left
+              (fun (acc, i) arg ->
+                ((if Term.is_ground arg then i :: acc else acc), i + 1))
+              ([], 0) args
+          in
+          match List.rev rev_positions with
+          | [] -> `Scan
+          | positions -> `Probe (Relation.probe r positions args))
+      | _ -> `Scan
+  in
   let rec go subst lits =
     match lits with
     | [] -> (
@@ -926,24 +1188,7 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ?(capture = false)
                 go subst rest
             end
             else begin
-              let candidates =
-                if not fp.indexing then `Scan
-                else
-                  match g with
-                  | Term.App (_, args) -> (
-                      let rev_positions, _ =
-                        List.fold_left
-                          (fun (acc, i) arg ->
-                            ( (if Term.is_ground arg then i :: acc else acc),
-                              i + 1 ))
-                          ([], 0) args
-                      in
-                      match List.rev rev_positions with
-                      | [] -> `Scan
-                      | positions -> `Probe (Relation.probe r positions args))
-                  | _ -> `Scan
-              in
-              (match candidates with
+              (match hash_candidates r g with
               | `Scan ->
                   ctr.c_scans <- ctr.c_scans + 1;
                   Relation.iter each r
@@ -952,6 +1197,79 @@ let eval_rule fp ?ghosts ?(subst0 = Subst.empty) ?ctr ?(capture = false)
                   List.iter each l);
               if gfacts <> [] then List.iter each gfacts
             end)
+    | SPos (i, rel, atom, apos, probe) :: rest -> (
+        let each fact =
+          match Unify.unify subst atom fact with
+          | Some s -> go s rest
+          | None -> ()
+        in
+        match delta_at with
+        | Some j when j = i -> (
+            let g = Subst.apply subst atom in
+            if Term.is_ground g then begin
+              ctr.c_members <- ctr.c_members + 1;
+              if List.exists (Term.equal g) delta then go subst rest
+            end
+            else List.iter each delta)
+        | _ ->
+            let r = get fp rel in
+            let gfacts = ghost_facts rel in
+            let g = Subst.apply subst atom in
+            if Term.is_ground g then begin
+              ctr.c_members <- ctr.c_members + 1;
+              if Relation.mem r g || List.exists (Term.equal g) gfacts then
+                go subst rest
+            end
+            else begin
+              let sp =
+                match fp.spatial with Some sp -> sp | None -> assert false
+              in
+              (* the query box covering everything the downstream spatial
+                 guard can accept; [None] falls back to the hash path *)
+              let qbox =
+                if not fp.spatial_indexing then None
+                else
+                  match probe with
+                  | Sp_within b -> Some b
+                  | Sp_near (anchor, eps) -> (
+                      match sp.sp_point (Subst.apply subst anchor) with
+                      | Some (x, y) -> Some (Sx.pad (Sx.point_box x y) eps)
+                      | None -> None)
+              in
+              (match qbox with
+              | Some qbox ->
+                  ctr.c_sprobes <- ctr.c_sprobes + 1;
+                  let kind =
+                    match sp.sp_grid_cell with
+                    | Some c -> Sx.Grid c
+                    | None -> Sx.Rtree
+                  in
+                  let hits, unindexed =
+                    Relation.spatial_probe r ~kind ~point:sp.sp_point apos qbox
+                  in
+                  List.iter each hits;
+                  List.iter each unindexed
+              | None -> (
+                  ctr.c_sscans <- ctr.c_sscans + 1;
+                  match hash_candidates r g with
+                  | `Scan ->
+                      ctr.c_scans <- ctr.c_scans + 1;
+                      Relation.iter each r
+                  | `Probe l ->
+                      ctr.c_probes <- ctr.c_probes + 1;
+                      List.iter each l));
+              if gfacts <> [] then List.iter each gfacts
+            end)
+    | Ext (_, atom) :: rest -> (
+        match fp.spatial with
+        | None -> ()
+        | Some sp ->
+            List.iter
+              (fun sol ->
+                match Unify.unify subst atom sol with
+                | Some s -> go s rest
+                | None -> ())
+              (sp.sp_solve (Subst.apply subst atom)))
     | Neg (rel, atom) :: rest ->
         if not (Relation.mem (get fp rel) (Subst.apply subst atom)) then
           go subst rest
@@ -1039,7 +1357,9 @@ let delta_key_pos rule i =
           (fun acc lit ->
             match lit with
             | Pos (j, _, _) when j = i -> acc
-            | Pos (_, _, a) | Neg (_, a) -> Iset.union acc (vset a)
+            | SPos (j, _, _, _, _) when j = i -> acc
+            | Pos (_, _, a) | SPos (_, _, a, _, _) | Neg (_, a) | Ext (_, a) ->
+                Iset.union acc (vset a)
             | Cmp (_, a, b) | Eq (_, a, b) ->
                 Iset.union acc (Iset.union (vset a) (vset b))
             | Is (l, r) -> Iset.union acc (Iset.union (vset l) (vset r))
@@ -1262,13 +1582,13 @@ let saturate fp ~budget_from ~guard srules start =
   done;
   (!added, !max_delta)
 
-let run ?(strategy = Semi_naive) ?(indexing = true)
-    ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
-    ?(max_iterations = 10_000) ?(max_facts = 1_000_000)
-    ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1) ?(lineage = false)
-    ?(seed = []) db =
+let run ?(strategy = Semi_naive) ?(indexing = true) ?spatial
+    ?(spatial_indexing = true) ?(ignore = Prelude.predicates)
+    ?(refine = fun _ -> None) ?(max_iterations = 10_000)
+    ?(max_facts = 1_000_000) ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1)
+    ?(lineage = false) ?(seed = []) db =
   let jobs = Pool.resolve_jobs jobs in
-  let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine in
+  let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine ~spatial in
   (* net the seeds like {!apply} nets a batch: a seed structurally equal
      to a parsed fact, or repeated in the seed list, lands in the store
      (and the counters) exactly once *)
@@ -1288,7 +1608,14 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
         seed
   in
   (* body plans: with indexing on, a greedy bound-count order per rule
-     plus one per delta position; the scan baseline keeps textual order *)
+     plus one per delta position; the scan baseline keeps textual order.
+     With spatial hooks present, every plan gets the spatial annotation
+     pass — whether an annotated join actually probes is decided at
+     evaluation time by the [spatial_indexing] knob, so the scan
+     baseline counts the joins it declined to accelerate. *)
+  let annotate plan =
+    match spatial with Some sp -> annotate_spatial sp plan | None -> plan
+  in
   let planned =
     List.map
       (fun r ->
@@ -1298,17 +1625,18 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
         if indexing then
           {
             rule = r;
-            plan = order_body ~delta_at:None r.body;
+            plan = annotate (order_body ~delta_at:None r.body);
             delta_plans =
               Array.init (Array.length r.pos_rels) (fun i ->
-                  order_body ~delta_at:(Some i) r.body);
+                  annotate (order_body ~delta_at:(Some i) r.body));
             delta_keys;
           }
         else
           {
             rule = r;
-            plan = r.body;
-            delta_plans = Array.make (Array.length r.pos_rels) r.body;
+            plan = annotate r.body;
+            delta_plans =
+              Array.make (Array.length r.pos_rels) (annotate r.body);
             delta_keys;
           })
       rules
@@ -1332,6 +1660,8 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
       n_strata;
       strategy;
       indexing;
+      spatial;
+      spatial_indexing;
       max_iterations;
       max_facts;
       tracer;
@@ -1381,6 +1711,41 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
       | Some t -> Term_tbl.replace fp.base t rel
       | None -> Term_tbl.replace fp.base (Term.hcons t) rel)
     facts;
+  (* build every spatial index the annotated plans will probe now, in
+     the driver thread: worker domains then only ever read them (a pass
+     that derives new facts maintains them incrementally through
+     [Relation.add], which runs in the single-threaded merge) *)
+  (match spatial with
+  | Some sp when spatial_indexing ->
+      let kind =
+        match sp.sp_grid_cell with Some c -> Sx.Grid c | None -> Sx.Rtree
+      in
+      let built = Hashtbl.create 8 in
+      let build_for = function
+        | SPos (_, rel, _, apos, _) ->
+            if not (Hashtbl.mem built (rel, apos)) then begin
+              Hashtbl.add built (rel, apos) ();
+              let r = get fp rel in
+              Gdp_obs.Tracer.with_span tracer ~cat:"fixpoint"
+                ~args:
+                  [
+                    ("rel", Gdp_obs.Tracer.Str (Rel.to_string rel));
+                    ("arg", Gdp_obs.Tracer.Int apos);
+                    ("entries", Gdp_obs.Tracer.Int (Relation.cardinal r));
+                  ]
+                "bu.spatial.build"
+                (fun () ->
+                  Stdlib.ignore
+                    (Relation.spatial_index r ~kind ~point:sp.sp_point apos))
+            end
+        | _ -> ()
+      in
+      List.iter
+        (fun p ->
+          List.iter build_for p.plan;
+          Array.iter (List.iter build_for) p.delta_plans)
+        planned
+  | _ -> ());
   let stratum_acc = ref [] in
   let run_frame =
     Gdp_obs.Tracer.begin_span tracer ~cat:"fixpoint" "bottom_up.run"
@@ -1429,6 +1794,10 @@ let run ?(strategy = Semi_naive) ?(indexing = true)
     set "bu.firings" fp.ctr.c_firings;
     set "bu.index_probes" fp.ctr.c_probes;
     set "bu.full_scans" fp.ctr.c_scans;
+    if fp.ctr.c_sprobes > 0 || fp.ctr.c_sscans > 0 then begin
+      set "bu.spatial.probes" fp.ctr.c_sprobes;
+      set "bu.spatial.scans" fp.ctr.c_sscans
+    end;
     set "bu.hcons_hits" fp.ctr.c_hits;
     set "bu.hcons_misses" fp.ctr.c_misses;
     if fp.jobs > 1 then begin
@@ -1561,6 +1930,8 @@ let stats fp =
     bu_index_probes = fp.ctr.c_probes;
     bu_full_scans = fp.ctr.c_scans;
     bu_membership_tests = fp.ctr.c_members;
+    bu_spatial_probes = fp.ctr.c_sprobes;
+    bu_spatial_scans = fp.ctr.c_sscans;
     bu_hcons_hits = fp.ctr.c_hits;
     bu_hcons_misses = fp.ctr.c_misses;
     bu_jobs = fp.jobs;
@@ -1595,6 +1966,9 @@ let pp_stats ppf s =
     s.bu_passes s.bu_firings s.bu_strata s.bu_facts s.bu_index_probes
     s.bu_full_scans s.bu_membership_tests s.bu_hcons_hits s.bu_hcons_misses
     (100.0 *. hcons_hit_rate s);
+  if s.bu_spatial_probes > 0 || s.bu_spatial_scans > 0 then
+    Format.fprintf ppf "spatial: %d probes, %d scans@," s.bu_spatial_probes
+      s.bu_spatial_scans;
   if s.bu_jobs > 1 then
     Format.fprintf ppf "parallel: %d jobs, %d work units@," s.bu_jobs
       s.bu_par_units;

@@ -47,8 +47,50 @@ type refine = string * int -> int option
     refined predicate must carry a constant at [pos]. The default refines
     nothing. *)
 
+(** A query box a spatially annotated join probes with: the bounding box
+    of a named region ([region_mem] guards) or the ±eps box around a
+    to-be-bound anchor point ([pt_dist] guards with a bound distance). *)
+type sprobe = Sp_within of Gdp_space.Spatial_index.box | Sp_near of Term.t * float
+
+type spatial = {
+  sp_ext : string * int -> int list option;
+      (** whitelist: [Some inputs] admits the builtin as a native body
+          literal whose argument positions [inputs] must be bound by
+          preceding literals; everything else keeps the builtin
+          rejection that makes the base non-materializable *)
+  sp_solve : Term.t -> Term.t list;
+      (** all ground solutions of one whitelisted goal instance whose
+          input arguments are ground — must agree exactly with the
+          top-down builtin's semantics *)
+  sp_region_box : string -> Gdp_space.Spatial_index.box option;
+      (** bounding box of a named region, for [region_mem] probes *)
+  sp_point : Term.t -> (float * float) option;
+      (** planar coordinates of a point-carrying term ([pos/2-3], bare
+          or one reification constructor deep) — both the index key
+          extractor and the probe-anchor reader *)
+  sp_boxable : bool;
+      (** whether a ±eps coordinate box contains the metric eps-ball
+          (cartesian-like coordinates; false for geographic/haversine,
+          where [pt_dist] joins must not compile to box probes) *)
+  sp_grid_cell : float option;
+      (** [Some c]: maintain uniform-grid indexes with cell size [c];
+          [None]: STR-packed R-trees *)
+}
+(** Spatial evaluation hooks, supplied by the GDP compiler
+    ([Gdp_core.Compile.spatial_hints]). With [~spatial] set, {!run}
+    whitelists the hook's builtins as native body literals and — unless
+    [~spatial_indexing:false] — compiles joins guarded by [region_mem]
+    or bounded [pt_dist] into spatial-index probes over lazily built
+    per-relation point indexes. The probes are sound pre-filters (the
+    exact guard always re-checks), so the derived model, stratification
+    and provenance are identical with indexing on and off. *)
+
 val classify :
-  ?ignore:(string * int) list -> ?refine:refine -> Database.t -> (unit, string) result
+  ?ignore:(string * int) list ->
+  ?refine:refine ->
+  ?spatial:spatial ->
+  Database.t ->
+  (unit, string) result
 (** One classification pass shared by {!supported}, {!run} and the
     stratification error messages: [Ok ()] when every clause lies in the
     evaluable fragment, [Error reason] naming the first offending clause
@@ -61,7 +103,12 @@ val classify :
     engine databases created by {!Engine.create} classify on user clauses
     only) are invisible; body references to them are rejected. *)
 
-val supported : ?ignore:(string * int) list -> ?refine:refine -> Database.t -> bool
+val supported :
+  ?ignore:(string * int) list ->
+  ?refine:refine ->
+  ?spatial:spatial ->
+  Database.t ->
+  bool
 (** [classify db = Ok ()]. *)
 
 type stratum_stats = {
@@ -120,6 +167,12 @@ type stats = {
       (** positive-literal matches that scanned the whole relation *)
   bu_membership_tests : int;
       (** positive-literal matches on a fully ground goal: O(1) membership *)
+  bu_spatial_probes : int;
+      (** spatially annotated joins answered by a spatial-index probe *)
+  bu_spatial_scans : int;
+      (** spatially annotated joins that fell back to the hash path —
+          all of them under [~spatial_indexing:false], else the joins
+          whose probe box could not be computed at evaluation time *)
   bu_hcons_hits : int;
       (** derived terms already interned — structurally equal to a stored
           fact, deduplicated by physical equality *)
@@ -137,6 +190,8 @@ type stats = {
 val run :
   ?strategy:strategy ->
   ?indexing:bool ->
+  ?spatial:spatial ->
+  ?spatial_indexing:bool ->
   ?ignore:(string * int) list ->
   ?refine:refine ->
   ?max_iterations:int ->
@@ -155,7 +210,14 @@ val run :
     [indexing] (default [true]) controls the join machinery: when off,
     bodies evaluate in textual order and positive literals scan their
     whole relation — the measured-against baseline, semantically
-    identical to the indexed path. [tracer] (default disabled) records
+    identical to the indexed path. [spatial] (default absent) supplies
+    the {!spatial} hooks: whitelisted spatial builtins evaluate natively
+    and, with [spatial_indexing] (default [true]), joins guarded by
+    [region_mem] or a bounded [pt_dist] probe lazily built spatial
+    indexes (one ["bu.spatial.build"] span each at load time, final
+    [bu.spatial.probes]/[bu.spatial.scans] counter samples);
+    [~spatial_indexing:false] keeps the exact same model and guard
+    semantics while every annotated join takes the hash/scan path. [tracer] (default disabled) records
     one ["fixpoint"]-category span for the whole run, one per non-empty
     stratum (with rule/pass/derived-fact counts as span arguments) and
     one per pass (with the delta size), plus final [bu.*] counter

@@ -60,20 +60,32 @@ let vset t =
     (fun s (v : Term.var) -> Iset.add v.Term.id s)
     Iset.empty (Term.vars t)
 
+let ext_input_vars inputs atom =
+  match atom with
+  | Term.App (_, args) ->
+      List.fold_left
+        (fun s i ->
+          match List.nth_opt args i with
+          | Some a -> Iset.union s (vset a)
+          | None -> s)
+        Iset.empty inputs
+  | _ -> Iset.empty
+
 (* Body literals, with the original goal term kept for re-emission. *)
 type lit =
   | Pos of Key.t * Term.t
   | Neg of Key.t * Term.t * Term.t  (* key, inner atom, original wrapper *)
   | Guard of Term.t  (* comparison or ==/\== : reads, never binds *)
   | Is of Term.t * Term.t * Term.t  (* lhs, rhs, original term *)
+  | Ext of int list * Term.t  (* whitelisted spatial builtin: inputs, goal *)
   | Never
 
 let orig_of = function
-  | Pos (_, t) | Neg (_, _, t) | Guard t | Is (_, _, t) -> t
+  | Pos (_, t) | Neg (_, _, t) | Guard t | Is (_, _, t) | Ext (_, t) -> t
   | Never -> Term.atom "fail"
 
 (* Mirror of [Bottom_up.parse_body_goal] over the same fragment. *)
-let classify_goal db ~ignore ~refine ~ctx g =
+let classify_goal db ~ignore ~refine ~spatial_ext ~ctx g =
   match g with
   | Term.Var _ -> unsupported "%s: unbound variable used as a body goal" ctx
   | Term.Int _ | Term.Float _ | Term.Str _ ->
@@ -120,9 +132,13 @@ let classify_goal db ~ignore ~refine ~ctx g =
       else if List.mem (name, arity) ignore then
         unsupported "%s: library predicate %s/%d outside the Datalog fragment"
           ctx name arity
-      else if Database.find_builtin db (name, arity) <> None then
-        unsupported "%s: builtin %s/%d" ctx name arity
-      else Some (Pos (key_of ~refine ~what:ctx g, g)))
+      else
+        match spatial_ext (name, arity) with
+        | Some inputs -> Some (Ext (inputs, g))
+        | None ->
+            if Database.find_builtin db (name, arity) <> None then
+              unsupported "%s: builtin %s/%d" ctx name arity
+            else Some (Pos (key_of ~refine ~what:ctx g, g)))
 
 (* Mirror of [Bottom_up.check_safety]: left-to-right boundness in the
    original textual order. A program that passes here always admits the
@@ -152,6 +168,12 @@ let check_safety ~ctx head body =
                  variables with a preceding positive literal)" ctx
                 (Term.to_string atom);
             bound
+        | Ext (inputs, atom) ->
+            if not (Iset.subset (ext_input_vars inputs atom) bound) then
+              unsupported
+                "%s: spatial builtin %s needs its input arguments bound by a \
+                 preceding positive literal" ctx (Term.to_string atom);
+            Iset.union bound (vset atom)
         | Never -> bound)
       Iset.empty body
   in
@@ -160,7 +182,7 @@ let check_safety ~ctx head body =
 
 type cl = { chead : Term.t; ckey : Key.t; cbody : lit list }
 
-let parse db ~ignore ~refine =
+let parse db ~ignore ~refine ~spatial_ext =
   let facts = ref [] and rules = ref [] in
   List.iter
     (fun fa ->
@@ -178,7 +200,7 @@ let parse db ~ignore ~refine =
             else begin
               let body =
                 List.filter_map
-                  (classify_goal db ~ignore ~refine ~ctx)
+                  (classify_goal db ~ignore ~refine ~spatial_ext ~ctx)
                   c.Database.body
               in
               check_safety ~ctx c.Database.head body;
@@ -196,6 +218,7 @@ let guard_ready bound = function
   | Guard g -> Iset.subset (vset g) bound
   | Is (_, r, _) -> Iset.subset (vset r) bound
   | Neg (_, atom, _) -> Iset.subset (vset atom) bound
+  | Ext (inputs, atom) -> Iset.subset (ext_input_vars inputs atom) bound
   | Never -> true
   | Pos _ -> false
 
@@ -221,7 +244,10 @@ let sip_order bound0 body =
     else
       let bound =
         List.fold_left
-          (fun b -> function Is (l, _, _) -> Iset.union b (vset l) | _ -> b)
+          (fun b -> function
+            | Is (l, _, _) -> Iset.union b (vset l)
+            | Ext (_, atom) -> Iset.union b (vset atom)
+            | _ -> b)
           bound ready
       in
       flush_guards bound (plan @ ready) rest
@@ -307,7 +333,7 @@ let strata_of rules =
             (fun s -> function
               | Pos (k, _) -> max s (get k)
               | Neg (k, _, _) -> max s (get k + 1)
-              | Guard _ | Is _ | Never -> s)
+              | Guard _ | Is _ | Ext _ | Never -> s)
             0 r.cbody
         in
         if s > get r.ckey then begin
@@ -323,9 +349,10 @@ let distinct_strata get keys =
   |> Iset.cardinal
 
 let rewrite ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
-    ?(tracer = Gdp_obs.Tracer.disabled) ~goal db =
+    ?(spatial_ext = fun _ -> None) ?(tracer = Gdp_obs.Tracer.disabled) ~goal db
+    =
   Gdp_obs.Tracer.with_span tracer ~cat:"fixpoint" "magic.rewrite" @@ fun () ->
-  let facts, rules = parse db ~ignore ~refine in
+  let facts, rules = parse db ~ignore ~refine ~spatial_ext in
   let idb =
     List.fold_left (fun s r -> Kset.add r.ckey s) Kset.empty rules
   in
@@ -401,7 +428,7 @@ let rewrite ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
                         seen := Kset.add q !seen;
                         Queue.add q queue
                       end
-                  | Guard _ | Is _ | Never -> ())
+                  | Guard _ | Is _ | Ext _ | Never -> ())
                 r.cbody)
             (Option.value ~default:[] (Kmap.find_opt k rules_of))
         done;
@@ -438,7 +465,7 @@ let rewrite ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
                         result := Kset.add q !result;
                         Queue.add q queue
                       end
-                  | Guard _ | Is _ | Never -> ())
+                  | Guard _ | Is _ | Ext _ | Never -> ())
                 r.cbody)
             (Option.value ~default:[] (Kmap.find_opt k rules_of))
         done;
@@ -531,6 +558,9 @@ let rewrite ?(ignore = Prelude.predicates) ?(refine = fun _ -> None)
                   | Is (l, _, orig) ->
                       bound := Iset.union !bound (vset l);
                       prefix := orig :: !prefix
+                  | Ext (_, atom) ->
+                      bound := Iset.union !bound (vset atom);
+                      prefix := atom :: !prefix
                   | Neg (_, _, orig) | Guard orig -> prefix := orig :: !prefix
                   | Never -> ())
                 plan;

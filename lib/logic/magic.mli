@@ -49,6 +49,7 @@ val magic_name : string -> sub:string option -> adornment:string -> string
 val rewrite :
   ?ignore:(string * int) list ->
   ?refine:Bottom_up.refine ->
+  ?spatial_ext:(string * int -> int list option) ->
   ?tracer:Gdp_obs.Tracer.t ->
   goal:Term.t ->
   Database.t ->
@@ -56,7 +57,12 @@ val rewrite :
 (** Rewrite [db] for goal-directed evaluation of [goal] (an atom whose
     ground arguments are the bound positions). [ignore] and [refine]
     must match what will be passed to {!Bottom_up.run} (defaults:
-    {!Prelude.predicates} and no refinement). Raises
+    {!Prelude.predicates} and no refinement). [spatial_ext] (default:
+    whitelist nothing) must be the [sp_ext] field of the {!
+    Bottom_up.spatial} hooks the evaluator will run with: whitelisted
+    spatial builtins pass through the rewrite as inert body literals —
+    they bind sideways information (their output variables extend each
+    adornment's bound set) but generate no magic rules. Raises
     {!Bottom_up.Unsupported} when [db] leaves the Datalog fragment, with
     the same classification reasons as {!Bottom_up.classify}. The
     [tracer] records a ["magic.rewrite"] span and [bu.magic.*] counters

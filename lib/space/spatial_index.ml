@@ -1,0 +1,665 @@
+(* Two interchangeable spatial access methods over axis-aligned boxes.
+
+   The R-tree is the classic Guttman structure with quadratic-free
+   simplifications that keep the code small without giving up the
+   invariants property tests pin down: insertion descends by least area
+   enlargement and splits over-full nodes by sorting along the longer
+   MBR axis (an even cut of 9 entries yields 4/5, both above the min
+   fill of 3); deletion condenses under-full nodes by re-inserting
+   their surviving entries at leaf level, so depth stays uniform. Bulk
+   loading is Sort-Tile-Recursive: sort by centre x, tile into vertical
+   slabs, sort each slab by centre y, cut into near-full leaves, and
+   recurse on the leaf MBRs until a single root remains.
+
+   The grid hashes each entry into every cell its box overlaps; queries
+   de-duplicate by entry identity (one shared record per entry), so a
+   box spanning four cells still reports once. Point entries — the
+   engine's common case — land in exactly one cell. *)
+
+type box = { minx : float; miny : float; maxx : float; maxy : float }
+
+let finite f = Float.is_finite f
+
+let box minx miny maxx maxy =
+  if not (finite minx && finite miny && finite maxx && finite maxy) then
+    invalid_arg "Spatial_index.box: non-finite coordinate";
+  if maxx < minx || maxy < miny then
+    invalid_arg "Spatial_index.box: inverted box";
+  { minx; miny; maxx; maxy }
+
+let point_box x y = box x y x y
+let pad b eps = box (b.minx -. eps) (b.miny -. eps) (b.maxx +. eps) (b.maxy +. eps)
+
+let box_of_region r =
+  match Region.bounding_box r with
+  | None -> None
+  | Some (minx, miny, maxx, maxy) -> Some { minx; miny; maxx; maxy }
+
+let box_overlap a b =
+  a.minx <= b.maxx && b.minx <= a.maxx && a.miny <= b.maxy && b.miny <= a.maxy
+
+let box_union a b =
+  {
+    minx = Float.min a.minx b.minx;
+    miny = Float.min a.miny b.miny;
+    maxx = Float.max a.maxx b.maxx;
+    maxy = Float.max a.maxy b.maxy;
+  }
+
+let box_equal a b =
+  a.minx = b.minx && a.miny = b.miny && a.maxx = b.maxx && a.maxy = b.maxy
+
+let box_dist b (px, py) =
+  let dx = Float.max 0.0 (Float.max (b.minx -. px) (px -. b.maxx)) in
+  let dy = Float.max 0.0 (Float.max (b.miny -. py) (py -. b.maxy)) in
+  Float.hypot dx dy
+
+let center b = ((b.minx +. b.maxx) /. 2.0, (b.miny +. b.maxy) /. 2.0)
+let area b = (b.maxx -. b.minx) *. (b.maxy -. b.miny)
+let enlargement b e = area (box_union b e) -. area b
+
+type kind = Rtree | Grid of float
+
+(* ------------------------------------------------------------- R-tree *)
+
+let max_entries = 8
+let min_entries = 3
+
+type 'a entry = { e_box : box; e_val : 'a }
+
+type 'a node =
+  | Leaf of { mutable l_mbr : box; mutable l_entries : 'a entry list }
+  | Node of { mutable n_mbr : box; mutable n_children : 'a node list }
+
+let mbr_of = function Leaf l -> l.l_mbr | Node n -> n.n_mbr
+
+let mbr_of_entries = function
+  | [] -> invalid_arg "Spatial_index: empty node"
+  | e :: es -> List.fold_left (fun b x -> box_union b x.e_box) e.e_box es
+
+let mbr_of_children = function
+  | [] -> invalid_arg "Spatial_index: empty node"
+  | c :: cs -> List.fold_left (fun b x -> box_union b (mbr_of x)) (mbr_of c) cs
+
+(* Split an over-full list in half along the longer axis of its MBR;
+   both halves hold at least [max_entries+1]/2 >= min_entries items. *)
+let split_list box_of items mbr =
+  let key =
+    if mbr.maxx -. mbr.minx >= mbr.maxy -. mbr.miny then fun it ->
+      fst (center (box_of it))
+    else fun it -> snd (center (box_of it))
+  in
+  let sorted = List.stable_sort (fun a b -> Float.compare (key a) (key b)) items in
+  let n = List.length sorted in
+  let rec take k = function
+    | xs when k = 0 -> ([], xs)
+    | [] -> ([], [])
+    | x :: xs ->
+        let l, r = take (k - 1) xs in
+        (x :: l, r)
+  in
+  take (n / 2) sorted
+
+(* Insert one entry; returns a freshly split-off sibling when the target
+   node over-flowed. *)
+let rec node_insert node entry =
+  match node with
+  | Leaf l ->
+      l.l_entries <- entry :: l.l_entries;
+      l.l_mbr <- box_union l.l_mbr entry.e_box;
+      if List.length l.l_entries > max_entries then (
+        let keep, give = split_list (fun e -> e.e_box) l.l_entries l.l_mbr in
+        l.l_entries <- keep;
+        l.l_mbr <- mbr_of_entries keep;
+        Some (Leaf { l_mbr = mbr_of_entries give; l_entries = give }))
+      else None
+  | Node n ->
+      let child =
+        match n.n_children with
+        | [] -> invalid_arg "Spatial_index: empty interior node"
+        | c :: cs ->
+            List.fold_left
+              (fun best c ->
+                let eb = enlargement (mbr_of best) entry.e_box
+                and ec = enlargement (mbr_of c) entry.e_box in
+                if
+                  ec < eb
+                  || (ec = eb && area (mbr_of c) < area (mbr_of best))
+                then c
+                else best)
+              c cs
+      in
+      n.n_mbr <- box_union n.n_mbr entry.e_box;
+      (match node_insert child entry with
+      | None -> None
+      | Some sibling ->
+          n.n_children <- sibling :: n.n_children;
+          if List.length n.n_children > max_entries then (
+            let keep, give = split_list mbr_of n.n_children n.n_mbr in
+            n.n_children <- keep;
+            n.n_mbr <- mbr_of_children keep;
+            Some (Node { n_mbr = mbr_of_children give; n_children = give }))
+          else None)
+
+let rec collect_entries node acc =
+  match node with
+  | Leaf l -> List.rev_append l.l_entries acc
+  | Node n -> List.fold_left (fun acc c -> collect_entries c acc) acc n.n_children
+
+(* Delete one entry (box equality + physical value equality). Returns
+   [`Removed (orphans, drop)] where [orphans] are entries of condensed
+   under-full nodes awaiting re-insertion and [drop] tells the caller to
+   detach this node. *)
+let rec node_delete node qbox v =
+  match node with
+  | Leaf l ->
+      let found = ref false in
+      let keep =
+        List.filter
+          (fun e ->
+            if (not !found) && e.e_val == v && box_equal e.e_box qbox then (
+              found := true;
+              false)
+            else true)
+          l.l_entries
+      in
+      if not !found then `Not_found
+      else if List.length keep < min_entries then `Removed (keep, true)
+      else (
+        l.l_entries <- keep;
+        l.l_mbr <- mbr_of_entries keep;
+        `Removed ([], false))
+  | Node n ->
+      let rec try_children = function
+        | [] -> `Not_found
+        | c :: rest ->
+            if not (box_overlap (mbr_of c) qbox) then try_children rest
+            else (
+              match node_delete c qbox v with
+              | `Not_found -> try_children rest
+              | `Removed (orphans, drop) ->
+                  if drop then n.n_children <- List.filter (( != ) c) n.n_children;
+                  if List.length n.n_children < min_entries then
+                    `Removed
+                      ( List.fold_left
+                          (fun acc ch -> collect_entries ch acc)
+                          orphans n.n_children,
+                        true )
+                  else (
+                    n.n_mbr <- mbr_of_children n.n_children;
+                    `Removed (orphans, false)))
+      in
+      try_children n.n_children
+
+let rec node_range node qbox emit =
+  match node with
+  | Leaf l ->
+      List.iter (fun e -> if box_overlap e.e_box qbox then emit e.e_val) l.l_entries
+  | Node n ->
+      List.iter
+        (fun c -> if box_overlap (mbr_of c) qbox then node_range c qbox emit)
+        n.n_children
+
+(* STR bulk load: entries -> one level of packed leaves -> recurse on
+   their MBRs until a single node remains. *)
+let str_pack entries =
+  let pack_level box_of make items =
+    let n = List.length items in
+    let n_leaves = (n + max_entries - 1) / max_entries in
+    let n_slabs =
+      int_of_float (Float.ceil (sqrt (float_of_int n_leaves)))
+    in
+    let slab_size = (n + n_slabs - 1) / n_slabs in
+    let by key xs =
+      List.stable_sort
+        (fun a b -> Float.compare (key (box_of a)) (key (box_of b)))
+        xs
+    in
+    let rec take i = function
+      | xs when i = 0 -> ([], xs)
+      | [] -> ([], [])
+      | x :: xs ->
+          let l, r = take (i - 1) xs in
+          (x :: l, r)
+    in
+    (* ceil(n/k) chunks of near-equal size: a balanced cut never leaves
+       an under-full tail (for n > max_entries every chunk holds at
+       least min_entries items) *)
+    let chunks_balanced k xs =
+      let n = List.length xs in
+      if n = 0 then []
+      else
+        let c = (n + k - 1) / k in
+        let base = n / c and extra = n mod c in
+        let rec go i xs =
+          if i >= c then []
+          else
+            let chunk, rest = take (base + if i < extra then 1 else 0) xs in
+            chunk :: go (i + 1) rest
+        in
+        go 0 xs
+    in
+    by (fun b -> fst (center b)) items
+    |> chunks_balanced slab_size
+    |> List.concat_map (fun slab ->
+           chunks_balanced max_entries (by (fun b -> snd (center b)) slab))
+    |> List.map make
+  in
+  let rec up nodes =
+    match nodes with
+    | [ one ] -> one
+    | _ ->
+        up
+          (pack_level mbr_of
+             (fun cs -> Node { n_mbr = mbr_of_children cs; n_children = cs })
+             nodes)
+  in
+  match entries with
+  | [] -> None
+  | _ ->
+      Some
+        (up
+           (pack_level
+              (fun e -> e.e_box)
+              (fun es -> Leaf { l_mbr = mbr_of_entries es; l_entries = es })
+              entries))
+
+(* --------------------------------------------------------------- grid *)
+
+type 'a grid = {
+  g_cell : float;
+  g_tbl : (int * int, 'a entry list ref) Hashtbl.t;
+}
+
+let cell_of size f = int_of_float (Float.floor (f /. size))
+
+let grid_cells g b =
+  let x0 = cell_of g.g_cell b.minx
+  and x1 = cell_of g.g_cell b.maxx
+  and y0 = cell_of g.g_cell b.miny
+  and y1 = cell_of g.g_cell b.maxy in
+  let acc = ref [] in
+  for i = x0 to x1 do
+    for j = y0 to y1 do
+      acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let grid_insert g entry =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt g.g_tbl key with
+      | Some r -> r := entry :: !r
+      | None -> Hashtbl.add g.g_tbl key (ref [ entry ]))
+    (grid_cells g entry.e_box)
+
+let grid_remove g qbox v =
+  (* locate the shared entry record through any overlapping cell, then
+     evict that one record from every cell it was registered in *)
+  let cells = grid_cells g qbox in
+  let target =
+    List.find_map
+      (fun key ->
+        match Hashtbl.find_opt g.g_tbl key with
+        | None -> None
+        | Some r ->
+            List.find_opt (fun e -> e.e_val == v && box_equal e.e_box qbox) !r)
+      cells
+  in
+  match target with
+  | None -> false
+  | Some e ->
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt g.g_tbl key with
+          | None -> ()
+          | Some r ->
+              r := List.filter (( != ) e) !r;
+              if !r = [] then Hashtbl.remove g.g_tbl key)
+        (grid_cells g e.e_box);
+      true
+
+let grid_range g qbox =
+  let seen = ref [] in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt g.g_tbl key with
+      | None -> ()
+      | Some r ->
+          List.iter
+            (fun e ->
+              if box_overlap e.e_box qbox && not (List.memq e !seen) then
+                seen := e :: !seen)
+            !r)
+    (grid_cells g qbox);
+  List.rev_map (fun e -> e.e_val) !seen
+
+(* ---------------------------------------------------------- interface *)
+
+type 'a t = {
+  t_kind : kind;
+  mutable t_len : int;
+  mutable t_root : 'a node option; (* Rtree *)
+  t_grid : 'a grid option; (* Grid *)
+}
+
+let kind t = t.t_kind
+let length t = t.t_len
+
+let create = function
+  | Rtree -> { t_kind = Rtree; t_len = 0; t_root = None; t_grid = None }
+  | Grid c ->
+      if not (finite c && c > 0.0) then
+        invalid_arg "Spatial_index.create: grid cell size must be positive";
+      {
+        t_kind = Grid c;
+        t_len = 0;
+        t_root = None;
+        t_grid = Some { g_cell = c; g_tbl = Hashtbl.create 64 };
+      }
+
+let insert_entry t entry =
+  match t.t_grid with
+  | Some g -> grid_insert g entry
+  | None -> (
+      match t.t_root with
+      | None ->
+          t.t_root <- Some (Leaf { l_mbr = entry.e_box; l_entries = [ entry ] })
+      | Some root -> (
+          match node_insert root entry with
+          | None -> ()
+          | Some sibling ->
+              t.t_root <-
+                Some
+                  (Node
+                     {
+                       n_mbr = box_union (mbr_of root) (mbr_of sibling);
+                       n_children = [ root; sibling ];
+                     })))
+
+let insert t b v =
+  insert_entry t { e_box = b; e_val = v };
+  t.t_len <- t.t_len + 1
+
+let bulk k entries =
+  let t = create k in
+  match t.t_grid with
+  | Some _ ->
+      List.iter (fun (b, v) -> insert t b v) entries;
+      t
+  | None ->
+      t.t_root <-
+        str_pack (List.map (fun (b, v) -> { e_box = b; e_val = v }) entries);
+      t.t_len <- List.length entries;
+      t
+
+let remove t b v =
+  let removed =
+    match t.t_grid with
+    | Some g -> grid_remove g b v
+    | None -> (
+        match t.t_root with
+        | None -> false
+        | Some root -> (
+            match node_delete root b v with
+            | `Not_found -> false
+            | `Removed (orphans, drop) ->
+                if drop then t.t_root <- None;
+                (* collapse single-child root chains left by condensing *)
+                let rec collapse () =
+                  match t.t_root with
+                  | Some (Node { n_children = [ only ]; _ }) ->
+                      t.t_root <- Some only;
+                      collapse ()
+                  | _ -> ()
+                in
+                collapse ();
+                List.iter (fun e -> insert_entry t e) orphans;
+                true))
+  in
+  if removed then t.t_len <- t.t_len - 1;
+  removed
+
+let range t qbox =
+  match t.t_grid with
+  | Some g -> grid_range g qbox
+  | None -> (
+      match t.t_root with
+      | None -> []
+      | Some root ->
+          let acc = ref [] in
+          node_range root qbox (fun v -> acc := v :: !acc);
+          !acc)
+
+let iter t f =
+  match t.t_grid with
+  | Some g ->
+      let seen = ref [] in
+      Hashtbl.iter
+        (fun _ r ->
+          List.iter
+            (fun e ->
+              if not (List.memq e !seen) then (
+                seen := e :: !seen;
+                f e.e_box e.e_val))
+            !r)
+        g.g_tbl
+  | None -> (
+      match t.t_root with
+      | None -> ()
+      | Some root ->
+          List.iter (fun e -> f e.e_box e.e_val) (collect_entries root []))
+
+(* k-nearest: a sorted association list stands in for a priority queue —
+   k and the frontier stay small for the engine's probe sizes. *)
+let knn_take best k d v =
+  let rec ins = function
+    | [] -> [ (d, v) ]
+    | (d', _) :: _ as rest when d < d' -> (d, v) :: rest
+    | x :: rest -> x :: ins rest
+  in
+  let rec cut n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: cut (n - 1) xs
+  in
+  cut k (ins best)
+
+let kth_dist best k =
+  if List.length best < k then Float.infinity
+  else fst (List.nth best (k - 1))
+
+let rtree_nearest root ~k pt =
+  let best = ref [] in
+  (* frontier of unexpanded nodes, sorted by min distance *)
+  let rec ins d n = function
+    | [] -> [ (d, n) ]
+    | (d', _) :: _ as rest when d < d' -> (d, n) :: rest
+    | x :: rest -> x :: ins d n rest
+  in
+  let frontier = ref [ (box_dist (mbr_of root) pt, root) ] in
+  let rec go () =
+    match !frontier with
+    | [] -> ()
+    | (d, node) :: rest ->
+        frontier := rest;
+        if d <= kth_dist !best k then (
+          (match node with
+          | Leaf l ->
+              List.iter
+                (fun e ->
+                  let de = box_dist e.e_box pt in
+                  if de <= kth_dist !best k then
+                    best := knn_take !best k de e.e_val)
+                l.l_entries
+          | Node n ->
+              List.iter
+                (fun c ->
+                  let dc = box_dist (mbr_of c) pt in
+                  if dc <= kth_dist !best k then frontier := ins dc c !frontier)
+                n.n_children);
+          go ())
+        else go ()
+  in
+  go ();
+  List.map snd !best
+
+let grid_nearest g ~k ((px, py) as pt) =
+  if Hashtbl.length g.g_tbl = 0 then []
+  else
+    let cx = cell_of g.g_cell px and cy = cell_of g.g_cell py in
+    let maxr =
+      Hashtbl.fold
+        (fun (i, j) _ acc -> max acc (max (abs (i - cx)) (abs (j - cy))))
+        g.g_tbl 0
+    in
+    let best = ref [] and seen = ref [] in
+    (try
+       for r = 0 to maxr do
+         (* cells at Chebyshev ring [r] are at least [(r-1) * cell] away *)
+         if
+           List.length !best >= k
+           && kth_dist !best k < float_of_int (r - 1) *. g.g_cell
+         then raise Exit;
+         let visit key =
+           match Hashtbl.find_opt g.g_tbl key with
+           | None -> ()
+           | Some entries ->
+               List.iter
+                 (fun e ->
+                   if not (List.memq e !seen) then (
+                     seen := e :: !seen;
+                     let d = box_dist e.e_box pt in
+                     if d <= kth_dist !best k then
+                       best := knn_take !best k d e.e_val))
+                 !entries
+         in
+         if r = 0 then visit (cx, cy)
+         else (
+           for i = cx - r to cx + r do
+             visit (i, cy - r);
+             visit (i, cy + r)
+           done;
+           for j = cy - r + 1 to cy + r - 1 do
+             visit (cx - r, j);
+             visit (cx + r, j)
+           done)
+       done
+     with Exit -> ());
+    List.map snd !best
+
+let nearest t ~k pt =
+  if k <= 0 then []
+  else
+    match t.t_grid with
+    | Some g -> grid_nearest g ~k pt
+    | None -> (
+        match t.t_root with None -> [] | Some root -> rtree_nearest root ~k pt)
+
+let join a b f =
+  match (a.t_root, b.t_root) with
+  | Some ra, Some rb ->
+      (* dual-tree: recurse only into overlapping subtree pairs *)
+      let rec go na nb =
+        if box_overlap (mbr_of na) (mbr_of nb) then
+          match (na, nb) with
+          | Leaf la, Leaf lb ->
+              List.iter
+                (fun ea ->
+                  List.iter
+                    (fun eb ->
+                      if box_overlap ea.e_box eb.e_box then f ea.e_val eb.e_val)
+                    lb.l_entries)
+                la.l_entries
+          | Node n, _ -> List.iter (fun c -> go c nb) n.n_children
+          | Leaf _, Node n -> List.iter (fun c -> go na c) n.n_children
+      in
+      go ra rb
+  | _ ->
+      (* iterate the smaller side, probe the larger *)
+      if length a <= length b then
+        iter a (fun ba va -> List.iter (fun vb -> f va vb) (range b ba))
+      else iter b (fun bb vb -> List.iter (fun va -> f va vb) (range a bb))
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match t.t_grid with
+  | Some g ->
+      (* every entry registered in exactly its overlapping cells *)
+      let entries = ref [] in
+      Hashtbl.iter
+        (fun _ r ->
+          List.iter
+            (fun e -> if not (List.memq e !entries) then entries := e :: !entries)
+            !r)
+        g.g_tbl;
+      let n = List.length !entries in
+      if n <> t.t_len then fail "grid holds %d entries, recorded %d" n t.t_len
+      else
+        let rec check = function
+          | [] -> Ok ()
+          | e :: rest ->
+              let want = grid_cells g e.e_box in
+              let ok_everywhere =
+                List.for_all
+                  (fun key ->
+                    match Hashtbl.find_opt g.g_tbl key with
+                    | None -> false
+                    | Some r -> List.memq e !r)
+                  want
+              in
+              let nowhere_else = ref true in
+              Hashtbl.iter
+                (fun key r ->
+                  if List.memq e !r && not (List.mem key want) then
+                    nowhere_else := false)
+                g.g_tbl;
+              if not ok_everywhere then
+                fail "grid entry missing from an overlapping cell"
+              else if not !nowhere_else then
+                fail "grid entry registered in a non-overlapping cell"
+              else check rest
+        in
+        check !entries
+  | None -> (
+      match t.t_root with
+      | None -> if t.t_len = 0 then Ok () else fail "empty tree, recorded %d" t.t_len
+      | Some root ->
+          let exception Bad of string in
+          let rec check ~is_root node =
+            match node with
+            | Leaf l ->
+                let n = List.length l.l_entries in
+                if n > max_entries then
+                  raise (Bad (Printf.sprintf "leaf fan-out %d > %d" n max_entries));
+                if (not is_root) && n < min_entries then
+                  raise (Bad (Printf.sprintf "leaf fan-out %d < %d" n min_entries));
+                if n = 0 then raise (Bad "empty leaf");
+                if not (box_equal l.l_mbr (mbr_of_entries l.l_entries)) then
+                  raise (Bad "leaf MBR is not the union of its entries");
+                (n, 1)
+            | Node nd ->
+                let n = List.length nd.n_children in
+                if n > max_entries then
+                  raise (Bad (Printf.sprintf "node fan-out %d > %d" n max_entries));
+                if (not is_root) && n < min_entries then
+                  raise (Bad (Printf.sprintf "node fan-out %d < %d" n min_entries));
+                if is_root && n < 2 then
+                  raise (Bad "root node with fewer than 2 children");
+                if not (box_equal nd.n_mbr (mbr_of_children nd.n_children)) then
+                  raise (Bad "node MBR is not the union of its children");
+                let counts = List.map (check ~is_root:false) nd.n_children in
+                let depths = List.map snd counts in
+                (match depths with
+                | d :: ds when List.for_all (( = ) d) ds -> ()
+                | _ -> raise (Bad "leaves at unequal depths"));
+                ( List.fold_left (fun a (c, _) -> a + c) 0 counts,
+                  1 + List.hd depths )
+          in
+          (try
+             let count, _ = check ~is_root:true root in
+             if count <> t.t_len then
+               fail "tree holds %d entries, recorded %d" count t.t_len
+             else Ok ()
+           with Bad msg -> Error msg))

@@ -606,3 +606,84 @@ goal it was proving:
   $ gdprs profile deep.gdp 'holds(M, spin, Vs, [a], S, T)'
   error: inference depth 100000 exhausted while proving holds(w, spin, nil, [a], nospace, notime) (try simpler queries or fewer meta-models)
   [3]
+
+Spatial indexing: materialised evaluation builds R-tree indexes over
+point-carrying relations and answers region/distance-guarded joins by
+bounding-box probes. The stats line counts index probes vs full scans;
+`--no-spatial-index` forces the scan path and must produce the same
+model (same violations, same answers, probes traded for scans):
+
+  $ cat > geo.gdp <<'END'
+  > objects s1, s2, s3, s4, s5.
+  > region zone = rect(0.0, 0.0, 4.0, 4.0).
+  > fact @(1.0, 1.0) site(s1).
+  > fact @(3.0, 2.0) site(s2).
+  > fact @(6.0, 5.0) site(s3).
+  > fact @(7.0, 1.0) site(s4).
+  > fact @(2.0, 3.0) site(s5).
+  > rule inzone(X) <- @P site(X), test region_mem(zone, P).
+  > rule close(X, Y) <- @P site(X), @Q site(Y), test pt_dist(P, Q, D), test D > 0.0, test D < 3.0.
+  > constraint crowded(X, Y) <- inzone(X), inzone(Y), close(X, Y).
+  > END
+  $ gdprs check geo.gdp --materialize --stats
+  world view: {w}
+  meta view:  {}
+  materialised: 27 facts, 1 strata, 2 passes
+  INCONSISTENT: 6 violation(s)
+    w: ERROR(crowded, s1, s2)
+    w: ERROR(crowded, s1, s5)
+    w: ERROR(crowded, s2, s1)
+    w: ERROR(crowded, s2, s5)
+    w: ERROR(crowded, s5, s1)
+    w: ERROR(crowded, s5, s2)
+  -- stats --
+  engine: materialized
+  unifications: 0  loop prunes: 0  deepest call: 0
+  passes: 2  firings: 6  strata: 1  facts: 27
+  index probes: 11  full scans: 0  membership tests: 39
+  hcons: 44 hits / 1 misses (97.8% hit rate)
+  spatial: 6 probes, 0 scans
+  stratum 0: 3 rules, 2 passes, 6 firings, 15 derived, max delta 15
+  provenance: 15 tuples tracked, 5544 witness bytes, 0 refreshed
+  
+  [1]
+  $ gdprs check geo.gdp --materialize --no-spatial-index --stats
+  world view: {w}
+  meta view:  {}
+  materialised: 27 facts, 1 strata, 2 passes
+  INCONSISTENT: 6 violation(s)
+    w: ERROR(crowded, s1, s2)
+    w: ERROR(crowded, s1, s5)
+    w: ERROR(crowded, s2, s1)
+    w: ERROR(crowded, s2, s5)
+    w: ERROR(crowded, s5, s1)
+    w: ERROR(crowded, s5, s2)
+  -- stats --
+  engine: materialized
+  unifications: 0  loop prunes: 0  deepest call: 0
+  passes: 2  firings: 6  strata: 1  facts: 27
+  index probes: 17  full scans: 0  membership tests: 39
+  hcons: 44 hits / 1 misses (97.8% hit rate)
+  spatial: 0 probes, 6 scans
+  stratum 0: 3 rules, 2 passes, 6 firings, 15 derived, max delta 15
+  provenance: 15 tuples tracked, 5544 witness bytes, 0 refreshed
+  
+  [1]
+
+Answers from the fixpoint agree with and without the index:
+
+  $ gdprs query geo.gdp 'inzone(X)' --materialize
+  inzone(s1)
+  inzone(s2)
+  inzone(s5)
+  $ gdprs query geo.gdp 'inzone(X)' --materialize --no-spatial-index
+  inzone(s1)
+  inzone(s2)
+  inzone(s5)
+
+The flag only affects the materialised engine; combining it with the
+magic-set rewrite is rejected:
+
+  $ gdprs query geo.gdp 'inzone(X)' --magic --no-spatial-index
+  error: --no-spatial-index and --magic are mutually exclusive
+  [2]

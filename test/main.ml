@@ -16,6 +16,7 @@ let () =
       ("fuzzy", Suite_fuzzy.tests);
       ("temporal", Suite_temporal.tests);
       ("space", Suite_space.tests);
+      ("spatial-index", Suite_spatial_index.tests);
       ("domain", Suite_domain.tests);
       ("gfact", Suite_gfact.tests);
       ("formula", Suite_formula.tests);

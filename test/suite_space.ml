@@ -166,6 +166,70 @@ let test_region_bbox () =
             Region.rect ~min_x:5.0 ~min_y:5.0 ~max_x:6.0 ~max_y:6.0 ))
     = None)
 
+(* Pins for the set-combination arms the spatial-index probes rely on
+   (Spatial_index.box_of_region turns these into query boxes, so an
+   under-approximation here would silently drop join candidates):
+   Intersection clips to the overlap of the operand boxes, Difference
+   conservatively keeps the left operand's whole box. *)
+let test_region_bbox_combinations () =
+  let check_box name region expected =
+    match (Region.bounding_box region, expected) with
+    | Some (x0, y0, x1, y1), Some (ex0, ey0, ex1, ey1) ->
+        Alcotest.(check (float 1e-9)) (name ^ " min x") ex0 x0;
+        Alcotest.(check (float 1e-9)) (name ^ " min y") ey0 y0;
+        Alcotest.(check (float 1e-9)) (name ^ " max x") ex1 x1;
+        Alcotest.(check (float 1e-9)) (name ^ " max y") ey1 y1
+    | None, None -> ()
+    | got, _ ->
+        Alcotest.failf "%s: box %s" name
+          (match got with None -> "absent" | Some _ -> "present")
+  in
+  let r0 = Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:6.0 ~max_y:4.0 in
+  check_box "overlapping rects clip"
+    (Region.Intersection (r0, Region.rect ~min_x:4.0 ~min_y:1.0 ~max_x:9.0 ~max_y:9.0))
+    (Some (4.0, 1.0, 6.0, 4.0));
+  check_box "rect ∩ circle clips to the circle's box"
+    (Region.Intersection (r0, Region.circle ~center:(pt 6.0 2.0) ~radius:1.0))
+    (Some (5.0, 1.0, 6.0, 3.0));
+  check_box "edge-touching intersection keeps the shared edge"
+    (Region.Intersection (r0, Region.rect ~min_x:6.0 ~min_y:0.0 ~max_x:8.0 ~max_y:4.0))
+    (Some (6.0, 0.0, 6.0, 4.0));
+  check_box "nested intersection clips twice"
+    (Region.Intersection
+       ( r0,
+         Region.Intersection
+           ( Region.rect ~min_x:1.0 ~min_y:1.0 ~max_x:9.0 ~max_y:9.0,
+             Region.rect ~min_x:2.0 ~min_y:0.0 ~max_x:5.0 ~max_y:3.0 ) ))
+    (Some (2.0, 1.0, 5.0, 3.0));
+  check_box "provably empty intersection has no box"
+    (Region.Intersection (r0, Region.rect ~min_x:7.0 ~min_y:5.0 ~max_x:8.0 ~max_y:6.0))
+    None;
+  check_box "difference keeps the minuend's box (conservative)"
+    (Region.Difference (r0, Region.rect ~min_x:0.0 ~min_y:0.0 ~max_x:5.0 ~max_y:4.0))
+    (Some (0.0, 0.0, 6.0, 4.0));
+  (* containment soundness on a lattice sweep: every member point of the
+     combination lies inside its bounding box *)
+  let region =
+    Region.Intersection
+      ( Region.Union (r0, Region.circle ~center:(pt 8.0 8.0) ~radius:2.0),
+        Region.Difference
+          ( Region.rect ~min_x:1.0 ~min_y:0.0 ~max_x:9.0 ~max_y:9.0,
+            Region.circle ~center:(pt 3.0 3.0) ~radius:1.0 ) )
+  in
+  match Region.bounding_box region with
+  | None -> Alcotest.fail "combination has a box"
+  | Some (x0, y0, x1, y1) ->
+      for i = 0 to 40 do
+        for j = 0 to 40 do
+          let x = float_of_int i /. 4.0 and y = float_of_int j /. 4.0 in
+          if Region.mem (pt x y) region then
+            Alcotest.(check bool)
+              (Printf.sprintf "member (%g, %g) inside box" x y)
+              true
+              (x >= x0 && x <= x1 && y >= y0 && y <= y1)
+        done
+      done
+
 let test_grid_line () =
   let line = Geometry.grid_line (0, 0) (3, 0) in
   Alcotest.(check int) "horizontal length" 4 (List.length line);
@@ -291,6 +355,8 @@ let tests =
     Alcotest.test_case "region membership" `Quick test_region_membership;
     Alcotest.test_case "region area/centroid" `Quick test_region_area_centroid;
     Alcotest.test_case "region bounding boxes" `Quick test_region_bbox;
+    Alcotest.test_case "region bbox set combinations" `Quick
+      test_region_bbox_combinations;
     Alcotest.test_case "grid lines (Bresenham)" `Quick test_grid_line;
     Alcotest.test_case "segment intersection" `Quick test_segments_intersect;
     Alcotest.test_case "segment-point distance" `Quick test_segment_point_distance;
