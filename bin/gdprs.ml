@@ -2,6 +2,7 @@
 
    Subcommands:
      check   FILE           parse, elaborate, report consistency
+     compile FILE -o SNAP   materialise once, persist the fixpoint (.gdpx)
      update  FILE --script UPDATES
                             apply an assert/retract script to the live base
      query   FILE PATTERN   run a fact-pattern query
@@ -9,7 +10,10 @@
      profile FILE GOAL      run a goal with telemetry: profile tree,
                             port counters, optional Chrome trace JSON
      render  FILE ...       rasterize a predicate layer to PPM/ASCII
-     info    FILE           inventory of the specification *)
+     info    FILE           inventory of the specification
+
+   check/update/query/ask/explain/profile accept --snapshot SNAP to answer
+   from a persisted fixpoint instead of recomputing it. *)
 
 open Cmdliner
 open Gdp_core
@@ -71,6 +75,38 @@ let no_spatial_index_arg =
                  derived model is identical; only the spatial counters in \
                  $(b,--stats) move. Only meaningful with $(b,--materialize); \
                  rejected with $(b,--magic).")
+
+let snapshot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "snapshot" ] ~docv:"FILE.gdpx"
+           ~doc:"Answer from a persistent fixpoint snapshot written by \
+                 $(b,gdprs compile -o): the materialised model is loaded \
+                 from $(docv) — re-interned and re-indexed, but with no \
+                 rule evaluation — after verifying that the specification, \
+                 views and engine configuration still hash to the \
+                 snapshot's key. A stale snapshot (the file or \
+                 configuration changed) is rebuilt in memory with a \
+                 warning; a corrupt file is a hard error (exit 2). \
+                 Implies $(b,--materialize) unless $(b,--magic) is given \
+                 ($(b,ask) instead implies $(b,--magic), its only \
+                 fixpoint-backed mode).")
+
+(* Load [path] into [q]'s fixpoint cache. Stale falls through with a
+   warning — the caller's next materialisation recomputes fresh — while
+   corruption is a hard stop: rebuilding would paper over disk trouble. *)
+let load_snapshot q = function
+  | None -> ()
+  | Some path -> (
+      (Query.spec q).Spec.snapshot_path <- Some path;
+      match Query.of_snapshot q path with
+      | Ok (_bytes, facts) ->
+          Printf.printf "snapshot: loaded %d facts from %s\n" facts path
+      | Error (Query.Snapshot_stale msg) ->
+          Printf.eprintf "warning: snapshot %s is stale (%s); rebuilding\n"
+            path msg
+      | Error (Query.Snapshot_corrupt msg) ->
+          Printf.eprintf "error: snapshot %s: %s\n" path msg;
+          exit 2)
 
 let stats_arg =
   Arg.(value & flag
@@ -157,16 +193,18 @@ let handle_errors f =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run file view models metas materialize stats jobs no_spatial_index
-      explain_n trace_out =
+  let run file view models metas materialize snapshot stats jobs
+      no_spatial_index explain_n trace_out =
     handle_errors (fun () ->
         let result = load file in
         if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
         set_spatial_indexing result ~no_spatial_index ~magic:false;
+        let materialize = materialize || snapshot <> None in
         let q = with_materialize (build_query result view models metas) materialize in
         Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
         Printf.printf "meta view:  {%s}\n" (String.concat ", " (Query.meta_view q));
+        load_snapshot q snapshot;
         if materialize then begin
           let fp = Query.materialization q in
           Printf.printf "materialised: %d facts, %d strata, %d passes\n"
@@ -192,8 +230,54 @@ let check_cmd =
   let doc = "Check a specification's consistency under a world view (§III-E)." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ materialize_arg
-          $ stats_arg $ jobs_arg $ no_spatial_index_arg $ explain_violations_arg
-          $ trace_out_arg)
+          $ snapshot_arg $ stats_arg $ jobs_arg $ no_spatial_index_arg
+          $ explain_violations_arg $ trace_out_arg)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE.gdpx"
+             ~doc:"Where to write the snapshot. Conventionally \
+                   $(i,SPEC).gdpx next to the specification.")
+  in
+  let run file view models metas out stats jobs no_spatial_index trace_out =
+    handle_errors (fun () ->
+        let result = load file in
+        if stats || trace_out <> None then enable_telemetry result;
+        set_jobs result jobs;
+        set_spatial_indexing result ~no_spatial_index ~magic:false;
+        let q =
+          Query.with_mode (build_query result view models metas)
+            Query.Materialized
+        in
+        Printf.printf "world view: {%s}\n" (String.concat ", " (Query.world_view q));
+        Printf.printf "meta view:  {%s}\n" (String.concat ", " (Query.meta_view q));
+        let fp = Query.materialization q in
+        Printf.printf "materialised: %d facts, %d strata, %d passes\n"
+          (Gdp_logic.Bottom_up.count fp)
+          (Gdp_logic.Bottom_up.strata_count fp)
+          (Gdp_logic.Bottom_up.iterations fp);
+        let _bytes, facts = Query.save_snapshot q out in
+        (Query.spec q).Spec.snapshot_path <- Some out;
+        Printf.printf "wrote %s (%d facts)\n" out facts;
+        if stats then print_stats q;
+        write_trace q trace_out;
+        0)
+  in
+  let doc =
+    "Materialise a specification's bottom-up fixpoint once and persist it \
+     as a snapshot (.gdpx): facts, indexes, stratification, incremental \
+     state and provenance, keyed by a content hash of the compiled \
+     specification and engine configuration. Later runs pass \
+     $(b,--snapshot) to answer from the file instead of re-deriving — \
+     compile once, query many. A snapshot whose key no longer matches is \
+     reported stale and rebuilt, never silently reused."
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ out_arg
+          $ stats_arg $ jobs_arg $ no_spatial_index_arg $ trace_out_arg)
 
 (* ---- update ---- *)
 
@@ -241,13 +325,14 @@ let update_cmd =
                       "%s:%d: expected 'assert FACT' or 'retract FACT'" path
                       lineno))
   in
-  let run file view models metas script materialize stats jobs no_spatial_index
-      explain_n trace_out =
+  let run file view models metas script materialize snapshot stats jobs
+      no_spatial_index explain_n trace_out =
     handle_errors (fun () ->
         let result = load file in
         if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
         set_spatial_indexing result ~no_spatial_index ~magic:false;
+        let materialize = materialize || snapshot <> None in
         let q =
           with_materialize (build_query result view models metas) materialize
         in
@@ -255,8 +340,10 @@ let update_cmd =
           (String.concat ", " (Query.world_view q));
         Printf.printf "meta view:  {%s}\n"
           (String.concat ", " (Query.meta_view q));
-        (* materialise before the script runs: the fixpoint is then
-           repaired incrementally by each update, never rebuilt *)
+        load_snapshot q snapshot;
+        (* materialise before the script runs: the fixpoint (loaded or
+           computed) is then repaired incrementally by each update, never
+           rebuilt *)
         if materialize then Stdlib.ignore (Query.materialization q);
         let ops = parse_script script in
         List.iter (fun u -> Stdlib.ignore (Query.update q [ u ])) ops;
@@ -267,6 +354,13 @@ let update_cmd =
         Printf.printf "applied %d update(s): %d asserted, %d retracted\n"
           (List.length ops) asserts
           (List.length ops - asserts);
+        (* persist the maintained fixpoint plus the grown update log, so
+           the next --snapshot load replays this batch too *)
+        (match snapshot with
+        | None -> ()
+        | Some path ->
+            let _bytes, facts = Query.save_snapshot q path in
+            Printf.printf "snapshot: saved %d facts to %s\n" facts path);
         if materialize then begin
           let fp = Query.materialization q in
           Printf.printf "materialised: %d facts, %d strata, %d passes\n"
@@ -301,8 +395,8 @@ let update_cmd =
   in
   Cmd.v (Cmd.info "update" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ script_arg
-          $ materialize_arg $ stats_arg $ jobs_arg $ no_spatial_index_arg
-          $ explain_violations_arg $ trace_out_arg)
+          $ materialize_arg $ snapshot_arg $ stats_arg $ jobs_arg
+          $ no_spatial_index_arg $ explain_violations_arg $ trace_out_arg)
 
 (* ---- query ---- *)
 
@@ -314,16 +408,20 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Maximum answers.")
   in
-  let run file view models metas pattern limit materialize magic stats jobs
-      no_spatial_index =
+  let run file view models metas pattern limit materialize magic snapshot
+      stats jobs no_spatial_index =
     handle_errors (fun () ->
         let result = load file in
         if stats then enable_telemetry result;
         set_jobs result jobs;
         set_spatial_indexing result ~no_spatial_index ~magic;
+        let materialize =
+          materialize || (snapshot <> None && not magic)
+        in
         let q =
           with_engine (build_query result view models metas) ~materialize ~magic
         in
+        load_snapshot q snapshot;
         let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
         let code =
           match Query.solutions ~limit q pat with
@@ -340,8 +438,8 @@ let query_cmd =
   let doc = "Enumerate the provable instantiations of a fact pattern." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
-          $ limit_arg $ materialize_arg $ magic_arg $ stats_arg $ jobs_arg
-          $ no_spatial_index_arg)
+          $ limit_arg $ materialize_arg $ magic_arg $ snapshot_arg $ stats_arg
+          $ jobs_arg $ no_spatial_index_arg)
 
 (* ---- ask ---- *)
 
@@ -350,17 +448,21 @@ let ask_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"Raw engine goal over the reified vocabulary (holds/6, acc/7, builtins).")
   in
-  let run file view models metas goal magic stats jobs no_spatial_index
-      trace_out =
+  let run file view models metas goal magic snapshot stats jobs
+      no_spatial_index trace_out =
     handle_errors (fun () ->
         let result = load file in
         if stats || trace_out <> None then enable_telemetry result;
         set_jobs result jobs;
         set_spatial_indexing result ~no_spatial_index ~magic;
+        (* ask's only fixpoint-backed mode is magic, so --snapshot
+           selects it; the loaded full model then answers the goal *)
+        let magic = magic || snapshot <> None in
         let q =
           with_engine (build_query result view models metas) ~materialize:false
             ~magic
         in
+        load_snapshot q snapshot;
         let code =
           match Query.ask_all ~limit:20 q goal with
           | [] ->
@@ -386,8 +488,8 @@ let ask_cmd =
   let doc = "Run a raw engine goal against the compiled database." in
   Cmd.v (Cmd.info "ask" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ magic_arg $ stats_arg $ jobs_arg $ no_spatial_index_arg
-          $ trace_out_arg)
+          $ magic_arg $ snapshot_arg $ stats_arg $ jobs_arg
+          $ no_spatial_index_arg $ trace_out_arg)
 
 (* ---- profile ---- *)
 
@@ -398,16 +500,18 @@ let profile_cmd =
              ~doc:"Raw engine goal over the reified vocabulary (holds/6, \
                    acc/7, builtins); every answer is drained.")
   in
-  let run file view models metas goal materialize trace_out jobs
+  let run file view models metas goal materialize snapshot trace_out jobs
       no_spatial_index =
     handle_errors (fun () ->
         let result = load file in
         enable_telemetry result;
         set_jobs result jobs;
         set_spatial_indexing result ~no_spatial_index ~magic:false;
+        let materialize = materialize || snapshot <> None in
         let q =
           with_materialize (build_query result view models metas) materialize
         in
+        load_snapshot q snapshot;
         if materialize then Stdlib.ignore (Query.materialization q);
         let answers = Query.ask_all q goal in
         let tracer = Query.tracer q in
@@ -432,7 +536,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ goal_arg
-          $ materialize_arg $ trace_out_arg $ jobs_arg $ no_spatial_index_arg)
+          $ materialize_arg $ snapshot_arg $ trace_out_arg $ jobs_arg
+          $ no_spatial_index_arg)
 
 (* ---- render ---- *)
 
@@ -528,8 +633,8 @@ let explain_cmd =
                    (root id, nodes with kind and label, conclusion-to-premise \
                    edges).")
   in
-  let run file view models metas pattern dot json materialize magic stats jobs
-      no_spatial_index =
+  let run file view models metas pattern dot json materialize magic snapshot
+      stats jobs no_spatial_index =
     handle_errors (fun () ->
         if dot && json then
           invalid_arg "--dot and --json are mutually exclusive";
@@ -537,9 +642,13 @@ let explain_cmd =
         if stats then enable_telemetry result;
         set_jobs result jobs;
         set_spatial_indexing result ~no_spatial_index ~magic;
+        let materialize =
+          materialize || (snapshot <> None && not magic)
+        in
         let q =
           with_engine (build_query result view models metas) ~materialize ~magic
         in
+        load_snapshot q snapshot;
         let pat = Gdp_lang.Elaborate.fact_to_pattern (Gdp_lang.Parser.fact pattern) in
         let code =
           match Query.explain_proof q pat with
@@ -571,8 +680,8 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const run $ file_arg $ view_arg $ models_arg $ metas_arg $ pattern_arg
-          $ dot_arg $ json_arg $ materialize_arg $ magic_arg $ stats_arg
-          $ jobs_arg $ no_spatial_index_arg)
+          $ dot_arg $ json_arg $ materialize_arg $ magic_arg $ snapshot_arg
+          $ stats_arg $ jobs_arg $ no_spatial_index_arg)
 
 (* ---- info ---- *)
 
@@ -617,7 +726,7 @@ let main =
   let doc = "formal specification of geographic data processing requirements" in
   let info = Cmd.info "gdprs" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ check_cmd; update_cmd; query_cmd; ask_cmd; profile_cmd; render_cmd;
-      lint_cmd; explain_cmd; info_cmd ]
+    [ check_cmd; compile_cmd; update_cmd; query_cmd; ask_cmd; profile_cmd;
+      render_cmd; lint_cmd; explain_cmd; info_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -6,6 +6,7 @@ type t = {
   world_view : string list;
   meta_view : string list;
   needs_loop_check : bool;
+  clause_digest : string;
 }
 
 let rule_clause ~model (r : Spec.rule) =
@@ -98,6 +99,58 @@ let emit_model spec db ~propagate (md : Spec.model_def) =
     md.Spec.rules;
   List.iter (fun r -> assert_clause db (rule_clause ~model r)) md.Spec.constraints
 
+(* Canonical clause rendering for {!content_hash}: variables are
+   numbered by first occurrence within their clause (clause renaming
+   allocates process-local ids, so [Term.pp] output is not stable across
+   processes), atoms and strings are length-prefixed, and floats render
+   in hex — two compilations of the same specification produce the same
+   bytes in any process. *)
+let digest_clause buf (c : Database.clause) =
+  let ids = Hashtbl.create 8 in
+  let rec go = function
+    | Term.Var v ->
+        let n =
+          match Hashtbl.find_opt ids v.Term.id with
+          | Some n -> n
+          | None ->
+              let n = Hashtbl.length ids in
+              Hashtbl.add ids v.Term.id n;
+              n
+        in
+        Buffer.add_char buf '?';
+        Buffer.add_string buf (string_of_int n)
+    | Term.Atom a ->
+        Buffer.add_char buf 'a';
+        Buffer.add_string buf (string_of_int (String.length a));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf a
+    | Term.Int i ->
+        Buffer.add_char buf 'i';
+        Buffer.add_string buf (string_of_int i)
+    | Term.Float f ->
+        Buffer.add_char buf 'f';
+        Buffer.add_string buf (Printf.sprintf "%h" f)
+    | Term.Str s ->
+        Buffer.add_char buf 's';
+        Buffer.add_string buf (string_of_int (String.length s));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf s
+    | Term.App (f, args) ->
+        Buffer.add_char buf '(';
+        Buffer.add_string buf (string_of_int (String.length f));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf f;
+        List.iter (fun a -> go a) args;
+        Buffer.add_char buf ')'
+  in
+  go c.Database.head;
+  List.iter
+    (fun g ->
+      Buffer.add_char buf '-';
+      go g)
+    c.Database.body;
+  Buffer.add_char buf '\n'
+
 let compile ?world_view ?(meta_view = []) ?(tracer = Gdp_obs.Tracer.disabled)
     spec =
   Gdp_obs.Tracer.with_span tracer ~cat:"compile" "compile" @@ fun () ->
@@ -147,6 +200,25 @@ let compile ?world_view ?(meta_view = []) ?(tracer = Gdp_obs.Tracer.disabled)
       metas
   in
   List.iter (emit_model spec db ~propagate) models;
+  (* the clause digest is taken now — after the models, before the
+     update-log replay — so a snapshot saved from an incrementally
+     updated session carries the same key a fresh compilation of the
+     written specification computes: updates persist through the
+     snapshot's own log, never through the key. The meta clauses
+     (asserted last) are folded in from [metas] directly. *)
+  let clause_digest =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun fa -> List.iter (digest_clause buf) (Database.all_clauses db fa))
+      (Database.predicates db);
+    List.iter
+      (fun (m : Spec.meta_model) ->
+        Buffer.add_string buf m.Spec.meta_name;
+        Buffer.add_char buf '\n';
+        List.iter (digest_clause buf) m.Spec.meta_clauses)
+      metas;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
   (* replay the specification's update log so a fresh compilation agrees
      with a database maintained incrementally through Query.update *)
   List.iter
@@ -169,7 +241,7 @@ let compile ?world_view ?(meta_view = []) ?(tracer = Gdp_obs.Tracer.disabled)
   let needs_loop_check =
     List.exists (fun (m : Spec.meta_model) -> m.Spec.needs_loop_check) metas
   in
-  { spec; db; world_view; meta_view; needs_loop_check }
+  { spec; db; world_view; meta_view; needs_loop_check; clause_digest }
 
 (* holds/6 and acc/7 carry the user predicate as the constant at argument
    1; splitting their relations there lets the bottom-up evaluator
@@ -270,3 +342,53 @@ let spatial_hints ?grid_cell spec : Bottom_up.spatial =
 
 let magic_rewrite ?tracer ~goal db =
   Magic.rewrite ~refine:datalog_refine ~spatial_ext ?tracer ~goal db
+
+(* The snapshot key: the compiled clause sequence (exact order — rule
+   ids anchor recorded witnesses) plus everything outside the clause
+   store that changes what a materialised fixpoint derives: views, the
+   coordinate system, region geometries, logical space/time resolutions,
+   the fuzzy algebra, and the engine configuration knobs ([jobs] is
+   deliberately excluded: parallelism never changes the model, so one
+   snapshot serves every [--jobs] setting). The configuration part reads
+   the specification's {e current} flags, so flipping
+   [Spec.spatial_indexing] or [Spec.provenance] after compilation
+   changes the key — a [--no-spatial-index] run never silently reuses an
+   indexed snapshot. *)
+let content_hash (c : t) =
+  let spec = c.spec in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf c.clause_digest;
+  Buffer.add_string buf "|wv:";
+  List.iter
+    (fun m ->
+      Buffer.add_string buf m;
+      Buffer.add_char buf ',')
+    c.world_view;
+  Buffer.add_string buf "|mv:";
+  List.iter
+    (fun m ->
+      Buffer.add_string buf m;
+      Buffer.add_char buf ',')
+    c.meta_view;
+  Buffer.add_string buf
+    (Format.asprintf "|coord:%a" Gdp_space.Coord.pp spec.Spec.coord);
+  List.iter
+    (fun (name, r) ->
+      Buffer.add_string buf
+        (Format.asprintf "|region %s:%a" name Gdp_space.Region.pp r))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) spec.Spec.regions);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Format.asprintf "|space:%a" Gdp_space.Resolution.pp r))
+    spec.Spec.spaces;
+  List.iter
+    (fun (r : Gdp_temporal.Resolution1d.t) ->
+      Buffer.add_string buf ("|tspace:" ^ r.Gdp_temporal.Resolution1d.name))
+    spec.Spec.tspaces;
+  Buffer.add_string buf
+    (Printf.sprintf "|fuzzy:%d" (Hashtbl.hash spec.Spec.fuzzy_family));
+  Buffer.add_string buf
+    (Printf.sprintf "|spatial_indexing:%b|provenance:%b"
+       spec.Spec.spatial_indexing spec.Spec.provenance);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -16,6 +16,10 @@ type t = private {
   meta_view : string list;
   needs_loop_check : bool;
       (** true when an active meta-model requires the ancestor loop check *)
+  clause_digest : string;
+      (** MD5 (hex) of the canonically rendered compiled clause sequence,
+          taken {e before} the update-log replay — the program part of
+          {!content_hash} *)
 }
 
 val compile :
@@ -64,6 +68,19 @@ val spatial_hints :
     selects uniform-grid indexes of that cell size instead of STR-packed
     R-trees. Pass to {!Gdp_logic.Bottom_up.run} as [~spatial] whenever
     the database came from {!compile}. *)
+
+val content_hash : t -> string
+(** The snapshot key of this compilation: a digest over the exact
+    compiled clause sequence (rule order included — witness rule ids
+    depend on it), both views, the coordinate system, region
+    geometries, logical space and time resolutions, the fuzzy algebra
+    family, and the [Spec.spatial_indexing] / [Spec.provenance] flags
+    as they stand {e now}. Deliberately independent of [Spec.jobs]
+    (parallelism never changes the derived model) and of the
+    specification's update log (updates persist inside the snapshot and
+    are replayed on load — see [Query.of_snapshot]). Two processes
+    compiling the same specification under the same views and flags
+    compute the same hash; any divergence marks a snapshot {e stale}. *)
 
 val magic_rewrite :
   ?tracer:Gdp_obs.Tracer.t ->

@@ -21,6 +21,11 @@ type t = {
           [with_mode] copies like [fp], and invalidated (not repaired) by
           {!update} — the magic seeds depend on the goal, not the base,
           so a stale fixpoint would silently miss new derivations *)
+  snap : (int * int) option ref;
+      (** [(bytes, facts)] of a loaded snapshot; [Some] marks [fp] as the
+          {e full} materialisation loaded from disk, so magic mode
+          answers from it instead of rewriting — shared across
+          [with_mode] copies like [fp] *)
 }
 
 let tracer_for ?tracer (spec : Spec.t) =
@@ -65,6 +70,7 @@ let of_compiled ?(max_depth = 100_000) ?(on_depth = `Raise) ?mode ?tracer
     jobs;
     fp = ref None;
     magic = ref None;
+    snap = ref None;
   }
 
 let create ?world_view ?meta_view ?max_depth ?on_depth ?mode ?tracer ?jobs spec =
@@ -125,6 +131,132 @@ let magic_materialization q goal =
       result
 
 let magic_info q = Option.map (fun (_, _, i) -> i) !(q.magic)
+let op_span q name fn = Gdp_obs.Tracer.with_span q.tracer ~cat:"query" name fn
+
+(* ------------------------------------------------------------------ *)
+(* persistent snapshots: compile once, query many *)
+
+type snapshot_error = Snapshot_stale of string | Snapshot_corrupt of string
+
+let snapshot_error_message = function
+  | Snapshot_stale m | Snapshot_corrupt m -> m
+
+let save_snapshot q path =
+  op_span q "save_snapshot" @@ fun () ->
+  let fp = materialization q in
+  let state = Bottom_up.export fp in
+  (* the update log rides in the container's opaque meta payload:
+     [of_snapshot] replays it into the freshly compiled database, so a
+     snapshot saved after {!update} batches loads coherently *)
+  let meta = Marshal.to_string (Spec.update_log (spec q) : Spec.update list) [] in
+  let bytes =
+    Snapshot.save ~tracer:q.tracer ~path
+      { Snapshot.key = Compile.content_hash q.compiled; meta; state }
+  in
+  (bytes, Bottom_up.snapshot_facts state)
+
+(* Replay the snapshot's persisted update log into the compiled
+   database. The specification's own log must be a prefix of the
+   persisted one (it is empty on a fresh CLI load; it equals the
+   persisted log when saving and reloading within one session) — a
+   diverging log means the snapshot belongs to a different update
+   history, which is staleness, not corruption. *)
+let replay_snapshot_updates q (saved : Spec.update list) =
+  let rec drop_prefix known saved =
+    match (known, saved) with
+    | [], rest -> Some rest
+    | k :: ks, s :: ss when k = s -> drop_prefix ks ss
+    | _ -> None
+  in
+  match drop_prefix (Spec.update_log (spec q)) saved with
+  | None ->
+      Error
+        (Snapshot_stale
+           "the snapshot's persisted update log diverges from this \
+            session's updates")
+  | Some fresh ->
+      let database = db q in
+      List.iter
+        (fun u ->
+          let t =
+            Gfact.to_holds ~default_model:Names.default_model
+              (match u with `Assert f | `Retract f -> f)
+          in
+          (match u with
+          | `Assert _ ->
+              if not (Database.has_fact database t) then Database.fact database t
+          | `Retract _ ->
+              while Database.retract_fact database t do
+                ()
+              done);
+          Spec.log_update (spec q) u)
+        fresh;
+      Ok ()
+
+let of_snapshot q path =
+  op_span q "of_snapshot" @@ fun () ->
+  match Snapshot.load ~tracer:q.tracer ~path () with
+  | exception Snapshot.Corrupt msg -> Error (Snapshot_corrupt msg)
+  | snap, bytes -> (
+      let want = Compile.content_hash q.compiled in
+      if not (String.equal snap.Snapshot.key want) then
+        Error
+          (Snapshot_stale
+             "the specification or engine configuration changed since \
+              the snapshot was written")
+      else
+        match
+          (Marshal.from_string snap.Snapshot.meta 0 : Spec.update list)
+        with
+        | exception _ ->
+            Error (Snapshot_corrupt "unreadable snapshot update log")
+        | saved_updates -> (
+            match replay_snapshot_updates q saved_updates with
+            | Error e -> Error e
+            | Ok () -> (
+                match
+                  Bottom_up.import ~refine:Compile.datalog_refine
+                    ~spatial:(Compile.spatial_hints (spec q))
+                    ~spatial_indexing:(spec q).Spec.spatial_indexing
+                    ~tracer:q.tracer ~jobs:q.jobs
+                    ~lineage:(spec q).Spec.provenance (db q)
+                    snap.Snapshot.state
+                with
+                | fp ->
+                    let facts = Bottom_up.snapshot_facts snap.Snapshot.state in
+                    q.fp := Some fp;
+                    q.snap := Some (bytes, facts);
+                    Ok (bytes, facts)
+                | exception Invalid_argument msg ->
+                    Error (Snapshot_corrupt msg)
+                | exception Bottom_up.Unsupported msg ->
+                    Error (Snapshot_stale msg))))
+
+let snapshot_loaded q = !(q.snap)
+
+(* The fixpoint a bottom-up answer should come from: with a loaded
+   snapshot the {e full} model is already materialised, so magic mode
+   answers from it directly — goal-directed rewriting could only
+   recompute a subset of what is already in memory, and on the shared
+   fragment the two agree answer for answer. *)
+let goal_fixpoint q goal =
+  match q.mode with
+  | Top_down | Materialized -> materialization q
+  | Magic ->
+      if !(q.snap) = None then fst (magic_materialization q goal)
+      else materialization q
+
+(* idem, paired with the proof post-processing the mode needs (magic
+   proofs carry the rewrite's magic$ guard premises; full-model proofs
+   do not) *)
+let goal_fixpoint_proofs q goal =
+  match q.mode with
+  | Top_down | Materialized -> (materialization q, fun p -> p)
+  | Magic ->
+      if !(q.snap) = None then
+        let fp, _ = magic_materialization q goal in
+        (fp, Magic.strip_proof)
+      else (materialization q, fun p -> p)
 
 let update q (updates : Spec.update list) =
   Gdp_obs.Tracer.with_span q.tracer ~cat:"query" "update" @@ fun () ->
@@ -172,7 +304,6 @@ let update q (updates : Spec.update list) =
 
 let tracer q = q.tracer
 let solve_stats q = q.solve_stats
-let op_span q name fn = Gdp_obs.Tracer.with_span q.tracer ~cat:"query" name fn
 
 let take limit l =
   match limit with
@@ -185,11 +316,7 @@ let holds q pattern =
   match q.mode with
   | Top_down -> Solve.succeeds ~options:q.options (db q) [ goal ]
   | Materialized | Magic ->
-      let fp =
-        match q.mode with
-        | Magic -> fst (magic_materialization q goal)
-        | _ -> materialization q
-      in
+      let fp = goal_fixpoint q goal in
       if Term.is_ground goal then Bottom_up.holds fp goal
       else
         List.exists
@@ -222,11 +349,7 @@ let solutions ?limit q pattern =
       (* probe the fixpoint's argument indexes with the goal's ground
          positions, then sort the (narrowed) candidates so answers keep
          the standard order a full sorted scan used to produce *)
-      let fp =
-        match q.mode with
-        | Magic -> fst (magic_materialization q goal)
-        | _ -> materialization q
-      in
+      let fp = goal_fixpoint q goal in
       Bottom_up.probe fp goal
       |> List.filter (fun fact -> Unify.unify Subst.empty goal fact <> None)
       |> List.sort Term.compare
@@ -292,11 +415,7 @@ let violations ?limit q =
                (Term.as_list (Subst.apply subst os)))
       |> List.sort_uniq compare
   | Materialized | Magic ->
-      let fp =
-        match q.mode with
-        | Magic -> fst (magic_materialization q goal)
-        | _ -> materialization q
-      in
+      let fp = goal_fixpoint q goal in
       Bottom_up.probe fp goal
       |> List.filter_map (fun fact ->
              match fact with
@@ -350,13 +469,7 @@ let violation_proofs ?limit q =
       in
       collect [] 0 (Explain.prove ~options:q.options (db q) [ goal ])
   | Materialized | Magic ->
-      let fp, strip =
-        match q.mode with
-        | Magic ->
-            let fp, _ = magic_materialization q goal in
-            (fp, Magic.strip_proof)
-        | _ -> (materialization q, fun p -> p)
-      in
+      let fp, strip = goal_fixpoint_proofs q goal in
       Bottom_up.probe fp goal
       |> List.filter (fun fact -> decode_violation fact <> None)
       |> List.sort Term.compare
@@ -403,8 +516,7 @@ let pp_reified_term = pp_reified
 let explain_fixpoint q goal =
   match q.mode with
   | Top_down -> None
-  | Materialized -> Some (materialization q, fun p -> p)
-  | Magic -> Some (fst (magic_materialization q goal), Magic.strip_proof)
+  | Materialized | Magic -> Some (goal_fixpoint_proofs q goal)
 
 let explain_proof q pattern =
   op_span q "explain" @@ fun () ->
@@ -453,7 +565,7 @@ let ask q src =
   match q.mode with
   | Magic ->
       let goal = magic_goal goals in
-      let fp, _ = magic_materialization q goal in
+      let fp = goal_fixpoint q goal in
       List.exists
         (fun fact -> Unify.unify Subst.empty goal fact <> None)
         (Bottom_up.probe fp goal)
@@ -478,7 +590,7 @@ let ask_all ?limit q src =
   match q.mode with
   | Magic ->
       let goal = magic_goal goals in
-      let fp, _ = magic_materialization q goal in
+      let fp = goal_fixpoint q goal in
       Bottom_up.probe fp goal
       |> List.filter_map (fun fact -> Unify.unify Subst.empty goal fact)
       |> List.sort (fun a b ->
@@ -512,6 +624,10 @@ let pp_stats ppf q =
       Format.fprintf ppf
         "unifications: %d  loop prunes: %d  deepest call: %d@,"
         s.Solve.unifications s.Solve.loop_prunes s.Solve.deepest_call);
+  (match !(q.snap) with
+  | Some (bytes, facts) ->
+      Format.fprintf ppf "snapshot: loaded %d facts (%d bytes)@," facts bytes
+  | None -> ());
   (match !(q.fp) with
   | Some fp -> Bottom_up.pp_stats ppf (Bottom_up.stats fp)
   | None -> ());

@@ -9,6 +9,9 @@
 open Gdp_logic
 
 type t
+(** A compiled specification under a fixed world view and meta-view,
+    ready to answer questions. Mutable: {!update} repairs it in place,
+    and lazily computed fixpoints are cached inside. *)
 
 type engine_mode =
   | Top_down  (** SLDNF resolution per query ({!Gdp_logic.Solve}) *)
@@ -60,8 +63,11 @@ val of_compiled :
   ?jobs:int ->
   Compile.t ->
   t
+(** Wrap an existing compilation — {!create} without the compile step;
+    same defaults. *)
 
 val mode : t -> engine_mode
+(** The answering strategy this query was built with. *)
 
 val with_mode : t -> engine_mode -> t
 (** Same compiled database, different answering strategy. The fixpoint
@@ -94,9 +100,16 @@ val magic_info : t -> Gdp_logic.Magic.info option
     source of the fallback counter printed by {!pp_stats}. *)
 
 val spec : t -> Spec.t
+(** The specification this query was compiled from. *)
+
 val db : t -> Database.t
+(** The compiled engine database (the reified [holds/6] vocabulary). *)
+
 val world_view : t -> string list
+(** The models selected at compilation (§III-E), sorted. *)
+
 val meta_view : t -> string list
+(** The meta-models selected at compilation (§IV-D), sorted. *)
 
 val holds : t -> Gfact.t -> bool
 (** Is the (possibly non-ground) pattern provable? Unqualified patterns
@@ -144,6 +157,7 @@ val violations : ?limit:int -> t -> violation list
     fixpoint (conjunctions raise {!Gdp_logic.Bottom_up.Unsupported}). *)
 
 val consistent : t -> bool
+(** [violations q = []] — the §III-E consistency verdict. *)
 
 val violation_proofs :
   ?limit:int -> t -> (violation * Gdp_logic.Explain.proof) list
@@ -207,6 +221,57 @@ val ask : t -> string -> bool
 
 val ask_all :
   ?limit:int -> t -> string -> (string * Term.t) list list
+(** Every solution of a raw engine goal as (variable name, binding)
+    rows, in derivation order. *)
+
+(** {1 Persistent snapshots}
+
+    Compile once, query many: {!save_snapshot} writes the materialised
+    fixpoint (facts, indexes, stratification shape, incremental state,
+    provenance witnesses, counters) plus the specification's update log
+    to a [.gdpx] file keyed by {!Compile.content_hash};
+    {!of_snapshot} loads one back — skipping rule evaluation entirely —
+    after proving the key still matches this compilation. A stale or
+    corrupt file is reported, never silently reused. The CLI surface is
+    [gdprs compile -o FILE.gdpx] / [--snapshot FILE.gdpx]. *)
+
+type snapshot_error =
+  | Snapshot_stale of string
+      (** the file is well-formed but belongs to a different
+          specification, engine configuration or update history — safe
+          (and expected) to rebuild and overwrite *)
+  | Snapshot_corrupt of string
+      (** the file is truncated, tampered with or unreadable — the CLI
+          treats this as a hard error (exit 2) rather than rebuilding,
+          so disk trouble is never papered over *)
+
+val snapshot_error_message : snapshot_error -> string
+(** The human-readable reason, without the stale/corrupt prefix. *)
+
+val save_snapshot : t -> string -> int * int
+(** [save_snapshot q path] materialises (if not already cached), exports
+    the fixpoint with {!Gdp_logic.Bottom_up.export} and writes it to
+    [path], returning [(bytes_written, facts)]. The snapshot embeds the
+    update log, so saving after {!update} batches round-trips them.
+    Raises {!Gdp_logic.Bottom_up.Unsupported} outside the Datalog
+    fragment and [Sys_error] on unwritable paths. *)
+
+val of_snapshot : t -> string -> (int * int, snapshot_error) result
+(** [of_snapshot q path] loads the snapshot at [path] into this query's
+    fixpoint cache, returning [(bytes_read, facts)] on success. Steps:
+    verify the file ({!Gdp_logic.Snapshot.load}), compare its key
+    against {!Compile.content_hash} of this compilation, replay the
+    update-log suffix this session has not seen into the compiled
+    database (so top-down answers agree too), and rebuild the in-memory
+    fixpoint with {!Gdp_logic.Bottom_up.import} — re-interning terms and
+    rebuilding indexes, but firing no rules. After [Ok], {!holds} /
+    {!solutions} / {!violations} / {!explain} answer from the loaded
+    model in {!Materialized} {e and} {!Magic} modes (the full model is
+    already in memory, so goal-directed rewriting is pointless), and
+    {!update} maintains it incrementally as usual. *)
+
+val snapshot_loaded : t -> (int * int) option
+(** [(bytes, facts)] of the snapshot this query answered from, if any. *)
 
 val tracer : t -> Gdp_obs.Tracer.t
 (** The telemetry sink this query reports into (possibly disabled). Call
@@ -227,3 +292,4 @@ val pp_stats : Format.formatter -> t -> unit
     — the CLI [--stats] flag prints exactly this. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+(** One-line rendering: [model: tag(args) [objects]]. *)

@@ -53,6 +53,10 @@ type t = {
   mutable provenance : bool;
       (* record why-provenance in materialised fixpoints (lineage) *)
   mutable updates : update list; (* newest first; update_log reverses *)
+  mutable snapshot_path : string option;
+      (* where a persistent fixpoint snapshot for this specification
+         lives (CLI --snapshot / compile -o); informational — Query
+         never reads it, the CLI threads it *)
 }
 
 let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
@@ -77,6 +81,7 @@ let create ?(coord = Gdp_space.Coord.Cartesian) ?(now = 0.0) () =
       spatial_indexing = true;
       provenance = true;
       updates = [];
+      snapshot_path = None;
     }
   in
   spec.models <-

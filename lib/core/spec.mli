@@ -113,6 +113,11 @@ type t = {
           switch off for memory-tight batch sweeps that never explain. *)
   mutable updates : update list;
       (** the update log, newest first — read it through {!update_log} *)
+  mutable snapshot_path : string option;
+      (** where a persistent fixpoint snapshot for this specification
+          lives, when one is in play ([gdprs compile -o] sets it on
+          save, [--snapshot] on load). Purely informational: {!Query}
+          takes explicit paths and never consults this field. *)
 }
 
 val create : ?coord:Gdp_space.Coord.t -> ?now:float -> unit -> t
@@ -122,12 +127,17 @@ val create : ?coord:Gdp_space.Coord.t -> ?now:float -> unit -> t
 (** {1 Universe declarations} *)
 
 val declare_object : t -> string -> unit
+(** Declare one object designator (§III-A); raises on duplicates. *)
+
 val declare_objects : t -> string list -> unit
+(** {!declare_object} over a list, in order. *)
 
 val declare_predicate : t -> ?value_domains:string list -> ?object_arity:int -> string -> unit
 (** Raises on duplicate name or unknown domain name. *)
 
 val declare_domain : t -> Gdp_domain.Semantic_domain.t -> unit
+(** Register a semantic domain (§III-B); raises on duplicate names. *)
+
 val declare_space : t -> Gdp_space.Resolution.t -> unit
 (** The resolution's name must be non-empty and unique. *)
 
@@ -135,11 +145,16 @@ val declare_tspace : t -> Gdp_temporal.Resolution1d.t -> unit
 (** Named temporal resolution; name must be non-empty and unique. *)
 
 val find_tspace : t -> string -> Gdp_temporal.Resolution1d.t option
+(** Look up a declared temporal resolution by name. *)
+
 val declare_region : t -> string -> Gdp_space.Region.t -> unit
+(** Name a region of absolute space (§V-A); raises on duplicates. *)
 
 (** {1 Models} *)
 
 val declare_model : t -> string -> unit
+(** Declare an empty model (§III-D); raises on duplicates. *)
+
 val model : t -> string -> model_def
 (** Raises [Not_found] for undeclared models. *)
 
@@ -175,11 +190,23 @@ val declare_builtin : t -> string -> arity:int -> Database.builtin -> unit
 (** {1 Meta-models} *)
 
 val add_meta_model : t -> meta_model -> unit
+(** Register a packaged rule set (§IV-C) for meta-view selection;
+    raises on duplicate names. *)
+
 val find_meta_model : t -> string -> meta_model option
+(** Look up a registered meta-model by name. *)
+
 val signature_of : t -> string -> signature option
+(** The declared signature of a predicate, if any. *)
+
 val find_space : t -> string -> Gdp_space.Resolution.t option
+(** Look up a declared logical space by name. *)
+
 val find_region : t -> string -> Gdp_space.Region.t option
+(** Look up a declared region by name. *)
+
 val model_names : t -> string list
+(** Names of all declared models, in declaration order. *)
 
 val default_world_view : t -> string list
 (** All declared models — the maximal world view. *)
@@ -193,5 +220,7 @@ val default_world_view : t -> string list
     and the applied updates stay separately inspectable. *)
 
 val log_update : t -> update -> unit
+(** Append one applied change to the log. *)
+
 val update_log : t -> update list
 (** Chronological (oldest first). *)

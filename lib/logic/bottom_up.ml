@@ -167,6 +167,34 @@ module Relation = struct
       true
     end
 
+  (* Bulk load for snapshot import: the facts come from a saved
+     relation's set, so they are pairwise distinct, and the receiving
+     relation is freshly built — no lazy index exists yet to maintain.
+     Skipping the membership probe halves the hashing work of [add];
+     [cardinal]/[Term_tbl.length] disagreement after a bulk load is the
+     caller's signal that the distinctness assumption was violated. *)
+  let bulk r facts =
+    let k = Array.length facts in
+    if k > 0 then begin
+      if r.n + k > Array.length r.arr then begin
+        let cap = ref (Array.length r.arr) in
+        while r.n + k > !cap do
+          cap := 2 * !cap
+        done;
+        let bigger = Array.make !cap dummy in
+        Array.blit r.arr 0 bigger 0 r.n;
+        r.arr <- bigger
+      end;
+      Array.iter
+        (fun t ->
+          Term_tbl.replace r.facts t ();
+          r.arr.(r.n) <- t;
+          r.n <- r.n + 1)
+        facts
+    end
+
+  let distinct r = Term_tbl.length r.facts = r.n
+
   (* Physical deletion for incremental maintenance: drop [t] from the
      hash set, compact the insertion-order array (later scans stay
      deterministic) and evict it from every built index bucket. *)
@@ -463,14 +491,14 @@ let parse_clause db ~ignore ~refine ~spatial (c : Database.clause) =
       if List.mem fa ignore then None (* library clause: invisible *)
       else begin
         let head_rel = rel_of ~refine ~what:"clause head" c.Database.head in
-        let ctx = Rel.to_string head_rel in
         if c.Database.body = [] then begin
           if not (Term.is_ground c.Database.head) then
-            unsupported "%s: non-ground fact %s" ctx
+            unsupported "%s: non-ground fact %s" (Rel.to_string head_rel)
               (Term.to_string c.Database.head);
           Some (`Fact (head_rel, c.Database.head))
         end
         else begin
+          let ctx = Rel.to_string head_rel in
           let next_pos = ref 0 in
           let body =
             List.filter_map
@@ -1582,31 +1610,15 @@ let saturate fp ~budget_from ~guard srules start =
   done;
   (!added, !max_delta)
 
-let run ?(strategy = Semi_naive) ?(indexing = true) ?spatial
-    ?(spatial_indexing = true) ?(ignore = Prelude.predicates)
-    ?(refine = fun _ -> None) ?(max_iterations = 10_000)
-    ?(max_facts = 1_000_000) ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1)
-    ?(lineage = false) ?(seed = []) db =
-  let jobs = Pool.resolve_jobs jobs in
+(* The option-independent skeleton [run] and [import] share: classify
+   and stratify the database, precompute every rule's join plans, build
+   the (still empty) fixpoint record and pre-create every relation the
+   plans can touch. Returns the parsed base facts un-inserted — [run]
+   nets its seeds into them and saturates; [import] ignores them and
+   bulk-loads a snapshot instead. *)
+let build_fixpoint ~strategy ~indexing ~spatial ~spatial_indexing ~ignore
+    ~refine ~max_iterations ~max_facts ~tracer ~jobs ~lineage db =
   let facts, rules, stratum_of, n_strata = prepare db ~ignore ~refine ~spatial in
-  (* net the seeds like {!apply} nets a batch: a seed structurally equal
-     to a parsed fact, or repeated in the seed list, lands in the store
-     (and the counters) exactly once *)
-  let seen = Term_tbl.create (max 64 (List.length seed)) in
-  List.iter (fun (_, t) -> Term_tbl.replace seen t ()) facts;
-  let facts =
-    facts
-    @ List.filter_map
-        (fun t ->
-          if not (Term.is_ground t) then
-            unsupported "seed: non-ground seed fact %s" (Term.to_string t);
-          if Term_tbl.mem seen t then None
-          else begin
-            Term_tbl.replace seen t ();
-            Some (rel_of ~refine ~what:"seed" t, t)
-          end)
-        seed
-  in
   (* body plans: with indexing on, a greedy bound-count order per rule
      plus one per delta position; the scan baseline keeps textual order.
      With spatial hooks present, every plan gets the spatial annotation
@@ -1705,18 +1717,15 @@ let run ?(strategy = Semi_naive) ?(indexing = true) ?spatial
         (function Neg (rel, _) -> Stdlib.ignore (get fp rel) | _ -> ())
         p.rule.body)
     planned;
-  List.iter
-    (fun (rel, t) ->
-      match add fp rel t with
-      | Some t -> Term_tbl.replace fp.base t rel
-      | None -> Term_tbl.replace fp.base (Term.hcons t) rel)
-    facts;
-  (* build every spatial index the annotated plans will probe now, in
-     the driver thread: worker domains then only ever read them (a pass
-     that derives new facts maintains them incrementally through
-     [Relation.add], which runs in the single-threaded merge) *)
-  (match spatial with
-  | Some sp when spatial_indexing ->
+  (fp, facts)
+
+(* Build every spatial index the annotated plans will probe now, in
+   the driver thread: worker domains then only ever read them (a pass
+   that derives new facts maintains them incrementally through
+   [Relation.add], which runs in the single-threaded merge). *)
+let prebuild_spatial fp =
+  match fp.spatial with
+  | Some sp when fp.spatial_indexing ->
       let kind =
         match sp.sp_grid_cell with Some c -> Sx.Grid c | None -> Sx.Rtree
       in
@@ -1726,7 +1735,7 @@ let run ?(strategy = Semi_naive) ?(indexing = true) ?spatial
             if not (Hashtbl.mem built (rel, apos)) then begin
               Hashtbl.add built (rel, apos) ();
               let r = get fp rel in
-              Gdp_obs.Tracer.with_span tracer ~cat:"fixpoint"
+              Gdp_obs.Tracer.with_span fp.tracer ~cat:"fixpoint"
                 ~args:
                   [
                     ("rel", Gdp_obs.Tracer.Str (Rel.to_string rel));
@@ -1740,12 +1749,77 @@ let run ?(strategy = Semi_naive) ?(indexing = true) ?spatial
             end
         | _ -> ()
       in
-      List.iter
-        (fun p ->
-          List.iter build_for p.plan;
-          Array.iter (List.iter build_for) p.delta_plans)
-        planned
-  | _ -> ());
+      Array.iter
+        (List.iter (fun p ->
+             List.iter build_for p.plan;
+             Array.iter (List.iter build_for) p.delta_plans))
+        fp.by_stratum
+  | _ -> ()
+
+(* Final counter samples for an enabled tracer — once per [run] (and per
+   [import], whose restored counters gauge the same way). *)
+let emit_gauges fp =
+  let tracer = fp.tracer in
+  if Gdp_obs.Tracer.enabled tracer then begin
+    let set n v = Gdp_obs.Tracer.set tracer n (float_of_int v) in
+    set "bu.facts" fp.ctr.c_facts;
+    set "bu.passes" fp.ctr.c_passes;
+    set "bu.firings" fp.ctr.c_firings;
+    set "bu.index_probes" fp.ctr.c_probes;
+    set "bu.full_scans" fp.ctr.c_scans;
+    if fp.ctr.c_sprobes > 0 || fp.ctr.c_sscans > 0 then begin
+      set "bu.spatial.probes" fp.ctr.c_sprobes;
+      set "bu.spatial.scans" fp.ctr.c_sscans
+    end;
+    set "bu.hcons_hits" fp.ctr.c_hits;
+    set "bu.hcons_misses" fp.ctr.c_misses;
+    if fp.jobs > 1 then begin
+      set "bu.jobs" fp.jobs;
+      set "bu.par_units" fp.ctr.c_par_units
+    end;
+    match fp.lineage with
+    | Some ps ->
+        let tracked, bytes = prov_footprint ps in
+        set "prov.tracked" tracked;
+        set "prov.bytes" bytes
+    | None -> ()
+  end
+
+let run ?(strategy = Semi_naive) ?(indexing = true) ?spatial
+    ?(spatial_indexing = true) ?(ignore = Prelude.predicates)
+    ?(refine = fun _ -> None) ?(max_iterations = 10_000)
+    ?(max_facts = 1_000_000) ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1)
+    ?(lineage = false) ?(seed = []) db =
+  let jobs = Pool.resolve_jobs jobs in
+  let fp, facts =
+    build_fixpoint ~strategy ~indexing ~spatial ~spatial_indexing ~ignore
+      ~refine ~max_iterations ~max_facts ~tracer ~jobs ~lineage db
+  in
+  (* net the seeds like {!apply} nets a batch: a seed structurally equal
+     to a parsed fact, or repeated in the seed list, lands in the store
+     (and the counters) exactly once *)
+  let seen = Term_tbl.create (max 64 (List.length seed)) in
+  List.iter (fun (_, t) -> Term_tbl.replace seen t ()) facts;
+  let facts =
+    facts
+    @ List.filter_map
+        (fun t ->
+          if not (Term.is_ground t) then
+            unsupported "seed: non-ground seed fact %s" (Term.to_string t);
+          if Term_tbl.mem seen t then None
+          else begin
+            Term_tbl.replace seen t ();
+            Some (rel_of ~refine ~what:"seed" t, t)
+          end)
+        seed
+  in
+  List.iter
+    (fun (rel, t) ->
+      match add fp rel t with
+      | Some t -> Term_tbl.replace fp.base t rel
+      | None -> Term_tbl.replace fp.base (Term.hcons t) rel)
+    facts;
+  prebuild_spatial fp;
   let stratum_acc = ref [] in
   let run_frame =
     Gdp_obs.Tracer.begin_span tracer ~cat:"fixpoint" "bottom_up.run"
@@ -1787,30 +1861,7 @@ let run ?(strategy = Semi_naive) ?(indexing = true) ?spatial
       end)
     fp.by_stratum;
   Gdp_obs.Tracer.end_span tracer run_frame;
-  if Gdp_obs.Tracer.enabled tracer then begin
-    let set n v = Gdp_obs.Tracer.set tracer n (float_of_int v) in
-    set "bu.facts" fp.ctr.c_facts;
-    set "bu.passes" fp.ctr.c_passes;
-    set "bu.firings" fp.ctr.c_firings;
-    set "bu.index_probes" fp.ctr.c_probes;
-    set "bu.full_scans" fp.ctr.c_scans;
-    if fp.ctr.c_sprobes > 0 || fp.ctr.c_sscans > 0 then begin
-      set "bu.spatial.probes" fp.ctr.c_sprobes;
-      set "bu.spatial.scans" fp.ctr.c_sscans
-    end;
-    set "bu.hcons_hits" fp.ctr.c_hits;
-    set "bu.hcons_misses" fp.ctr.c_misses;
-    if fp.jobs > 1 then begin
-      set "bu.jobs" fp.jobs;
-      set "bu.par_units" fp.ctr.c_par_units
-    end;
-    match fp.lineage with
-    | Some ps ->
-        let tracked, bytes = prov_footprint ps in
-        set "prov.tracked" tracked;
-        set "prov.bytes" bytes
-    | None -> ()
-  end;
+  emit_gauges fp;
   fp.strata_stats <- List.rev !stratum_acc;
   fp
 
@@ -2428,3 +2479,163 @@ let proof fp t =
           Gdp_obs.Tracer.add fp.tracer "prov.reconstructs" 1;
         Some p
       end
+
+(* ------------------------------------------------------------------ *)
+(* persistent snapshots: a data-only export of a materialised fixpoint.
+   Closures (join plans, spatial hooks, the tracer) never persist —
+   [import] rebuilds them from the database through the same [prepare] /
+   planning path [run] uses, then bulk-loads the saved facts without
+   re-deriving anything. Every term is re-interned through {!Term.hcons}
+   on the way in (import runs on the coordinator thread), so the
+   physical-equality fast paths of the live store are restored. *)
+
+type snap_relation = {
+  sr_rel : Rel.t;
+  sr_facts : Term.t array;  (* insertion order — scans stay deterministic *)
+  sr_indexes : int list list;  (* argument-position indexes built lazily *)
+}
+
+type snapshot_state = {
+  sn_n_strata : int;
+  sn_rels : snap_relation list;
+  sn_base : (Term.t * Rel.t) list;  (* asserted (extensional) facts *)
+  sn_witnesses : (Term.t * witness) list;
+  sn_prov : (int * int * int * int) option;
+      (* refreshed, reconstructs, max depth, max size *)
+  sn_counters : counters;  (* a private copy, never aliased to a live fp *)
+  sn_strata_stats : stratum_stats list;
+  sn_incr : istate;  (* idem *)
+}
+
+let export fp =
+  let sn_rels =
+    Hashtbl.fold
+      (fun rel (r : Relation.t) acc ->
+        {
+          sr_rel = rel;
+          sr_facts = Array.sub r.Relation.arr 0 r.Relation.n;
+          sr_indexes = List.map fst (Atomic.get r.Relation.indexes);
+        }
+        :: acc)
+      fp.rels []
+    |> List.sort (fun a b -> Rel.compare a.sr_rel b.sr_rel)
+  in
+  let sn_base =
+    Term_tbl.fold (fun t rel acc -> (t, rel) :: acc) fp.base []
+    |> List.sort (fun (a, _) (b, _) -> Term.compare a b)
+  in
+  let sn_witnesses, sn_prov =
+    match fp.lineage with
+    | None -> ([], None)
+    | Some ps ->
+        ( Term_tbl.fold (fun t w acc -> (t, w) :: acc) ps.ptbl []
+          |> List.sort (fun (a, _) (b, _) -> Term.compare a b),
+          Some (ps.p_refreshed, ps.p_reconstructs, ps.p_max_depth, ps.p_max_size)
+        )
+  in
+  {
+    sn_n_strata = fp.n_strata;
+    sn_rels;
+    sn_base;
+    sn_witnesses;
+    sn_prov;
+    sn_counters = { fp.ctr with c_facts = fp.ctr.c_facts };
+    sn_strata_stats = fp.strata_stats;
+    sn_incr = { fp.incr with i_batches = fp.incr.i_batches };
+  }
+
+let snapshot_facts state = state.sn_counters.c_facts
+
+let import ?(strategy = Semi_naive) ?(indexing = true) ?spatial
+    ?(spatial_indexing = true) ?(ignore = Prelude.predicates)
+    ?(refine = fun _ -> None) ?(max_iterations = 10_000)
+    ?(max_facts = 1_000_000) ?(tracer = Gdp_obs.Tracer.disabled) ?(jobs = 1)
+    ?(lineage = false) db state =
+  let jobs = Pool.resolve_jobs jobs in
+  Gdp_obs.Tracer.with_span tracer ~cat:"snapshot"
+    ~args:[ ("facts", Gdp_obs.Tracer.Int (snapshot_facts state)) ]
+    "snap.import"
+  @@ fun () ->
+  let fp, _parsed =
+    build_fixpoint ~strategy ~indexing ~spatial ~spatial_indexing ~ignore
+      ~refine ~max_iterations ~max_facts ~tracer ~jobs ~lineage db
+  in
+  if fp.n_strata <> state.sn_n_strata then
+    invalid_arg
+      (Printf.sprintf
+         "Bottom_up.import: snapshot stratifies into %d strata, the \
+          database into %d — the snapshot belongs to a different program"
+         state.sn_n_strata fp.n_strata);
+  (* bulk-load, bypassing [add]: the saved counters already account for
+     every insert, and restoring them wholesale afterwards keeps the
+     loaded fixpoint's telemetry textually identical to the saved one.
+     Saved relations hold pairwise-distinct facts, so the membership
+     probe [add] pays per fact is skipped; [Relation.distinct] plus the
+     total-count check below keep a malformed payload detectable. *)
+  let total = ref 0 in
+  List.iter
+    (fun sr ->
+      let r = get fp sr.sr_rel in
+      let interned = Array.map Term.hcons sr.sr_facts in
+      Relation.bulk r interned;
+      if not (Relation.distinct r) then
+        invalid_arg
+          (Printf.sprintf
+             "Bottom_up.import: %s holds duplicate facts — the snapshot \
+              payload is malformed"
+             (Rel.to_string sr.sr_rel));
+      total := !total + Array.length interned)
+    state.sn_rels;
+  if !total <> state.sn_counters.c_facts then
+    invalid_arg
+      (Printf.sprintf
+         "Bottom_up.import: loaded %d facts, snapshot counters claim %d"
+         !total state.sn_counters.c_facts);
+  List.iter
+    (fun (t, rel) -> Term_tbl.replace fp.base (Term.hcons t) rel)
+    state.sn_base;
+  (match fp.lineage with
+  | None -> ()
+  | Some ps ->
+      let intern_step = function
+        | Wfact u -> Wfact (Term.hcons u)
+        | Wnaf u -> Wnaf (Term.hcons u)
+        | Wguard u -> Wguard (Term.hcons u)
+      in
+      List.iter
+        (fun (t, w) ->
+          Term_tbl.replace ps.ptbl (Term.hcons t)
+            { w with w_steps = List.map intern_step w.w_steps })
+        state.sn_witnesses;
+      match state.sn_prov with
+      | Some (refreshed, reconstructs, max_depth, max_size) ->
+          ps.p_refreshed <- refreshed;
+          ps.p_reconstructs <- reconstructs;
+          ps.p_max_depth <- max_depth;
+          ps.p_max_size <- max_size
+      | None -> ());
+  fold_counters ~into:fp.ctr state.sn_counters;
+  fp.strata_stats <- state.sn_strata_stats;
+  let i = state.sn_incr in
+  fp.incr.i_batches <- i.i_batches;
+  fp.incr.i_asserts <- i.i_asserts;
+  fp.incr.i_retracts <- i.i_retracts;
+  fp.incr.i_noops <- i.i_noops;
+  fp.incr.i_inserted <- i.i_inserted;
+  fp.incr.i_deleted <- i.i_deleted;
+  fp.incr.i_overdeleted <- i.i_overdeleted;
+  fp.incr.i_rederived <- i.i_rederived;
+  fp.incr.i_visited <- i.i_visited;
+  fp.incr.i_recomputed <- i.i_recomputed;
+  (* the indexes the saved fixpoint had built lazily are rebuilt now, so
+     warm-start query latency is uniform from the first probe on *)
+  List.iter
+    (fun sr ->
+      let r = get fp sr.sr_rel in
+      List.iter
+        (fun positions -> Stdlib.ignore (Relation.index r positions))
+        sr.sr_indexes)
+    state.sn_rels;
+  prebuild_spatial fp;
+  emit_gauges fp;
+  fp

@@ -31,11 +31,18 @@
     atoms ([test/suite_engine_props.ml]). *)
 
 type fixpoint
+(** A materialised least model: the derived relations plus everything
+    needed to serve, repair ({!apply}), explain ({!witness}) and
+    persist ({!export}) them. *)
 
 exception Unsupported of string
 (** Raised when the database leaves the fragment. See {!classify}. *)
 
 type strategy = Naive | Semi_naive
+(** [Naive] re-fires every rule against the whole store each pass (the
+    textbook baseline, kept for benchmarking); [Semi_naive] — the
+    default — restricts each firing to the previous pass's delta. Both
+    compute the same least model. *)
 
 type refine = string * int -> int option
 (** Relation refinement: [refine (name, arity) = Some pos] splits the
@@ -265,6 +272,8 @@ val probe : fixpoint -> Term.t -> Term.t list
     materialised mode answers through this instead of scanning. *)
 
 val count : fixpoint -> int
+(** Total facts in the store (asserted and derived), across all
+    relations. *)
 
 val iterations : fixpoint -> int
 (** Total number of passes across all strata until the least fixpoint. *)
@@ -319,6 +328,8 @@ val pp_stats : Format.formatter -> stats -> unit
     invariant [test/suite_incremental.ml] checks differentially. *)
 
 type update = [ `Assert of Term.t | `Retract of Term.t ]
+(** One change to the asserted base, as a ground engine atom — the
+    logic-level counterpart of [Gdp_core.Spec.update]. *)
 
 val apply : ?jobs:int -> fixpoint -> update list -> unit
 (** Apply one batch of updates to the asserted base, in script order —
@@ -376,6 +387,8 @@ type wstep =
       (** One instantiated body literal of a recorded witness. *)
 
 val lineage_enabled : fixpoint -> bool
+(** Whether this fixpoint was run with [~lineage:true] and can answer
+    {!witness} / {!proof}. *)
 
 val witness : fixpoint -> Term.t -> (int * wstep list) option
 (** The recorded witness of a derived tuple: the deriving rule's id
@@ -392,3 +405,62 @@ val proof : fixpoint -> Term.t -> Explain.proof option
     [None] when lineage is off or the atom is not in the store. Updates
     the [prov_reconstructs] / max depth / max size counters and, when
     the tracer is live, emits a ["prov.reconstruct"] span. *)
+
+(** {1:snapshots Persistent snapshots}
+
+    A materialised fixpoint can be exported as a pure-data value and
+    later re-imported against a freshly compiled database — the
+    compile-once/query-many path {!Gdp_core.Query} and the [gdprs
+    compile] subcommand build on (see {!Snapshot} for the on-disk
+    container). Only data persists: per-relation facts in insertion
+    order, which lazy argument indexes had been built, the asserted
+    base, recorded witnesses, and every cumulative counter. Join plans,
+    stratification and all closures are rebuilt from the database at
+    import time, and spatial indexes are rebuilt eagerly, exactly as
+    {!run} builds them. *)
+
+type snapshot_state
+(** The exported state of one fixpoint. Contains only marshallable data
+    (terms, relation names, counters) — safe to [Marshal] and reload in
+    another process. *)
+
+val export : fixpoint -> snapshot_state
+(** Capture the fixpoint's current facts, asserted base, witnesses and
+    cumulative counters. The fixpoint stays live and is not aliased by
+    the returned value: later {!apply} calls do not alter the export. *)
+
+val snapshot_facts : snapshot_state -> int
+(** Number of stored facts the snapshot carries (the saved fixpoint's
+    [bu_facts]). *)
+
+val import :
+  ?strategy:strategy ->
+  ?indexing:bool ->
+  ?spatial:spatial ->
+  ?spatial_indexing:bool ->
+  ?ignore:(string * int) list ->
+  ?refine:refine ->
+  ?max_iterations:int ->
+  ?max_facts:int ->
+  ?tracer:Gdp_obs.Tracer.t ->
+  ?jobs:int ->
+  ?lineage:bool ->
+  Database.t ->
+  snapshot_state ->
+  fixpoint
+(** Rebuild a live fixpoint from [db] and a snapshot {e without
+    re-deriving anything}: the database is classified, stratified and
+    planned exactly as {!run} would (same options, same meaning), then
+    the saved facts are bulk-inserted — re-interned through
+    {!Term.hcons} — the saved counters, per-stratum statistics,
+    maintenance counters and witnesses are restored, the recorded lazy
+    hash indexes and the planned spatial indexes are rebuilt eagerly,
+    and the usual final counter gauges are emitted (plus one
+    ["snap.import"] span) when the tracer is live. The result answers
+    {!holds}/{!probe}/{!proof} and accepts {!apply} exactly like the
+    fixpoint {!export} captured. Callers must pass a database compiled
+    from the same program under the same options the snapshot was
+    saved from — [Gdp_core] enforces this with a content hash; as
+    defence in depth, a stratification-shape or fact-count mismatch
+    raises [Invalid_argument]. Raises {!Unsupported} when [db] leaves
+    the evaluable fragment. *)

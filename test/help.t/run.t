@@ -1,0 +1,68 @@
+The CLI reference (docs/CLI.md) must stay in sync with the actual
+--help output: every subcommand needs a section and every flag a
+subcommand advertises has to be mentioned. Adding or renaming a flag
+fails here until the reference is updated.
+
+  $ doc=../../docs/CLI.md
+  $ test -f "$doc"
+  $ flags () {
+  >   "$@" --help=plain 2>/dev/null \
+  >     | awk '/^[A-Z]/ { sect = $0 } sect ~ /OPTIONS/ && /^       -/' \
+  >     | tr ',' '\n' | grep -oE '(^| )--?[a-zA-Z][a-zA-Z-]*' \
+  >     | tr -d ' ' | sort -u
+  > }
+
+The subcommand inventory, pinned:
+
+  $ gdprs --help=plain | grep -oE '^       [a-z]+ \[' | tr -d ' ['
+  ask
+  check
+  compile
+  explain
+  info
+  lint
+  profile
+  query
+  render
+  update
+
+Each subcommand has a section heading in the reference:
+
+  $ for c in check query ask explain update compile profile lint info render; do
+  >   grep -q "### gdprs $c" "$doc" || echo "missing section: $c"
+  > done
+
+Every flag advertised by a gdprs subcommand appears in the reference:
+
+  $ for c in check query ask explain update compile profile lint info render; do
+  >   for f in $(flags gdprs "$c"); do
+  >     grep -q -e "$f" "$doc" || echo "gdprs $c: $f undocumented"
+  >   done
+  > done
+
+Same for the workload generators:
+
+  $ for g in roads census clouds terrain; do
+  >   grep -q -e "\`$g\`" "$doc" || echo "missing gdpgen section: $g"
+  >   for f in $(flags gdpgen "$g"); do
+  >     grep -q -e "$f" "$doc" || echo "gdpgen $g: $f undocumented"
+  >   done
+  > done
+
+The snapshot-centric subcommand's flag inventory, pinned directly so
+a surface change is visible here as well as in the reference:
+
+  $ flags gdprs compile
+  --help
+  --jobs
+  --meta
+  --model
+  --no-spatial-index
+  --out
+  --stats
+  --trace-out
+  --version
+  --view
+  -j
+  -m
+  -o

@@ -12,6 +12,7 @@ let () =
       ("provenance", Suite_provenance.tests);
       ("magic", Suite_magic.tests);
       ("incremental", Suite_incremental.tests);
+      ("snapshot", Suite_snapshot.tests);
       ("parallel", Suite_parallel.tests);
       ("fuzzy", Suite_fuzzy.tests);
       ("temporal", Suite_temporal.tests);

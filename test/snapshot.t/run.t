@@ -1,0 +1,136 @@
+Persistent fixpoint snapshots, end to end. A Datalog-fragment
+specification is compiled and materialised once; later invocations
+answer from the snapshot instead of re-deriving.
+
+  $ cat > dl.gdp <<'END'
+  > objects n1, n2, n3, n4.
+  > fact link(n1, n2).
+  > fact link(n2, n3).
+  > fact link(n3, n4).
+  > fact flagged(n3).
+  > rule reach(X, Y) <- link(X, Y).
+  > rule reach(X, Y) <- link(X, Z), reach(Z, Y).
+  > rule clear(X) <- link(X, _), not flagged(X).
+  > constraint flagged_reachable(X) <- reach(n1, X), flagged(X).
+  > END
+  $ gdprs compile dl.gdp -o dl.gdpx
+  world view: {w}
+  meta view:  {}
+  materialised: 18 facts, 2 strata, 4 passes
+  wrote dl.gdpx (18 facts)
+
+A snapshot-backed query loads the persisted model (no rules fire) and
+answers exactly like a fresh materialised run:
+
+  $ gdprs query dl.gdp 'reach(n1, X)' --snapshot dl.gdpx
+  snapshot: loaded 18 facts from dl.gdpx
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+  $ gdprs query dl.gdp 'reach(n1, X)' --materialize
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+
+`--stats` reports what was loaded:
+
+  $ gdprs check dl.gdp --snapshot dl.gdpx --stats
+  world view: {w}
+  meta view:  {}
+  snapshot: loaded 18 facts from dl.gdpx
+  materialised: 18 facts, 2 strata, 4 passes
+  INCONSISTENT: 1 violation(s)
+    w: ERROR(flagged_reachable, n3)
+  -- stats --
+  engine: materialized
+  unifications: 0  loop prunes: 0  deepest call: 0
+  snapshot: loaded 18 facts (1035 bytes)
+  passes: 4  firings: 6  strata: 2  facts: 18
+  index probes: 13  full scans: 0  membership tests: 6
+  hcons: 21 hits / 1 misses (95.5% hit rate)
+  stratum 0: 3 rules, 2 passes, 5 firings, 7 derived, max delta 7
+  stratum 1: 1 rules, 2 passes, 1 firings, 2 derived, max delta 2
+  provenance: 9 tuples tracked, 2224 witness bytes, 0 refreshed
+  
+  [1]
+
+Raw engine goals and explanations answer from the loaded model too
+(`ask` rewrites against the full snapshot via --magic):
+
+  $ gdprs ask dl.gdp 'holds(w, reach, [], [n1, X], nospace, notime)' --snapshot dl.gdpx
+  snapshot: loaded 18 facts from dl.gdpx
+  X = n2
+  X = n3
+  X = n4
+  $ gdprs explain dl.gdp 'reach(n1, n3)' --snapshot dl.gdpx
+  snapshot: loaded 18 facts from dl.gdpx
+  reach(n1, n3)   [rule]
+    link(n1, n2)   [fact]
+    reach(n2, n3)   [rule]
+      link(n2, n3)   [fact]
+
+A stale snapshot is detected — editing the specification changes its
+content hash — and the model is rebuilt in memory with a warning,
+never silently reused. The answers reflect the edited spec:
+
+  $ cat dl.gdp > dl2.gdp
+  $ echo 'fact link(n4, n1).' >> dl2.gdp
+  $ gdprs query dl2.gdp 'reach(n4, X)' --snapshot dl.gdpx
+  reach(n4, n1)
+  reach(n4, n2)
+  reach(n4, n3)
+  reach(n4, n4)
+  warning: snapshot dl.gdpx is stale (the specification or engine configuration changed since the snapshot was written); rebuilding
+
+An engine-configuration mismatch is stale in the same way:
+
+  $ gdprs query dl.gdp 'reach(n1, X)' --snapshot dl.gdpx --no-spatial-index
+  reach(n1, n2)
+  reach(n1, n3)
+  reach(n1, n4)
+  warning: snapshot dl.gdpx is stale (the specification or engine configuration changed since the snapshot was written); rebuilding
+
+A corrupted or truncated file is a hard error, exit 2:
+
+  $ head -c 40 dl.gdpx > broken.gdpx
+  $ gdprs query dl.gdp 'reach(n1, X)' --snapshot broken.gdpx
+  error: snapshot broken.gdpx: broken.gdpx: digest mismatch (truncated or corrupted snapshot)
+  [2]
+
+`update --snapshot` loads the snapshot, repairs the fixpoint
+incrementally, and re-saves with the update script appended to the
+persisted log — a later load replays it:
+
+  $ cat > script.txt <<'END'
+  > retract flagged(n3)
+  > assert link(n4, n1)
+  > END
+  $ gdprs update dl.gdp --script script.txt --snapshot dl.gdpx
+  world view: {w}
+  meta view:  {}
+  snapshot: loaded 18 facts from dl.gdpx
+  applied 2 update(s): 1 asserted, 1 retracted
+  snapshot: saved 29 facts to dl.gdpx
+  materialised: 29 facts, 2 strata, 13 passes
+  consistent: no constraint violations
+  $ gdprs query dl.gdp 'clear(X)' --snapshot dl.gdpx
+  snapshot: loaded 29 facts from dl.gdpx
+  clear(n1)
+  clear(n2)
+  clear(n3)
+  clear(n4)
+
+Specifications outside the Datalog fragment cannot be compiled:
+
+  $ cat > outside.gdp <<'END'
+  > objects s1, b1.
+  > fact road(s1).
+  > fact bridge(b1, s1).
+  > fact open(b1).
+  > rule open_road(X) <- road(X), forall(bridge(Y, X) => open(Y)).
+  > END
+  $ gdprs compile outside.gdp -o outside.gdpx
+  world view: {w}
+  meta view:  {}
+  error: not materializable: holds/6[open_road]: library predicate forall/2 outside the Datalog fragment
+  [2]
